@@ -1,0 +1,53 @@
+//! One benchmark per paper figure: each measures regenerating that
+//! figure's table from a shared mini sweep (two INT + two FP analogs at
+//! tiny scale; the sweep itself is measured once as `figures/sweep`).
+//!
+//! The full-scale regeneration is the `reproduce` binary
+//! (`cargo run --release -p tpdbt-experiments -- --scale paper all`);
+//! these benches keep the per-figure analysis pipelines honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tpdbt_experiments::figures;
+use tpdbt_experiments::runner::{run_benchmark, run_suite, BenchResult};
+use tpdbt_suite::Scale;
+
+fn mini_sweep() -> Vec<BenchResult> {
+    run_suite(&["gzip", "mcf", "swim", "wupwise"], Scale::Tiny, |_| {}).unwrap()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    c.bench_function("figures/sweep_one_bench_tiny", |b| {
+        b.iter(|| black_box(run_benchmark("bzip2", Scale::Tiny).unwrap()))
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let results = mini_sweep();
+    let mut g = c.benchmark_group("figures");
+    macro_rules! fig {
+        ($name:literal, $f:path) => {
+            g.bench_function($name, |b| b.iter(|| black_box($f(&results).to_csv())));
+        };
+    }
+    fig!("fig08_sd_bp", figures::fig08);
+    fig!("fig09_sd_bp_int", figures::fig09);
+    fig!("fig10_bp_mismatch", figures::fig10);
+    fig!("fig11_bp_mismatch_int", figures::fig11);
+    fig!("fig12_bp_mismatch_fp", figures::fig12);
+    fig!("fig13_sd_cp", figures::fig13);
+    fig!("fig14_sd_lp", figures::fig14);
+    fig!("fig15_lp_mismatch", figures::fig15);
+    fig!("fig16_lp_mismatch_int", figures::fig16);
+    fig!("fig17_performance", figures::fig17);
+    fig!("fig18_profiling_ops", figures::fig18);
+    g.finish();
+}
+
+criterion_group! {
+    name = figs;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep, bench_figures
+}
+criterion_main!(figs);

@@ -1,0 +1,147 @@
+//! Core-kernel benchmarks: the building blocks every experiment run
+//! exercises — interpretation, translated execution, region formation
+//! (via a full DBT run), NAVEP normalization, and the linear solvers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use tpdbt_dbt::{Dbt, DbtConfig};
+use tpdbt_linalg::{DenseMatrix, FlowGraph, SparseBuilder};
+use tpdbt_profile::{navep, text};
+use tpdbt_suite::{workload, InputKind, Scale};
+use tpdbt_vm::Interpreter;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let w = workload("bzip2", Scale::Tiny, InputKind::Ref).unwrap();
+    c.bench_function("interpreter/bzip2_tiny", |b| {
+        b.iter(|| {
+            let mut i = Interpreter::new(&w.binary.program, &w.input);
+            i.preload(&w.binary.mem_image, &w.binary.fmem_image);
+            black_box(i.run().unwrap().instructions)
+        })
+    });
+}
+
+fn bench_dbt_modes(c: &mut Criterion) {
+    let w = workload("bzip2", Scale::Tiny, InputKind::Ref).unwrap();
+    let mut g = c.benchmark_group("dbt");
+    g.bench_function("no_opt/bzip2_tiny", |b| {
+        b.iter(|| {
+            black_box(
+                Dbt::new(DbtConfig::no_opt())
+                    .run_built(&w.binary, &w.input)
+                    .unwrap()
+                    .stats,
+            )
+        })
+    });
+    g.bench_function("two_phase_t20/bzip2_tiny", |b| {
+        b.iter(|| {
+            black_box(
+                Dbt::new(DbtConfig::two_phase(20))
+                    .run_built(&w.binary, &w.input)
+                    .unwrap()
+                    .stats,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_navep(c: &mut Criterion) {
+    let w = workload("gcc", Scale::Tiny, InputKind::Ref).unwrap();
+    let avep = Dbt::new(DbtConfig::no_opt())
+        .run_built(&w.binary, &w.input)
+        .unwrap()
+        .as_plain_profile();
+    let inip = Dbt::new(DbtConfig::two_phase(20))
+        .run_built(&w.binary, &w.input)
+        .unwrap()
+        .inip;
+    c.bench_function("navep/normalize_gcc_tiny", |b| {
+        b.iter(|| black_box(navep::normalize(&inip, &avep).unwrap()))
+    });
+    c.bench_function("text/inip_roundtrip_gcc_tiny", |b| {
+        b.iter(|| {
+            let s = text::inip_to_string(&inip);
+            black_box(text::inip_from_str(&s).unwrap())
+        })
+    });
+}
+
+fn bench_staticpred(c: &mut Criterion) {
+    let w = workload("gcc", Scale::Tiny, InputKind::Ref).unwrap();
+    c.bench_function("staticpred/cfg_and_predict_gcc", |b| {
+        b.iter(|| {
+            let cfg = tpdbt_staticpred::build_cfg(&w.binary.program);
+            black_box(tpdbt_staticpred::predict_with_program(
+                &cfg,
+                &w.binary.program,
+            ))
+        })
+    });
+    c.bench_function("staticpred/static_profile_gcc", |b| {
+        b.iter(|| black_box(tpdbt_staticpred::static_profile(&w.binary.program).unwrap()))
+    });
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+    g.bench_function("dense_solve_64", |b| {
+        let n = 64;
+        let mut m = DenseMatrix::zeros(n, n).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                m.set(
+                    i,
+                    j,
+                    if i == j {
+                        4.0
+                    } else {
+                        1.0 / (1.0 + (i + j) as f64)
+                    },
+                );
+            }
+        }
+        let rhs = vec![1.0; n];
+        b.iter(|| black_box(m.solve(&rhs).unwrap()))
+    });
+    g.bench_function("gauss_seidel_2000", |b| {
+        let n = 2000;
+        let mut sb = SparseBuilder::new(n);
+        for i in 0..n {
+            sb.add(i, i, 4.0);
+            if i > 0 {
+                sb.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                sb.add(i, i + 1, -1.0);
+            }
+        }
+        let m = sb.build();
+        let rhs = vec![1.0; n];
+        b.iter(|| black_box(m.solve_gauss_seidel(&rhs, 1e-10, 10_000).unwrap()))
+    });
+    g.bench_function("markov_chain_500", |b| {
+        b.iter_batched(
+            || {
+                let mut g = FlowGraph::new(500);
+                g.set_known(0, 1000.0);
+                for i in 0..499 {
+                    g.add_edge(i, i + 1, 0.95);
+                }
+                g
+            },
+            |g| black_box(g.solve().unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_interpreter, bench_dbt_modes, bench_navep, bench_solvers, bench_staticpred
+}
+criterion_main!(kernels);

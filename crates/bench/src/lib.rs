@@ -1,0 +1,1 @@
+//! Criterion benchmark host crate for tpdbt (benches live under `benches/`).

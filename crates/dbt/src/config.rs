@@ -1,0 +1,299 @@
+//! Translator configuration: profiling mode, region-formation policy,
+//! and the simulated cost model.
+
+/// How the translator profiles and optimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfilingMode {
+    /// The paper's two-phase scheme: profile until the retranslation
+    /// threshold, optimize once, freeze counters.
+    TwoPhase,
+    /// Never optimize: the whole run is the profiling phase. Produces
+    /// the paper's `AVEP` (reference input) and `INIP(train)` (training
+    /// input) profiles.
+    NoOpt,
+    /// The paper's future-work extension: counters keep counting after
+    /// optimization and a region is re-formed when its entry block's
+    /// use count doubles relative to formation time. Used for ablation.
+    Continuous,
+    /// The paper's §5 proposal "effectively monitoring region side
+    /// exits to trigger retranslation and adaptation": a region whose
+    /// side-exit rate exceeds [`AdaptPolicy::max_side_exit_rate`] is
+    /// retired, its blocks re-profile from scratch, and a fresh region
+    /// forms once they re-reach the threshold.
+    Adaptive,
+}
+
+/// Knobs for [`ProfilingMode::Adaptive`] side-exit monitoring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptPolicy {
+    /// Minimum region entries before the side-exit rate is judged.
+    pub min_entries: u64,
+    /// Retire the region when `side_exits / entries` exceeds this.
+    pub max_side_exit_rate: f64,
+    /// Stop retiring regions rooted at the same entry after this many
+    /// retirements — hysteresis so inherently-mixed branches (a stable
+    /// 65/35 diamond exits often *by construction*) don't churn through
+    /// endless retranslation.
+    pub max_retirements_per_entry: u32,
+}
+
+impl Default for AdaptPolicy {
+    fn default() -> Self {
+        AdaptPolicy {
+            min_entries: 64,
+            max_side_exit_rate: 0.35,
+            max_retirements_per_entry: 3,
+        }
+    }
+}
+
+/// Region-formation policy knobs (DESIGN.md ablation targets).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegionPolicy {
+    /// Minimum branch probability for extending the main trace — the
+    /// "minimum branch probability" of trace-growing heuristics
+    /// (Chang & Hwu use 70%; IA32EL-style translators are greedier).
+    pub main_path_prob: f64,
+    /// Minimum probability for including the unlikely arm of a hammock
+    /// (if-then / if-else diamond) in the region.
+    pub include_prob: f64,
+    /// Maximum number of block copies per region.
+    pub max_region_blocks: usize,
+    /// Candidate-pool size that triggers the optimization phase
+    /// ("when a sufficient number of blocks are registered").
+    pub pool_trigger: usize,
+}
+
+impl Default for RegionPolicy {
+    fn default() -> Self {
+        RegionPolicy {
+            main_path_prob: 0.55,
+            include_prob: 0.20,
+            max_region_blocks: 32,
+            pool_trigger: 8,
+        }
+    }
+}
+
+/// Simulated cycle costs. Values are abstract machine cycles; only
+/// their *ratios* matter for the Figure 17 shape (the paper's absolute
+/// Itanium 2 timings are unavailable). Defaults are documented in
+/// DESIGN.md and stress-tested for robustness to ±2× changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// One-time fast-translation cost per instruction when a block is
+    /// first seen (the profiling-phase quick translation).
+    pub cold_translate_per_instr: u64,
+    /// Execution cost per instruction in unoptimized (profiling-phase)
+    /// code.
+    pub unopt_exec_per_instr: u64,
+    /// Cost of one profiling-counter increment (`use` or `taken`).
+    pub profile_op_cost: u64,
+    /// Block-dispatch cost per unoptimized block entry (translation
+    /// cache lookup / chaining overhead).
+    pub dispatch_cost: u64,
+    /// Optimization (retranslation) cost per instruction of region code.
+    pub opt_translate_per_instr: u64,
+    /// Execution cost per instruction inside an optimized region.
+    pub opt_exec_per_instr: u64,
+    /// Penalty for leaving a region through a side exit (state
+    /// reconciliation, cold target).
+    pub side_exit_penalty: u64,
+    /// Dispatch cost when entering an optimized region.
+    pub region_entry_cost: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cold_translate_per_instr: 60,
+            unopt_exec_per_instr: 4,
+            profile_op_cost: 1,
+            dispatch_cost: 2,
+            opt_translate_per_instr: 500,
+            opt_exec_per_instr: 2,
+            side_exit_penalty: 16,
+            region_entry_cost: 1,
+        }
+    }
+}
+
+/// Full translator configuration.
+///
+/// # Example
+///
+/// ```
+/// use tpdbt_dbt::{DbtConfig, ProfilingMode};
+///
+/// let c = DbtConfig::two_phase(2000);
+/// assert_eq!(c.threshold, 2000);
+/// assert_eq!(c.mode, ProfilingMode::TwoPhase);
+/// let avep = DbtConfig::no_opt();
+/// assert_eq!(avep.mode, ProfilingMode::NoOpt);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DbtConfig {
+    /// The retranslation threshold `T` (ignored in
+    /// [`ProfilingMode::NoOpt`]).
+    pub threshold: u64,
+    /// Profiling/optimization mode.
+    pub mode: ProfilingMode,
+    /// Region-formation policy.
+    pub policy: RegionPolicy,
+    /// Simulated cost model.
+    pub cost: CostModel,
+    /// Side-exit monitoring policy (only consulted in
+    /// [`ProfilingMode::Adaptive`]).
+    pub adapt: AdaptPolicy,
+    /// When set, the run records an interval profile snapshot every
+    /// this many dynamic instructions (for offline phase detection à la
+    /// Sherwood et al., the paper's reference \[16]). Meaningful in
+    /// [`ProfilingMode::NoOpt`], where counters never freeze.
+    pub interval: Option<u64>,
+    /// Maximum dynamic guest instructions before the run aborts
+    /// (defends against runaway workloads).
+    pub fuel: u64,
+}
+
+impl DbtConfig {
+    /// Two-phase configuration with retranslation threshold `threshold`
+    /// and default policy/costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` (the paper's baseline is `T = 1`:
+    /// optimize everything executed at least once).
+    #[must_use]
+    pub fn two_phase(threshold: u64) -> Self {
+        assert!(threshold > 0, "retranslation threshold must be at least 1");
+        DbtConfig {
+            threshold,
+            mode: ProfilingMode::TwoPhase,
+            policy: RegionPolicy::default(),
+            cost: CostModel::default(),
+            adapt: AdaptPolicy::default(),
+            interval: None,
+            fuel: tpdbt_vm::DEFAULT_FUEL,
+        }
+    }
+
+    /// Profile-only configuration (no optimization ever) — produces
+    /// `AVEP` / `INIP(train)` profiles.
+    #[must_use]
+    pub fn no_opt() -> Self {
+        DbtConfig {
+            mode: ProfilingMode::NoOpt,
+            ..DbtConfig::two_phase(u64::MAX)
+        }
+    }
+
+    /// Continuous-profiling configuration (ablation of the paper's
+    /// future-work idea) with the given threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    #[must_use]
+    pub fn continuous(threshold: u64) -> Self {
+        DbtConfig {
+            mode: ProfilingMode::Continuous,
+            ..DbtConfig::two_phase(threshold)
+        }
+    }
+
+    /// Adaptive configuration (paper §5: side-exit-triggered
+    /// retranslation) with the given threshold and default
+    /// [`AdaptPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    #[must_use]
+    pub fn adaptive(threshold: u64) -> Self {
+        DbtConfig {
+            mode: ProfilingMode::Adaptive,
+            ..DbtConfig::two_phase(threshold)
+        }
+    }
+
+    /// Replaces the region policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RegionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the cost model.
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the fuel budget.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Enables interval profile recording every `instructions` dynamic
+    /// instructions (phase detection input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions == 0`.
+    #[must_use]
+    pub fn with_interval(mut self, instructions: u64) -> Self {
+        assert!(instructions > 0, "interval must be positive");
+        self.interval = Some(instructions);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_modes() {
+        assert_eq!(DbtConfig::two_phase(5).mode, ProfilingMode::TwoPhase);
+        assert_eq!(DbtConfig::no_opt().mode, ProfilingMode::NoOpt);
+        assert_eq!(DbtConfig::continuous(5).mode, ProfilingMode::Continuous);
+        assert_eq!(DbtConfig::continuous(5).threshold, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threshold_panics() {
+        let _ = DbtConfig::two_phase(0);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let policy = RegionPolicy {
+            max_region_blocks: 4,
+            ..RegionPolicy::default()
+        };
+        let cost = CostModel {
+            opt_exec_per_instr: 1,
+            ..CostModel::default()
+        };
+        let c = DbtConfig::two_phase(10)
+            .with_policy(policy)
+            .with_cost(cost)
+            .with_fuel(99);
+        assert_eq!(c.policy.max_region_blocks, 4);
+        assert_eq!(c.cost.opt_exec_per_instr, 1);
+        assert_eq!(c.fuel, 99);
+    }
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = RegionPolicy::default();
+        assert!(p.main_path_prob > 0.5);
+        assert!(p.include_prob < p.main_path_prob);
+        assert!(p.max_region_blocks >= 2);
+        assert!(p.pool_trigger >= 1);
+    }
+}

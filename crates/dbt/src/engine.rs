@@ -1,0 +1,913 @@
+//! The translator's execution engine: profiling-phase execution,
+//! candidate pool, optimization trigger, and optimized region execution.
+
+use tpdbt_isa::{decode_block, Block, BuiltProgram, Pc, Program, Terminator};
+use tpdbt_profile::{
+    BlockRecord, InipDump, IntervalProfile, PlainProfile, RegionDump, SuccSlot, TermKind,
+};
+use tpdbt_vm::{step, Flow, Machine};
+
+use crate::config::{DbtConfig, ProfilingMode};
+use crate::error::DbtError;
+use crate::region::{form_region, BlockSource, FormedRegion};
+
+/// Aggregate statistics of a translated run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Dynamic guest instructions executed.
+    pub instructions: u64,
+    /// Simulated cycles under the cost model.
+    pub cycles: u64,
+    /// Profiling operations (use + taken counter increments) — the
+    /// paper's Figure 18 quantity.
+    pub profiling_ops: u64,
+    /// Distinct blocks fast-translated.
+    pub blocks_translated: u64,
+    /// Regions formed by the optimization phase.
+    pub regions_formed: u64,
+    /// Times the optimization phase ran.
+    pub opt_invocations: u64,
+    /// Region executions that left through a side exit.
+    pub side_exits: u64,
+    /// Region executions that completed through the tail block.
+    pub completions: u64,
+    /// Loop-region back-edge traversals.
+    pub loop_backs: u64,
+    /// Optimized-region entries.
+    pub region_entries: u64,
+    /// Regions retired by adaptive side-exit monitoring
+    /// ([`ProfilingMode::Adaptive`]).
+    pub retirements: u64,
+}
+
+/// The result of running a program under the translator.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The profile dump — `INIP(T)` in two-phase mode, a plain whole-run
+    /// profile (with no regions) in [`ProfilingMode::NoOpt`].
+    pub inip: InipDump,
+    /// Guest program output.
+    pub output: Vec<i64>,
+    /// Run statistics.
+    pub stats: ExecStats,
+    /// Interval profile snapshots, when [`DbtConfig::interval`] was
+    /// set (input to offline phase detection).
+    pub intervals: Vec<IntervalProfile>,
+}
+
+impl RunOutcome {
+    /// Views the dump as a plain profile (`AVEP` / `INIP(train)`
+    /// shape). Meaningful for [`ProfilingMode::NoOpt`] runs, where no
+    /// counters were frozen; callable on any run.
+    #[must_use]
+    pub fn as_plain_profile(&self) -> PlainProfile {
+        PlainProfile {
+            blocks: self.inip.blocks.clone(),
+            entry: self.inip.entry,
+            profiling_ops: self.inip.profiling_ops,
+            instructions: self.inip.instructions,
+        }
+    }
+}
+
+/// One translated block plus its live profile state.
+#[derive(Debug)]
+struct BlockEntry {
+    block: Block,
+    record: BlockRecord,
+    frozen: bool,
+    /// 0 = unregistered, 1 = registered at `use == T`,
+    /// 2 = registered twice (`use == 2T`).
+    registered: u8,
+    /// Region dispatched from this pc, if it is a region entry.
+    entry_of: Option<usize>,
+    /// First-occurrence order of dynamic return targets (stable slot
+    /// numbering for `ret` edges).
+    ret_targets: Vec<Pc>,
+}
+
+/// A formed region prepared for execution.
+#[derive(Debug)]
+struct RuntimeRegion {
+    dump: RegionDump,
+    /// Per-copy successor table: `(slot, next copy)`.
+    succ: Vec<Vec<(SuccSlot, usize)>>,
+    /// Entry-block use count at formation time (continuous-mode
+    /// staleness check).
+    formed_use: u64,
+    /// Region entries since formation (adaptive monitoring).
+    entries: u64,
+    /// Side exits since formation (adaptive monitoring).
+    side_exits: u64,
+    /// Retired by adaptive monitoring: never dispatched again and
+    /// excluded from the final dump.
+    retired: bool,
+}
+
+impl RuntimeRegion {
+    fn new(formed: FormedRegion, id: usize, formed_use: u64) -> Self {
+        let dump = formed.into_dump(id);
+        let mut succ = vec![Vec::new(); dump.copies.len()];
+        for e in &dump.edges {
+            succ[e.from].push((e.slot, e.to));
+        }
+        RuntimeRegion {
+            dump,
+            succ,
+            formed_use,
+            entries: 0,
+            side_exits: 0,
+            retired: false,
+        }
+    }
+}
+
+fn term_kind(t: &Terminator) -> TermKind {
+    match t {
+        Terminator::Jump { .. } => TermKind::Jump,
+        Terminator::Branch { .. } => TermKind::Cond,
+        Terminator::Switch { .. } => TermKind::Switch,
+        Terminator::Call { .. } => TermKind::Call,
+        Terminator::Return => TermKind::Return,
+        Terminator::Halt => TermKind::Halt,
+    }
+}
+
+/// The two-phase dynamic binary translator.
+///
+/// See the [crate documentation](crate) for the architecture and an
+/// example.
+#[derive(Clone, Debug)]
+pub struct Dbt {
+    config: DbtConfig,
+}
+
+impl Dbt {
+    /// Creates a translator with the given configuration.
+    #[must_use]
+    pub fn new(config: DbtConfig) -> Self {
+        Dbt { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &DbtConfig {
+        &self.config
+    }
+
+    /// Runs `program` on `input` under the translator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbtError::Guest`] when the guest program traps
+    /// (including fuel exhaustion).
+    pub fn run(&self, program: &Program, input: &[i64]) -> Result<RunOutcome, DbtError> {
+        let mut machine = Machine::new(program, input);
+        self.run_machine(program, &mut machine)
+    }
+
+    /// Runs a built program (with preloaded data sections) on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbtError::Guest`] when the guest program traps.
+    pub fn run_built(&self, built: &BuiltProgram, input: &[i64]) -> Result<RunOutcome, DbtError> {
+        let mut machine = Machine::new(&built.program, input);
+        machine.preload(&built.mem_image, &built.fmem_image);
+        self.run_machine(&built.program, &mut machine)
+    }
+
+    fn run_machine(
+        &self,
+        program: &Program,
+        machine: &mut Machine,
+    ) -> Result<RunOutcome, DbtError> {
+        let mut engine = Engine {
+            config: &self.config,
+            program,
+            cache: (0..program.len()).map(|_| None).collect(),
+            regions: Vec::new(),
+            pool: Vec::new(),
+            stats: ExecStats::default(),
+            intervals: Vec::new(),
+            last_snapshot: std::collections::BTreeMap::new(),
+            next_interval_at: self.config.interval.unwrap_or(u64::MAX),
+            retire_counts: std::collections::BTreeMap::new(),
+        };
+        let output = engine.execute(machine)?;
+        Ok(engine.into_outcome(output))
+    }
+}
+
+struct Engine<'p> {
+    config: &'p DbtConfig,
+    program: &'p Program,
+    cache: Vec<Option<Box<BlockEntry>>>,
+    regions: Vec<RuntimeRegion>,
+    pool: Vec<Pc>,
+    stats: ExecStats,
+    intervals: Vec<IntervalProfile>,
+    last_snapshot: std::collections::BTreeMap<Pc, (u64, u64)>,
+    next_interval_at: u64,
+    retire_counts: std::collections::BTreeMap<Pc, u32>,
+}
+
+/// Block-execution outcome handed back to the main loop.
+enum Next {
+    Goto(Pc),
+    Halted,
+}
+
+impl<'p> BlockSource for Engine<'p> {
+    fn terminator(&self, pc: Pc) -> Option<&Terminator> {
+        self.cache.get(pc)?.as_ref().map(|e| &e.block.terminator)
+    }
+    fn record(&self, pc: Pc) -> Option<&BlockRecord> {
+        self.cache.get(pc)?.as_ref().map(|e| &e.record)
+    }
+    fn block_len(&self, pc: Pc) -> Option<u32> {
+        self.cache.get(pc)?.as_ref().map(|e| e.record.len)
+    }
+}
+
+impl<'p> Engine<'p> {
+    fn execute(&mut self, machine: &mut Machine) -> Result<Vec<i64>, DbtError> {
+        let mut pc = self.program.entry();
+        loop {
+            if self.stats.instructions >= self.config.fuel {
+                return Err(DbtError::Guest(tpdbt_vm::VmError::OutOfFuel {
+                    pc,
+                    fuel: self.config.fuel,
+                }));
+            }
+            // Optimized dispatch: region entry wins.
+            let region_idx = self
+                .cache
+                .get(pc)
+                .and_then(|e| e.as_ref())
+                .and_then(|e| e.entry_of);
+            let next = match region_idx {
+                Some(ri) => {
+                    self.maybe_reform(ri, pc);
+                    self.execute_region(ri, machine)?
+                }
+                None => self.execute_unopt(pc, machine)?,
+            };
+            if self.stats.instructions >= self.next_interval_at {
+                self.snapshot_interval();
+            }
+            match next {
+                Next::Goto(target) => pc = target,
+                Next::Halted => {
+                    if self.config.interval.is_some() {
+                        self.snapshot_interval();
+                    }
+                    return Ok(machine.output().to_vec());
+                }
+            }
+        }
+    }
+
+    /// Records the per-branch deltas since the previous snapshot (phase
+    /// detection input).
+    fn snapshot_interval(&mut self) {
+        let mut branches = std::collections::BTreeMap::new();
+        for entry in self.cache.iter().flatten() {
+            if entry.record.kind != Some(TermKind::Cond) {
+                continue;
+            }
+            let pc = entry.block.start;
+            let now = (entry.record.use_count, entry.record.taken_count());
+            let prev = self.last_snapshot.insert(pc, now).unwrap_or((0, 0));
+            let delta = (now.0 - prev.0, now.1 - prev.1);
+            if delta.0 > 0 {
+                branches.insert(pc, delta);
+            }
+        }
+        if !branches.is_empty() {
+            self.intervals.push(IntervalProfile {
+                end_instructions: self.stats.instructions,
+                branches,
+            });
+        }
+        self.next_interval_at = self.stats.instructions + self.config.interval.unwrap_or(u64::MAX);
+    }
+
+    /// Ensures the block at `pc` is translated, charging the one-time
+    /// fast-translation cost.
+    fn translate(&mut self, pc: Pc) -> &mut BlockEntry {
+        if self.cache[pc].is_none() {
+            let block = decode_block(self.program, pc)
+                .expect("pc validated by jump targets and program validation");
+            let len = (block.end - block.start) as u32;
+            self.stats.blocks_translated += 1;
+            self.stats.cycles += self.config.cost.cold_translate_per_instr * u64::from(len);
+            let record = BlockRecord {
+                len,
+                kind: Some(term_kind(&block.terminator)),
+                use_count: 0,
+                edges: Vec::new(),
+            };
+            self.cache[pc] = Some(Box::new(BlockEntry {
+                block,
+                record,
+                frozen: false,
+                registered: 0,
+                entry_of: None,
+                ret_targets: Vec::new(),
+            }));
+        }
+        self.cache[pc].as_mut().expect("just inserted").as_mut()
+    }
+
+    /// Executes the straight-line body and terminator of the block at
+    /// `pc`, returning the control-flow outcome. Shared by the
+    /// profiling path and region execution (identical architectural
+    /// semantics, different costs).
+    fn step_block(&mut self, pc: Pc, machine: &mut Machine) -> Result<(Flow, u32), DbtError> {
+        let (start, end) = {
+            let e = self.cache[pc]
+                .as_ref()
+                .expect("block translated before execution");
+            (e.block.start, e.block.end)
+        };
+        let mut flow = Flow::Halted;
+        for at in start..end {
+            machine.set_pc(at);
+            flow = step(self.program, machine)?;
+            if matches!(flow, Flow::Halted) && at + 1 < end {
+                unreachable!("halt only terminates blocks");
+            }
+        }
+        let len = (end - start) as u32;
+        self.stats.instructions += u64::from(len);
+        Ok((flow, len))
+    }
+
+    /// Maps an executed terminator outcome to a successor slot and
+    /// target.
+    fn outcome(&mut self, pc: Pc, flow: &Flow) -> Option<(SuccSlot, Pc)> {
+        let entry = self.cache[pc].as_mut().expect("block translated");
+        match (&entry.block.terminator, flow) {
+            (_, Flow::Halted) => None,
+            (Terminator::Branch { .. }, Flow::Jump { target, .. }) => {
+                Some((SuccSlot::Taken, *target))
+            }
+            (Terminator::Branch { fallthrough, .. }, Flow::Next) => {
+                Some((SuccSlot::Fallthrough, *fallthrough))
+            }
+            (Terminator::Jump { .. } | Terminator::Call { .. }, Flow::Jump { target, .. }) => {
+                Some((SuccSlot::Other(0), *target))
+            }
+            (Terminator::Switch { targets }, Flow::Jump { target, .. }) => {
+                // Stable static slot: position among deduplicated,
+                // sorted targets.
+                let mut uniq: Vec<Pc> = targets.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                let idx = uniq.binary_search(target).expect("switch target in table");
+                Some((SuccSlot::Other(idx as u32), *target))
+            }
+            (Terminator::Return, Flow::Jump { target, .. }) => {
+                let idx = match entry.ret_targets.iter().position(|t| t == target) {
+                    Some(i) => i,
+                    None => {
+                        entry.ret_targets.push(*target);
+                        entry.ret_targets.len() - 1
+                    }
+                };
+                Some((SuccSlot::Other(idx as u32), *target))
+            }
+            (t, f) => unreachable!("terminator {t:?} produced flow {f:?}"),
+        }
+    }
+
+    fn execute_unopt(&mut self, pc: Pc, machine: &mut Machine) -> Result<Next, DbtError> {
+        self.translate(pc);
+        let (flow, len) = self.step_block(pc, machine)?;
+        let cost = &self.config.cost;
+        self.stats.cycles += cost.unopt_exec_per_instr * u64::from(len) + cost.dispatch_cost;
+
+        let outcome = self.outcome(pc, &flow);
+        let entry = self.cache[pc].as_mut().expect("translated");
+        let profiled = !entry.frozen;
+        if profiled {
+            entry.record.use_count += 1;
+            self.stats.profiling_ops += 1;
+            self.stats.cycles += cost.profile_op_cost;
+            if let Some((slot, target)) = outcome {
+                entry.record.bump_edge(slot, target, 1);
+                // The paper's `taken` counter: conditional taken only.
+                if slot == SuccSlot::Taken {
+                    self.stats.profiling_ops += 1;
+                    self.stats.cycles += cost.profile_op_cost;
+                }
+            }
+        }
+
+        if profiled && self.config.mode != ProfilingMode::NoOpt {
+            let t = self.config.threshold;
+            let entry = self.cache[pc].as_ref().expect("translated");
+            let use_count = entry.record.use_count;
+            let registered = entry.registered;
+            if use_count == t && registered == 0 {
+                self.cache[pc].as_mut().expect("translated").registered = 1;
+                self.pool.push(pc);
+                if self.pool.len() >= self.config.policy.pool_trigger {
+                    self.run_optimizer();
+                }
+            } else if registered == 1 && use_count == 2 * t {
+                // Registered twice: optimize immediately (paper §1).
+                self.cache[pc].as_mut().expect("translated").registered = 2;
+                self.run_optimizer();
+            }
+        }
+
+        Ok(match flow {
+            Flow::Halted => Next::Halted,
+            Flow::Jump { target, .. } => Next::Goto(target),
+            Flow::Next => Next::Goto(self.cache[pc].as_ref().expect("translated").block.end),
+        })
+    }
+
+    fn execute_region(&mut self, ri: usize, machine: &mut Machine) -> Result<Next, DbtError> {
+        self.stats.region_entries += 1;
+        self.regions[ri].entries += 1;
+        self.stats.cycles += self.config.cost.region_entry_cost;
+        let mut cur = 0usize;
+        loop {
+            if self.stats.instructions >= self.config.fuel {
+                let pc = self.regions[ri].dump.copies[cur];
+                return Err(DbtError::Guest(tpdbt_vm::VmError::OutOfFuel {
+                    pc,
+                    fuel: self.config.fuel,
+                }));
+            }
+            let pc = self.regions[ri].dump.copies[cur];
+            let (flow, len) = self.step_block(pc, machine)?;
+            self.stats.cycles += self.config.cost.opt_exec_per_instr * u64::from(len);
+            // Continuous mode keeps counting inside regions too.
+            if self.config.mode == ProfilingMode::Continuous {
+                self.bump_counters_continuous(pc, &flow);
+            }
+            let outcome = self.outcome(pc, &flow);
+            let Some((slot, target)) = outcome else {
+                return Ok(Next::Halted);
+            };
+            let region = &self.regions[ri];
+            match region.succ[cur].iter().find(|(s, _)| *s == slot) {
+                Some(&(_, next)) => {
+                    if next == 0 {
+                        self.stats.loop_backs += 1;
+                    }
+                    cur = next;
+                }
+                None => {
+                    if cur == region.dump.tail {
+                        self.stats.completions += 1;
+                    } else {
+                        self.stats.side_exits += 1;
+                        self.regions[ri].side_exits += 1;
+                        self.stats.cycles += self.config.cost.side_exit_penalty;
+                        self.maybe_retire(ri);
+                    }
+                    return Ok(Next::Goto(target));
+                }
+            }
+        }
+    }
+
+    fn bump_counters_continuous(&mut self, pc: Pc, flow: &Flow) {
+        let outcome = self.outcome(pc, flow);
+        let entry = self.cache[pc].as_mut().expect("translated");
+        entry.record.use_count += 1;
+        self.stats.profiling_ops += 1;
+        if let Some((slot, target)) = outcome {
+            entry.record.bump_edge(slot, target, 1);
+            if slot == SuccSlot::Taken {
+                self.stats.profiling_ops += 1;
+            }
+        }
+    }
+
+    /// Continuous mode: re-form a region whose entry has doubled its
+    /// use count since formation.
+    fn maybe_reform(&mut self, ri: usize, entry_pc: Pc) {
+        if self.config.mode != ProfilingMode::Continuous {
+            return;
+        }
+        let current_use = self.cache[entry_pc]
+            .as_ref()
+            .map_or(0, |e| e.record.use_count);
+        if current_use < self.regions[ri].formed_use.saturating_mul(2) {
+            return;
+        }
+        if let Some(formed) = form_region(self, &self.config.policy, entry_pc) {
+            self.stats.cycles += self.config.cost.opt_translate_per_instr * formed.total_instrs;
+            self.stats.opt_invocations += 1;
+            let replacement = RuntimeRegion::new(formed, self.regions[ri].dump.id, current_use);
+            self.regions[ri] = replacement;
+        }
+    }
+
+    /// Whether this mode freezes counters at optimization (two-phase
+    /// semantics; adaptive freezes too, until a retirement resets).
+    fn freezes(&self) -> bool {
+        matches!(
+            self.config.mode,
+            ProfilingMode::TwoPhase | ProfilingMode::Adaptive
+        )
+    }
+
+    /// Adaptive side-exit monitoring (paper §5): retire a region whose
+    /// side-exit rate exceeds the policy bound; its blocks re-profile
+    /// from scratch so a fresh region can form for the current phase.
+    fn maybe_retire(&mut self, ri: usize) {
+        if self.config.mode != ProfilingMode::Adaptive {
+            return;
+        }
+        let region = &self.regions[ri];
+        if region.retired
+            || region.entries < self.config.adapt.min_entries
+            || (region.side_exits as f64)
+                < self.config.adapt.max_side_exit_rate * region.entries as f64
+        {
+            return;
+        }
+        let entry_pc = self.regions[ri].dump.entry_pc();
+        let count = self.retire_counts.entry(entry_pc).or_insert(0);
+        if *count >= self.config.adapt.max_retirements_per_entry {
+            return;
+        }
+        *count += 1;
+        self.stats.retirements += 1;
+        let copies = self.regions[ri].dump.copies.clone();
+        self.regions[ri].retired = true;
+        if let Some(e) = self.cache[entry_pc].as_mut() {
+            e.entry_of = None;
+        }
+        // Reset and unfreeze members that no live region still uses.
+        let still_used: std::collections::BTreeSet<Pc> = self
+            .regions
+            .iter()
+            .filter(|r| !r.retired)
+            .flat_map(|r| r.dump.copies.iter().copied())
+            .collect();
+        for pc in copies {
+            if still_used.contains(&pc) {
+                continue;
+            }
+            if let Some(e) = self.cache[pc].as_mut() {
+                e.frozen = false;
+                e.registered = 0;
+                e.record.use_count = 0;
+                e.record.edges.clear();
+            }
+        }
+    }
+
+    /// The optimization phase: retranslate the candidate pool into
+    /// regions.
+    fn run_optimizer(&mut self) {
+        self.stats.opt_invocations += 1;
+        let mut candidates: Vec<Pc> = std::mem::take(&mut self.pool);
+        candidates.sort_by_key(|&pc| {
+            std::cmp::Reverse(self.cache[pc].as_ref().map_or(0, |e| e.record.use_count))
+        });
+        for seed in candidates {
+            let entry = self.cache[seed]
+                .as_ref()
+                .expect("pooled blocks are translated");
+            if entry.entry_of.is_some() {
+                continue;
+            }
+            // A block already swallowed by another region does not seed
+            // its own (its counters are frozen); continuous mode may
+            // still re-seed.
+            if entry.frozen && self.freezes() {
+                continue;
+            }
+            let Some(formed) = form_region(self, &self.config.policy, seed) else {
+                continue;
+            };
+            self.stats.cycles += self.config.cost.opt_translate_per_instr * formed.total_instrs;
+            self.stats.regions_formed += 1;
+            let id = self.regions.len();
+            let formed_use = self.cache[seed]
+                .as_ref()
+                .expect("translated")
+                .record
+                .use_count;
+            let region = RuntimeRegion::new(formed, id, formed_use);
+            // Freeze every member: optimized code is not instrumented
+            // (two-phase semantics; continuous mode keeps counting).
+            if self.freezes() {
+                for &pc in &region.dump.copies {
+                    if let Some(e) = self.cache[pc].as_mut() {
+                        e.frozen = true;
+                    }
+                }
+            }
+            self.cache[seed].as_mut().expect("translated").entry_of = Some(id);
+            self.regions.push(region);
+        }
+    }
+
+    fn into_outcome(self, output: Vec<i64>) -> RunOutcome {
+        let mut blocks = std::collections::BTreeMap::new();
+        for entry in self.cache.into_iter().flatten() {
+            if entry.record.use_count > 0 {
+                blocks.insert(entry.block.start, entry.record);
+            }
+        }
+        let threshold = if self.config.mode == ProfilingMode::NoOpt {
+            0
+        } else {
+            self.config.threshold
+        };
+        let mut regions: Vec<RegionDump> = self
+            .regions
+            .into_iter()
+            .filter(|r| !r.retired)
+            .map(|r| r.dump)
+            .collect();
+        for (i, r) in regions.iter_mut().enumerate() {
+            r.id = i;
+        }
+        let inip = InipDump {
+            threshold,
+            regions,
+            blocks,
+            entry: self.program.entry(),
+            profiling_ops: self.stats.profiling_ops,
+            cycles: self.stats.cycles,
+            instructions: self.stats.instructions,
+        };
+        RunOutcome {
+            inip,
+            output,
+            stats: self.stats,
+            intervals: self.intervals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_isa::{structured, Cond, ProgramBuilder, Reg};
+    use tpdbt_profile::RegionKind;
+
+    fn hot_loop(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::new(0);
+        structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, iters, |_| {}).unwrap();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn no_opt_mode_profiles_whole_run() {
+        let p = hot_loop(1000);
+        let out = Dbt::new(DbtConfig::no_opt()).run(&p, &[]).unwrap();
+        assert!(out.inip.regions.is_empty());
+        let plain = out.as_plain_profile();
+        // The loop's conditional latch executed 1000 times in total
+        // (split across the entry block and the re-decoded interior
+        // block, which overlap) and was taken 999 times.
+        let conds: Vec<_> = plain
+            .blocks
+            .values()
+            .filter(|b| b.kind == Some(TermKind::Cond))
+            .collect();
+        assert_eq!(conds.iter().map(|b| b.use_count).sum::<u64>(), 1000);
+        assert_eq!(conds.iter().map(|b| b.taken_count()).sum::<u64>(), 999);
+        // Profiling ops = sum of use + taken increments.
+        let expect: u64 = plain
+            .blocks
+            .values()
+            .map(|b| b.use_count + b.taken_count())
+            .sum();
+        assert_eq!(plain.profiling_ops, expect);
+    }
+
+    #[test]
+    fn two_phase_forms_loop_region_and_freezes_counters() {
+        let p = hot_loop(10_000);
+        let t = 100;
+        let out = Dbt::new(DbtConfig::two_phase(t)).run(&p, &[]).unwrap();
+        assert_eq!(out.inip.regions.len(), 1);
+        let region = &out.inip.regions[0];
+        assert_eq!(region.kind, RegionKind::Loop);
+        // Frozen initial profile: T <= use <= 2T for region blocks (the
+        // upper bound is reached exactly when the registered-twice rule
+        // triggers the optimizer).
+        for &pc in &region.copies {
+            let rec = out.inip.block(pc).unwrap();
+            assert!(
+                rec.use_count >= t && rec.use_count <= 2 * t,
+                "use {} outside [T, 2T]",
+                rec.use_count
+            );
+        }
+        assert!(out.stats.loop_backs > 9000);
+        assert_eq!(out.stats.regions_formed, 1);
+    }
+
+    #[test]
+    fn translated_output_matches_interpreter() {
+        // An input-dependent program: double every input and echo it.
+        let mut b = ProgramBuilder::new();
+        let (v, acc) = (Reg::new(0), Reg::new(1));
+        let top = b.fresh_label("top");
+        let done = b.fresh_label("done");
+        b.bind(top).unwrap();
+        b.input(v);
+        b.br_imm(Cond::Lt, v, 0, done);
+        b.muli(v, v, 2);
+        b.add(acc, acc, v);
+        b.out(v);
+        b.jmp(top);
+        b.bind(done).unwrap();
+        b.out(acc);
+        b.halt();
+        let p = b.build().unwrap();
+        let input: Vec<i64> = (0..5000).map(|i| i % 97).collect();
+        let expected = tpdbt_vm::run_collect(&p, &input).unwrap();
+        for config in [
+            DbtConfig::no_opt(),
+            DbtConfig::two_phase(50),
+            DbtConfig::continuous(50),
+        ] {
+            let out = Dbt::new(config).run(&p, &input).unwrap();
+            assert_eq!(out.output, expected, "mode {:?}", config.mode);
+        }
+    }
+
+    #[test]
+    fn lower_threshold_optimizes_earlier_and_runs_faster_here() {
+        let p = hot_loop(200_000);
+        let fast = Dbt::new(DbtConfig::two_phase(100)).run(&p, &[]).unwrap();
+        let slow = Dbt::new(DbtConfig::two_phase(100_000))
+            .run(&p, &[])
+            .unwrap();
+        assert!(
+            fast.stats.cycles < slow.stats.cycles,
+            "early optimization should win on a stable hot loop: {} vs {}",
+            fast.stats.cycles,
+            slow.stats.cycles
+        );
+    }
+
+    #[test]
+    fn profiling_ops_shrink_with_threshold() {
+        let p = hot_loop(100_000);
+        let small = Dbt::new(DbtConfig::two_phase(100)).run(&p, &[]).unwrap();
+        let large = Dbt::new(DbtConfig::no_opt()).run(&p, &[]).unwrap();
+        assert!(small.inip.profiling_ops * 10 < large.inip.profiling_ops);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let p = hot_loop(1_000_000);
+        let cfg = DbtConfig::two_phase(100).with_fuel(1000);
+        let err = Dbt::new(cfg).run(&p, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            DbtError::Guest(tpdbt_vm::VmError::OutOfFuel { .. })
+        ));
+    }
+
+    #[test]
+    fn continuous_mode_reforms_regions() {
+        // A loop whose interior branch flips bias halfway through.
+        let mut b = ProgramBuilder::new();
+        let (i, x, half) = (Reg::new(0), Reg::new(1), Reg::new(2));
+        b.movi(half, 50_000);
+        let head = b.fresh_label("head");
+        let then = b.fresh_label("then");
+        let join = b.fresh_label("join");
+        b.movi(i, 0);
+        b.bind(head).unwrap();
+        b.br_reg(Cond::Lt, i, half, then);
+        b.addi(x, x, 2); // second-half path
+        b.jmp(join);
+        b.bind(then).unwrap();
+        b.addi(x, x, 1); // first-half path
+        b.bind(join).unwrap();
+        b.addi(i, i, 1);
+        b.br_imm(Cond::Lt, i, 100_000, head);
+        b.halt();
+        let p = b.build().unwrap();
+        let out = Dbt::new(DbtConfig::continuous(1000)).run(&p, &[]).unwrap();
+        // Re-formation fired at least once (opt invocations beyond the
+        // initial pool drain).
+        assert!(out.stats.opt_invocations > 1, "{:?}", out.stats);
+        let two = Dbt::new(DbtConfig::two_phase(1000)).run(&p, &[]).unwrap();
+        assert_eq!(two.output, out.output);
+    }
+
+    /// A loop whose likely exit direction flips halfway: two-phase
+    /// regions keep side-exiting, adaptive mode retires and re-forms.
+    fn phase_flip_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let (i, x, half) = (Reg::new(0), Reg::new(1), Reg::new(2));
+        b.movi(half, 60_000);
+        let head = b.fresh_label("head");
+        let then = b.fresh_label("then");
+        let join = b.fresh_label("join");
+        b.movi(i, 0);
+        b.bind(head).unwrap();
+        b.br_reg(Cond::Lt, i, half, then);
+        b.addi(x, x, 2);
+        b.jmp(join);
+        b.bind(then).unwrap();
+        b.addi(x, x, 1);
+        b.bind(join).unwrap();
+        b.addi(i, i, 1);
+        b.br_imm(Cond::Lt, i, 120_000, head);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adaptive_mode_retires_stale_regions() {
+        let p = phase_flip_program();
+        let two = Dbt::new(DbtConfig::two_phase(500)).run(&p, &[]).unwrap();
+        let adaptive = Dbt::new(DbtConfig::adaptive(500)).run(&p, &[]).unwrap();
+        assert_eq!(
+            two.output, adaptive.output,
+            "adaptation must stay transparent"
+        );
+        assert!(adaptive.stats.retirements > 0, "{:?}", adaptive.stats);
+        // Adaptation trades retranslation for fewer steady-state side
+        // exits; over a long phase-flipped run it should not side-exit
+        // more than the frozen configuration.
+        assert!(
+            adaptive.stats.side_exits <= two.stats.side_exits,
+            "adaptive {} vs two-phase {}",
+            adaptive.stats.side_exits,
+            two.stats.side_exits
+        );
+    }
+
+    #[test]
+    fn adaptive_mode_matches_two_phase_on_stable_programs() {
+        let p = hot_loop(100_000);
+        let two = Dbt::new(DbtConfig::two_phase(500)).run(&p, &[]).unwrap();
+        let adaptive = Dbt::new(DbtConfig::adaptive(500)).run(&p, &[]).unwrap();
+        assert_eq!(adaptive.stats.retirements, 0, "stable loop must not retire");
+        assert_eq!(two.output, adaptive.output);
+    }
+
+    #[test]
+    fn interval_recording_captures_phase_flip() {
+        let p = phase_flip_program();
+        let cfg = DbtConfig::no_opt().with_interval(50_000);
+        let out = Dbt::new(cfg).run(&p, &[]).unwrap();
+        assert!(
+            out.intervals.len() >= 8,
+            "{} intervals",
+            out.intervals.len()
+        );
+        // Interval deltas cover the whole run exactly.
+        let total: u64 = out
+            .intervals
+            .iter()
+            .flat_map(|iv| iv.branches.values())
+            .map(|(u, _)| u)
+            .sum();
+        let cond_total: u64 = out
+            .inip
+            .blocks
+            .values()
+            .filter(|b| b.kind == Some(TermKind::Cond))
+            .map(|b| b.use_count)
+            .sum();
+        assert_eq!(total, cond_total);
+        // And phase detection sees the flip.
+        let phases = tpdbt_profile::phases::detect_phases(&out.intervals, 0.1);
+        assert!(
+            phases.len() >= 2,
+            "expected a phase split, got {}",
+            phases.len()
+        );
+    }
+
+    #[test]
+    fn no_interval_config_records_nothing() {
+        let p = hot_loop(10_000);
+        let out = Dbt::new(DbtConfig::no_opt()).run(&p, &[]).unwrap();
+        assert!(out.intervals.is_empty());
+    }
+
+    #[test]
+    fn stats_are_reflected_in_dump() {
+        let p = hot_loop(50_000);
+        let out = Dbt::new(DbtConfig::two_phase(500)).run(&p, &[]).unwrap();
+        assert_eq!(out.inip.cycles, out.stats.cycles);
+        assert_eq!(out.inip.profiling_ops, out.stats.profiling_ops);
+        assert_eq!(out.inip.instructions, out.stats.instructions);
+        assert_eq!(out.inip.threshold, 500);
+    }
+}

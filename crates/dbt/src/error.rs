@@ -1,0 +1,48 @@
+//! Translator errors.
+
+use std::error::Error;
+use std::fmt;
+
+use tpdbt_vm::VmError;
+
+/// Errors from a translated run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DbtError {
+    /// The guest program trapped.
+    Guest(VmError),
+}
+
+impl fmt::Display for DbtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbtError::Guest(e) => write!(f, "guest trap: {e}"),
+        }
+    }
+}
+
+impl Error for DbtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbtError::Guest(e) => Some(e),
+        }
+    }
+}
+
+impl From<VmError> for DbtError {
+    fn from(e: VmError) -> Self {
+        DbtError::Guest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_guest_traps_with_source() {
+        let e = DbtError::from(VmError::DivideByZero { pc: 3 });
+        assert!(e.to_string().contains("division by zero"));
+        assert!(e.source().is_some());
+    }
+}

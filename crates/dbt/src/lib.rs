@@ -1,0 +1,67 @@
+//! The two-phase dynamic binary translator runtime.
+//!
+//! This crate is the reproduction's stand-in for Intel's IA32EL (Baraz
+//! et al., MICRO-36 2003), the infrastructure the CGO 2004 paper
+//! instruments. It implements the architecture the paper describes:
+//!
+//! * **Profiling phase** — each guest basic block is translated quickly
+//!   on first execution and instrumented to collect a `use` count (times
+//!   visited) and a `taken` count (times its conditional branch was
+//!   taken). Execution of unoptimized blocks pays per-instruction and
+//!   per-counter costs in the [`CostModel`].
+//! * **Retranslation threshold** — when a block's `use` count reaches the
+//!   threshold `T`, the block is registered in a pool of candidate
+//!   blocks. When the pool is full, or a block is registered twice
+//!   (`use == 2T`), the optimization phase runs.
+//! * **Optimization phase** — candidate blocks seed **regions**: traces
+//!   grown along likely successors using `taken/use` branch
+//!   probabilities, with hammock (if-then / if-else diamond) inclusion
+//!   and **loop regions** when the trace closes back on its entry.
+//!   Blocks may be duplicated into multiple regions. Optimized blocks
+//!   stop profiling — their counters freeze with `T ≤ use < 2T`, which
+//!   is precisely the paper's *initial profile*.
+//! * **Optimized execution** — region code runs at a faster
+//!   per-instruction cost; leaving a region anywhere but its designated
+//!   tail is a *side exit* and pays a penalty. Region formation itself
+//!   costs optimization cycles. These costs drive the paper's Figure 17
+//!   performance curve.
+//!
+//! Running with [`ProfilingMode::NoOpt`] never optimizes and yields the
+//! whole-run average profile (`AVEP`, or `INIP(train)` on a training
+//! input). [`ProfilingMode::Continuous`] implements the paper's
+//! future-work continuous profiling (counters never freeze, regions are
+//! re-formed when stale) and is used for ablation studies.
+//!
+//! # Example
+//!
+//! ```
+//! use tpdbt_isa::{structured, Cond, ProgramBuilder, Reg};
+//! use tpdbt_dbt::{Dbt, DbtConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A program with one hot loop.
+//! let mut b = ProgramBuilder::new();
+//! let r = Reg::new(0);
+//! structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, 10_000, |_| {})?;
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let outcome = Dbt::new(DbtConfig::two_phase(100)).run(&program, &[])?;
+//! assert_eq!(outcome.inip.regions.len(), 1); // the loop became a region
+//! assert!(outcome.stats.loop_backs > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod error;
+pub mod offline;
+mod region;
+
+pub use config::{AdaptPolicy, CostModel, DbtConfig, ProfilingMode, RegionPolicy};
+pub use engine::{Dbt, ExecStats, RunOutcome};
+pub use error::DbtError;

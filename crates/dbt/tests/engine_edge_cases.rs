@@ -1,0 +1,239 @@
+//! Edge-case integration tests for the translator engine: region
+//! execution around calls, switches, returns, overlapping blocks, and
+//! degenerate thresholds.
+
+use tpdbt_dbt::{Dbt, DbtConfig, RegionPolicy};
+use tpdbt_isa::{structured, Cond, Program, ProgramBuilder, Reg};
+use tpdbt_profile::TermKind;
+
+fn check_transparent(p: &Program, input: &[i64], configs: &[DbtConfig]) -> Vec<i64> {
+    let expected = tpdbt_vm::run_collect(p, input).unwrap();
+    for config in configs {
+        let out = Dbt::new(*config).run(p, input).unwrap();
+        assert_eq!(
+            out.output, expected,
+            "mode {:?} T={}",
+            config.mode, config.threshold
+        );
+    }
+    expected
+}
+
+fn all_modes(t: u64) -> Vec<DbtConfig> {
+    vec![
+        DbtConfig::no_opt(),
+        DbtConfig::two_phase(t),
+        DbtConfig::continuous(t),
+        DbtConfig::adaptive(t),
+    ]
+}
+
+/// A hot loop whose body calls a function: regions stop at the call but
+/// execution through call/ret stays exact.
+#[test]
+fn calls_inside_hot_loops() {
+    let mut b = ProgramBuilder::new();
+    let f = b.fresh_label("f");
+    let (i, acc) = (Reg::new(0), Reg::new(1));
+    let top = b.fresh_label("top");
+    let done = b.fresh_label("done");
+    b.movi(i, 0);
+    b.bind(top).unwrap();
+    b.call(f);
+    b.addi(i, i, 1);
+    b.br_imm(Cond::Lt, i, 20_000, top);
+    b.jmp(done);
+    b.bind(f).unwrap();
+    b.add(acc, acc, i);
+    b.ret();
+    b.bind(done).unwrap();
+    b.out(acc);
+    b.halt();
+    let p = b.build().unwrap();
+    check_transparent(&p, &[], &all_modes(50));
+    // The loop is hot enough to form at least one region.
+    let out = Dbt::new(DbtConfig::two_phase(50)).run(&p, &[]).unwrap();
+    assert!(out.stats.regions_formed > 0);
+    // The call-terminated block was profiled as a call.
+    assert!(out
+        .inip
+        .blocks
+        .values()
+        .any(|r| r.kind == Some(TermKind::Call)));
+}
+
+/// Hot switch dispatch: the jump table terminates region growth but
+/// the arms themselves become regions.
+#[test]
+fn switch_dispatch_regions() {
+    let mut b = ProgramBuilder::new();
+    let (i, sel, acc) = (Reg::new(0), Reg::new(1), Reg::new(2));
+    let top = b.fresh_label("top");
+    let done = b.fresh_label("done");
+    b.movi(i, 0);
+    b.bind(top).unwrap();
+    b.and(sel, i, 3);
+    structured::switch(
+        &mut b,
+        sel,
+        (0..4)
+            .map(|k| {
+                Box::new(move |b: &mut ProgramBuilder| {
+                    b.addi(acc, acc, k + 1);
+                }) as structured::Arm
+            })
+            .collect(),
+    )
+    .unwrap();
+    b.addi(i, i, 1);
+    b.br_imm(Cond::Lt, i, 30_000, top);
+    b.jmp(done);
+    b.bind(done).unwrap();
+    b.out(acc);
+    b.halt();
+    let p = b.build().unwrap();
+    check_transparent(&p, &[], &all_modes(100));
+    let out = Dbt::new(DbtConfig::two_phase(100)).run(&p, &[]).unwrap();
+    // Every switch-kind block's edges sum to its use count, and the
+    // hot dispatch block observed all four targets.
+    let switch_recs: Vec<_> = out
+        .inip
+        .blocks
+        .values()
+        .filter(|r| r.kind == Some(TermKind::Switch))
+        .collect();
+    assert!(!switch_recs.is_empty());
+    for rec in &switch_recs {
+        let total: u64 = rec.edges.iter().map(|(_, _, c)| c).sum();
+        assert_eq!(total, rec.use_count);
+    }
+    assert!(
+        switch_recs.iter().any(|r| r.edges.len() == 4),
+        "some dispatch block must see all 4 arms: {switch_recs:?}"
+    );
+}
+
+/// Jumping into the interior of an already-translated block creates an
+/// overlapping block; both must profile and execute correctly.
+#[test]
+fn overlapping_blocks_under_translation() {
+    let mut b = ProgramBuilder::new();
+    let (i, acc) = (Reg::new(0), Reg::new(1));
+    let top = b.fresh_label("top");
+    let mid = b.fresh_label("mid");
+    let done = b.fresh_label("done");
+    b.movi(i, 0);
+    b.bind(top).unwrap();
+    b.addi(acc, acc, 7); // only on the long path
+    b.bind(mid).unwrap();
+    b.addi(acc, acc, 1);
+    b.addi(i, i, 1);
+    // Alternate between entering at top and at mid.
+    b.and(Reg::new(2), i, 1);
+    b.br_imm(Cond::Eq, Reg::new(2), 0, top);
+    b.br_imm(Cond::Lt, i, 10_000, mid);
+    b.jmp(done);
+    b.bind(done).unwrap();
+    b.out(acc);
+    b.halt();
+    let p = b.build().unwrap();
+    check_transparent(&p, &[], &all_modes(25));
+}
+
+/// The paper's base configuration T = 1: optimize everything executed
+/// once — regions form from single-sample probabilities and execution
+/// stays exact.
+#[test]
+fn threshold_one_is_the_paper_base() {
+    let mut b = ProgramBuilder::new();
+    let r = Reg::new(0);
+    structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, 5_000, |b| {
+        b.addi(Reg::new(1), Reg::new(1), 1);
+    })
+    .unwrap();
+    b.out(Reg::new(1));
+    b.halt();
+    let p = b.build().unwrap();
+    check_transparent(&p, &[], &all_modes(1));
+    let out = Dbt::new(DbtConfig::two_phase(1)).run(&p, &[]).unwrap();
+    assert!(out.stats.regions_formed > 0, "T=1 must optimize");
+}
+
+/// pool_trigger = 1 runs the optimizer on every registration; regions
+/// still form correctly and execution stays exact.
+#[test]
+fn eager_pool_trigger() {
+    let mut b = ProgramBuilder::new();
+    let r = Reg::new(0);
+    structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, 5_000, |b| {
+        structured::if_then(b, Cond::Eq, r, 250, |b| b.out(r)).unwrap();
+    })
+    .unwrap();
+    b.halt();
+    let p = b.build().unwrap();
+    let policy = RegionPolicy {
+        pool_trigger: 1,
+        ..RegionPolicy::default()
+    };
+    let cfg = DbtConfig::two_phase(10).with_policy(policy);
+    let expected = tpdbt_vm::run_collect(&p, &[]).unwrap();
+    let out = Dbt::new(cfg).run(&p, &[]).unwrap();
+    assert_eq!(out.output, expected);
+    assert!(out.stats.opt_invocations >= out.stats.regions_formed);
+}
+
+/// Tiny max_region_blocks degenerates regions to single blocks without
+/// breaking anything.
+#[test]
+fn single_block_regions() {
+    let mut b = ProgramBuilder::new();
+    let r = Reg::new(0);
+    structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, 3_000, |_| {}).unwrap();
+    b.halt();
+    let p = b.build().unwrap();
+    let policy = RegionPolicy {
+        max_region_blocks: 1,
+        ..RegionPolicy::default()
+    };
+    let cfg = DbtConfig::two_phase(10).with_policy(policy);
+    let out = Dbt::new(cfg).run(&p, &[]).unwrap();
+    for region in &out.inip.regions {
+        assert_eq!(region.copies.len(), 1);
+    }
+    // A single-block loop region still loops back to itself.
+    assert!(out.stats.loop_backs > 0 || out.inip.regions.is_empty());
+}
+
+/// Recursion through regions: the call stack is balanced whatever the
+/// mode.
+#[test]
+fn recursion_is_transparent() {
+    let mut b = ProgramBuilder::new();
+    let fib = b.fresh_label("fib");
+    let (n, acc, tmp) = (Reg::new(0), Reg::new(1), Reg::new(2));
+    // Iteratively call a recursive accumulator on 0..2000.
+    let top = b.fresh_label("top");
+    let done = b.fresh_label("done");
+    b.movi(Reg::new(5), 0);
+    b.bind(top).unwrap();
+    b.and(n, Reg::new(5), 7);
+    b.call(fib);
+    b.addi(Reg::new(5), Reg::new(5), 1);
+    b.br_imm(Cond::Lt, Reg::new(5), 2_000, top);
+    b.jmp(done);
+    // fn fib(n): acc += n; if n > 0 { fib(n-1) }
+    b.bind(fib).unwrap();
+    let leaf = b.fresh_label("leaf");
+    b.add(acc, acc, n);
+    b.br_imm(Cond::Le, n, 0, leaf);
+    b.subi(n, n, 1);
+    b.call(fib);
+    b.bind(leaf).unwrap();
+    b.ret();
+    b.bind(done).unwrap();
+    b.out(acc);
+    b.mov(tmp, acc);
+    b.halt();
+    let p = b.build().unwrap();
+    check_transparent(&p, &[], &all_modes(20));
+}

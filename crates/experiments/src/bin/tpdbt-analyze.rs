@@ -1,0 +1,119 @@
+//! `tpdbt-analyze` — the paper's offline analysis tool: read dump files
+//! produced by `tpdbt-dump` (or any tool emitting the text format) and
+//! print the §2 metrics.
+//!
+//! ```text
+//! tpdbt-analyze INIP_FILE AVEP_FILE [--train TRAIN_FILE] [--diagnose N]
+//!               [--phases INTERVALS_FILE] [--eps E]
+//! ```
+
+use tpdbt_profile::report::{analyze, analyze_train};
+use tpdbt_profile::{diagnose, navep, phases, text};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpdbt-analyze INIP_FILE AVEP_FILE [--train TRAIN_FILE] [--diagnose N] \\\n       [--phases INTERVALS_FILE] [--eps E]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let inip_path = args.next().unwrap_or_else(|| usage());
+    let avep_path = args.next().unwrap_or_else(|| usage());
+    let mut train_path: Option<String> = None;
+    let mut diagnose_n: usize = 0;
+    let mut phases_path: Option<String> = None;
+    let mut eps = 0.1f64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--train" => train_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--diagnose" => {
+                diagnose_n = args.next().unwrap_or_else(|| usage()).parse()?;
+            }
+            "--phases" => phases_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--eps" => eps = args.next().unwrap_or_else(|| usage()).parse()?,
+            _ => usage(),
+        }
+    }
+
+    let inip = text::inip_from_str(&std::fs::read_to_string(&inip_path)?)?;
+    let avep = text::plain_from_str(&std::fs::read_to_string(&avep_path)?)?;
+    let m = analyze(&inip, &avep)?;
+    let f = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"));
+    println!("INIP(T={}) vs AVEP ({} regions):", m.threshold, m.regions);
+    println!("  Sd.BP       = {}", f(m.sd_bp));
+    println!("  BP mismatch = {}", f(m.bp_mismatch));
+    println!("  Sd.CP       = {}", f(m.sd_cp));
+    println!("  Sd.LP       = {}", f(m.sd_lp));
+    println!("  LP mismatch = {}", f(m.lp_mismatch));
+    println!("  profiling ops = {}", m.profiling_ops);
+    println!("  cycles        = {}", m.cycles);
+
+    if let Some(path) = train_path {
+        let train = text::plain_from_str(&std::fs::read_to_string(&path)?)?;
+        let tm = analyze_train(&train, &avep);
+        println!("INIP(train) vs AVEP:");
+        println!("  Sd.BP(train)       = {}", f(tm.sd_bp));
+        println!("  BP mismatch(train) = {}", f(tm.bp_mismatch));
+        println!(
+            "  profiling ops: INIP(T)/train = {:.4}",
+            m.profiling_ops as f64 / tm.profiling_ops.max(1) as f64
+        );
+    }
+
+    if diagnose_n > 0 {
+        let nav = navep::normalize(&inip, &avep)?;
+        let diags = diagnose::diagnose_branches(&inip, &avep, &nav);
+        println!("worst-predicted branches (top {diagnose_n}):");
+        println!(
+            "  {:>8}  {:>9} {:>8} {:>10} {:>13} range?",
+            "pc", "predicted", "actual", "weight", "contribution"
+        );
+        for d in diags.iter().take(diagnose_n) {
+            println!(
+                "  {:>8}  {:>9.3} {:>8.3} {:>10.0} {:>13.1} {}",
+                d.pc,
+                d.predicted,
+                d.actual,
+                d.weight,
+                d.contribution,
+                if d.range_mismatch { "CROSSES" } else { "" }
+            );
+        }
+        let watch = diagnose::select_for_continuous_profiling(&diags, 0.9);
+        println!("continuous-profiling watch set (90% of deviation mass): {watch:?}");
+        let regions = diagnose::diagnose_regions(&inip, &avep, &nav);
+        println!("region diagnoses (worst {diagnose_n}):");
+        for d in regions.iter().take(diagnose_n) {
+            println!(
+                "  region {:>3} ({:?}) entry@{}: predicted {:.4} actual {:.4} weight {:.0}",
+                d.region,
+                d.kind,
+                inip.regions[d.region].entry_pc(),
+                d.predicted,
+                d.actual,
+                d.weight
+            );
+        }
+    }
+    if let Some(path) = phases_path {
+        let intervals = text::intervals_from_str(&std::fs::read_to_string(&path)?)?;
+        let detected = phases::detect_phases(&intervals, eps);
+        println!(
+            "phase detection ({} intervals, eps {eps}): {} phase(s)",
+            intervals.len(),
+            detected.len()
+        );
+        for (i, ph) in detected.iter().enumerate() {
+            println!(
+                "  phase {i}: intervals {}..{} (ends at {} instructions, {} hot branches)",
+                ph.start,
+                ph.end,
+                ph.end_instructions,
+                ph.centroid.len()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! `tpdbt-dump` — produce profile dump files for a benchmark, mirroring
+//! the paper's methodology of collecting `INIP(T)`, `AVEP`, and
+//! `INIP(train)` "into files" for offline analysis.
+//!
+//! ```text
+//! tpdbt-dump BENCH DIR [--scale tiny|small|paper] [--threshold T]...
+//! ```
+//!
+//! Writes `DIR/BENCH.avep`, `DIR/BENCH.train`, and one
+//! `DIR/BENCH.inip.<T>` per requested threshold; with `--intervals N`,
+//! also `DIR/BENCH.intervals` (an interval profile every N dynamic
+//! instructions, for phase detection). Analyze them with
+//! `tpdbt-analyze`.
+
+use std::path::Path;
+
+use tpdbt_dbt::{Dbt, DbtConfig};
+use tpdbt_profile::text;
+use tpdbt_suite::{workload, InputKind, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpdbt-dump BENCH DIR [--scale tiny|small|paper] [--threshold T]... [--intervals N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| usage());
+    let dir = args.next().unwrap_or_else(|| usage());
+    let mut scale = Scale::Small;
+    let mut thresholds: Vec<u64> = Vec::new();
+    let mut interval: Option<u64> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                }
+            }
+            "--threshold" => {
+                thresholds.push(args.next().unwrap_or_else(|| usage()).parse()?);
+            }
+            "--intervals" => {
+                interval = Some(args.next().unwrap_or_else(|| usage()).parse()?);
+            }
+            _ => usage(),
+        }
+    }
+    if thresholds.is_empty() {
+        thresholds.push(2_000 / scale.divisor() as u64);
+    }
+    std::fs::create_dir_all(&dir)?;
+    let dir = Path::new(&dir);
+
+    let reference = workload(&bench, scale, InputKind::Ref)?;
+    let training = workload(&bench, scale, InputKind::Train)?;
+
+    let mut avep_config = DbtConfig::no_opt();
+    if let Some(n) = interval {
+        avep_config = avep_config.with_interval(n);
+    }
+    let avep = Dbt::new(avep_config).run_built(&reference.binary, &reference.input)?;
+    std::fs::write(
+        dir.join(format!("{bench}.avep")),
+        text::plain_to_string(&avep.as_plain_profile()),
+    )?;
+    println!("wrote {bench}.avep ({} blocks)", avep.inip.blocks.len());
+    if interval.is_some() {
+        std::fs::write(
+            dir.join(format!("{bench}.intervals")),
+            text::intervals_to_string(&avep.intervals),
+        )?;
+        println!(
+            "wrote {bench}.intervals ({} intervals)",
+            avep.intervals.len()
+        );
+    }
+
+    let train = Dbt::new(DbtConfig::no_opt()).run_built(&training.binary, &training.input)?;
+    std::fs::write(
+        dir.join(format!("{bench}.train")),
+        text::plain_to_string(&train.as_plain_profile()),
+    )?;
+    println!("wrote {bench}.train ({} blocks)", train.inip.blocks.len());
+
+    for t in thresholds {
+        let out =
+            Dbt::new(DbtConfig::two_phase(t)).run_built(&reference.binary, &reference.input)?;
+        std::fs::write(
+            dir.join(format!("{bench}.inip.{t}")),
+            text::inip_to_string(&out.inip),
+        )?;
+        println!(
+            "wrote {bench}.inip.{t} ({} regions)",
+            out.inip.regions.len()
+        );
+    }
+    Ok(())
+}

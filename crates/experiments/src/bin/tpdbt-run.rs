@@ -1,0 +1,147 @@
+//! `tpdbt-run` — run a guest binary (`.tpdb`) or assembly source
+//! (`.s`) under the two-phase translator, the interpreter, or any
+//! profiling mode; optionally write the profile dump.
+//!
+//! ```text
+//! tpdbt-run FILE [--mode interp|noopt|twophase|continuous|adaptive]
+//!                [--threshold T] [--input N,N,...] [--input-file PATH]
+//!                [--dump PATH] [--stats] [--suite BENCH --scale S]
+//! ```
+//!
+//! With `--suite BENCH`, runs a built-in SPEC2000 analog instead of a
+//! file (use `--emit PATH` to write it out as a `.tpdb` binary first).
+
+use tpdbt_dbt::{Dbt, DbtConfig};
+use tpdbt_isa::{asm, binfmt, BuiltProgram};
+use tpdbt_profile::text;
+use tpdbt_suite::{workload, InputKind, Scale};
+use tpdbt_vm::Interpreter;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpdbt-run FILE|--suite BENCH [--scale tiny|small|paper]\n\
+         \u{20}                [--mode interp|noopt|twophase|continuous|adaptive]\n\
+         \u{20}                [--threshold T] [--input N,N,...] [--input-file PATH]\n\
+         \u{20}                [--dump PATH] [--emit PATH] [--stats] [--list]"
+    );
+    std::process::exit(2)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut file: Option<String> = None;
+    let mut suite: Option<String> = None;
+    let mut scale = Scale::Small;
+    let mut mode = "twophase".to_string();
+    let mut threshold = 2_000u64;
+    let mut input: Vec<i64> = Vec::new();
+    let mut dump: Option<String> = None;
+    let mut emit: Option<String> = None;
+    let mut show_stats = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--suite" => suite = Some(args.next().unwrap_or_else(|| usage())),
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                }
+            }
+            "--mode" => mode = args.next().unwrap_or_else(|| usage()),
+            "--threshold" => threshold = args.next().unwrap_or_else(|| usage()).parse()?,
+            "--input" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                for tok in list.split(',').filter(|t| !t.is_empty()) {
+                    input.push(tok.trim().parse()?);
+                }
+            }
+            "--input-file" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                for tok in std::fs::read_to_string(path)?.split_whitespace() {
+                    input.push(tok.parse()?);
+                }
+            }
+            "--dump" => dump = Some(args.next().unwrap_or_else(|| usage())),
+            "--emit" => emit = Some(args.next().unwrap_or_else(|| usage())),
+            "--stats" => show_stats = true,
+            "--list" => {
+                println!("INT: {}", tpdbt_suite::int_names().join(" "));
+                println!("FP:  {}", tpdbt_suite::fp_names().join(" "));
+                return Ok(());
+            }
+            "--help" | "-h" => usage(),
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+
+    let built: BuiltProgram = if let Some(bench) = &suite {
+        let w = workload(bench, scale, InputKind::Ref)?;
+        if input.is_empty() {
+            input = w.input.clone();
+        }
+        w.binary
+    } else {
+        let path = file.ok_or("expected a FILE or --suite BENCH")?;
+        let name = std::path::Path::new(&path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("guest")
+            .to_string();
+        if path.ends_with(".s") || path.ends_with(".asm") {
+            asm::parse(&std::fs::read_to_string(&path)?)?
+        } else {
+            binfmt::read_program(&name, &std::fs::read(&path)?)?
+        }
+    };
+
+    if let Some(path) = emit {
+        std::fs::write(&path, binfmt::write_program(&built))?;
+        eprintln!("emitted {} ({} instructions)", path, built.program.len());
+    }
+
+    if mode == "interp" {
+        let mut i = Interpreter::new(&built.program, &input);
+        i.preload(&built.mem_image, &built.fmem_image);
+        let stats = i.run()?;
+        println!("{:?}", i.machine().output());
+        if show_stats {
+            eprintln!(
+                "interpreted {} instructions ({} cond branches, {} taken)",
+                stats.instructions, stats.cond_branches, stats.taken_branches
+            );
+        }
+        return Ok(());
+    }
+
+    let config = match mode.as_str() {
+        "noopt" => DbtConfig::no_opt(),
+        "twophase" => DbtConfig::two_phase(threshold),
+        "continuous" => DbtConfig::continuous(threshold),
+        "adaptive" => DbtConfig::adaptive(threshold),
+        _ => usage(),
+    };
+    let out = Dbt::new(config).run_built(&built, &input)?;
+    println!("{:?}", out.output);
+    if show_stats {
+        eprintln!(
+            "mode {mode} T={threshold}: {} instructions, {} cycles, {} regions, \
+             {} side exits, {} completions, {} retirements",
+            out.stats.instructions,
+            out.stats.cycles,
+            out.stats.regions_formed,
+            out.stats.side_exits,
+            out.stats.completions,
+            out.stats.retirements,
+        );
+    }
+    if let Some(path) = dump {
+        std::fs::write(&path, text::inip_to_string(&out.inip))?;
+        eprintln!("dump written to {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Experiment harness: regenerates every table and figure of the CGO
+//! 2004 paper from the reproduction stack.
+//!
+//! The [`runner`] sweeps each benchmark over the paper's retranslation
+//! threshold ladder and collects `AVEP`, `INIP(train)`, and `INIP(T)`
+//! profiles plus the metric set; [`figures`] formats each paper figure
+//! from one shared sweep. The `reproduce` binary drives both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+/// Convenience result type for harness code.
+pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;

@@ -1,0 +1,207 @@
+//! `reproduce` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [--scale tiny|small|paper] [--out DIR] [FIGURE...]
+//! ```
+//!
+//! `FIGURE` is any of `fig8` … `fig18` or `all` (default). Tables print
+//! to stdout; with `--out DIR`, each table is also written as CSV.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use tpdbt_experiments::figures;
+use tpdbt_experiments::runner::{run_suite, BenchResult};
+use tpdbt_experiments::table::Table;
+use tpdbt_suite::{all_names, fp_names, int_names, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--scale tiny|small|paper] [--out DIR] [--bench NAME]... [TARGET...]\n\
+         TARGET: fig8..fig18 | all   — the paper's figures\n\
+         \u{20}        ext-train-regions    — Sd.CP(train)/Sd.LP(train) via offline regions (§5.3)\n\
+         \u{20}        ext-continuous       — continuous vs two-phase profiling (§5)\n\
+         \u{20}        ext-adaptive         — side-exit-triggered retranslation (§5)\n\
+         \u{20}        ext-diagnose         — mis-prediction characterization (§5.1)\n\
+         \u{20}        ext-thresholds       — per-benchmark threshold selection (§5.2)\n\
+         \u{20}        ext-phases           — phase census via interval profiling\n\
+         \u{20}        ext-static           — Wu-Larus static prediction baseline\n\
+         Regenerates the tables/figures of 'The Accuracy of Initial Prediction in\n\
+         Two-Phase Dynamic Binary Translators' (CGO 2004). Default: all figures at\n\
+         small scale."
+    );
+    std::process::exit(2)
+}
+
+fn run_extensions(wanted: &[String], scale: Scale, out_dir: Option<&str>) -> Vec<(String, Table)> {
+    let names = all_names();
+    let mut out = Vec::new();
+    for w in wanted {
+        let result = match w.as_str() {
+            "ext-train-regions" => {
+                tpdbt_experiments::extensions::train_regions(&names, scale, 2_000)
+            }
+            "ext-continuous" => {
+                tpdbt_experiments::extensions::continuous_study(&names, scale, 2_000)
+            }
+            "ext-adaptive" => tpdbt_experiments::extensions::adaptive_study(&names, scale, 2_000),
+            "ext-diagnose" => tpdbt_experiments::extensions::diagnose_suite(&names, scale, 2_000),
+            "ext-thresholds" => tpdbt_experiments::extensions::threshold_selection(&names, scale),
+            "ext-phases" => tpdbt_experiments::extensions::phase_census(&names, scale),
+            "ext-static" => tpdbt_experiments::extensions::static_baseline(&names, scale, 2_000),
+            _ => continue,
+        };
+        match result {
+            Ok(table) => out.push((w.clone(), table)),
+            Err(e) => eprintln!("{w} failed: {e}"),
+        }
+    }
+    let _ = out_dir;
+    out
+}
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut out_dir: Option<String> = None;
+    let mut figures_wanted: Vec<String> = Vec::new();
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                }
+            }
+            "--out" => out_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--bench" => only.push(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            f if f.starts_with("fig") || f.starts_with("ext-") || f == "all" => {
+                figures_wanted.push(f.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    if figures_wanted.is_empty() {
+        figures_wanted.push("all".to_string());
+    }
+
+    // Extensions run standalone (they drive their own sweeps).
+    let extension_targets: Vec<String> = figures_wanted
+        .iter()
+        .filter(|f| f.starts_with("ext-"))
+        .cloned()
+        .collect();
+    figures_wanted.retain(|f| !f.starts_with("ext-"));
+    if !extension_targets.is_empty() {
+        eprintln!(
+            "running {} extension studies at {scale:?} scale...",
+            extension_targets.len()
+        );
+        for (name, table) in run_extensions(&extension_targets, scale, out_dir.as_deref()) {
+            println!("{}", table.to_text());
+            if let Some(dir) = &out_dir {
+                if let Err(e) = write_csv(dir, &name, &table) {
+                    eprintln!("warning: could not write {name}.csv: {e}");
+                }
+            }
+        }
+        if figures_wanted.is_empty() {
+            return;
+        }
+    }
+
+    // Figures 9/11/16 need only INT; 12 only FP; everything else both.
+    let need_int = figures_wanted.iter().any(|f| f != "fig12");
+    let need_fp = figures_wanted
+        .iter()
+        .any(|f| !matches!(f.as_str(), "fig9" | "fig11" | "fig16"));
+    let mut names: Vec<&str> = Vec::new();
+    if need_int {
+        names.extend(int_names());
+    }
+    if need_fp {
+        names.extend(fp_names());
+    }
+    if names.len() == all_names().len() {
+        names = all_names();
+    }
+    if !only.is_empty() {
+        names.retain(|n| only.iter().any(|o| o == n));
+        if names.is_empty() {
+            eprintln!("--bench filter matched nothing (see tpdbt_suite::all_names)");
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!("sweeping {} benchmarks at {scale:?} scale...", names.len());
+    let t0 = Instant::now();
+    let results = match run_suite(&names, scale, |name| {
+        eprintln!("  [{:>6.1}s] {name}", t0.elapsed().as_secs_f64());
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("sweep complete in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let selected: Vec<(String, Table)> = figures_wanted
+        .iter()
+        .flat_map(|f| select(f, &results))
+        .collect();
+    for (name, table) in &selected {
+        println!("{}", table.to_text());
+        if let Some(dir) = &out_dir {
+            if let Err(e) = write_csv(dir, name, table) {
+                eprintln!("warning: could not write {name}.csv: {e}");
+            }
+        }
+    }
+}
+
+fn select(which: &str, results: &[BenchResult]) -> Vec<(String, Table)> {
+    match which {
+        "all" => vec![
+            ("fig08".into(), figures::fig08(results)),
+            ("fig09".into(), figures::fig09(results)),
+            ("fig10".into(), figures::fig10(results)),
+            ("fig11".into(), figures::fig11(results)),
+            ("fig12".into(), figures::fig12(results)),
+            ("fig13".into(), figures::fig13(results)),
+            ("fig14".into(), figures::fig14(results)),
+            ("fig15".into(), figures::fig15(results)),
+            ("fig16".into(), figures::fig16(results)),
+            ("fig17".into(), figures::fig17(results)),
+            ("fig18".into(), figures::fig18(results)),
+        ],
+        "fig8" | "fig08" => vec![("fig08".into(), figures::fig08(results))],
+        "fig9" | "fig09" => vec![("fig09".into(), figures::fig09(results))],
+        "fig10" => vec![("fig10".into(), figures::fig10(results))],
+        "fig11" => vec![("fig11".into(), figures::fig11(results))],
+        "fig12" => vec![("fig12".into(), figures::fig12(results))],
+        "fig13" => vec![("fig13".into(), figures::fig13(results))],
+        "fig14" => vec![("fig14".into(), figures::fig14(results))],
+        "fig15" => vec![("fig15".into(), figures::fig15(results))],
+        "fig16" => vec![("fig16".into(), figures::fig16(results))],
+        "fig17" => vec![("fig17".into(), figures::fig17(results))],
+        "fig18" => vec![("fig18".into(), figures::fig18(results))],
+        other => {
+            eprintln!("unknown figure `{other}`");
+            vec![]
+        }
+    }
+}
+
+fn write_csv(dir: &str, name: &str, table: &Table) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = std::path::Path::new(dir).join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(table.to_csv().as_bytes())
+}

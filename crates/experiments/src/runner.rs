@@ -1,0 +1,258 @@
+//! Benchmark sweeping: the paper's methodology (§2) executed end to
+//! end.
+//!
+//! For each benchmark:
+//!
+//! 1. run with the reference input and threshold `T` for every ladder
+//!    point, dumping `INIP(T)`;
+//! 2. run with the reference input and no optimization, dumping `AVEP`;
+//! 3. run with the training input and no optimization, dumping
+//!    `INIP(train)`;
+//! 4. run with threshold 1 (optimize everything executed once) for the
+//!    Figure 17 performance base;
+//! 5. analyze each `INIP(T)` against `AVEP` (NAVEP normalization +
+//!    standard deviations + mismatch rates).
+//!
+//! Thresholds scale with the workload: at reduced scales the ladder is
+//! divided by the same factor as the input, preserving the
+//! visit-fraction geometry the paper's ladder probes.
+
+use tpdbt_dbt::{Dbt, DbtConfig};
+use tpdbt_profile::report::{analyze, analyze_train, ThresholdMetrics, TrainMetrics};
+use tpdbt_profile::PlainProfile;
+use tpdbt_suite::{workload, BenchClass, InputKind, Scale, Workload};
+
+use crate::Result;
+
+/// The paper's retranslation-threshold ladder (§4): nominal values and
+/// display labels.
+pub const PAPER_LADDER: [(u64, &str); 13] = [
+    (100, "100"),
+    (200, "200"),
+    (500, "500"),
+    (1_000, "1k"),
+    (2_000, "2k"),
+    (5_000, "5k"),
+    (10_000, "10k"),
+    (20_000, "20k"),
+    (40_000, "40k"),
+    (80_000, "80k"),
+    (160_000, "160k"),
+    (1_000_000, "1M"),
+    (4_000_000, "4M"),
+];
+
+/// One ladder point: the paper-nominal threshold and the actual value
+/// used at the current scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LadderPoint {
+    /// Paper-nominal threshold (used for labelling).
+    pub nominal: u64,
+    /// Display label ("2k", "1M", …).
+    pub label: &'static str,
+    /// The threshold actually configured at this scale.
+    pub actual: u64,
+}
+
+/// The ladder adjusted for `scale`.
+#[must_use]
+pub fn ladder(scale: Scale) -> Vec<LadderPoint> {
+    PAPER_LADDER
+        .iter()
+        .map(|&(nominal, label)| LadderPoint {
+            nominal,
+            label,
+            actual: (nominal / scale.divisor() as u64).max(2),
+        })
+        .collect()
+}
+
+/// A fully swept benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// INT or FP.
+    pub class: BenchClass,
+    /// Metrics for each ladder point, in ladder order.
+    pub per_threshold: Vec<(LadderPoint, ThresholdMetrics)>,
+    /// The training-input reference metrics.
+    pub train: TrainMetrics,
+    /// Whole-run average profile (kept for ad-hoc analysis).
+    pub avep: PlainProfile,
+    /// Cycles of the `T = 1` base run (Figure 17 baseline).
+    pub base_cycles: u64,
+    /// Profiling operations of the AVEP (reference, no-opt) run.
+    pub avep_ops: u64,
+}
+
+fn run_dbt(config: DbtConfig, w: &Workload) -> Result<tpdbt_dbt::RunOutcome> {
+    Ok(Dbt::new(config).run_built(&w.binary, &w.input)?)
+}
+
+/// Sweeps one benchmark at `scale` over the scaled paper ladder.
+///
+/// # Errors
+///
+/// Propagates workload construction failures, guest traps, and
+/// analyzer errors.
+pub fn run_benchmark(name: &str, scale: Scale) -> Result<BenchResult> {
+    let reference = workload(name, scale, InputKind::Ref)?;
+    let training = workload(name, scale, InputKind::Train)?;
+
+    // AVEP: reference input, no optimization.
+    let avep_run = run_dbt(DbtConfig::no_opt(), &reference)?;
+    let avep = avep_run.as_plain_profile();
+
+    // INIP(train): training input, no optimization.
+    let train_run = run_dbt(DbtConfig::no_opt(), &training)?;
+    let train = analyze_train(&train_run.as_plain_profile(), &avep);
+
+    // Figure 17 base: T = 1.
+    let base = run_dbt(DbtConfig::two_phase(1), &reference)?;
+
+    // INIP(T) sweep.
+    let mut per_threshold = Vec::new();
+    for point in ladder(scale) {
+        let out = run_dbt(DbtConfig::two_phase(point.actual), &reference)?;
+        // The guest must compute the same answer under every threshold.
+        debug_assert_eq!(
+            out.output, avep_run.output,
+            "{name} diverged at T={}",
+            point.actual
+        );
+        let metrics = analyze(&out.inip, &avep)?;
+        per_threshold.push((point, metrics));
+    }
+
+    Ok(BenchResult {
+        name: reference.name,
+        class: reference.class,
+        per_threshold,
+        train,
+        avep,
+        base_cycles: base.stats.cycles,
+        avep_ops: avep_run.inip.profiling_ops,
+    })
+}
+
+/// Sweeps a set of benchmarks (default: the whole suite), reporting
+/// progress through `progress`.
+///
+/// # Errors
+///
+/// Propagates the first per-benchmark failure.
+pub fn run_suite(
+    names: &[&str],
+    scale: Scale,
+    mut progress: impl FnMut(&str),
+) -> Result<Vec<BenchResult>> {
+    let mut results = Vec::with_capacity(names.len());
+    for name in names {
+        progress(name);
+        results.push(run_benchmark(name, scale)?);
+    }
+    Ok(results)
+}
+
+/// Averages an optional-metric accessor over a class, skipping `None`.
+#[must_use]
+pub fn class_average(
+    results: &[BenchResult],
+    class: BenchClass,
+    index: usize,
+    metric: impl Fn(&ThresholdMetrics) -> Option<f64>,
+) -> Option<f64> {
+    let vals: Vec<f64> = results
+        .iter()
+        .filter(|r| r.class == class)
+        .filter_map(|r| metric(&r.per_threshold[index].1))
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+/// Averages a train-metric accessor over a class.
+#[must_use]
+pub fn class_train_average(
+    results: &[BenchResult],
+    class: BenchClass,
+    metric: impl Fn(&TrainMetrics) -> Option<f64>,
+) -> Option<f64> {
+    let vals: Vec<f64> = results
+        .iter()
+        .filter(|r| r.class == class)
+        .filter_map(|r| metric(&r.train))
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+/// Geometric mean of per-benchmark performance ratios
+/// `base_cycles / cycles(T)` for a class at ladder index `index`
+/// (Figure 17's "relative performance", higher is better).
+#[must_use]
+pub fn class_relative_performance(
+    results: &[BenchResult],
+    class: BenchClass,
+    index: usize,
+    exclude: &[&str],
+) -> Option<f64> {
+    let ratios: Vec<f64> = results
+        .iter()
+        .filter(|r| r.class == class && !exclude.contains(&r.name))
+        .map(|r| r.base_cycles as f64 / r.per_threshold[index].1.cycles as f64)
+        .collect();
+    if ratios.is_empty() {
+        None
+    } else {
+        Some((ratios.iter().map(|x| x.ln()).sum::<f64>() / ratios.len() as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_scales_with_divisor() {
+        let paper = ladder(Scale::Paper);
+        let tiny = ladder(Scale::Tiny);
+        assert_eq!(paper.len(), 13);
+        assert_eq!(paper[4].actual, 2000);
+        assert_eq!(tiny[4].actual, 20);
+        assert_eq!(tiny[0].actual, 2, "floors at 2");
+        assert_eq!(tiny[4].label, "2k");
+    }
+
+    #[test]
+    fn sweep_one_benchmark_at_tiny_scale() {
+        let r = run_benchmark("bzip2", Scale::Tiny).unwrap();
+        assert_eq!(r.per_threshold.len(), 13);
+        // Accuracy metrics exist for small thresholds.
+        let (_, first) = &r.per_threshold[0];
+        assert!(first.sd_bp.is_some());
+        assert!(first.bp_mismatch.is_some());
+        // The train reference exists.
+        assert!(r.train.sd_bp.is_some());
+        // The base run is the slowest configuration or close to it:
+        // relative performance at moderate thresholds is positive.
+        assert!(r.base_cycles > 0);
+        assert!(r.avep_ops > 0);
+    }
+
+    #[test]
+    fn class_average_skips_missing() {
+        let r = run_benchmark("swim", Scale::Tiny).unwrap();
+        let results = vec![r];
+        let avg = class_average(&results, BenchClass::Fp, 0, |m| m.sd_bp);
+        assert!(avg.is_some());
+        assert!(class_average(&results, BenchClass::Int, 0, |m| m.sd_bp).is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Aligned-text and CSV table rendering for figure output.
+
+use std::fmt::Write as _;
+
+/// A simple table: a title, column headers, and string rows, rendered
+/// as aligned text (for the terminal) and CSV (for plotting).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Formats a metric cell: 3 decimal places, or `-` for `None`.
+    #[must_use]
+    pub fn metric(v: Option<f64>) -> String {
+        v.map_or_else(|| "-".to_string(), |x| format!("{x:.3}"))
+    }
+
+    /// Renders aligned text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{cell:>w$}", w = w);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders CSV (title as a comment line).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text_and_csv() {
+        let mut t = Table::new("Figure X", &["T", "int", "fp"]);
+        t.row(vec!["100".into(), "0.123".into(), "0.045".into()]);
+        t.row(vec!["4M".into(), "-".into(), "0.001".into()]);
+        let text = t.to_text();
+        assert!(text.contains("== Figure X =="));
+        assert!(text.lines().count() >= 4);
+        let csv = t.to_csv();
+        assert!(csv.contains("T,int,fp"));
+        assert!(csv.contains("100,0.123,0.045"));
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(Table::metric(Some(0.12345)), "0.123");
+        assert_eq!(Table::metric(None), "-");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,720 @@
+//! Textual assembly parser — the inverse of the disassembler.
+//!
+//! The accepted syntax is exactly what [`Program`]'s `Display` emits
+//! (so `parse(program.to_string())` round-trips), extended with labels
+//! and directives for hand-written sources:
+//!
+//! ```text
+//! ; program `histo` entry @0      <- disassembler header (optional)
+//! .mem 64                          <- integer memory words
+//! .fmem 8
+//! .data 2 7 -9                     <- preload mem[2..4]
+//! .fdata 0 1.5
+//! .entry main
+//! main:
+//!     in r0
+//!     br.lt r0, #0, @done          <- @label or @N (absolute)
+//!     add r3, r3, r0
+//!     jmp @main
+//! done:
+//!     out r3
+//!     halt
+//! ```
+//!
+//! Instruction mnemonics follow the disassembler: `add r0, r1, #3`,
+//! `br.ge r1, r0, @7`, `ld r0, [r1+2]`, `jtab r1, [@a, @b]`,
+//! `fmovi f2, #2.25`, …
+
+use std::collections::HashMap;
+
+use crate::builder::BuiltProgram;
+use crate::instr::{AluOp, Cond, FpuOp, Instr, Operand};
+use crate::program::{Pc, Program};
+use crate::reg::{FReg, Reg, NUM_FREGS, NUM_REGS};
+
+/// An assembly parse error with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A branch target before resolution.
+#[derive(Clone, Debug)]
+enum Target {
+    Num(Pc),
+    Name(String),
+}
+
+/// An instruction with unresolved targets.
+#[derive(Clone, Debug)]
+enum PInstr {
+    Done(Instr),
+    Jmp(Target),
+    Br {
+        cond: Cond,
+        a: Reg,
+        b: Operand,
+        taken: Target,
+    },
+    JmpTable {
+        selector: Reg,
+        table: Vec<Target>,
+    },
+    Call(Target),
+}
+
+struct Parser {
+    name: String,
+    entry: Option<Target>,
+    mem: usize,
+    fmem: usize,
+    data: Vec<(usize, Vec<i64>)>,
+    fdata: Vec<(usize, Vec<f64>)>,
+    labels: HashMap<String, Pc>,
+    instrs: Vec<(usize, PInstr)>,
+}
+
+fn err(line: usize, detail: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        detail: detail.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let idx: usize = tok
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected integer register, got `{tok}`")))?;
+    if idx >= NUM_REGS {
+        return Err(err(line, format!("register {tok} out of range")));
+    }
+    Ok(Reg::new(idx as u8))
+}
+
+fn parse_freg(tok: &str, line: usize) -> Result<FReg, AsmError> {
+    let idx: usize = tok
+        .strip_prefix('f')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected float register, got `{tok}`")))?;
+    if idx >= NUM_FREGS {
+        return Err(err(line, format!("register {tok} out of range")));
+    }
+    Ok(FReg::new(idx as u8))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    tok.strip_prefix('#')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected immediate `#N`, got `{tok}`")))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    if tok.starts_with('#') {
+        Ok(Operand::Imm(parse_imm(tok, line)?))
+    } else {
+        Ok(Operand::Reg(parse_reg(tok, line)?))
+    }
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
+    let body = tok.strip_prefix('@').ok_or_else(|| {
+        err(
+            line,
+            format!("expected target `@label` or `@N`, got `{tok}`"),
+        )
+    })?;
+    if let Ok(n) = body.parse::<usize>() {
+        Ok(Target::Num(n))
+    } else if body.chars().all(|c| c.is_alphanumeric() || c == '_') && !body.is_empty() {
+        Ok(Target::Name(body.to_string()))
+    } else {
+        Err(err(line, format!("bad target `{tok}`")))
+    }
+}
+
+/// Parses `[rN+off]` / `[rN-off]` / `[rN]`.
+fn parse_mem_ref(tok: &str, line: usize) -> Result<(Reg, i64), AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected `[rN+off]`, got `{tok}`")))?;
+    let split = inner.find(['+', '-']).unwrap_or(inner.len());
+    let reg = parse_reg(&inner[..split], line)?;
+    let offset = if split == inner.len() {
+        0
+    } else {
+        inner[split..]
+            .parse::<i64>()
+            .map_err(|_| err(line, format!("bad offset in `{tok}`")))?
+    };
+    Ok((reg, offset))
+}
+
+fn parse_cond(suffix: &str, line: usize) -> Result<Cond, AsmError> {
+    Ok(match suffix {
+        "eq" => Cond::Eq,
+        "ne" => Cond::Ne,
+        "lt" => Cond::Lt,
+        "le" => Cond::Le,
+        "gt" => Cond::Gt,
+        "ge" => Cond::Ge,
+        other => return Err(err(line, format!("unknown condition `{other}`"))),
+    })
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        _ => return None,
+    })
+}
+
+fn fpu_op(mnemonic: &str) -> Option<FpuOp> {
+    Some(match mnemonic {
+        "fadd" => FpuOp::Add,
+        "fsub" => FpuOp::Sub,
+        "fmul" => FpuOp::Mul,
+        "fdiv" => FpuOp::Div,
+        "fmax" => FpuOp::Max,
+        "fmin" => FpuOp::Min,
+        _ => return None,
+    })
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            name: "asm".to_string(),
+            entry: None,
+            mem: 0,
+            fmem: 0,
+            data: Vec::new(),
+            fdata: Vec::new(),
+            labels: HashMap::new(),
+            instrs: Vec::new(),
+        }
+    }
+
+    fn here(&self) -> Pc {
+        self.instrs.len()
+    }
+
+    fn directive(&mut self, line_no: usize, fields: &[&str]) -> Result<(), AsmError> {
+        match fields[0] {
+            ".entry" => {
+                let tok = fields
+                    .get(1)
+                    .ok_or_else(|| err(line_no, ".entry needs a target"))?;
+                self.entry = Some(if let Ok(n) = tok.parse::<usize>() {
+                    Target::Num(n)
+                } else {
+                    Target::Name((*tok).to_string())
+                });
+            }
+            ".mem" => {
+                self.mem = fields
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, ".mem needs a word count"))?;
+            }
+            ".fmem" => {
+                self.fmem = fields
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, ".fmem needs a word count"))?;
+            }
+            ".data" => {
+                let addr: usize = fields
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, ".data needs an address"))?;
+                let words: Result<Vec<i64>, _> =
+                    fields[2..].iter().map(|t| t.parse::<i64>()).collect();
+                let words = words.map_err(|_| err(line_no, "bad .data word"))?;
+                self.mem = self.mem.max(addr + words.len());
+                self.data.push((addr, words));
+            }
+            ".fdata" => {
+                let addr: usize = fields
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, ".fdata needs an address"))?;
+                let words: Result<Vec<f64>, _> =
+                    fields[2..].iter().map(|t| t.parse::<f64>()).collect();
+                let words = words.map_err(|_| err(line_no, "bad .fdata word"))?;
+                self.fmem = self.fmem.max(addr + words.len());
+                self.fdata.push((addr, words));
+            }
+            other => return Err(err(line_no, format!("unknown directive `{other}`"))),
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn instruction(&mut self, line_no: usize, fields: &[&str]) -> Result<(), AsmError> {
+        let mnemonic = fields[0];
+        let args = &fields[1..];
+        let need = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("`{mnemonic}` takes {n} operands, got {}", args.len()),
+                ))
+            }
+        };
+        let p = if let Some(op) = alu_op(mnemonic) {
+            need(3)?;
+            PInstr::Done(Instr::Alu {
+                op,
+                dst: parse_reg(args[0], line_no)?,
+                a: parse_reg(args[1], line_no)?,
+                b: parse_operand(args[2], line_no)?,
+            })
+        } else if let Some(op) = fpu_op(mnemonic) {
+            need(3)?;
+            PInstr::Done(Instr::Fpu {
+                op,
+                dst: parse_freg(args[0], line_no)?,
+                a: parse_freg(args[1], line_no)?,
+                b: parse_freg(args[2], line_no)?,
+            })
+        } else if let Some(cond) = mnemonic.strip_prefix("br.") {
+            need(3)?;
+            PInstr::Br {
+                cond: parse_cond(cond, line_no)?,
+                a: parse_reg(args[0], line_no)?,
+                b: parse_operand(args[1], line_no)?,
+                taken: parse_target(args[2], line_no)?,
+            }
+        } else {
+            match mnemonic {
+                "mov" => {
+                    need(2)?;
+                    PInstr::Done(Instr::Mov {
+                        dst: parse_reg(args[0], line_no)?,
+                        src: parse_reg(args[1], line_no)?,
+                    })
+                }
+                "movi" => {
+                    need(2)?;
+                    PInstr::Done(Instr::MovI {
+                        dst: parse_reg(args[0], line_no)?,
+                        imm: parse_imm(args[1], line_no)?,
+                    })
+                }
+                "fmov" => {
+                    need(2)?;
+                    PInstr::Done(Instr::FMov {
+                        dst: parse_freg(args[0], line_no)?,
+                        src: parse_freg(args[1], line_no)?,
+                    })
+                }
+                "fmovi" => {
+                    need(2)?;
+                    let imm = args[1]
+                        .strip_prefix('#')
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(|| err(line_no, "fmovi needs `#float`"))?;
+                    PInstr::Done(Instr::FMovI {
+                        dst: parse_freg(args[0], line_no)?,
+                        imm,
+                    })
+                }
+                "itof" => {
+                    need(2)?;
+                    PInstr::Done(Instr::IToF {
+                        dst: parse_freg(args[0], line_no)?,
+                        src: parse_reg(args[1], line_no)?,
+                    })
+                }
+                "ftoi" => {
+                    need(2)?;
+                    PInstr::Done(Instr::FToI {
+                        dst: parse_reg(args[0], line_no)?,
+                        src: parse_freg(args[1], line_no)?,
+                    })
+                }
+                "fcmplt" => {
+                    need(3)?;
+                    PInstr::Done(Instr::FCmpLt {
+                        dst: parse_reg(args[0], line_no)?,
+                        a: parse_freg(args[1], line_no)?,
+                        b: parse_freg(args[2], line_no)?,
+                    })
+                }
+                "ld" | "st" | "fld" | "fst" => {
+                    need(2)?;
+                    let (base, offset) = parse_mem_ref(args[1], line_no)?;
+                    match mnemonic {
+                        "ld" => PInstr::Done(Instr::Load {
+                            dst: parse_reg(args[0], line_no)?,
+                            base,
+                            offset,
+                        }),
+                        "st" => PInstr::Done(Instr::Store {
+                            src: parse_reg(args[0], line_no)?,
+                            base,
+                            offset,
+                        }),
+                        "fld" => PInstr::Done(Instr::FLoad {
+                            dst: parse_freg(args[0], line_no)?,
+                            base,
+                            offset,
+                        }),
+                        _ => PInstr::Done(Instr::FStore {
+                            src: parse_freg(args[0], line_no)?,
+                            base,
+                            offset,
+                        }),
+                    }
+                }
+                "jmp" => {
+                    need(1)?;
+                    PInstr::Jmp(parse_target(args[0], line_no)?)
+                }
+                "jtab" => {
+                    if args.len() < 2 {
+                        return Err(err(line_no, "jtab takes a selector and a table"));
+                    }
+                    let selector = parse_reg(args[0], line_no)?;
+                    let table_src = args[1..].join(" ");
+                    let inner = table_src
+                        .strip_prefix('[')
+                        .and_then(|s| s.strip_suffix(']'))
+                        .ok_or_else(|| err(line_no, "jtab table must be `[@a, @b, ...]`"))?;
+                    // Commas were already stripped by field splitting,
+                    // so entries may be separated by spaces or commas.
+                    let table: Result<Vec<Target>, AsmError> = inner
+                        .split([',', ' '])
+                        .filter(|t| !t.trim().is_empty())
+                        .map(|t| parse_target(t.trim(), line_no))
+                        .collect();
+                    PInstr::JmpTable {
+                        selector,
+                        table: table?,
+                    }
+                }
+                "call" => {
+                    need(1)?;
+                    PInstr::Call(parse_target(args[0], line_no)?)
+                }
+                "ret" => {
+                    need(0)?;
+                    PInstr::Done(Instr::Ret)
+                }
+                "in" => {
+                    need(1)?;
+                    PInstr::Done(Instr::In {
+                        dst: parse_reg(args[0], line_no)?,
+                    })
+                }
+                "out" => {
+                    need(1)?;
+                    PInstr::Done(Instr::Out {
+                        src: parse_reg(args[0], line_no)?,
+                    })
+                }
+                "halt" => {
+                    need(0)?;
+                    PInstr::Done(Instr::Halt)
+                }
+                other => return Err(err(line_no, format!("unknown mnemonic `{other}`"))),
+            }
+        };
+        self.instrs.push((line_no, p));
+        Ok(())
+    }
+
+    fn resolve(&self, t: &Target, line: usize) -> Result<Pc, AsmError> {
+        match t {
+            Target::Num(n) => Ok(*n),
+            Target::Name(name) => self
+                .labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(line, format!("undefined label `{name}`"))),
+        }
+    }
+
+    fn finish(self) -> Result<BuiltProgram, AsmError> {
+        let mut instrs = Vec::with_capacity(self.instrs.len());
+        for (line, p) in &self.instrs {
+            let i = match p {
+                PInstr::Done(i) => i.clone(),
+                PInstr::Jmp(t) => Instr::Jmp {
+                    target: self.resolve(t, *line)?,
+                },
+                PInstr::Br { cond, a, b, taken } => Instr::Br {
+                    cond: *cond,
+                    a: *a,
+                    b: *b,
+                    taken: self.resolve(taken, *line)?,
+                },
+                PInstr::JmpTable { selector, table } => Instr::JmpTable {
+                    selector: *selector,
+                    table: table
+                        .iter()
+                        .map(|t| self.resolve(t, *line))
+                        .collect::<Result<_, _>>()?,
+                },
+                PInstr::Call(t) => Instr::Call {
+                    target: self.resolve(t, *line)?,
+                },
+            };
+            instrs.push(i);
+        }
+        let entry = match &self.entry {
+            Some(t) => self.resolve(t, 0).map_err(|e| err(0, e.detail))?,
+            None => 0,
+        };
+        let program = Program::from_parts(self.name, instrs, entry, self.mem, self.fmem)
+            .map_err(|e| err(0, e.to_string()))?;
+        Ok(BuiltProgram {
+            program,
+            mem_image: self.data,
+            fmem_image: self.fdata,
+        })
+    }
+}
+
+/// Parses assembly source into a validated [`BuiltProgram`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with a line number for syntax errors,
+/// undefined labels, and programs that fail ISA validation.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), tpdbt_isa::asm::AsmError> {
+/// let src = "
+///     .entry main
+/// main:
+///     in r0
+///     br.lt r0, #0, @done
+///     out r0
+///     jmp @main
+/// done:
+///     halt
+/// ";
+/// let built = tpdbt_isa::asm::parse(src)?;
+/// assert_eq!(built.program.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> Result<BuiltProgram, AsmError> {
+    let mut p = Parser::new();
+    // First pass: bind labels to instruction indices; queue
+    // instructions with unresolved targets.
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw;
+        // Disassembler header comment carries name + entry.
+        if let Some(rest) = line.trim().strip_prefix("; program `") {
+            if let Some((name, tail)) = rest.split_once('`') {
+                p.name = name.to_string();
+                if let Some(e) = tail.trim().strip_prefix("entry @") {
+                    if let Ok(n) = e.trim().parse::<usize>() {
+                        p.entry = Some(Target::Num(n));
+                    }
+                }
+                continue;
+            }
+        }
+        if let Some(at) = line.find(';') {
+            line = &line[..at];
+        }
+        let mut line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Optional `N:` pc prefix from disassembly listings, or a
+        // `label:` binding (possibly followed by an instruction).
+        while let Some(colon) = line.find(':') {
+            let head = line[..colon].trim();
+            if head.chars().all(|c| c.is_ascii_digit()) && !head.is_empty() {
+                // pc prefix: ignore.
+            } else if head.chars().all(|c| c.is_alphanumeric() || c == '_') && !head.is_empty() {
+                if p.labels.insert(head.to_string(), p.here()).is_some() {
+                    return Err(err(line_no, format!("label `{head}` defined twice")));
+                }
+            } else {
+                break;
+            }
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line
+            .split([' ', '\t', ','])
+            .filter(|t| !t.is_empty())
+            .collect();
+        if fields[0].starts_with('.') {
+            p.directive(line_no, &fields)?;
+        } else {
+            p.instruction(line_no, &fields)?;
+        }
+    }
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn parses_a_small_program_with_labels() {
+        let src = "
+            .mem 16
+            .data 0 5 6 7
+            .entry start
+        start:
+            movi r1, #0
+            ld r2, [r1+1]
+            br.eq r2, #6, @hit
+            halt
+        hit:
+            out r2
+            halt
+        ";
+        let built = parse(src).unwrap();
+        assert_eq!(built.program.mem_words(), 16);
+        assert_eq!(built.mem_image, vec![(0, vec![5, 6, 7])]);
+        assert_eq!(built.program.entry(), 0);
+        assert_eq!(built.program.len(), 6);
+    }
+
+    #[test]
+    fn disassembly_round_trips() {
+        let mut b = ProgramBuilder::named("round");
+        let l = b.fresh_label("l");
+        b.movi(Reg::new(0), -3);
+        b.fmovi(FReg::new(1), 2.5);
+        b.br_imm(Cond::Gt, Reg::new(0), 7, l);
+        b.load(Reg::new(2), Reg::new(0), -4);
+        b.jmp_table(Reg::new(2), vec![l, l]);
+        b.bind(l).unwrap();
+        b.call(l);
+        b.ret();
+        let p = b.build().unwrap();
+        let text = p.to_string();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.program, p);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("movi r0 #1\nbogus r1\nhalt\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.detail.contains("bogus"));
+        let e = parse("jmp @missing\nhalt\n").unwrap_err();
+        assert!(e.detail.contains("missing"));
+        let e = parse("movi r99, #1\nhalt\n").unwrap_err();
+        assert!(e.detail.contains("out of range"));
+        let e = parse("x: halt\nx: halt\n").unwrap_err();
+        assert!(e.detail.contains("defined twice"));
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        // Trailing fall-through is an ISA validation error.
+        let e = parse("movi r0, #1\n").unwrap_err();
+        assert!(e.detail.contains("fall through"), "{e}");
+    }
+
+    #[test]
+    fn parsed_programs_execute() {
+        let src = "
+        loop:
+            in r0
+            br.lt r0, #0, @end
+            muli: mul r1, r0, #3
+            out r1
+            jmp @loop
+        end:
+            halt
+        ";
+        let built = parse(src).unwrap();
+        let out = tpdbt_vm_free_run(&built, &[1, 2, 3]);
+        assert_eq!(out, vec![3, 6, 9]);
+    }
+
+    /// Minimal interpreter for the test (tpdbt-vm depends on this
+    /// crate, so we cannot use it here).
+    fn tpdbt_vm_free_run(built: &BuiltProgram, input: &[i64]) -> Vec<i64> {
+        let p = &built.program;
+        let mut regs = [0i64; 32];
+        let mut pc = p.entry();
+        let mut input = input.iter();
+        let mut out = Vec::new();
+        loop {
+            match p.get(pc).unwrap() {
+                Instr::MovI { dst, imm } => {
+                    regs[dst.index()] = *imm;
+                    pc += 1;
+                }
+                Instr::Alu {
+                    op: AluOp::Mul,
+                    dst,
+                    a,
+                    b,
+                } => {
+                    let rhs = match b {
+                        Operand::Reg(r) => regs[r.index()],
+                        Operand::Imm(v) => *v,
+                    };
+                    regs[dst.index()] = regs[a.index()] * rhs;
+                    pc += 1;
+                }
+                Instr::In { dst } => {
+                    regs[dst.index()] = input.next().copied().unwrap_or(-1);
+                    pc += 1;
+                }
+                Instr::Out { src } => {
+                    out.push(regs[src.index()]);
+                    pc += 1;
+                }
+                Instr::Br { cond, a, b, taken } => {
+                    let rhs = match b {
+                        Operand::Reg(r) => regs[r.index()],
+                        Operand::Imm(v) => *v,
+                    };
+                    pc = if cond.eval(regs[a.index()], rhs) {
+                        *taken
+                    } else {
+                        pc + 1
+                    };
+                }
+                Instr::Jmp { target } => pc = *target,
+                Instr::Halt => return out,
+                other => panic!("unexpected instr {other:?}"),
+            }
+        }
+    }
+}

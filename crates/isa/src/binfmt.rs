@@ -1,0 +1,707 @@
+//! The `tpdb` guest binary format.
+//!
+//! A dynamic *binary* translator consumes binaries; this module defines
+//! the on-disk format for guest programs so workloads can be stored,
+//! shipped, and run by the `tpdbt-run` tool. The format is
+//! little-endian and versioned:
+//!
+//! ```text
+//! magic   "TPDB"            4 bytes
+//! version u16               currently 1
+//! entry   u64
+//! mem     u64               integer memory words
+//! fmem    u64               float memory words
+//! ninstr  u64               instruction count
+//! instr*                    opcode byte + operands (see encode_instr)
+//! nmem    u64               integer preload runs: (addr u64, len u64, i64*)
+//! nfmem   u64               float preload runs:   (addr u64, len u64, f64*)
+//! ```
+//!
+//! Decoding re-validates the program, so a well-typed [`BuiltProgram`]
+//! is the only thing that can come out of [`read_program`].
+
+use crate::builder::BuiltProgram;
+use crate::error::IsaError;
+use crate::instr::{AluOp, Cond, FpuOp, Instr, Operand};
+use crate::program::{Pc, Program};
+use crate::reg::{FReg, Reg};
+
+/// Format magic.
+pub const MAGIC: &[u8; 4] = b"TPDB";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors from reading a `tpdb` binary.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum BinError {
+    /// The input ended before the structure was complete.
+    UnexpectedEof {
+        /// Byte offset at which more data was needed.
+        offset: usize,
+    },
+    /// The magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// Unknown opcode byte.
+    BadOpcode {
+        /// The offending byte.
+        opcode: u8,
+        /// Byte offset of the opcode.
+        offset: usize,
+    },
+    /// A register index was out of range.
+    BadRegister {
+        /// The offending index.
+        index: u8,
+    },
+    /// The decoded program failed validation.
+    Invalid(IsaError),
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            BinError::BadMagic => write!(f, "not a tpdb binary (bad magic)"),
+            BinError::BadVersion { found } => {
+                write!(f, "unsupported tpdb version {found} (expected {VERSION})")
+            }
+            BinError::BadOpcode { opcode, offset } => {
+                write!(f, "unknown opcode {opcode:#x} at byte {offset}")
+            }
+            BinError::BadRegister { index } => write!(f, "register index {index} out of range"),
+            BinError::Invalid(e) => write!(f, "decoded program is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BinError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for BinError {
+    fn from(e: IsaError) -> Self {
+        BinError::Invalid(e)
+    }
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn reg(&mut self, r: Reg) {
+        self.u8(r.index() as u8);
+    }
+    fn freg(&mut self, r: FReg) {
+        self.u8(r.index() as u8);
+    }
+    fn operand(&mut self, o: Operand) {
+        match o {
+            Operand::Reg(r) => {
+                self.u8(0);
+                self.reg(r);
+            }
+            Operand::Imm(v) => {
+                self.u8(1);
+                self.i64(v);
+            }
+        }
+    }
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Div => 3,
+        AluOp::Rem => 4,
+        AluOp::And => 5,
+        AluOp::Or => 6,
+        AluOp::Xor => 7,
+        AluOp::Shl => 8,
+        AluOp::Shr => 9,
+    }
+}
+
+fn fpu_code(op: FpuOp) -> u8 {
+    match op {
+        FpuOp::Add => 0,
+        FpuOp::Sub => 1,
+        FpuOp::Mul => 2,
+        FpuOp::Div => 3,
+        FpuOp::Max => 4,
+        FpuOp::Min => 5,
+    }
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Le => 3,
+        Cond::Gt => 4,
+        Cond::Ge => 5,
+    }
+}
+
+fn encode_instr(w: &mut Writer, i: &Instr) {
+    match i {
+        Instr::Alu { op, dst, a, b } => {
+            w.u8(0x01);
+            w.u8(alu_code(*op));
+            w.reg(*dst);
+            w.reg(*a);
+            w.operand(*b);
+        }
+        Instr::Mov { dst, src } => {
+            w.u8(0x02);
+            w.reg(*dst);
+            w.reg(*src);
+        }
+        Instr::MovI { dst, imm } => {
+            w.u8(0x03);
+            w.reg(*dst);
+            w.i64(*imm);
+        }
+        Instr::Fpu { op, dst, a, b } => {
+            w.u8(0x04);
+            w.u8(fpu_code(*op));
+            w.freg(*dst);
+            w.freg(*a);
+            w.freg(*b);
+        }
+        Instr::FMov { dst, src } => {
+            w.u8(0x05);
+            w.freg(*dst);
+            w.freg(*src);
+        }
+        Instr::FMovI { dst, imm } => {
+            w.u8(0x06);
+            w.freg(*dst);
+            w.f64(*imm);
+        }
+        Instr::IToF { dst, src } => {
+            w.u8(0x07);
+            w.freg(*dst);
+            w.reg(*src);
+        }
+        Instr::FToI { dst, src } => {
+            w.u8(0x08);
+            w.reg(*dst);
+            w.freg(*src);
+        }
+        Instr::FCmpLt { dst, a, b } => {
+            w.u8(0x09);
+            w.reg(*dst);
+            w.freg(*a);
+            w.freg(*b);
+        }
+        Instr::Load { dst, base, offset } => {
+            w.u8(0x0A);
+            w.reg(*dst);
+            w.reg(*base);
+            w.i64(*offset);
+        }
+        Instr::Store { src, base, offset } => {
+            w.u8(0x0B);
+            w.reg(*src);
+            w.reg(*base);
+            w.i64(*offset);
+        }
+        Instr::FLoad { dst, base, offset } => {
+            w.u8(0x0C);
+            w.freg(*dst);
+            w.reg(*base);
+            w.i64(*offset);
+        }
+        Instr::FStore { src, base, offset } => {
+            w.u8(0x0D);
+            w.freg(*src);
+            w.reg(*base);
+            w.i64(*offset);
+        }
+        Instr::Jmp { target } => {
+            w.u8(0x0E);
+            w.u64(*target as u64);
+        }
+        Instr::Br { cond, a, b, taken } => {
+            w.u8(0x0F);
+            w.u8(cond_code(*cond));
+            w.reg(*a);
+            w.operand(*b);
+            w.u64(*taken as u64);
+        }
+        Instr::JmpTable { selector, table } => {
+            w.u8(0x10);
+            w.reg(*selector);
+            w.u64(table.len() as u64);
+            for t in table {
+                w.u64(*t as u64);
+            }
+        }
+        Instr::Call { target } => {
+            w.u8(0x11);
+            w.u64(*target as u64);
+        }
+        Instr::Ret => w.u8(0x12),
+        Instr::In { dst } => {
+            w.u8(0x13);
+            w.reg(*dst);
+        }
+        Instr::Out { src } => {
+            w.u8(0x14);
+            w.reg(*src);
+        }
+        Instr::Halt => w.u8(0x15),
+    }
+}
+
+/// Serializes a built program (code + data sections) into `tpdb` bytes.
+#[must_use]
+pub fn write_program(built: &BuiltProgram) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u16(VERSION);
+    let p = &built.program;
+    w.u64(p.entry() as u64);
+    w.u64(p.mem_words() as u64);
+    w.u64(p.fmem_words() as u64);
+    w.u64(p.len() as u64);
+    for i in p.instrs() {
+        encode_instr(&mut w, i);
+    }
+    w.u64(built.mem_image.len() as u64);
+    for (addr, words) in &built.mem_image {
+        w.u64(*addr as u64);
+        w.u64(words.len() as u64);
+        for v in words {
+            w.i64(*v);
+        }
+    }
+    w.u64(built.fmem_image.len() as u64);
+    for (addr, words) in &built.fmem_image {
+        w.u64(*addr as u64);
+        w.u64(words.len() as u64);
+        for v in words {
+            w.f64(*v);
+        }
+    }
+    w.buf
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        if self.pos + n > self.buf.len() {
+            return Err(BinError::UnexpectedEof {
+                offset: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, BinError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, BinError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn i64(&mut self) -> Result<i64, BinError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f64(&mut self) -> Result<f64, BinError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn reg(&mut self) -> Result<Reg, BinError> {
+        let i = self.u8()?;
+        if usize::from(i) >= crate::reg::NUM_REGS {
+            return Err(BinError::BadRegister { index: i });
+        }
+        Ok(Reg::new(i))
+    }
+    fn freg(&mut self) -> Result<FReg, BinError> {
+        let i = self.u8()?;
+        if usize::from(i) >= crate::reg::NUM_FREGS {
+            return Err(BinError::BadRegister { index: i });
+        }
+        Ok(FReg::new(i))
+    }
+    fn operand(&mut self) -> Result<Operand, BinError> {
+        match self.u8()? {
+            0 => Ok(Operand::Reg(self.reg()?)),
+            _ => Ok(Operand::Imm(self.i64()?)),
+        }
+    }
+    fn pc(&mut self) -> Result<Pc, BinError> {
+        Ok(self.u64()? as Pc)
+    }
+}
+
+fn alu_from(code: u8, offset: usize) -> Result<AluOp, BinError> {
+    Ok(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Div,
+        4 => AluOp::Rem,
+        5 => AluOp::And,
+        6 => AluOp::Or,
+        7 => AluOp::Xor,
+        8 => AluOp::Shl,
+        9 => AluOp::Shr,
+        other => {
+            return Err(BinError::BadOpcode {
+                opcode: other,
+                offset,
+            })
+        }
+    })
+}
+
+fn fpu_from(code: u8, offset: usize) -> Result<FpuOp, BinError> {
+    Ok(match code {
+        0 => FpuOp::Add,
+        1 => FpuOp::Sub,
+        2 => FpuOp::Mul,
+        3 => FpuOp::Div,
+        4 => FpuOp::Max,
+        5 => FpuOp::Min,
+        other => {
+            return Err(BinError::BadOpcode {
+                opcode: other,
+                offset,
+            })
+        }
+    })
+}
+
+fn cond_from(code: u8, offset: usize) -> Result<Cond, BinError> {
+    Ok(match code {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Le,
+        4 => Cond::Gt,
+        5 => Cond::Ge,
+        other => {
+            return Err(BinError::BadOpcode {
+                opcode: other,
+                offset,
+            })
+        }
+    })
+}
+
+fn decode_instr(r: &mut Reader<'_>) -> Result<Instr, BinError> {
+    let offset = r.pos;
+    let op = r.u8()?;
+    Ok(match op {
+        0x01 => Instr::Alu {
+            op: alu_from(r.u8()?, offset)?,
+            dst: r.reg()?,
+            a: r.reg()?,
+            b: r.operand()?,
+        },
+        0x02 => Instr::Mov {
+            dst: r.reg()?,
+            src: r.reg()?,
+        },
+        0x03 => Instr::MovI {
+            dst: r.reg()?,
+            imm: r.i64()?,
+        },
+        0x04 => Instr::Fpu {
+            op: fpu_from(r.u8()?, offset)?,
+            dst: r.freg()?,
+            a: r.freg()?,
+            b: r.freg()?,
+        },
+        0x05 => Instr::FMov {
+            dst: r.freg()?,
+            src: r.freg()?,
+        },
+        0x06 => Instr::FMovI {
+            dst: r.freg()?,
+            imm: r.f64()?,
+        },
+        0x07 => Instr::IToF {
+            dst: r.freg()?,
+            src: r.reg()?,
+        },
+        0x08 => Instr::FToI {
+            dst: r.reg()?,
+            src: r.freg()?,
+        },
+        0x09 => Instr::FCmpLt {
+            dst: r.reg()?,
+            a: r.freg()?,
+            b: r.freg()?,
+        },
+        0x0A => Instr::Load {
+            dst: r.reg()?,
+            base: r.reg()?,
+            offset: r.i64()?,
+        },
+        0x0B => Instr::Store {
+            src: r.reg()?,
+            base: r.reg()?,
+            offset: r.i64()?,
+        },
+        0x0C => Instr::FLoad {
+            dst: r.freg()?,
+            base: r.reg()?,
+            offset: r.i64()?,
+        },
+        0x0D => Instr::FStore {
+            src: r.freg()?,
+            base: r.reg()?,
+            offset: r.i64()?,
+        },
+        0x0E => Instr::Jmp { target: r.pc()? },
+        0x0F => Instr::Br {
+            cond: cond_from(r.u8()?, offset)?,
+            a: r.reg()?,
+            b: r.operand()?,
+            taken: r.pc()?,
+        },
+        0x10 => {
+            let selector = r.reg()?;
+            let n = r.u64()? as usize;
+            let mut table = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                table.push(r.pc()?);
+            }
+            Instr::JmpTable { selector, table }
+        }
+        0x11 => Instr::Call { target: r.pc()? },
+        0x12 => Instr::Ret,
+        0x13 => Instr::In { dst: r.reg()? },
+        0x14 => Instr::Out { src: r.reg()? },
+        0x15 => Instr::Halt,
+        other => {
+            return Err(BinError::BadOpcode {
+                opcode: other,
+                offset,
+            })
+        }
+    })
+}
+
+/// Deserializes and validates a `tpdb` binary.
+///
+/// # Errors
+///
+/// Returns a [`BinError`] on truncated input, bad magic/version,
+/// unknown opcodes, or a program that fails ISA validation.
+pub fn read_program(name: &str, bytes: &[u8]) -> Result<BuiltProgram, BinError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(BinError::BadVersion { found: version });
+    }
+    let entry = r.pc()?;
+    let mem = r.u64()? as usize;
+    let fmem = r.u64()? as usize;
+    let ninstr = r.u64()? as usize;
+    let mut instrs = Vec::with_capacity(ninstr.min(1 << 24));
+    for _ in 0..ninstr {
+        instrs.push(decode_instr(&mut r)?);
+    }
+    let program = Program::from_parts(name, instrs, entry, mem, fmem)?;
+    let mut mem_image = Vec::new();
+    for _ in 0..r.u64()? {
+        let addr = r.u64()? as usize;
+        let n = r.u64()? as usize;
+        let mut words = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            words.push(r.i64()?);
+        }
+        mem_image.push((addr, words));
+    }
+    let mut fmem_image = Vec::new();
+    for _ in 0..r.u64()? {
+        let addr = r.u64()? as usize;
+        let n = r.u64()? as usize;
+        let mut words = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            words.push(r.f64()?);
+        }
+        fmem_image.push((addr, words));
+    }
+    // Preload images must fit the declared memories.
+    for (addr, words) in &mem_image {
+        if addr + words.len() > program.mem_words() {
+            return Err(BinError::Invalid(IsaError::BadTarget {
+                pc: 0,
+                target: addr + words.len(),
+                len: program.mem_words(),
+            }));
+        }
+    }
+    for (addr, words) in &fmem_image {
+        if addr + words.len() > program.fmem_words() {
+            return Err(BinError::Invalid(IsaError::BadTarget {
+                pc: 0,
+                target: addr + words.len(),
+                len: program.fmem_words(),
+            }));
+        }
+    }
+    Ok(BuiltProgram {
+        program,
+        mem_image,
+        fmem_image,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn sample() -> BuiltProgram {
+        let mut b = ProgramBuilder::named("bin");
+        let l = b.fresh_label("l");
+        b.preload_mem(2, vec![7, -9]);
+        b.preload_fmem(0, vec![1.5]);
+        b.movi(Reg::new(0), -42);
+        b.addi(Reg::new(1), Reg::new(0), 3);
+        b.fmovi(FReg::new(2), 2.25);
+        b.br_reg(Cond::Ge, Reg::new(1), Reg::new(0), l);
+        b.call(l);
+        b.bind(l).unwrap();
+        b.jmp_table(Reg::new(1), vec![l, l]);
+        b.build_with_data().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let built = sample();
+        let bytes = write_program(&built);
+        let back = read_program("bin", &bytes).unwrap();
+        assert_eq!(back, built);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let built = sample();
+        let mut bytes = write_program(&built);
+        assert_eq!(read_program("x", b"NOPE"), Err(BinError::BadMagic));
+        bytes[4] = 9;
+        assert_eq!(
+            read_program("x", &bytes),
+            Err(BinError::BadVersion { found: 9 })
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let built = sample();
+        let bytes = write_program(&built);
+        for cut in 0..bytes.len() {
+            let err = read_program("x", &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, BinError::UnexpectedEof { .. } | BinError::BadMagic),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_opcode_reported_with_offset() {
+        let built = sample();
+        let mut bytes = write_program(&built);
+        // First instruction opcode lives right after the 4+2+8*4 header.
+        let first = 4 + 2 + 32;
+        bytes[first] = 0xEE;
+        assert!(matches!(
+            read_program("x", &bytes),
+            Err(BinError::BadOpcode { opcode: 0xEE, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_register_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.movi(Reg::new(0), 1);
+        b.halt();
+        let built = b.build_with_data().unwrap();
+        let mut bytes = write_program(&built);
+        let first = 4 + 2 + 32;
+        assert_eq!(bytes[first], 0x03); // MovI
+        bytes[first + 1] = 99; // register index
+        assert_eq!(
+            read_program("x", &bytes),
+            Err(BinError::BadRegister { index: 99 })
+        );
+    }
+
+    #[test]
+    fn decoded_programs_are_validated() {
+        // Encode a program whose jump target is out of range by
+        // patching the bytes.
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label("l");
+        b.jmp(l);
+        b.bind(l).unwrap();
+        b.halt();
+        let built = b.build_with_data().unwrap();
+        let mut bytes = write_program(&built);
+        let first = 4 + 2 + 32;
+        assert_eq!(bytes[first], 0x0E); // Jmp
+        bytes[first + 1] = 0xFF; // target low byte -> way out of range
+        assert!(matches!(
+            read_program("x", &bytes),
+            Err(BinError::Invalid(_))
+        ));
+    }
+}

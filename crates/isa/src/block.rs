@@ -1,0 +1,256 @@
+//! Dynamic basic-block decoding.
+//!
+//! A two-phase DBT discovers blocks at run time: starting from a jump
+//! target it decodes forward until the first control-transfer
+//! instruction. Blocks discovered from different entry points may
+//! overlap, exactly as in a real binary translator.
+
+use crate::instr::Instr;
+use crate::program::{Pc, Program};
+
+/// Summary of how a decoded block ends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump to a fixed target.
+    Jump {
+        /// The target address.
+        target: Pc,
+    },
+    /// Two-way conditional branch: `taken` when the condition holds,
+    /// `fallthrough` otherwise. The taken direction is what the
+    /// translator's `taken` counter records.
+    Branch {
+        /// Target when the branch is taken.
+        taken: Pc,
+        /// Target when the branch falls through.
+        fallthrough: Pc,
+    },
+    /// Indirect jump through a table (possibly with duplicate targets).
+    Switch {
+        /// The table of possible targets.
+        targets: Vec<Pc>,
+    },
+    /// Call to a fixed target; the return address is `next`.
+    Call {
+        /// Callee entry.
+        target: Pc,
+        /// Return address (the block after the call).
+        next: Pc,
+    },
+    /// Return: target depends on the call stack.
+    Return,
+    /// Program end.
+    Halt,
+}
+
+/// Static successor summary of a [`Terminator`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaticSuccs {
+    /// Exactly these successors, in terminator order.
+    Known(Vec<Pc>),
+    /// Successors are dynamic (returns).
+    Dynamic,
+    /// No successor (halt).
+    None,
+}
+
+impl Terminator {
+    /// Static successors of the block.
+    #[must_use]
+    pub fn static_succs(&self) -> StaticSuccs {
+        match self {
+            Terminator::Jump { target } => StaticSuccs::Known(vec![*target]),
+            Terminator::Branch { taken, fallthrough } => {
+                StaticSuccs::Known(vec![*taken, *fallthrough])
+            }
+            Terminator::Switch { targets } => {
+                let mut t = targets.clone();
+                t.sort_unstable();
+                t.dedup();
+                StaticSuccs::Known(t)
+            }
+            Terminator::Call { target, .. } => StaticSuccs::Known(vec![*target]),
+            Terminator::Return => StaticSuccs::Dynamic,
+            Terminator::Halt => StaticSuccs::None,
+        }
+    }
+
+    /// Whether this is a two-way conditional branch (the only kind with
+    /// a taken/use branch probability in the paper's sense).
+    #[must_use]
+    pub fn is_conditional(&self) -> bool {
+        matches!(self, Terminator::Branch { .. })
+    }
+}
+
+/// A decoded basic block: the half-open instruction range
+/// `[start, end)` and its terminator summary.
+///
+/// `end - 1` is the address of the terminator itself; straight-line
+/// instructions occupy `[start, end - 1)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Address of the first instruction (the block's identity in the
+    /// translation cache).
+    pub start: Pc,
+    /// One past the terminator.
+    pub end: Pc,
+    /// How the block ends.
+    pub terminator: Terminator,
+}
+
+impl Block {
+    /// Number of instructions in the block, terminator included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never true for decoded blocks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Decodes the basic block starting at `pc`: scans forward to the first
+/// terminator instruction.
+///
+/// Returns `None` if `pc` is outside the program. Because every
+/// validated [`Program`] ends with a non-fall-through instruction, the
+/// scan always finds a terminator.
+///
+/// # Example
+///
+/// ```
+/// use tpdbt_isa::{decode_block, ProgramBuilder, Reg, Terminator};
+///
+/// # fn main() -> Result<(), tpdbt_isa::IsaError> {
+/// let mut b = ProgramBuilder::new();
+/// b.movi(Reg::new(0), 5);
+/// b.halt();
+/// let p = b.build()?;
+/// let blk = decode_block(&p, 0).unwrap();
+/// assert_eq!((blk.start, blk.end), (0, 2));
+/// assert_eq!(blk.terminator, Terminator::Halt);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn decode_block(program: &Program, pc: Pc) -> Option<Block> {
+    if pc >= program.len() {
+        return None;
+    }
+    let mut cur = pc;
+    loop {
+        let instr = program.get(cur)?;
+        if instr.is_terminator() {
+            let terminator = match instr {
+                Instr::Jmp { target } => Terminator::Jump { target: *target },
+                Instr::Br { taken, .. } => Terminator::Branch {
+                    taken: *taken,
+                    fallthrough: cur + 1,
+                },
+                Instr::JmpTable { table, .. } => Terminator::Switch {
+                    targets: table.clone(),
+                },
+                Instr::Call { target } => Terminator::Call {
+                    target: *target,
+                    next: cur + 1,
+                },
+                Instr::Ret => Terminator::Return,
+                Instr::Halt => Terminator::Halt,
+                _ => unreachable!("is_terminator covers exactly the above"),
+            };
+            return Some(Block {
+                start: pc,
+                end: cur + 1,
+                terminator,
+            });
+        }
+        cur += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::Cond;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        let out = b.fresh_label("out");
+        b.movi(Reg::new(0), 0); // 0
+        b.bind(top).unwrap();
+        b.addi(Reg::new(0), Reg::new(0), 1); // 1
+        b.br_imm(Cond::Lt, Reg::new(0), 10, top); // 2
+        b.bind(out).unwrap();
+        b.halt(); // 3
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn decodes_entry_block_through_branch() {
+        let p = sample();
+        let blk = decode_block(&p, 0).unwrap();
+        assert_eq!(blk.start, 0);
+        assert_eq!(blk.end, 3);
+        assert_eq!(blk.len(), 3);
+        assert!(!blk.is_empty());
+        assert_eq!(
+            blk.terminator,
+            Terminator::Branch {
+                taken: 1,
+                fallthrough: 3
+            }
+        );
+        assert!(blk.terminator.is_conditional());
+    }
+
+    #[test]
+    fn overlapping_blocks_from_interior_target() {
+        let p = sample();
+        let whole = decode_block(&p, 0).unwrap();
+        let tail = decode_block(&p, 1).unwrap();
+        assert_eq!(tail.start, 1);
+        assert_eq!(tail.end, whole.end);
+    }
+
+    #[test]
+    fn out_of_range_pc_returns_none() {
+        let p = sample();
+        assert!(decode_block(&p, 99).is_none());
+    }
+
+    #[test]
+    fn switch_succs_dedup() {
+        let t = Terminator::Switch {
+            targets: vec![5, 3, 5, 1],
+        };
+        assert_eq!(t.static_succs(), StaticSuccs::Known(vec![1, 3, 5]));
+    }
+
+    #[test]
+    fn return_and_halt_succs() {
+        assert_eq!(Terminator::Return.static_succs(), StaticSuccs::Dynamic);
+        assert_eq!(Terminator::Halt.static_succs(), StaticSuccs::None);
+        assert!(!Terminator::Halt.is_conditional());
+    }
+
+    #[test]
+    fn call_records_return_address() {
+        let mut b = ProgramBuilder::new();
+        let f = b.fresh_label("f");
+        b.call(f); // 0
+        b.halt(); // 1
+        b.bind(f).unwrap();
+        b.ret(); // 2
+        let p = b.build().unwrap();
+        let blk = decode_block(&p, 0).unwrap();
+        assert_eq!(blk.terminator, Terminator::Call { target: 2, next: 1 });
+        assert_eq!(blk.terminator.static_succs(), StaticSuccs::Known(vec![2]));
+    }
+}

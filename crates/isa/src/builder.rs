@@ -1,0 +1,541 @@
+//! Label-based program assembly.
+
+use crate::error::IsaError;
+use crate::instr::{AluOp, Cond, FpuOp, Instr, Operand};
+use crate::program::{Pc, Program};
+use crate::reg::{FReg, Reg};
+
+/// A forward-referenceable code label created by
+/// [`ProgramBuilder::fresh_label`] and resolved at [`ProgramBuilder::build`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Instruction slots that may hold an unresolved label.
+#[derive(Clone, Debug)]
+enum Pending {
+    Jmp(Label),
+    Br {
+        cond: Cond,
+        a: Reg,
+        b: Operand,
+        taken: Label,
+    },
+    JmpTable {
+        selector: Reg,
+        table: Vec<Label>,
+    },
+    Call(Label),
+    Done(Instr),
+}
+
+/// An assembler for guest [`Program`]s with forward-referencing labels.
+///
+/// Emitter methods append one instruction each and follow the ISA
+/// mnemonics (`addi`, `br_reg`, `load`, …). Control-flow emitters take
+/// [`Label`]s; [`ProgramBuilder::build`] resolves them and validates the
+/// result.
+///
+/// # Example
+///
+/// ```
+/// use tpdbt_isa::{ProgramBuilder, Reg, Cond};
+///
+/// # fn main() -> Result<(), tpdbt_isa::IsaError> {
+/// let mut b = ProgramBuilder::new();
+/// let end = b.fresh_label("end");
+/// b.movi(Reg::new(0), 1);
+/// b.br_imm(Cond::Eq, Reg::new(0), 1, end);
+/// b.out(Reg::new(0)); // skipped
+/// b.bind(end)?;
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    instrs: Vec<Pending>,
+    labels: Vec<(String, Option<Pc>)>,
+    entry: Option<Label>,
+    mem_words: usize,
+    fmem_words: usize,
+    data: Vec<(usize, Vec<i64>)>,
+    fdata: Vec<(usize, Vec<f64>)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for an unnamed program.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::named("unnamed")
+    }
+
+    /// Creates an empty builder for a program with the given name.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Creates a fresh, unbound label. `name` is used only in error
+    /// messages and disassembly.
+    pub fn fresh_label(&mut self, name: impl Into<String>) -> Label {
+        self.labels.push((name.into(), None));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current emission point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::ReboundLabel`] if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), IsaError> {
+        let slot = &mut self.labels[label.0];
+        if slot.1.is_some() {
+            return Err(IsaError::ReboundLabel {
+                name: slot.0.clone(),
+            });
+        }
+        slot.1 = Some(self.instrs.len());
+        Ok(())
+    }
+
+    /// Marks the entry point at `label` (defaults to address 0).
+    pub fn set_entry(&mut self, label: Label) {
+        self.entry = Some(label);
+    }
+
+    /// Declares the integer memory size in words.
+    pub fn reserve_mem(&mut self, words: usize) {
+        self.mem_words = self.mem_words.max(words);
+    }
+
+    /// Declares the float memory size in words.
+    pub fn reserve_fmem(&mut self, words: usize) {
+        self.fmem_words = self.fmem_words.max(words);
+    }
+
+    /// Registers integer words to be pre-loaded at `addr` before
+    /// execution, growing the reserved memory if needed.
+    pub fn preload_mem(&mut self, addr: usize, words: Vec<i64>) {
+        self.reserve_mem(addr + words.len());
+        self.data.push((addr, words));
+    }
+
+    /// Registers float words to be pre-loaded at `addr` before execution,
+    /// growing the reserved float memory if needed.
+    pub fn preload_fmem(&mut self, addr: usize, words: Vec<f64>) {
+        self.reserve_fmem(addr + words.len());
+        self.fdata.push((addr, words));
+    }
+
+    /// Initial integer memory image (address, words) pairs.
+    #[must_use]
+    pub fn mem_image(&self) -> &[(usize, Vec<i64>)] {
+        &self.data
+    }
+
+    /// The current emission address (address of the next instruction).
+    #[must_use]
+    pub fn here(&self) -> Pc {
+        self.instrs.len()
+    }
+
+    fn push(&mut self, i: Instr) {
+        self.instrs.push(Pending::Done(i));
+    }
+
+    // --- integer ALU -----------------------------------------------------
+
+    /// Emits `dst = a op b` with a register right operand.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: impl Into<Operand>) {
+        self.push(Instr::Alu {
+            op,
+            dst,
+            a,
+            b: b.into(),
+        });
+    }
+
+    /// Emits `dst = a + b`.
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu(AluOp::Add, dst, a, b);
+    }
+
+    /// Emits `dst = a + imm`.
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu(AluOp::Add, dst, a, imm);
+    }
+
+    /// Emits `dst = a - b`.
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu(AluOp::Sub, dst, a, b);
+    }
+
+    /// Emits `dst = a - imm`.
+    pub fn subi(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu(AluOp::Sub, dst, a, imm);
+    }
+
+    /// Emits `dst = a * b`.
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu(AluOp::Mul, dst, a, b);
+    }
+
+    /// Emits `dst = a * imm`.
+    pub fn muli(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu(AluOp::Mul, dst, a, imm);
+    }
+
+    /// Emits `dst = a / b` (signed).
+    pub fn div(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) {
+        self.alu(AluOp::Div, dst, a, b);
+    }
+
+    /// Emits `dst = a % b` (signed).
+    pub fn rem(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) {
+        self.alu(AluOp::Rem, dst, a, b);
+    }
+
+    /// Emits `dst = a & b`.
+    pub fn and(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) {
+        self.alu(AluOp::And, dst, a, b);
+    }
+
+    /// Emits `dst = a | b`.
+    pub fn or(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) {
+        self.alu(AluOp::Or, dst, a, b);
+    }
+
+    /// Emits `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) {
+        self.alu(AluOp::Xor, dst, a, b);
+    }
+
+    /// Emits `dst = a << b`.
+    pub fn shl(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) {
+        self.alu(AluOp::Shl, dst, a, b);
+    }
+
+    /// Emits `dst = a >> b` (arithmetic).
+    pub fn shr(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) {
+        self.alu(AluOp::Shr, dst, a, b);
+    }
+
+    /// Emits `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.push(Instr::Mov { dst, src });
+    }
+
+    /// Emits `dst = imm`.
+    pub fn movi(&mut self, dst: Reg, imm: i64) {
+        self.push(Instr::MovI { dst, imm });
+    }
+
+    // --- float -----------------------------------------------------------
+
+    /// Emits a float binary operation.
+    pub fn fpu(&mut self, op: FpuOp, dst: FReg, a: FReg, b: FReg) {
+        self.push(Instr::Fpu { op, dst, a, b });
+    }
+
+    /// Emits `dst = a + b` on floats.
+    pub fn fadd(&mut self, dst: FReg, a: FReg, b: FReg) {
+        self.fpu(FpuOp::Add, dst, a, b);
+    }
+
+    /// Emits `dst = a - b` on floats.
+    pub fn fsub(&mut self, dst: FReg, a: FReg, b: FReg) {
+        self.fpu(FpuOp::Sub, dst, a, b);
+    }
+
+    /// Emits `dst = a * b` on floats.
+    pub fn fmul(&mut self, dst: FReg, a: FReg, b: FReg) {
+        self.fpu(FpuOp::Mul, dst, a, b);
+    }
+
+    /// Emits `dst = a / b` on floats.
+    pub fn fdiv(&mut self, dst: FReg, a: FReg, b: FReg) {
+        self.fpu(FpuOp::Div, dst, a, b);
+    }
+
+    /// Emits `dst = src` on floats.
+    pub fn fmov(&mut self, dst: FReg, src: FReg) {
+        self.push(Instr::FMov { dst, src });
+    }
+
+    /// Emits `dst = imm` on floats.
+    pub fn fmovi(&mut self, dst: FReg, imm: f64) {
+        self.push(Instr::FMovI { dst, imm });
+    }
+
+    /// Emits integer-to-float conversion.
+    pub fn itof(&mut self, dst: FReg, src: Reg) {
+        self.push(Instr::IToF { dst, src });
+    }
+
+    /// Emits float-to-integer conversion.
+    pub fn ftoi(&mut self, dst: Reg, src: FReg) {
+        self.push(Instr::FToI { dst, src });
+    }
+
+    /// Emits `dst = (a < b) as i64` on floats.
+    pub fn fcmp_lt(&mut self, dst: Reg, a: FReg, b: FReg) {
+        self.push(Instr::FCmpLt { dst, a, b });
+    }
+
+    // --- memory ------------------------------------------------------------
+
+    /// Emits `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) {
+        self.push(Instr::Load { dst, base, offset });
+    }
+
+    /// Emits `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.push(Instr::Store { src, base, offset });
+    }
+
+    /// Emits `dst = fmem[base + offset]`.
+    pub fn fload(&mut self, dst: FReg, base: Reg, offset: i64) {
+        self.push(Instr::FLoad { dst, base, offset });
+    }
+
+    /// Emits `fmem[base + offset] = src`.
+    pub fn fstore(&mut self, src: FReg, base: Reg, offset: i64) {
+        self.push(Instr::FStore { src, base, offset });
+    }
+
+    // --- I/O ----------------------------------------------------------------
+
+    /// Emits an input read into `dst`.
+    pub fn input(&mut self, dst: Reg) {
+        self.push(Instr::In { dst });
+    }
+
+    /// Emits an output write of `src`.
+    pub fn out(&mut self, src: Reg) {
+        self.push(Instr::Out { src });
+    }
+
+    // --- control flow ---------------------------------------------------
+
+    /// Emits an unconditional jump to `target`.
+    pub fn jmp(&mut self, target: Label) {
+        self.instrs.push(Pending::Jmp(target));
+    }
+
+    /// Emits a compare-and-branch against a register.
+    pub fn br_reg(&mut self, cond: Cond, a: Reg, b: Reg, taken: Label) {
+        self.instrs.push(Pending::Br {
+            cond,
+            a,
+            b: Operand::Reg(b),
+            taken,
+        });
+    }
+
+    /// Emits a compare-and-branch against an immediate.
+    pub fn br_imm(&mut self, cond: Cond, a: Reg, imm: i64, taken: Label) {
+        self.instrs.push(Pending::Br {
+            cond,
+            a,
+            b: Operand::Imm(imm),
+            taken,
+        });
+    }
+
+    /// Emits an indirect jump through a table of labels.
+    pub fn jmp_table(&mut self, selector: Reg, table: Vec<Label>) {
+        self.instrs.push(Pending::JmpTable { selector, table });
+    }
+
+    /// Emits a call to `target`.
+    pub fn call(&mut self, target: Label) {
+        self.instrs.push(Pending::Call(target));
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self) {
+        self.push(Instr::Ret);
+    }
+
+    /// Emits a halt.
+    pub fn halt(&mut self) {
+        self.push(Instr::Halt);
+    }
+
+    /// Resolves labels and validates the program.
+    ///
+    /// Also returns the initial memory images registered with
+    /// [`ProgramBuilder::preload_mem`] / [`ProgramBuilder::preload_fmem`]
+    /// via [`BuiltProgram`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnboundLabel`] for labels that were used but
+    /// never bound, plus any validation error from
+    /// [`Program::from_parts`].
+    pub fn build(self) -> Result<Program, IsaError> {
+        self.build_with_data().map(|bp| bp.program)
+    }
+
+    /// Like [`ProgramBuilder::build`], but also returns initial memory
+    /// images.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProgramBuilder::build`].
+    pub fn build_with_data(self) -> Result<BuiltProgram, IsaError> {
+        let resolve = |l: Label| -> Result<Pc, IsaError> {
+            let (name, pc) = &self.labels[l.0];
+            pc.ok_or_else(|| IsaError::UnboundLabel { name: name.clone() })
+        };
+        let mut instrs = Vec::with_capacity(self.instrs.len());
+        for p in &self.instrs {
+            let i = match p {
+                Pending::Done(i) => i.clone(),
+                Pending::Jmp(l) => Instr::Jmp {
+                    target: resolve(*l)?,
+                },
+                Pending::Br { cond, a, b, taken } => Instr::Br {
+                    cond: *cond,
+                    a: *a,
+                    b: *b,
+                    taken: resolve(*taken)?,
+                },
+                Pending::JmpTable { selector, table } => Instr::JmpTable {
+                    selector: *selector,
+                    table: table
+                        .iter()
+                        .map(|l| resolve(*l))
+                        .collect::<Result<_, _>>()?,
+                },
+                Pending::Call(l) => Instr::Call {
+                    target: resolve(*l)?,
+                },
+            };
+            instrs.push(i);
+        }
+        let entry = match self.entry {
+            Some(l) => resolve(l)?,
+            None => 0,
+        };
+        let program =
+            Program::from_parts(self.name, instrs, entry, self.mem_words, self.fmem_words)?;
+        Ok(BuiltProgram {
+            program,
+            mem_image: self.data,
+            fmem_image: self.fdata,
+        })
+    }
+}
+
+/// A built program together with its initial memory images.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BuiltProgram {
+    /// The validated program.
+    pub program: Program,
+    /// Integer memory preload image: `(address, words)` runs.
+    pub mem_image: Vec<(usize, Vec<i64>)>,
+    /// Float memory preload image: `(address, words)` runs.
+    pub fmem_image: Vec<(usize, Vec<f64>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let end = b.fresh_label("end");
+        b.jmp(end);
+        b.movi(Reg::new(0), 9); // dead
+        b.bind(end).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.get(0), Some(&Instr::Jmp { target: 2 }));
+    }
+
+    #[test]
+    fn unbound_label_is_reported_by_name() {
+        let mut b = ProgramBuilder::new();
+        let ghost = b.fresh_label("ghost");
+        b.jmp(ghost);
+        b.halt();
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err,
+            IsaError::UnboundLabel {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rebinding_fails() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label("l");
+        b.bind(l).unwrap();
+        b.halt();
+        assert_eq!(b.bind(l), Err(IsaError::ReboundLabel { name: "l".into() }));
+    }
+
+    #[test]
+    fn entry_defaults_to_zero_and_can_be_set() {
+        let mut b = ProgramBuilder::named("e");
+        let main = b.fresh_label("main");
+        b.halt();
+        b.bind(main).unwrap();
+        b.halt();
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        assert_eq!(p.entry(), 1);
+        assert_eq!(p.name(), "e");
+    }
+
+    #[test]
+    fn preload_grows_memory_reservation() {
+        let mut b = ProgramBuilder::new();
+        b.preload_mem(10, vec![1, 2, 3]);
+        b.preload_fmem(4, vec![0.5]);
+        b.halt();
+        let bp = b.build_with_data().unwrap();
+        assert_eq!(bp.program.mem_words(), 13);
+        assert_eq!(bp.program.fmem_words(), 5);
+        assert_eq!(bp.mem_image, vec![(10, vec![1, 2, 3])]);
+        assert_eq!(bp.fmem_image, vec![(4, vec![0.5])]);
+    }
+
+    #[test]
+    fn jump_table_of_labels_resolves() {
+        let mut b = ProgramBuilder::new();
+        let (a, c) = (b.fresh_label("a"), b.fresh_label("c"));
+        b.jmp_table(Reg::new(0), vec![a, c, a]);
+        b.bind(a).unwrap();
+        b.halt();
+        b.bind(c).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.get(0),
+            Some(&Instr::JmpTable {
+                selector: Reg::new(0),
+                table: vec![1, 2, 1]
+            })
+        );
+    }
+
+    #[test]
+    fn here_tracks_emission_point() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(b.here(), 0);
+        b.movi(Reg::new(0), 1);
+        assert_eq!(b.here(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Textual disassembly of instructions and programs.
+
+use std::fmt;
+
+use crate::instr::{AluOp, FpuOp, Instr, Operand};
+use crate::program::Program;
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for FpuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FpuOp::Add => "fadd",
+            FpuOp::Sub => "fsub",
+            FpuOp::Mul => "fmul",
+            FpuOp::Div => "fdiv",
+            FpuOp::Max => "fmax",
+            FpuOp::Min => "fmin",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for crate::instr::Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use crate::instr::Cond;
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Alu { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            Instr::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::MovI { dst, imm } => write!(f, "movi {dst}, #{imm}"),
+            Instr::Fpu { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            Instr::FMov { dst, src } => write!(f, "fmov {dst}, {src}"),
+            Instr::FMovI { dst, imm } => write!(f, "fmovi {dst}, #{imm}"),
+            Instr::IToF { dst, src } => write!(f, "itof {dst}, {src}"),
+            Instr::FToI { dst, src } => write!(f, "ftoi {dst}, {src}"),
+            Instr::FCmpLt { dst, a, b } => write!(f, "fcmplt {dst}, {a}, {b}"),
+            Instr::Load { dst, base, offset } => write!(f, "ld {dst}, [{base}{offset:+}]"),
+            Instr::Store { src, base, offset } => write!(f, "st {src}, [{base}{offset:+}]"),
+            Instr::FLoad { dst, base, offset } => write!(f, "fld {dst}, [{base}{offset:+}]"),
+            Instr::FStore { src, base, offset } => write!(f, "fst {src}, [{base}{offset:+}]"),
+            Instr::Jmp { target } => write!(f, "jmp @{target}"),
+            Instr::Br { cond, a, b, taken } => write!(f, "br.{cond} {a}, {b}, @{taken}"),
+            Instr::JmpTable { selector, table } => {
+                write!(f, "jtab {selector}, [")?;
+                for (i, t) in table.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "@{t}")?;
+                }
+                write!(f, "]")
+            }
+            Instr::Call { target } => write!(f, "call @{target}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::In { dst } => write!(f, "in {dst}"),
+            Instr::Out { src } => write!(f, "out {src}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program `{}` entry @{}", self.name(), self.entry())?;
+        for (pc, instr) in self.instrs().iter().enumerate() {
+            writeln!(f, "{pc:6}: {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::Cond;
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn instruction_mnemonics() {
+        let r0 = Reg::new(0);
+        let r1 = Reg::new(1);
+        let f0 = FReg::new(0);
+        assert_eq!(
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: r0,
+                a: r1,
+                b: Operand::Imm(3)
+            }
+            .to_string(),
+            "add r0, r1, #3"
+        );
+        assert_eq!(
+            Instr::Br {
+                cond: Cond::Lt,
+                a: r0,
+                b: Operand::Reg(r1),
+                taken: 7
+            }
+            .to_string(),
+            "br.lt r0, r1, @7"
+        );
+        assert_eq!(
+            Instr::Load {
+                dst: r0,
+                base: r1,
+                offset: -2
+            }
+            .to_string(),
+            "ld r0, [r1-2]"
+        );
+        assert_eq!(
+            Instr::JmpTable {
+                selector: r0,
+                table: vec![1, 2]
+            }
+            .to_string(),
+            "jtab r0, [@1, @2]"
+        );
+        assert_eq!(
+            Instr::FMovI { dst: f0, imm: 1.5 }.to_string(),
+            "fmovi f0, #1.5"
+        );
+        assert_eq!(Instr::Halt.to_string(), "halt");
+    }
+
+    #[test]
+    fn program_listing_has_one_line_per_instruction() {
+        let mut b = ProgramBuilder::named("listing");
+        b.movi(Reg::new(0), 1);
+        b.halt();
+        let p = b.build().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("program `listing` entry @0"));
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("0: movi r0, #1"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for program construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::program::Pc;
+
+/// Errors produced while building or validating a guest [`crate::Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The instruction vector was empty.
+    EmptyProgram,
+    /// The entry point was outside the program.
+    BadEntry {
+        /// The offending entry point.
+        entry: Pc,
+        /// Program length.
+        len: usize,
+    },
+    /// A branch, call, or jump-table target was outside the program.
+    BadTarget {
+        /// Address of the offending instruction.
+        pc: Pc,
+        /// The out-of-range target.
+        target: Pc,
+        /// Program length.
+        len: usize,
+    },
+    /// A jump table had no entries.
+    EmptyJumpTable {
+        /// Address of the offending instruction.
+        pc: Pc,
+    },
+    /// The final instruction could fall through off the end of the program.
+    MissingTerminator,
+    /// A label was used but never bound to an address.
+    UnboundLabel {
+        /// The label's debug name.
+        name: String,
+    },
+    /// A label was bound twice.
+    ReboundLabel {
+        /// The label's debug name.
+        name: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::EmptyProgram => write!(f, "program has no instructions"),
+            IsaError::BadEntry { entry, len } => {
+                write!(f, "entry point {entry} outside program of length {len}")
+            }
+            IsaError::BadTarget { pc, target, len } => write!(
+                f,
+                "instruction at {pc} targets {target}, outside program of length {len}"
+            ),
+            IsaError::EmptyJumpTable { pc } => {
+                write!(f, "jump table at {pc} has no entries")
+            }
+            IsaError::MissingTerminator => {
+                write!(f, "final instruction may fall through off the program end")
+            }
+            IsaError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            IsaError::ReboundLabel { name } => write!(f, "label `{name}` bound twice"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            IsaError::EmptyProgram.to_string(),
+            IsaError::BadEntry { entry: 4, len: 2 }.to_string(),
+            IsaError::BadTarget {
+                pc: 1,
+                target: 9,
+                len: 3,
+            }
+            .to_string(),
+            IsaError::EmptyJumpTable { pc: 2 }.to_string(),
+            IsaError::MissingTerminator.to_string(),
+            IsaError::UnboundLabel { name: "x".into() }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(IsaError::EmptyProgram);
+        assert!(e.source().is_none());
+    }
+}

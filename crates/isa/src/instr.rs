@@ -1,0 +1,347 @@
+//! Guest instructions.
+
+use crate::program::Pc;
+use crate::reg::{FReg, Reg};
+
+/// Comparison condition used by conditional branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two signed integers.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// The condition with operand order swapped preserved under negation,
+    /// i.e. `a COND b == !(a NEG b)`.
+    #[must_use]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+/// The second operand of ALU operations and compare-and-branch forms:
+/// either a register or a signed immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// Integer binary ALU operation selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (traps on divide-by-zero).
+    Div,
+    /// Signed remainder (traps on divide-by-zero).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Left shift (by `rhs & 63`).
+    Shl,
+    /// Arithmetic right shift (by `rhs & 63`).
+    Shr,
+}
+
+/// Floating-point binary operation selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+/// A guest instruction.
+///
+/// Addresses ([`Pc`]) are indices into the owning [`crate::Program`]'s
+/// instruction vector. Conditional branches fall through to `pc + 1` when
+/// the condition is false and jump to `taken` when it is true; the
+/// *taken* direction is what the translator's `taken` counter records,
+/// mirroring the paper's IA32EL instrumentation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// `dst = a OP b` integer ALU operation.
+    Alu {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand (register or immediate).
+        b: Operand,
+    },
+    /// `dst = src` register move.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = imm` load immediate.
+    MovI {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = fa OP fb` floating-point operation.
+    Fpu {
+        /// Operation selector.
+        op: FpuOp,
+        /// Destination float register.
+        dst: FReg,
+        /// Left operand float register.
+        a: FReg,
+        /// Right operand float register.
+        b: FReg,
+    },
+    /// `dst = src` float register move.
+    FMov {
+        /// Destination float register.
+        dst: FReg,
+        /// Source float register.
+        src: FReg,
+    },
+    /// `dst = imm` float load immediate.
+    FMovI {
+        /// Destination float register.
+        dst: FReg,
+        /// Immediate value.
+        imm: f64,
+    },
+    /// `dst = src as f64` integer-to-float conversion.
+    IToF {
+        /// Destination float register.
+        dst: FReg,
+        /// Source integer register.
+        src: Reg,
+    },
+    /// `dst = src as i64` float-to-integer conversion (truncating;
+    /// saturates at the `i64` range, NaN converts to 0).
+    FToI {
+        /// Destination integer register.
+        dst: Reg,
+        /// Source float register.
+        src: FReg,
+    },
+    /// `dst = if fa < fb { 1 } else { 0 }` float comparison into an
+    /// integer register (so float data can steer integer branches).
+    FCmpLt {
+        /// Destination integer register.
+        dst: Reg,
+        /// Left float operand.
+        a: FReg,
+        /// Right float operand.
+        b: FReg,
+    },
+    /// `dst = mem[base + offset]` word load (traps when out of bounds).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// `mem[base + offset] = src` word store (traps when out of bounds).
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// `dst = fmem[base + offset]` float load from the float heap.
+    FLoad {
+        /// Destination float register.
+        dst: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// `fmem[base + offset] = src` float store to the float heap.
+    FStore {
+        /// Source float register.
+        src: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Jump target.
+        target: Pc,
+    },
+    /// Compare-and-branch: if `a COND b`, jump to `taken`, else fall
+    /// through to the next instruction.
+    Br {
+        /// Comparison condition.
+        cond: Cond,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand (register or immediate).
+        b: Operand,
+        /// Target when the condition holds.
+        taken: Pc,
+    },
+    /// Indirect jump through an inline jump table: jumps to
+    /// `table[selector % table.len()]`. Models switch dispatch /
+    /// computed gotos, the control shape of interpreter analogs.
+    JmpTable {
+        /// Register whose value selects the table entry.
+        selector: Reg,
+        /// Jump targets (must be non-empty).
+        table: Vec<Pc>,
+    },
+    /// Call: pushes `pc + 1` on the call stack and jumps to `target`.
+    Call {
+        /// Entry of the callee.
+        target: Pc,
+    },
+    /// Return: pops a return address from the call stack and jumps to it.
+    /// Traps if the call stack is empty.
+    Ret,
+    /// `dst = next input word` — reads from the program input stream;
+    /// yields `-1` once the stream is exhausted.
+    In {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Appends the register value to the program output.
+    Out {
+        /// Source register.
+        src: Reg,
+    },
+    /// Stops execution.
+    Halt,
+}
+
+impl Instr {
+    /// Whether this instruction ends a basic block (transfers control).
+    #[must_use]
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jmp { .. }
+                | Instr::Br { .. }
+                | Instr::JmpTable { .. }
+                | Instr::Call { .. }
+                | Instr::Ret
+                | Instr::Halt
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_matrix() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(!Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(-5, 0));
+        assert!(Cond::Le.eval(2, 2));
+        assert!(Cond::Gt.eval(7, 2));
+        assert!(Cond::Ge.eval(2, 2));
+        assert!(!Cond::Ge.eval(1, 2));
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_complementary() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            assert_eq!(c.negate().negate(), c);
+            for (a, b) in [(0, 0), (1, 2), (2, 1), (-3, 3)] {
+                assert_eq!(c.eval(a, b), !c.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Instr::Halt.is_terminator());
+        assert!(Instr::Ret.is_terminator());
+        assert!(Instr::Jmp { target: 0 }.is_terminator());
+        assert!(!Instr::Mov {
+            dst: Reg::new(0),
+            src: Reg::new(1)
+        }
+        .is_terminator());
+        assert!(!Instr::In { dst: Reg::new(0) }.is_terminator());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = Reg::new(4).into();
+        assert_eq!(o, Operand::Reg(Reg::new(4)));
+        let o: Operand = 42i64.into();
+        assert_eq!(o, Operand::Imm(42));
+    }
+}

@@ -1,0 +1,275 @@
+//! The guest program container.
+
+use crate::error::IsaError;
+use crate::instr::Instr;
+
+/// A guest-code address: an index into the program's instruction vector.
+pub type Pc = usize;
+
+/// A complete guest program: a flat instruction vector plus an entry
+/// point and the sizes of its data memories.
+///
+/// Programs are immutable once built (see [`crate::ProgramBuilder`]);
+/// the translator and interpreter only ever read them, which lets both
+/// share one allocation across repeated runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    entry: Pc,
+    /// Number of integer memory words the program expects.
+    mem_words: usize,
+    /// Number of float memory words the program expects.
+    fmem_words: usize,
+    name: String,
+}
+
+impl Program {
+    /// Assembles a program from raw parts, validating every branch
+    /// target.
+    ///
+    /// Most callers should use [`crate::ProgramBuilder`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::EmptyProgram`] for an empty instruction
+    /// vector, [`IsaError::BadEntry`] if `entry` is out of range,
+    /// [`IsaError::BadTarget`] if any branch target is out of range or
+    /// any jump table is empty, and [`IsaError::MissingTerminator`] if
+    /// the final instruction can fall through off the end of the
+    /// program.
+    pub fn from_parts(
+        name: impl Into<String>,
+        instrs: Vec<Instr>,
+        entry: Pc,
+        mem_words: usize,
+        fmem_words: usize,
+    ) -> Result<Self, IsaError> {
+        if instrs.is_empty() {
+            return Err(IsaError::EmptyProgram);
+        }
+        if entry >= instrs.len() {
+            return Err(IsaError::BadEntry {
+                entry,
+                len: instrs.len(),
+            });
+        }
+        let len = instrs.len();
+        let check = |pc: Pc, target: Pc| {
+            if target >= len {
+                Err(IsaError::BadTarget { pc, target, len })
+            } else {
+                Ok(())
+            }
+        };
+        for (pc, instr) in instrs.iter().enumerate() {
+            match instr {
+                Instr::Jmp { target }
+                | Instr::Br { taken: target, .. }
+                | Instr::Call { target } => {
+                    check(pc, *target)?;
+                }
+                Instr::JmpTable { table, .. } => {
+                    if table.is_empty() {
+                        return Err(IsaError::EmptyJumpTable { pc });
+                    }
+                    for &t in table {
+                        check(pc, t)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // The final instruction must not fall through off the end.
+        let last = &instrs[len - 1];
+        let falls_through = !matches!(
+            last,
+            Instr::Jmp { .. } | Instr::JmpTable { .. } | Instr::Ret | Instr::Halt
+        );
+        if falls_through {
+            return Err(IsaError::MissingTerminator);
+        }
+        Ok(Program {
+            instrs,
+            entry,
+            mem_words,
+            fmem_words,
+            name: name.into(),
+        })
+    }
+
+    /// The program's human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry-point address.
+    #[must_use]
+    pub fn entry(&self) -> Pc {
+        self.entry
+    }
+
+    /// The instruction at `pc`, if in range.
+    #[must_use]
+    pub fn get(&self, pc: Pc) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// All instructions.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions (never true for a
+    /// validated program; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of integer memory words the program requires.
+    #[must_use]
+    pub fn mem_words(&self) -> usize {
+        self.mem_words
+    }
+
+    /// Number of float memory words the program requires.
+    #[must_use]
+    pub fn fmem_words(&self) -> usize {
+        self.fmem_words
+    }
+
+    /// The set of static jump-target addresses (block leaders besides
+    /// fall-through successors and the entry). Useful for offline CFG
+    /// construction and debugging tools.
+    #[must_use]
+    pub fn static_leaders(&self) -> Vec<Pc> {
+        let mut leaders = vec![self.entry];
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            match instr {
+                Instr::Jmp { target } | Instr::Call { target } => leaders.push(*target),
+                Instr::Br { taken, .. } => {
+                    leaders.push(*taken);
+                    if pc + 1 < self.instrs.len() {
+                        leaders.push(pc + 1);
+                    }
+                }
+                Instr::JmpTable { table, .. } => leaders.extend_from_slice(table),
+                _ => {}
+            }
+        }
+        leaders.sort_unstable();
+        leaders.dedup();
+        leaders
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Cond, Operand};
+    use crate::reg::Reg;
+
+    fn halt_program(instrs: Vec<Instr>) -> Result<Program, IsaError> {
+        Program::from_parts("t", instrs, 0, 0, 0)
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(halt_program(vec![]), Err(IsaError::EmptyProgram)));
+    }
+
+    #[test]
+    fn rejects_bad_entry() {
+        let err = Program::from_parts("t", vec![Instr::Halt], 5, 0, 0).unwrap_err();
+        assert!(matches!(err, IsaError::BadEntry { entry: 5, len: 1 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let err = halt_program(vec![Instr::Jmp { target: 9 }, Instr::Halt]).unwrap_err();
+        assert!(matches!(
+            err,
+            IsaError::BadTarget {
+                pc: 0,
+                target: 9,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_jump_table() {
+        let err = halt_program(vec![
+            Instr::JmpTable {
+                selector: Reg::new(0),
+                table: vec![],
+            },
+            Instr::Halt,
+        ])
+        .unwrap_err();
+        assert!(matches!(err, IsaError::EmptyJumpTable { pc: 0 }));
+    }
+
+    #[test]
+    fn rejects_trailing_fallthrough() {
+        let err = halt_program(vec![Instr::MovI {
+            dst: Reg::new(0),
+            imm: 1,
+        }])
+        .unwrap_err();
+        assert!(matches!(err, IsaError::MissingTerminator));
+        // A trailing conditional branch can also fall through.
+        let err = halt_program(vec![Instr::Br {
+            cond: Cond::Eq,
+            a: Reg::new(0),
+            b: Operand::Imm(0),
+            taken: 0,
+        }])
+        .unwrap_err();
+        assert!(matches!(err, IsaError::MissingTerminator));
+    }
+
+    #[test]
+    fn accepts_valid_program_and_exposes_parts() {
+        let p = halt_program(vec![
+            Instr::MovI {
+                dst: Reg::new(0),
+                imm: 3,
+            },
+            Instr::Jmp { target: 2 },
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.name(), "t");
+        assert!(matches!(p.get(2), Some(Instr::Halt)));
+        assert!(p.get(3).is_none());
+    }
+
+    #[test]
+    fn static_leaders_dedup_and_sort() {
+        let p = halt_program(vec![
+            Instr::Br {
+                cond: Cond::Ne,
+                a: Reg::new(0),
+                b: Operand::Imm(0),
+                taken: 3,
+            },
+            Instr::Jmp { target: 3 },
+            Instr::Halt,
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(p.static_leaders(), vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Register newtypes.
+
+use std::fmt;
+
+/// Number of integer registers in the guest machine.
+pub const NUM_REGS: usize = 32;
+/// Number of floating-point registers in the guest machine.
+pub const NUM_FREGS: usize = 16;
+
+/// An integer register identifier (`r0` … `r31`).
+///
+/// `r0` is an ordinary register (not hard-wired to zero). Workload
+/// generators conventionally use low registers for loop counters and high
+/// registers for scratch, but the ISA imposes no convention.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index out of range (< 32)"
+        );
+        Reg(index)
+    }
+
+    /// The register's index, in `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register identifier (`f0` … `f15`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates a floating-point register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_FREGS,
+            "float register index out of range (< 16)"
+        );
+        FReg(index)
+    }
+
+    /// The register's index, in `0..16`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_and_display() {
+        let r = Reg::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.to_string(), "r7");
+        assert_eq!(format!("{r:?}"), "r7");
+    }
+
+    #[test]
+    fn freg_roundtrip_and_display() {
+        let f = FReg::new(15);
+        assert_eq!(f.index(), 15);
+        assert_eq!(f.to_string(), "f15");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_out_of_range_panics() {
+        let _ = FReg::new(16);
+    }
+
+    #[test]
+    fn regs_are_ordered() {
+        assert!(Reg::new(1) < Reg::new(2));
+        assert_eq!(Reg::new(3), Reg::new(3));
+    }
+}

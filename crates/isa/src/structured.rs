@@ -1,0 +1,238 @@
+//! Structured control-flow helpers over [`ProgramBuilder`].
+//!
+//! Workload generators build guest programs from loops, conditionals and
+//! switches; these combinators emit the standard shapes (bottom-test
+//! loops, diamonds, jump-table dispatch) so generators read like the
+//! pseudo-code in the paper's figures.
+
+use crate::builder::{Label, ProgramBuilder};
+use crate::error::IsaError;
+use crate::instr::{Cond, Operand};
+use crate::reg::Reg;
+
+/// One arm of a [`switch`]: a closure emitting the arm's body.
+pub type Arm<'a> = Box<dyn FnOnce(&mut ProgramBuilder) + 'a>;
+
+/// Emits a bottom-test counted loop:
+/// `counter = from; do { body } while (counter += step, counter COND limit)`.
+///
+/// The loop body is emitted exactly once; the backward branch is the
+/// block terminator, giving the "bottom test loop" shape the paper
+/// assumes (Figure 1). Returns the label of the loop head.
+///
+/// # Errors
+///
+/// Propagates label errors from the underlying builder (none occur for
+/// well-formed closures).
+pub fn counted_loop<F>(
+    b: &mut ProgramBuilder,
+    counter: Reg,
+    from: i64,
+    step: i64,
+    cond: Cond,
+    limit: impl Into<Operand>,
+    body: F,
+) -> Result<Label, IsaError>
+where
+    F: FnOnce(&mut ProgramBuilder),
+{
+    let head = b.fresh_label("loop_head");
+    b.movi(counter, from);
+    b.bind(head)?;
+    body(b);
+    b.addi(counter, counter, step);
+    match limit.into() {
+        Operand::Reg(r) => b.br_reg(cond, counter, r, head),
+        Operand::Imm(v) => b.br_imm(cond, counter, v, head),
+    }
+    Ok(head)
+}
+
+/// Emits a bottom-test loop whose continuation condition is computed by
+/// the body: `do { cond_reg = body(); } while (cond_reg != 0)`.
+///
+/// Returns the label of the loop head.
+///
+/// # Errors
+///
+/// Propagates label errors from the underlying builder.
+pub fn do_while<F>(b: &mut ProgramBuilder, cond_reg: Reg, body: F) -> Result<Label, IsaError>
+where
+    F: FnOnce(&mut ProgramBuilder),
+{
+    let head = b.fresh_label("dw_head");
+    b.bind(head)?;
+    body(b);
+    b.br_imm(Cond::Ne, cond_reg, 0, head);
+    Ok(head)
+}
+
+/// Emits an if/else diamond on `a COND rhs`.
+///
+/// `then_arm` is emitted on the *taken* path, `else_arm` on the
+/// fall-through path, and both join afterwards — so the branch's taken
+/// probability equals the probability that the condition holds.
+///
+/// # Errors
+///
+/// Propagates label errors from the underlying builder.
+pub fn if_else<T, E>(
+    b: &mut ProgramBuilder,
+    cond: Cond,
+    a: Reg,
+    rhs: impl Into<Operand>,
+    then_arm: T,
+    else_arm: E,
+) -> Result<(), IsaError>
+where
+    T: FnOnce(&mut ProgramBuilder),
+    E: FnOnce(&mut ProgramBuilder),
+{
+    let lthen = b.fresh_label("then");
+    let join = b.fresh_label("join");
+    match rhs.into() {
+        Operand::Reg(r) => b.br_reg(cond, a, r, lthen),
+        Operand::Imm(v) => b.br_imm(cond, a, v, lthen),
+    }
+    else_arm(b);
+    b.jmp(join);
+    b.bind(lthen)?;
+    then_arm(b);
+    b.bind(join)?;
+    Ok(())
+}
+
+/// Emits an if without an else: the body runs when `a COND rhs` holds.
+///
+/// # Errors
+///
+/// Propagates label errors from the underlying builder.
+pub fn if_then<T>(
+    b: &mut ProgramBuilder,
+    cond: Cond,
+    a: Reg,
+    rhs: impl Into<Operand>,
+    then_arm: T,
+) -> Result<(), IsaError>
+where
+    T: FnOnce(&mut ProgramBuilder),
+{
+    if_else(b, cond, a, rhs, then_arm, |_| {})
+}
+
+/// Emits a jump-table switch on `selector` with one arm per closure;
+/// each arm jumps to a common join point. The selector is taken modulo
+/// the number of arms by the ISA's `jtab` semantics.
+///
+/// # Errors
+///
+/// Propagates label errors from the underlying builder.
+///
+/// # Panics
+///
+/// Panics if `arms` is empty.
+pub fn switch(b: &mut ProgramBuilder, selector: Reg, arms: Vec<Arm<'_>>) -> Result<(), IsaError> {
+    assert!(!arms.is_empty(), "switch requires at least one arm");
+    let join = b.fresh_label("sw_join");
+    let labels: Vec<Label> = (0..arms.len())
+        .map(|i| b.fresh_label(format!("sw_{i}")))
+        .collect();
+    b.jmp_table(selector, labels.clone());
+    for (label, arm) in labels.into_iter().zip(arms) {
+        b.bind(label)?;
+        arm(b);
+        b.jmp(join);
+    }
+    b.bind(join)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    fn finish(mut b: ProgramBuilder) -> Program {
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::new(1);
+        counted_loop(&mut b, r, 0, 1, Cond::Lt, 10, |b| {
+            b.out(r);
+        })
+        .unwrap();
+        let p = finish(b);
+        // movi, out, addi, br, halt
+        assert_eq!(p.len(), 5);
+        // backward branch targets the loop head (after the init).
+        assert!(matches!(p.get(3), Some(crate::Instr::Br { taken: 1, .. })));
+    }
+
+    #[test]
+    fn if_else_emits_diamond_with_taken_then() {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::new(0);
+        if_else(
+            &mut b,
+            Cond::Gt,
+            r,
+            5,
+            |b| b.movi(Reg::new(2), 1),
+            |b| b.movi(Reg::new(2), 2),
+        )
+        .unwrap();
+        let p = finish(b);
+        // br, movi(else), jmp, movi(then), halt
+        assert_eq!(p.len(), 5);
+        assert!(matches!(p.get(0), Some(crate::Instr::Br { taken: 3, .. })));
+    }
+
+    #[test]
+    fn if_then_without_else() {
+        let mut b = ProgramBuilder::new();
+        if_then(&mut b, Cond::Eq, Reg::new(0), 0, |b| b.out(Reg::new(0))).unwrap();
+        let p = finish(b);
+        assert_eq!(p.len(), 4); // br, jmp, out, halt
+    }
+
+    #[test]
+    fn do_while_branches_back_on_nonzero() {
+        let mut b = ProgramBuilder::new();
+        let c = Reg::new(3);
+        do_while(&mut b, c, |b| b.subi(c, c, 1)).unwrap();
+        let p = finish(b);
+        assert!(matches!(p.get(1), Some(crate::Instr::Br { taken: 0, .. })));
+    }
+
+    #[test]
+    fn switch_dispatches_to_all_arms() {
+        let mut b = ProgramBuilder::new();
+        let s = Reg::new(0);
+        switch(
+            &mut b,
+            s,
+            vec![
+                Box::new(|b: &mut ProgramBuilder| b.movi(Reg::new(1), 10)),
+                Box::new(|b: &mut ProgramBuilder| b.movi(Reg::new(1), 20)),
+                Box::new(|b: &mut ProgramBuilder| b.movi(Reg::new(1), 30)),
+            ],
+        )
+        .unwrap();
+        let p = finish(b);
+        match p.get(0) {
+            Some(crate::Instr::JmpTable { table, .. }) => assert_eq!(table.len(), 3),
+            other => panic!("expected jump table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn empty_switch_panics() {
+        let mut b = ProgramBuilder::new();
+        let _ = switch(&mut b, Reg::new(0), vec![]);
+    }
+}

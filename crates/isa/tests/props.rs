@@ -1,0 +1,221 @@
+//! Property tests for the ISA layer: programs assembled from random
+//! structured pieces always validate, decode exhaustively, and
+//! disassemble totally.
+
+use proptest::prelude::*;
+
+use tpdbt_isa::{decode_block, structured, Cond, Instr, Program, ProgramBuilder, Reg};
+
+/// A random structured statement.
+#[derive(Clone, Debug)]
+enum Stmt {
+    Loop { trips: i64, body_ops: u8 },
+    IfElse { bias_imm: i64 },
+    Switch { arms: u8 },
+    Ops(u8),
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (1i64..20, 0u8..4).prop_map(|(trips, body_ops)| Stmt::Loop { trips, body_ops }),
+        (0i64..10).prop_map(|bias_imm| Stmt::IfElse { bias_imm }),
+        (1u8..5).prop_map(|arms| Stmt::Switch { arms }),
+        (1u8..6).prop_map(Stmt::Ops),
+    ]
+}
+
+fn build(stmts: &[Stmt]) -> Program {
+    let mut b = ProgramBuilder::named("prop");
+    let acc = Reg::new(3);
+    let tmp = Reg::new(4);
+    b.movi(acc, 0);
+    for (i, stmt) in stmts.iter().enumerate() {
+        match stmt {
+            Stmt::Loop { trips, body_ops } => {
+                let ctr = Reg::new(10 + (i % 4) as u8);
+                structured::counted_loop(&mut b, ctr, 0, 1, Cond::Lt, *trips, |b| {
+                    for _ in 0..*body_ops {
+                        b.addi(acc, acc, 1);
+                    }
+                })
+                .unwrap();
+            }
+            Stmt::IfElse { bias_imm } => {
+                b.and(tmp, acc, 7);
+                structured::if_else(
+                    &mut b,
+                    Cond::Lt,
+                    tmp,
+                    *bias_imm,
+                    |b| b.addi(acc, acc, 2),
+                    |b| b.subi(acc, acc, 1),
+                )
+                .unwrap();
+            }
+            Stmt::Switch { arms } => {
+                b.and(tmp, acc, 15);
+                let arms: Vec<structured::Arm> = (0..*arms)
+                    .map(|k| {
+                        Box::new(move |b: &mut ProgramBuilder| b.addi(acc, acc, i64::from(k)))
+                            as structured::Arm
+                    })
+                    .collect();
+                structured::switch(&mut b, tmp, arms).unwrap();
+            }
+            Stmt::Ops(n) => {
+                for _ in 0..*n {
+                    b.muli(acc, acc, 3);
+                    b.addi(acc, acc, 1);
+                }
+            }
+        }
+    }
+    b.out(acc);
+    b.halt();
+    b.build().expect("structured composition always validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Structured composition always yields a valid program (build
+    /// would have returned Err otherwise) whose every address decodes
+    /// to a block that terminates in bounds.
+    #[test]
+    fn structured_programs_validate_and_decode(stmts in prop::collection::vec(arb_stmt(), 1..8)) {
+        let p = build(&stmts);
+        for pc in 0..p.len() {
+            let block = decode_block(&p, pc).expect("every pc decodes");
+            prop_assert!(block.end <= p.len());
+            prop_assert!(!block.is_empty());
+            // The last instruction of the block is its terminator.
+            prop_assert!(p.get(block.end - 1).unwrap().is_terminator());
+            // And no interior instruction is a terminator.
+            for at in block.start..block.end - 1 {
+                prop_assert!(!p.get(at).unwrap().is_terminator());
+            }
+        }
+    }
+
+    /// Every instruction disassembles to non-empty text, and the
+    /// program listing has one line per instruction plus a header.
+    #[test]
+    fn disassembly_is_total(stmts in prop::collection::vec(arb_stmt(), 1..6)) {
+        let p = build(&stmts);
+        for instr in p.instrs() {
+            prop_assert!(!instr.to_string().is_empty());
+        }
+        prop_assert_eq!(p.to_string().lines().count(), p.len() + 1);
+    }
+
+    /// Static leaders are sorted, unique, in range, and include the
+    /// entry.
+    #[test]
+    fn static_leaders_are_well_formed(stmts in prop::collection::vec(arb_stmt(), 1..8)) {
+        let p = build(&stmts);
+        let leaders = p.static_leaders();
+        prop_assert!(leaders.contains(&p.entry()));
+        prop_assert!(leaders.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(leaders.iter().all(|&l| l < p.len()));
+    }
+
+    /// The binary format round-trips arbitrary structured programs
+    /// exactly.
+    #[test]
+    fn binfmt_roundtrips(stmts in prop::collection::vec(arb_stmt(), 1..8)) {
+        let p = build(&stmts);
+        // Rebuild with memory reserved for the preload images below.
+        let program = tpdbt_isa::Program::from_parts(
+            "prop",
+            p.instrs().to_vec(),
+            p.entry(),
+            8,
+            8,
+        )
+        .unwrap();
+        let built = tpdbt_isa::BuiltProgram {
+            program,
+            mem_image: vec![(0, vec![1, -2, 3])],
+            fmem_image: vec![(1, vec![0.5])],
+        };
+        let bytes = tpdbt_isa::binfmt::write_program(&built);
+        let back = tpdbt_isa::binfmt::read_program("prop", &bytes).unwrap();
+        prop_assert_eq!(back, built);
+    }
+
+    /// The assembler parses the disassembler's output back to the same
+    /// program (asm ∘ disasm = id) for arbitrary structured programs.
+    #[test]
+    fn asm_inverts_disasm(stmts in prop::collection::vec(arb_stmt(), 1..8)) {
+        let p = build(&stmts);
+        let text = p.to_string();
+        let back = tpdbt_isa::asm::parse(&text).unwrap();
+        prop_assert_eq!(back.program, p);
+    }
+
+    /// The assembler never panics: arbitrary text parses to Ok or a
+    /// line-numbered error.
+    #[test]
+    fn asm_never_panics(source in "[ -~\n]{0,400}") {
+        match tpdbt_isa::asm::parse(&source) {
+            Ok(built) => prop_assert!(!built.program.is_empty()),
+            Err(e) => prop_assert!(!e.detail.is_empty()),
+        }
+    }
+
+    /// The binary reader never panics: arbitrary bytes decode to Ok or
+    /// a typed error.
+    #[test]
+    fn binfmt_never_panics(mut bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = tpdbt_isa::binfmt::read_program("fuzz", &bytes);
+        // Also with a valid magic/version prefix, so the decoder gets
+        // deeper into the structure.
+        let mut prefixed = b"TPDB\x01\x00".to_vec();
+        prefixed.append(&mut bytes);
+        let _ = tpdbt_isa::binfmt::read_program("fuzz", &prefixed);
+    }
+
+    /// Bit-flipping a valid binary never panics the reader; it either
+    /// round-trips to some valid program or fails cleanly.
+    #[test]
+    fn binfmt_survives_corruption(
+        stmts in prop::collection::vec(arb_stmt(), 1..5),
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let p = build(&stmts);
+        let built = tpdbt_isa::BuiltProgram {
+            program: p,
+            mem_image: vec![],
+            fmem_image: vec![],
+        };
+        let mut bytes = tpdbt_isa::binfmt::write_program(&built);
+        if flip_at < bytes.len() {
+            bytes[flip_at] ^= 1 << flip_bit;
+        }
+        let _ = tpdbt_isa::binfmt::read_program("fuzz", &bytes);
+    }
+
+    /// Jump targets in validated programs are always in range — i.e.
+    /// validation catches every bad target (mutation check).
+    #[test]
+    fn validation_rejects_mutated_targets(
+        stmts in prop::collection::vec(arb_stmt(), 1..5),
+        extra in 1usize..100,
+    ) {
+        let p = build(&stmts);
+        // Mutate one jump target out of range and re-validate.
+        let mut instrs = p.instrs().to_vec();
+        let mut mutated = false;
+        for i in &mut instrs {
+            if let Instr::Jmp { target } = i {
+                *target = p.len() + extra;
+                mutated = true;
+                break;
+            }
+        }
+        if mutated {
+            prop_assert!(Program::from_parts("bad", instrs, 0, 0, 0).is_err());
+        }
+    }
+}

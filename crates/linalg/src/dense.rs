@@ -1,0 +1,275 @@
+//! Dense matrices and Gaussian elimination.
+
+use crate::error::LinalgError;
+
+/// A dense, row-major `n × n` or `n × m` matrix of `f64`.
+///
+/// Sized for the small systems that appear in per-region frequency
+/// propagation and in tests; whole-program systems use
+/// [`crate::CsrMatrix`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::BadShape`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, LinalgError> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::BadShape {
+                detail: format!("dimensions must be positive, got {rows}x{cols}"),
+            });
+        }
+        Ok(DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::BadShape`] for an empty matrix or ragged
+    /// rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::BadShape {
+                detail: "empty matrix".to_string(),
+            });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::BadShape {
+                    detail: format!("row {i} has length {}, expected {cols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        self.data[i * self.cols + j]
+    }
+
+    /// Writes entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        let y = self
+            .data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect();
+        Ok(y)
+    }
+
+    /// Solves `A·x = b` by Gaussian elimination with partial pivoting,
+    /// followed by one step of iterative refinement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::BadShape`] for a non-square matrix,
+    /// [`LinalgError::DimensionMismatch`] for a wrong-sized `b`, and
+    /// [`LinalgError::Singular`] when no usable pivot exists.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::BadShape {
+                detail: format!(
+                    "solve requires a square matrix, got {}x{}",
+                    self.rows, self.cols
+                ),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows,
+                got: b.len(),
+            });
+        }
+        let x = self.solve_raw(b)?;
+        // One refinement step: x' = x + solve(b - A x).
+        let ax = self.mul_vec(&x)?;
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let dx = self.solve_raw(&r)?;
+        Ok(x.iter().zip(&dx).map(|(a, d)| a + d).collect())
+    }
+
+    fn solve_raw(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at or
+            // below the diagonal.
+            let pivot_row = (col..n)
+                .max_by(|&i, &j| {
+                    a[i * n + col]
+                        .abs()
+                        .partial_cmp(&a[j * n + col].abs())
+                        .expect("pivot magnitudes are never NaN")
+                })
+                .expect("non-empty pivot range");
+            let pivot = a[pivot_row * n + col];
+            if pivot.abs() < 1e-300 {
+                return Err(LinalgError::Singular { column: col });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            for row in col + 1..n {
+                let factor = a[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[row * n + col] = 0.0;
+                for j in col + 1..n {
+                    a[row * n + j] -= factor * a[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in col + 1..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert_close(&a.solve(&[3.0, -4.0]).unwrap(), &[3.0, -4.0], 1e-14);
+    }
+
+    #[test]
+    fn solves_3x3_with_pivoting() {
+        // First pivot is zero: forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -1.0, 0.0], &[3.0, 0.0, -2.0]])
+            .unwrap();
+        let x_true = [1.0, 2.0, -0.5];
+        let b = a.mul_vec(&x_true).unwrap();
+        assert_close(&a.solve(&b).unwrap(), &x_true, 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(DenseMatrix::from_rows(&[]).is_err());
+        assert!(DenseMatrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        assert!(DenseMatrix::zeros(0, 3).is_err());
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert!(matches!(a.solve(&[1.0]), Err(LinalgError::BadShape { .. })));
+        let sq = DenseMatrix::from_rows(&[&[1.0]]).unwrap();
+        assert!(matches!(
+            sq.solve(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch {
+                expected: 1,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(2, 3).unwrap();
+        m.set(1, 2, 7.5);
+        assert_eq!(m.get(1, 2), 7.5);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn refinement_improves_ill_conditioned_solve() {
+        // A moderately ill-conditioned system still solves to good accuracy.
+        let a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0 + 1e-8]]).unwrap();
+        let x_true = [2.0, 3.0];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        assert_close(&x, &x_true, 1e-4);
+    }
+}

@@ -1,0 +1,79 @@
+//! Solver errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from matrix construction and linear solves.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Matrix rows had inconsistent lengths or zero size.
+    BadShape {
+        /// Explanation of the shape problem.
+        detail: String,
+    },
+    /// Right-hand side length did not match the matrix dimension.
+    DimensionMismatch {
+        /// Matrix dimension.
+        expected: usize,
+        /// Provided vector length.
+        got: usize,
+    },
+    /// Elimination found no usable pivot: the system is singular (or
+    /// numerically indistinguishable from singular).
+    Singular {
+        /// Column at which elimination failed.
+        column: usize,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm at the final iteration.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::BadShape { detail } => write!(f, "bad matrix shape: {detail}"),
+            LinalgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular at column {column}")
+            }
+            LinalgError::NoConvergence { iterations, residual } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(LinalgError::Singular { column: 2 }
+            .to_string()
+            .contains("column 2"));
+        assert!(LinalgError::DimensionMismatch {
+            expected: 3,
+            got: 1
+        }
+        .to_string()
+        .contains("expected 3"));
+        assert!(LinalgError::NoConvergence {
+            iterations: 7,
+            residual: 0.5
+        }
+        .to_string()
+        .contains("7 iterations"));
+    }
+}

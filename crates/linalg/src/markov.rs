@@ -1,0 +1,304 @@
+//! Markov modelling of control flow (Wagner et al., PLDI'94), as used by
+//! the paper to recover block frequencies for duplicated blocks.
+//!
+//! A [`FlowGraph`] is a probabilistic CFG in which some nodes have
+//! *known* frequencies (the non-duplicated blocks, whose AVEP counts are
+//! exact) and the rest are *unknown* (the duplicated copies introduced
+//! by region formation). Each node distributes its frequency to its
+//! successors according to edge probabilities; solving the resulting
+//! linear system yields the unknown frequencies.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::sparse::SparseBuilder;
+
+/// Index of a node in a [`FlowGraph`].
+pub type NodeId = usize;
+
+/// Threshold below which the dense fallback solver is attempted when
+/// Gauss–Seidel fails to converge.
+const DENSE_FALLBACK_LIMIT: usize = 1024;
+
+/// A probabilistic flow graph with known and unknown node frequencies.
+///
+/// # Example
+///
+/// Recovering the copy frequencies from the paper's Figure 4: blocks
+/// `b1`, `b3`, `b4` are known (1000, 6000, 44000) and the three copies
+/// of `b2` are unknown.
+///
+/// ```
+/// use tpdbt_linalg::FlowGraph;
+///
+/// # fn main() -> Result<(), tpdbt_linalg::LinalgError> {
+/// let mut g = FlowGraph::new(6);
+/// let (b1, b2r1, b2r2, b2res, b3, b4) = (0, 1, 2, 3, 4, 5);
+/// g.set_known(b1, 1000.0);
+/// g.set_known(b3, 6000.0);
+/// g.set_known(b4, 44000.0);
+/// // b1 -> b2(copy in region 1) with probability 1.
+/// g.add_edge(b1, b2r1, 1.0);
+/// // b4 loops back to its region's copy with p=0.88... (see tests for
+/// // the full example; any sub-stochastic graph works).
+/// g.add_edge(b4, b2r2, 0.1);
+/// g.add_edge(b3, b2res, 0.5);
+/// let freq = g.solve()?;
+/// assert!((freq[b2r1] - 1000.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlowGraph {
+    preds: Vec<Vec<(NodeId, f64)>>,
+    known: Vec<Option<f64>>,
+    external: Vec<f64>,
+}
+
+impl FlowGraph {
+    /// Creates a graph with `n` nodes, all unknown, no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        FlowGraph {
+            preds: vec![Vec::new(); n],
+            known: vec![None; n],
+            external: vec![0.0; n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Adds a flow edge: `to` receives `prob` of `from`'s frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `prob` is not in
+    /// `[0, 1]`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, prob: f64) {
+        assert!(
+            from < self.len() && to < self.len(),
+            "edge ({from},{to}) out of range"
+        );
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&prob),
+            "probability {prob} outside [0,1]"
+        );
+        if prob > 0.0 {
+            self.preds[to].push((from, prob));
+        }
+    }
+
+    /// Fixes a node's frequency to a known constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range or `freq` is negative.
+    pub fn set_known(&mut self, node: NodeId, freq: f64) {
+        assert!(node < self.len(), "node {node} out of range");
+        assert!(freq >= 0.0, "frequency {freq} must be non-negative");
+        self.known[node] = Some(freq);
+    }
+
+    /// Adds external inflow to a node (e.g. the program entry executes
+    /// once without any CFG predecessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn add_external(&mut self, node: NodeId, inflow: f64) {
+        assert!(node < self.len(), "node {node} out of range");
+        self.external[node] += inflow;
+    }
+
+    /// Solves for every node's frequency. Known nodes keep their fixed
+    /// value; unknown nodes satisfy
+    /// `x(u) = external(u) + Σ_pred freq(pred) · prob(pred → u)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] or
+    /// [`LinalgError::NoConvergence`] when the system cannot be solved —
+    /// in a well-formed profile graph this indicates a closed cycle of
+    /// unknown nodes with no leakage, which region side exits rule out.
+    pub fn solve(&self) -> Result<Vec<f64>, LinalgError> {
+        let n = self.len();
+        // Map unknown nodes to system indices.
+        let unknown_index: Vec<Option<usize>> = {
+            let mut next = 0usize;
+            self.known
+                .iter()
+                .map(|k| {
+                    if k.is_none() {
+                        let i = next;
+                        next += 1;
+                        Some(i)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        let m = unknown_index.iter().flatten().count();
+        let mut result: Vec<f64> = self.known.iter().map(|k| k.unwrap_or(0.0)).collect();
+        if m == 0 {
+            return Ok(result);
+        }
+        // Build (I - A) x = b over the unknowns.
+        let mut builder = SparseBuilder::new(m);
+        let mut b = vec![0.0; m];
+        for node in 0..n {
+            let Some(row) = unknown_index[node] else {
+                continue;
+            };
+            builder.add(row, row, 1.0);
+            b[row] += self.external[node];
+            for &(pred, prob) in &self.preds[node] {
+                match unknown_index[pred] {
+                    Some(col) => builder.add(row, col, -prob),
+                    None => {
+                        b[row] += self.known[pred].expect("known nodes have values") * prob;
+                    }
+                }
+            }
+        }
+        let matrix = builder.build();
+        let x = match matrix.solve_gauss_seidel(&b, 1e-10, 20_000) {
+            Ok(x) => x,
+            Err(err) if m <= DENSE_FALLBACK_LIMIT => {
+                // Cyclic structures with probabilities summing to ~1 can
+                // make Gauss-Seidel slow; fall back to direct
+                // elimination for small systems.
+                let mut dense = DenseMatrix::zeros(m, m)?;
+                for i in 0..m {
+                    for (j, v) in matrix.row(i) {
+                        dense.set(i, j, dense.get(i, j) + v);
+                    }
+                }
+                dense.solve(&b).map_err(|_| err)?
+            }
+            Err(err) => return Err(err),
+        };
+        for node in 0..n {
+            if let Some(i) = unknown_index[node] {
+                // Frequencies cannot be negative; clamp tiny numerical
+                // undershoot.
+                result[node] = x[i].max(0.0);
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 4 example: b1 (1000), b3 (6000), b4 (44000)
+    /// known; three copies of b2 unknown. Edge probabilities follow the
+    /// AVEP annotations in Figure 2(b)/Figure 3: b2 branches to b4 with
+    /// p=0.90, exits with 0.10; b4 loops back to b2 with p=0.70 (to the
+    /// inner-loop copy); b3 branches back to the outer-loop copy of b2
+    /// with p=0.80 ... the exact numbers below reproduce Figure 4(b):
+    /// copies get 1000, 43120, 5880 (summing to b2's AVEP 50000).
+    #[test]
+    fn figure4_copy_frequencies() {
+        // Nodes: 0=b1(known), 1=b2_first(entry copy), 2=b2_inner,
+        // 3=b2_outer, 4=b3(known), 5=b4(known).
+        let mut g = FlowGraph::new(6);
+        g.set_known(0, 1000.0);
+        g.set_known(4, 6000.0);
+        g.set_known(5, 44000.0);
+        // b1 always flows into the first execution of b2.
+        g.add_edge(0, 1, 1.0);
+        // b4 (inner loop latch, freq 44000) loops back to the inner copy
+        // of b2 with probability 0.98 (43120 = 44000 * 0.98).
+        g.add_edge(5, 2, 0.98);
+        // b3 (outer loop latch, freq 6000) loops back to the outer copy
+        // of b2 with probability 0.98 (5880 = 6000 * 0.98).
+        g.add_edge(4, 3, 0.98);
+        let f = g.solve().unwrap();
+        assert!((f[1] - 1000.0).abs() < 1e-6);
+        assert!((f[2] - 43120.0).abs() < 1e-6);
+        assert!((f[3] - 5880.0).abs() < 1e-6);
+        // Known nodes keep their values.
+        assert_eq!(f[0], 1000.0);
+        assert_eq!(f[5], 44000.0);
+    }
+
+    #[test]
+    fn chain_of_unknowns_propagates() {
+        // known(100) -> u1 -(0.5)-> u2 -(0.2)-> u3
+        let mut g = FlowGraph::new(4);
+        g.set_known(0, 100.0);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 0.5);
+        g.add_edge(2, 3, 0.2);
+        let f = g.solve().unwrap();
+        assert!((f[1] - 100.0).abs() < 1e-7);
+        assert!((f[2] - 50.0).abs() < 1e-7);
+        assert!((f[3] - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cycle_with_leakage_solves() {
+        // u0 <-> u1 cycle with 0.9 probability each way, fed externally.
+        let mut g = FlowGraph::new(2);
+        g.add_external(0, 19.0);
+        g.add_edge(0, 1, 0.9);
+        g.add_edge(1, 0, 0.9);
+        let f = g.solve().unwrap();
+        // x0 = 19 + 0.9 x1; x1 = 0.9 x0 => x0 = 19 / (1 - 0.81) = 100.
+        assert!((f[0] - 100.0).abs() < 1e-6, "{f:?}");
+        assert!((f[1] - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_known_is_identity() {
+        let mut g = FlowGraph::new(2);
+        g.set_known(0, 5.0);
+        g.set_known(1, 7.0);
+        g.add_edge(0, 1, 1.0); // ignored: both known
+        assert_eq!(g.solve().unwrap(), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn external_inflow_accumulates() {
+        let mut g = FlowGraph::new(1);
+        g.add_external(0, 1.0);
+        g.add_external(0, 2.0);
+        assert!((g.solve().unwrap()[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_cycle_without_leakage_fails() {
+        // Probability-1 cycle between two unknowns: singular system.
+        let mut g = FlowGraph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 0, 1.0);
+        g.add_external(0, 1.0);
+        assert!(g.solve().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn bad_probability_panics() {
+        let mut g = FlowGraph::new(2);
+        g.add_edge(0, 1, 1.5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = FlowGraph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.solve().unwrap(), Vec::<f64>::new());
+    }
+}

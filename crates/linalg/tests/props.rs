@@ -1,0 +1,103 @@
+//! Property tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+
+use tpdbt_linalg::{DenseMatrix, FlowGraph, SparseBuilder};
+
+/// A random diagonally-dominant square system (both solvers converge on
+/// these, which is exactly the class Markov normalization produces).
+fn arb_dd_system(n: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (
+        prop::collection::vec(prop::collection::vec(-1.0f64..1.0, n), n),
+        prop::collection::vec(-10.0f64..10.0, n),
+    )
+        .prop_map(move |(mut rows, x)| {
+            for (i, row) in rows.iter_mut().enumerate() {
+                let off: f64 = row
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, v)| v.abs())
+                    .sum();
+                row[i] = off + 1.0 + row[i].abs();
+            }
+            (rows, x)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Dense Gaussian elimination inverts `A·x` exactly enough.
+    #[test]
+    fn dense_solve_roundtrips((rows, x_true) in arb_dd_system(6)) {
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let a = DenseMatrix::from_rows(&refs).unwrap();
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    /// Gauss–Seidel agrees with dense elimination on diagonally
+    /// dominant systems.
+    #[test]
+    fn sparse_agrees_with_dense((rows, x_true) in arb_dd_system(8)) {
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let dense = DenseMatrix::from_rows(&refs).unwrap();
+        let b = dense.mul_vec(&x_true).unwrap();
+        let direct = dense.solve(&b).unwrap();
+        let mut sb = SparseBuilder::new(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                sb.add(i, j, v);
+            }
+        }
+        let iterative = sb.build().solve_gauss_seidel(&b, 1e-12, 100_000).unwrap();
+        for (a, c) in direct.iter().zip(&iterative) {
+            prop_assert!((a - c).abs() < 1e-7, "{a} vs {c}");
+        }
+    }
+
+    /// Flow conservation: in a chain graph fed by one known source,
+    /// every unknown node's frequency equals inflow — and no frequency
+    /// is negative.
+    #[test]
+    fn flowgraph_chain_conserves(
+        src in 1.0f64..10_000.0,
+        probs in prop::collection::vec(0.0f64..=1.0, 1..12),
+    ) {
+        let n = probs.len() + 1;
+        let mut g = FlowGraph::new(n);
+        g.set_known(0, src);
+        for (i, &p) in probs.iter().enumerate() {
+            g.add_edge(i, i + 1, p);
+        }
+        let f = g.solve().unwrap();
+        let mut expect = src;
+        for (i, &p) in probs.iter().enumerate() {
+            expect *= p;
+            prop_assert!((f[i + 1] - expect).abs() < 1e-6 * src.max(1.0));
+            prop_assert!(f[i + 1] >= 0.0);
+        }
+    }
+
+    /// A sub-stochastic cycle (leakage > 0) always solves, and the
+    /// closed-form geometric sum matches.
+    #[test]
+    fn flowgraph_cycle_geometric(
+        inflow in 1.0f64..1000.0,
+        p in 0.0f64..0.99,
+        q in 0.0f64..0.99,
+    ) {
+        let mut g = FlowGraph::new(2);
+        g.add_external(0, inflow);
+        g.add_edge(0, 1, p);
+        g.add_edge(1, 0, q);
+        let f = g.solve().unwrap();
+        let x0 = inflow / (1.0 - p * q);
+        prop_assert!((f[0] - x0).abs() < 1e-6 * x0);
+        prop_assert!((f[1] - p * x0).abs() < 1e-6 * x0.max(1.0));
+    }
+}

@@ -1,0 +1,256 @@
+//! Mis-prediction characterization (paper §5, future-work bullet 1):
+//! find the branches and regions the initial profile predicts badly,
+//! so they can be selected for continuous profiling.
+//!
+//! Every metric in [`crate::metrics`] is a weighted aggregate; this
+//! module exposes the per-block / per-region contributions behind the
+//! aggregates and a selection heuristic over them.
+
+use crate::model::{BlockPc, InipDump, PlainProfile, RegionKind};
+use crate::navep::Navep;
+use crate::{metrics, mismatch};
+
+/// One block's contribution to `Sd.BP(T)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BranchDiagnosis {
+    /// The block.
+    pub pc: BlockPc,
+    /// Predicted branch probability (INIP).
+    pub predicted: f64,
+    /// Average branch probability (AVEP).
+    pub actual: f64,
+    /// Total NAVEP weight of the block's copies.
+    pub weight: f64,
+    /// `(predicted − actual)² · weight` — the numerator share.
+    pub contribution: f64,
+    /// Whether the prediction crosses a range boundary (§4.1), i.e.
+    /// would change an optimizer decision.
+    pub range_mismatch: bool,
+}
+
+/// One region's contribution to `Sd.CP(T)` / `Sd.LP(T)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegionDiagnosis {
+    /// Index into [`InipDump::regions`].
+    pub region: usize,
+    /// Region kind (trace → completion probability, loop → loop-back).
+    pub kind: RegionKind,
+    /// Predicted probability (from frozen INIP counters).
+    pub predicted: f64,
+    /// Average probability (from AVEP counters).
+    pub actual: f64,
+    /// NAVEP weight of the region entry.
+    pub weight: f64,
+    /// `(predicted − actual)² · weight`.
+    pub contribution: f64,
+}
+
+/// Per-block branch diagnoses, sorted by descending contribution.
+///
+/// Copies of the same block share predicted/actual values; their NAVEP
+/// weights are summed so each block appears once.
+#[must_use]
+pub fn diagnose_branches(
+    inip: &InipDump,
+    avep: &PlainProfile,
+    navep: &Navep,
+) -> Vec<BranchDiagnosis> {
+    let mut by_pc: std::collections::BTreeMap<BlockPc, BranchDiagnosis> =
+        std::collections::BTreeMap::new();
+    for node in &navep.nodes {
+        let (Some(i), Some(a)) = (inip.blocks.get(&node.pc), avep.blocks.get(&node.pc)) else {
+            continue;
+        };
+        let (Some(bt), Some(bm)) = (i.branch_probability(), a.branch_probability()) else {
+            continue;
+        };
+        let entry = by_pc.entry(node.pc).or_insert(BranchDiagnosis {
+            pc: node.pc,
+            predicted: bt,
+            actual: bm,
+            weight: 0.0,
+            contribution: 0.0,
+            range_mismatch: mismatch::bp_range(bt.clamp(0.0, 1.0))
+                != mismatch::bp_range(bm.clamp(0.0, 1.0)),
+        });
+        entry.weight += node.frequency;
+    }
+    let mut out: Vec<BranchDiagnosis> = by_pc
+        .into_values()
+        .map(|mut d| {
+            d.contribution = (d.predicted - d.actual).powi(2) * d.weight;
+            d
+        })
+        .collect();
+    out.sort_by(|x, y| y.contribution.total_cmp(&x.contribution));
+    out
+}
+
+/// Per-region diagnoses (both kinds), sorted by descending
+/// contribution.
+#[must_use]
+pub fn diagnose_regions(
+    inip: &InipDump,
+    avep: &PlainProfile,
+    navep: &Navep,
+) -> Vec<RegionDiagnosis> {
+    let mut out = Vec::new();
+    for (kind, points) in [
+        (
+            RegionKind::Trace,
+            metrics::cp_points_indexed(inip, avep, navep),
+        ),
+        (
+            RegionKind::Loop,
+            metrics::lp_points_indexed(inip, avep, navep),
+        ),
+    ] {
+        for (region, predicted, actual, weight) in points {
+            out.push(RegionDiagnosis {
+                region,
+                kind,
+                predicted,
+                actual,
+                weight,
+                contribution: (predicted - actual).powi(2) * weight,
+            });
+        }
+    }
+    out.sort_by(|x, y| y.contribution.total_cmp(&x.contribution));
+    out
+}
+
+/// Selects the blocks that should be kept under continuous profiling:
+/// the smallest set of worst-predicted branches covering `coverage`
+/// (e.g. 0.9) of the total squared-deviation mass. Returns block
+/// addresses, worst first.
+///
+/// # Panics
+///
+/// Panics if `coverage` is outside `(0, 1]`.
+#[must_use]
+pub fn select_for_continuous_profiling(
+    diagnoses: &[BranchDiagnosis],
+    coverage: f64,
+) -> Vec<BlockPc> {
+    assert!(
+        coverage > 0.0 && coverage <= 1.0,
+        "coverage {coverage} outside (0,1]"
+    );
+    let total: f64 = diagnoses.iter().map(|d| d.contribution).sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut acc = 0.0;
+    let mut out = Vec::new();
+    for d in diagnoses {
+        if acc >= coverage * total {
+            break;
+        }
+        if d.contribution > 0.0 {
+            acc += d.contribution;
+            out.push(d.pc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BlockRecord, SuccSlot, TermKind};
+    use crate::navep::normalize;
+    use std::collections::BTreeMap;
+
+    fn profiles(specs: &[(BlockPc, f64, f64, u64)]) -> (InipDump, PlainProfile) {
+        // specs: (pc, inip_bp, avep_bp, freq)
+        let mk = |p: f64, freq: u64, pc: BlockPc| BlockRecord {
+            len: 2,
+            kind: Some(TermKind::Cond),
+            use_count: freq,
+            edges: vec![
+                (SuccSlot::Taken, pc, (p * freq as f64) as u64),
+                (SuccSlot::Fallthrough, 999, freq - (p * freq as f64) as u64),
+            ],
+        };
+        let halt = BlockRecord {
+            len: 1,
+            kind: Some(TermKind::Halt),
+            use_count: 1,
+            edges: vec![],
+        };
+        let mut ib = BTreeMap::new();
+        let mut ab = BTreeMap::new();
+        for &(pc, bt, bm, freq) in specs {
+            ib.insert(pc, mk(bt, freq, pc));
+            ab.insert(pc, mk(bm, freq, pc));
+        }
+        ib.insert(999, halt.clone());
+        ab.insert(999, halt);
+        (
+            InipDump {
+                threshold: 10,
+                regions: vec![],
+                blocks: ib,
+                entry: specs[0].0,
+                profiling_ops: 0,
+                cycles: 0,
+                instructions: 0,
+            },
+            PlainProfile {
+                blocks: ab,
+                entry: specs[0].0,
+                profiling_ops: 0,
+                instructions: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn worst_branch_ranks_first() {
+        let (inip, avep) = profiles(&[
+            (1, 0.9, 0.88, 1000), // tiny deviation
+            (2, 0.9, 0.2, 1000),  // huge deviation
+            (3, 0.6, 0.5, 10),    // small weight
+        ]);
+        let navep = normalize(&inip, &avep).unwrap();
+        let d = diagnose_branches(&inip, &avep, &navep);
+        assert_eq!(d[0].pc, 2);
+        assert!(d[0].range_mismatch);
+        assert!(!d[1].range_mismatch || d[1].pc == 3);
+        assert!(d[0].contribution > d[1].contribution);
+    }
+
+    #[test]
+    fn selection_covers_the_mass() {
+        let (inip, avep) = profiles(&[
+            (1, 0.9, 0.2, 1000),
+            (2, 0.8, 0.75, 1000),
+            (3, 0.5, 0.48, 1000),
+        ]);
+        let navep = normalize(&inip, &avep).unwrap();
+        let d = diagnose_branches(&inip, &avep, &navep);
+        let picked = select_for_continuous_profiling(&d, 0.9);
+        assert_eq!(
+            picked,
+            vec![1],
+            "one dominant offender covers 90% of the mass"
+        );
+        let all = select_for_continuous_profiling(&d, 1.0);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn perfect_prediction_selects_nothing() {
+        let (inip, avep) = profiles(&[(1, 0.7, 0.7, 100)]);
+        let navep = normalize(&inip, &avep).unwrap();
+        let d = diagnose_branches(&inip, &avep, &navep);
+        assert!(select_for_continuous_profiling(&d, 0.9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn zero_coverage_panics() {
+        let _ = select_for_continuous_profiling(&[], 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Analyzer errors.
+
+use std::error::Error;
+use std::fmt;
+
+use tpdbt_linalg::LinalgError;
+
+use crate::model::BlockPc;
+
+/// Errors raised by the offline profile analyzer.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A region references a block the dump has no record for.
+    MissingBlock {
+        /// The missing block address.
+        pc: BlockPc,
+    },
+    /// A metric was requested over an empty population (e.g. `Sd.BP` of
+    /// a profile with no executed conditional branches).
+    EmptyPopulation {
+        /// Which metric found nothing to measure.
+        metric: &'static str,
+    },
+    /// The Markov frequency propagation failed.
+    Solver(LinalgError),
+    /// A text dump could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::MissingBlock { pc } => {
+                write!(f, "region references block {pc} absent from the dump")
+            }
+            ProfileError::EmptyPopulation { metric } => {
+                write!(f, "no data points for metric {metric}")
+            }
+            ProfileError::Solver(e) => write!(f, "frequency propagation failed: {e}"),
+            ProfileError::Parse { line, detail } => {
+                write!(f, "dump parse error at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ProfileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProfileError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ProfileError {
+    fn from(e: LinalgError) -> Self {
+        ProfileError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_errors_chain_source() {
+        let e = ProfileError::from(LinalgError::Singular { column: 1 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(ProfileError::MissingBlock { pc: 4 }
+            .to_string()
+            .contains("block 4"));
+        assert!(ProfileError::EmptyPopulation { metric: "Sd.BP" }
+            .to_string()
+            .contains("Sd.BP"));
+        assert!(ProfileError::Parse {
+            line: 7,
+            detail: "bad".into()
+        }
+        .to_string()
+        .contains("line 7"));
+    }
+}

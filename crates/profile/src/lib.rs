@@ -1,0 +1,55 @@
+//! Profile data model and accuracy analysis for the two-phase DBT
+//! reproduction.
+//!
+//! This crate is the paper's "off-line tool": it consumes the profile
+//! dumps produced by the translator —
+//!
+//! * [`InipDump`] — the *initial prediction with threshold T*,
+//!   `INIP(T)`: regions retranslated by the optimization phase (entry,
+//!   member copies, internal edges) plus frozen `use`/`taken` counters
+//!   for region blocks and end-of-run counters for the rest;
+//! * [`PlainProfile`] — a whole-run profile without optimization, used
+//!   both as `AVEP` (average program behaviour, reference input) and as
+//!   `INIP(train)` (training input);
+//!
+//! — and computes the paper's §2 metrics:
+//!
+//! * [`metrics::sd_bp`] — `Sd.BP(T)`, the weighted standard deviation of
+//!   branch probabilities (§2.1);
+//! * [`metrics::sd_cp`] — `Sd.CP(T)` over non-loop region completion
+//!   probabilities (§2.2);
+//! * [`metrics::sd_lp`] — `Sd.LP(T)` over loop-back probabilities
+//!   (§2.3);
+//! * [`mismatch`] — the range-based BP and trip-count-class LP mismatch
+//!   rates (§4.1, §4.3).
+//!
+//! Because `INIP(T)` duplicates blocks into regions while `AVEP` does
+//! not, the analysis first **normalizes** AVEP onto the INIP control
+//! flow (the paper's `NAVEP`, §3.1): [`navep::normalize`] assigns each
+//! copy its original block's AVEP branch probabilities and recovers copy
+//! frequencies with Markov frequency propagation
+//! ([`tpdbt_linalg::FlowGraph`]; the paper used MKL here).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnose;
+mod error;
+pub mod metrics;
+pub mod mismatch;
+mod model;
+pub mod navep;
+pub mod phases;
+pub mod regionprob;
+pub mod report;
+pub mod text;
+
+pub use diagnose::{BranchDiagnosis, RegionDiagnosis};
+pub use error::ProfileError;
+pub use model::{
+    BlockPc, BlockRecord, CopyId, InipDump, PlainProfile, RegionDump, RegionEdge, RegionKind,
+    SuccSlot, TermKind,
+};
+pub use navep::Navep;
+pub use phases::{IntervalProfile, Phase};
+pub use report::ThresholdMetrics;

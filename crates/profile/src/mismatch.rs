@@ -1,0 +1,198 @@
+//! Range-based mismatch rates (paper §4.1 and §4.3).
+//!
+//! Optimizers act on *ranges* of probabilities, not exact values: a
+//! branch is region-worthy when its probability clears a threshold, and
+//! a loop is software-pipelineable or prefetchable depending on its
+//! trip-count class. The mismatch rates ask whether the initial
+//! prediction lands in the same range as the average behaviour.
+
+use crate::error::ProfileError;
+use crate::metrics::{bp_points, bp_points_plain, lp_points};
+use crate::model::{InipDump, PlainProfile};
+use crate::navep::Navep;
+
+/// Branch-probability ranges `[0, .3)`, `[.3, .7]`, `(.7, 1]` (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BpRange {
+    /// Rarely taken: `[0, 0.3)`.
+    RarelyTaken,
+    /// Mixed: `[0.3, 0.7]`.
+    Mixed,
+    /// Likely taken: `(0.7, 1]`.
+    LikelyTaken,
+}
+
+/// Classifies a branch probability into the paper's three ranges.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn bp_range(p: f64) -> BpRange {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "branch probability {p} outside [0,1]"
+    );
+    if p < 0.3 {
+        BpRange::RarelyTaken
+    } else if p <= 0.7 {
+        BpRange::Mixed
+    } else {
+        BpRange::LikelyTaken
+    }
+}
+
+/// Loop trip-count classes (§4.3): low (`< 10`), median (`10–50`), high
+/// (`> 50`), expressed as loop-back probability ranges `[0, .9)`,
+/// `[.9, .98]`, `(.98, 1]` via `LP = (T−1)/T`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TripClass {
+    /// Trip count below 10 — loop peeling territory; neither software
+    /// pipelining nor data prefetching applies profitably.
+    Low,
+    /// Trip count 10–50 — software pipelining candidate.
+    Median,
+    /// Trip count above 50 — software pipelining and data prefetching
+    /// candidate.
+    High,
+}
+
+/// Classifies a loop-back probability into the paper's trip-count
+/// classes.
+///
+/// # Panics
+///
+/// Panics if `lp` is outside `[0, 1]`.
+#[must_use]
+pub fn trip_class(lp: f64) -> TripClass {
+    assert!(
+        (0.0..=1.0).contains(&lp),
+        "loop-back probability {lp} outside [0,1]"
+    );
+    if lp < 0.9 {
+        TripClass::Low
+    } else if lp <= 0.98 {
+        TripClass::Median
+    } else {
+        TripClass::High
+    }
+}
+
+fn weighted_mismatch<C: Eq>(
+    points: impl IntoIterator<Item = (f64, f64, f64)>,
+    classify: impl Fn(f64) -> C,
+    metric: &'static str,
+) -> Result<f64, ProfileError> {
+    let mut mismatched = 0.0;
+    let mut total = 0.0;
+    for (predicted, actual, w) in points {
+        if classify(predicted.clamp(0.0, 1.0)) != classify(actual.clamp(0.0, 1.0)) {
+            mismatched += w;
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        Err(ProfileError::EmptyPopulation { metric })
+    } else {
+        Ok(mismatched / total)
+    }
+}
+
+/// The weighted branch-probability mismatch rate between `INIP(T)` and
+/// `AVEP` (Figure 10/11/12 quantity): fraction of AVEP-frequency weight
+/// whose predicted BP falls in a different range than the average BP.
+///
+/// # Errors
+///
+/// Returns [`ProfileError::EmptyPopulation`] when no conditional branch
+/// executed in both profiles.
+pub fn bp_mismatch(
+    inip: &InipDump,
+    avep: &PlainProfile,
+    navep: &Navep,
+) -> Result<f64, ProfileError> {
+    weighted_mismatch(bp_points(inip, avep, navep), bp_range, "BP mismatch")
+}
+
+/// The BP mismatch rate of a training-input profile against AVEP (the
+/// "train" reference series in Figure 10).
+///
+/// # Errors
+///
+/// Returns [`ProfileError::EmptyPopulation`] when the profiles share no
+/// executed conditional branch.
+pub fn bp_mismatch_plain(
+    predicted: &PlainProfile,
+    avep: &PlainProfile,
+) -> Result<f64, ProfileError> {
+    weighted_mismatch(
+        bp_points_plain(predicted, avep),
+        bp_range,
+        "BP mismatch (plain)",
+    )
+}
+
+/// The weighted loop-back mismatch rate between `INIP(T)` and `AVEP`
+/// (Figure 15/16): fraction of loop-entry weight whose predicted trip
+/// count class differs from the average class.
+///
+/// # Errors
+///
+/// Returns [`ProfileError::EmptyPopulation`] when the dump has no loop
+/// regions.
+pub fn lp_mismatch(
+    inip: &InipDump,
+    avep: &PlainProfile,
+    navep: &Navep,
+) -> Result<f64, ProfileError> {
+    weighted_mismatch(lp_points(inip, avep, navep), trip_class, "LP mismatch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bp_ranges_match_paper_examples() {
+        // §4.1: 0.99 and 0.76 are a match; 0.68 and 0.78 a mismatch.
+        assert_eq!(bp_range(0.99), bp_range(0.76));
+        assert_ne!(bp_range(0.68), bp_range(0.78));
+        assert_eq!(bp_range(0.0), BpRange::RarelyTaken);
+        assert_eq!(bp_range(0.3), BpRange::Mixed);
+        assert_eq!(bp_range(0.7), BpRange::Mixed);
+        assert_eq!(bp_range(0.71), BpRange::LikelyTaken);
+        assert_eq!(bp_range(1.0), BpRange::LikelyTaken);
+    }
+
+    #[test]
+    fn trip_classes_match_paper_boundaries() {
+        assert_eq!(trip_class(0.0), TripClass::Low);
+        assert_eq!(trip_class(0.89), TripClass::Low);
+        assert_eq!(trip_class(0.9), TripClass::Median);
+        assert_eq!(trip_class(0.98), TripClass::Median);
+        assert_eq!(trip_class(0.985), TripClass::High);
+        assert_eq!(trip_class(1.0), TripClass::High);
+    }
+
+    #[test]
+    fn weighted_mismatch_weighs_by_frequency() {
+        // One matching point (w=3) and one mismatching (w=1): rate 0.25.
+        let rate =
+            weighted_mismatch(vec![(0.9, 0.8, 3.0), (0.9, 0.5, 1.0)], bp_range, "test").unwrap();
+        assert!((rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_is_error() {
+        assert!(matches!(
+            weighted_mismatch(vec![], bp_range, "test"),
+            Err(ProfileError::EmptyPopulation { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn bp_range_rejects_out_of_range() {
+        let _ = bp_range(1.5);
+    }
+}

@@ -1,0 +1,371 @@
+//! NAVEP: normalization of the average profile onto the INIP control
+//! flow (paper §3.1).
+//!
+//! `INIP(T)` duplicates blocks into regions; `AVEP` does not. To compare
+//! them block-for-block, AVEP is normalized to the control-flow graph
+//! INIP sees: every region copy becomes a node, every remaining block
+//! becomes a *residual* node, each node inherits the AVEP branch
+//! probabilities of its original block, and node frequencies are
+//! recovered by Markov modelling of control flow — non-duplicated
+//! blocks' AVEP frequencies are the constants, copy frequencies the
+//! unknowns (paper Figure 4).
+
+use std::collections::BTreeMap;
+
+use tpdbt_linalg::FlowGraph;
+
+use crate::error::ProfileError;
+use crate::model::{BlockPc, CopyId, InipDump, PlainProfile};
+
+/// Where a NAVEP node came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeOrigin {
+    /// Copy `copy` of region `region` (indices into
+    /// [`InipDump::regions`] and [`crate::RegionDump::copies`]).
+    Region {
+        /// Region index in the dump.
+        region: usize,
+        /// Copy index within the region.
+        copy: CopyId,
+    },
+    /// The block as executed outside any region.
+    Residual,
+}
+
+/// One block copy in the normalized average profile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NavepNode {
+    /// The original block address; branch probabilities are inherited
+    /// from this block's AVEP record.
+    pub pc: BlockPc,
+    /// Region copy or residual.
+    pub origin: NodeOrigin,
+    /// Solved NAVEP frequency — the weight `W` in the paper's standard
+    /// deviations.
+    pub frequency: f64,
+}
+
+/// The normalized average profile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Navep {
+    /// All nodes of the INIP-view CFG with solved frequencies.
+    pub nodes: Vec<NavepNode>,
+    region_entry_nodes: BTreeMap<usize, usize>,
+}
+
+impl Navep {
+    /// The solved frequency of region `region`'s entry copy, or 0 if the
+    /// region is unknown.
+    #[must_use]
+    pub fn region_entry_frequency(&self, region: usize) -> f64 {
+        self.region_entry_nodes
+            .get(&region)
+            .map_or(0.0, |&n| self.nodes[n].frequency)
+    }
+
+    /// Sum of node frequencies for `pc` across all copies (equals the
+    /// AVEP frequency of `pc` up to solver tolerance — the invariant of
+    /// paper Figure 4).
+    #[must_use]
+    pub fn total_frequency(&self, pc: BlockPc) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.pc == pc)
+            .map(|n| n.frequency)
+            .sum()
+    }
+}
+
+/// Normalizes `avep` onto the control flow of `inip` and solves copy
+/// frequencies.
+///
+/// Flow routing: an outcome of a region copy that has a matching
+/// internal region edge stays inside the region; every other flow into
+/// an address `t` is *dispatched* — to the entry copy of the region
+/// whose entry is `t` if one exists (optimized dispatch enters regions
+/// at their entries), otherwise to `t`'s residual node.
+///
+/// # Errors
+///
+/// Returns [`ProfileError::MissingBlock`] if a region references a block
+/// absent from `avep`, and [`ProfileError::Solver`] if frequency
+/// propagation fails (a closed cycle of copies with no leakage, which
+/// region side exits rule out).
+pub fn normalize(inip: &InipDump, avep: &PlainProfile) -> Result<Navep, ProfileError> {
+    // 1. Create nodes: one per region copy, then one residual per AVEP
+    //    block that is not a region entry.
+    let mut nodes: Vec<NavepNode> = Vec::new();
+    // (region index) -> node id of its entry copy
+    let mut region_entry_nodes: BTreeMap<usize, usize> = BTreeMap::new();
+    // entry pc -> dispatch node (entry copy of the region rooted there)
+    let mut dispatch_overrides: BTreeMap<BlockPc, usize> = BTreeMap::new();
+    // (region, copy) -> node id
+    let mut copy_nodes: BTreeMap<(usize, CopyId), usize> = BTreeMap::new();
+
+    for (ri, region) in inip.regions.iter().enumerate() {
+        for (ci, &pc) in region.copies.iter().enumerate() {
+            if !avep.blocks.contains_key(&pc) {
+                return Err(ProfileError::MissingBlock { pc });
+            }
+            let id = nodes.len();
+            nodes.push(NavepNode {
+                pc,
+                origin: NodeOrigin::Region {
+                    region: ri,
+                    copy: ci,
+                },
+                frequency: 0.0,
+            });
+            copy_nodes.insert((ri, ci), id);
+            if ci == 0 {
+                region_entry_nodes.insert(ri, id);
+                dispatch_overrides.entry(pc).or_insert(id);
+            }
+        }
+    }
+    let mut residual_nodes: BTreeMap<BlockPc, usize> = BTreeMap::new();
+    for &pc in avep.blocks.keys() {
+        if dispatch_overrides.contains_key(&pc) {
+            continue;
+        }
+        let id = nodes.len();
+        nodes.push(NavepNode {
+            pc,
+            origin: NodeOrigin::Residual,
+            frequency: 0.0,
+        });
+        residual_nodes.insert(pc, id);
+    }
+
+    let dispatch = |pc: BlockPc| -> Option<usize> {
+        dispatch_overrides
+            .get(&pc)
+            .or_else(|| residual_nodes.get(&pc))
+            .copied()
+    };
+
+    // 2. Known vs unknown: a pc with exactly one node is non-duplicated;
+    //    its frequency is the AVEP constant.
+    let mut count_per_pc: BTreeMap<BlockPc, usize> = BTreeMap::new();
+    for n in &nodes {
+        *count_per_pc.entry(n.pc).or_insert(0) += 1;
+    }
+    let mut graph = FlowGraph::new(nodes.len());
+    for (id, n) in nodes.iter().enumerate() {
+        if count_per_pc[&n.pc] == 1 {
+            graph.set_known(id, avep.frequency(n.pc) as f64);
+        }
+    }
+
+    // 3. Edges: every node distributes its frequency by the AVEP
+    //    successor probabilities of its original block; region-internal
+    //    outcomes stay inside the region.
+    for (id, n) in nodes.iter().enumerate() {
+        let Some(record) = avep.blocks.get(&n.pc) else {
+            continue;
+        };
+        let probs = record.succ_probabilities();
+        for (slot, target, q) in probs {
+            let to = match n.origin {
+                NodeOrigin::Region { region, copy } => {
+                    let internal = inip.regions[region]
+                        .edges
+                        .iter()
+                        .find(|e| e.from == copy && e.slot == slot)
+                        .map(|e| copy_nodes[&(region, e.to)]);
+                    match internal {
+                        Some(t) => Some(t),
+                        None => dispatch(target),
+                    }
+                }
+                NodeOrigin::Residual => dispatch(target),
+            };
+            if let Some(to) = to {
+                graph.add_edge(id, to, q.min(1.0));
+            }
+        }
+    }
+
+    // 4. External unit inflow at the program entry.
+    if let Some(entry_node) = dispatch(inip.entry) {
+        graph.add_external(entry_node, 1.0);
+    }
+
+    // 5. Solve and write frequencies back.
+    let freqs = graph.solve()?;
+    for (id, n) in nodes.iter_mut().enumerate() {
+        n.frequency = freqs[id];
+    }
+    Ok(Navep {
+        nodes,
+        region_entry_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BlockRecord, RegionDump, RegionEdge, RegionKind, SuccSlot, TermKind};
+
+    /// Builds the paper's Figure 1-4 example (Mcf `price_out_impl`),
+    /// with flow-conserving AVEP counts that reproduce Figure 4's
+    /// constants (b1 = 1000, b3 = 6000, b4 = 44000, b2 = 50000 split
+    /// across copies):
+    ///
+    ///   b1 (1000):  jump -> b2
+    ///   b2 (50000): cond: taken -> b4 (44000, BP 0.88), fall -> b3
+    ///   b4 (44000): cond: taken -> b2 (43120, BP 0.98), fall -> exit
+    ///   b3 (6000):  cond: taken -> b2 (5880, BP 0.98), fall -> exit
+    ///   exit (1000): halt
+    ///
+    /// INIP regions (Figure 2a): inner loop region A = {b2', b4} and
+    /// outer loop region B = {b3, b2''}; b2 is duplicated into both.
+    pub(crate) fn mcf_example() -> (InipDump, PlainProfile) {
+        let (b1, b2, b3, b4, bx) = (10, 20, 30, 40, 50);
+        let mk = |kind, use_count, edges: Vec<(SuccSlot, BlockPc, u64)>| BlockRecord {
+            len: 4,
+            kind: Some(kind),
+            use_count,
+            edges,
+        };
+        let mut avep = PlainProfile {
+            entry: b1,
+            ..Default::default()
+        };
+        avep.blocks.insert(
+            b1,
+            mk(TermKind::Jump, 1000, vec![(SuccSlot::Other(0), b2, 1000)]),
+        );
+        avep.blocks.insert(
+            b2,
+            mk(
+                TermKind::Cond,
+                50000,
+                vec![
+                    (SuccSlot::Taken, b4, 44000),
+                    (SuccSlot::Fallthrough, b3, 6000),
+                ],
+            ),
+        );
+        avep.blocks.insert(
+            b4,
+            mk(
+                TermKind::Cond,
+                44000,
+                vec![
+                    (SuccSlot::Taken, b2, 43120),
+                    (SuccSlot::Fallthrough, bx, 880),
+                ],
+            ),
+        );
+        avep.blocks.insert(
+            b3,
+            mk(
+                TermKind::Cond,
+                6000,
+                vec![
+                    (SuccSlot::Taken, b2, 5880),
+                    (SuccSlot::Fallthrough, bx, 120),
+                ],
+            ),
+        );
+        avep.blocks.insert(bx, mk(TermKind::Halt, 1000, vec![]));
+
+        // INIP: same counters (values irrelevant to normalization), two
+        // loop regions duplicating b2.
+        let inip = InipDump {
+            threshold: 500,
+            regions: vec![
+                RegionDump {
+                    id: 0,
+                    kind: RegionKind::Loop,
+                    copies: vec![b2, b4],
+                    edges: vec![
+                        RegionEdge {
+                            from: 0,
+                            slot: SuccSlot::Taken,
+                            to: 1,
+                        },
+                        RegionEdge {
+                            from: 1,
+                            slot: SuccSlot::Taken,
+                            to: 0,
+                        },
+                    ],
+                    tail: 1,
+                },
+                RegionDump {
+                    id: 1,
+                    kind: RegionKind::Loop,
+                    copies: vec![b3, b2],
+                    edges: vec![
+                        RegionEdge {
+                            from: 0,
+                            slot: SuccSlot::Taken,
+                            to: 1,
+                        },
+                        RegionEdge {
+                            from: 1,
+                            slot: SuccSlot::Fallthrough,
+                            to: 0,
+                        },
+                    ],
+                    tail: 1,
+                },
+            ],
+            blocks: avep.blocks.clone(),
+            entry: b1,
+            profiling_ops: 0,
+            cycles: 0,
+            instructions: 0,
+        };
+        (inip, avep)
+    }
+
+    #[test]
+    fn copy_frequencies_sum_to_avep_frequency() {
+        let (inip, avep) = mcf_example();
+        let navep = normalize(&inip, &avep).unwrap();
+        let b2_total = navep.total_frequency(20);
+        assert!(
+            (b2_total - 50000.0).abs() / 50000.0 < 1e-6,
+            "b2 copies sum {b2_total}, expected 50000"
+        );
+        // Non-duplicated blocks keep AVEP frequencies exactly.
+        assert!((navep.total_frequency(40) - 44000.0).abs() < 1.0);
+        assert!((navep.total_frequency(30) - 6000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn region_entry_frequency_is_positive() {
+        let (inip, avep) = mcf_example();
+        let navep = normalize(&inip, &avep).unwrap();
+        assert!(navep.region_entry_frequency(0) > 0.0);
+        assert!(navep.region_entry_frequency(1) > 0.0);
+        assert_eq!(navep.region_entry_frequency(99), 0.0);
+    }
+
+    #[test]
+    fn no_regions_means_all_residual_with_avep_freqs() {
+        let (mut inip, avep) = mcf_example();
+        inip.regions.clear();
+        let navep = normalize(&inip, &avep).unwrap();
+        for node in &navep.nodes {
+            assert_eq!(node.origin, NodeOrigin::Residual);
+            assert!(
+                (node.frequency - avep.frequency(node.pc) as f64).abs() < 1e-9,
+                "node {node:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_block_is_reported() {
+        let (inip, mut avep) = mcf_example();
+        avep.blocks.remove(&20);
+        assert_eq!(
+            normalize(&inip, &avep),
+            Err(ProfileError::MissingBlock { pc: 20 })
+        );
+    }
+}

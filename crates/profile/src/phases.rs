@@ -1,0 +1,233 @@
+//! Interval profiles and offline phase detection.
+//!
+//! The paper's §1/§5 discussion leans on phase studies (Sherwood et
+//! al.'s phase tracking, Hsu et al.'s input predictability): some
+//! programs run through *phases* whose branch behaviour differs, and no
+//! single initial profile can represent them. This module provides the
+//! machinery to *measure* that: the translator records an
+//! [`IntervalProfile`] every N instructions (see
+//! `tpdbt_dbt::DbtConfig::with_interval`), and [`detect_phases`]
+//! segments the interval sequence greedily wherever the weighted
+//! branch-probability vector drifts beyond a threshold.
+
+use std::collections::BTreeMap;
+
+use crate::model::BlockPc;
+
+/// One profiling interval: per-conditional-block `(use, taken)` deltas
+/// accumulated since the previous snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct IntervalProfile {
+    /// Dynamic instruction count at the end of this interval.
+    pub end_instructions: u64,
+    /// Per-block `(use, taken)` deltas within the interval (conditional
+    /// blocks that executed at least once).
+    pub branches: BTreeMap<BlockPc, (u64, u64)>,
+}
+
+impl IntervalProfile {
+    /// Total conditional-branch executions in the interval.
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.branches.values().map(|(u, _)| u).sum()
+    }
+}
+
+/// A detected phase: a run of consecutive intervals with similar branch
+/// behaviour.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// First interval index (inclusive).
+    pub start: usize,
+    /// One past the last interval index.
+    pub end: usize,
+    /// Instruction count at the phase end.
+    pub end_instructions: u64,
+    /// The phase's aggregated per-block branch probabilities.
+    pub centroid: BTreeMap<BlockPc, f64>,
+}
+
+impl Phase {
+    /// Number of intervals in the phase.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the phase is empty (never produced by detection).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Weighted mean absolute branch-probability distance between an
+/// interval and a running centroid. Blocks absent from either side are
+/// skipped; the weight is the interval's use count per block.
+fn distance(
+    interval: &IntervalProfile,
+    centroid_use: &BTreeMap<BlockPc, (u64, u64)>,
+) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (pc, &(u, t)) in &interval.branches {
+        let Some(&(cu, ct)) = centroid_use.get(pc) else {
+            continue;
+        };
+        if u == 0 || cu == 0 {
+            continue;
+        }
+        let bp = t as f64 / u as f64;
+        let cbp = ct as f64 / cu as f64;
+        num += (bp - cbp).abs() * u as f64;
+        den += u as f64;
+    }
+    (den > 0.0).then_some(num / den)
+}
+
+/// Greedy phase segmentation: walk the intervals, maintaining the
+/// current phase's accumulated counts; when an interval's weighted
+/// branch-probability distance from the phase exceeds
+/// `distance_threshold`, close the phase and start a new one.
+///
+/// Returns at least one phase for a non-empty interval list. A sensible
+/// `distance_threshold` is 0.10 — the same "one standard deviation ≈
+/// 10%" intuition the paper applies to `Sd.BP`.
+///
+/// # Panics
+///
+/// Panics if `distance_threshold` is not positive.
+#[must_use]
+pub fn detect_phases(intervals: &[IntervalProfile], distance_threshold: f64) -> Vec<Phase> {
+    assert!(
+        distance_threshold > 0.0,
+        "distance threshold must be positive"
+    );
+    let mut phases = Vec::new();
+    let mut acc: BTreeMap<BlockPc, (u64, u64)> = BTreeMap::new();
+    let mut start = 0usize;
+    for (i, interval) in intervals.iter().enumerate() {
+        if i > start {
+            if let Some(d) = distance(interval, &acc) {
+                if d > distance_threshold {
+                    phases.push(close_phase(start, i, intervals, &acc));
+                    acc.clear();
+                    start = i;
+                }
+            }
+        }
+        for (pc, &(u, t)) in &interval.branches {
+            let e = acc.entry(*pc).or_insert((0, 0));
+            e.0 += u;
+            e.1 += t;
+        }
+    }
+    if start < intervals.len() {
+        phases.push(close_phase(start, intervals.len(), intervals, &acc));
+    }
+    phases
+}
+
+fn close_phase(
+    start: usize,
+    end: usize,
+    intervals: &[IntervalProfile],
+    acc: &BTreeMap<BlockPc, (u64, u64)>,
+) -> Phase {
+    let centroid = acc
+        .iter()
+        .filter(|(_, (u, _))| *u > 0)
+        .map(|(pc, (u, t))| (*pc, *t as f64 / *u as f64))
+        .collect();
+    Phase {
+        start,
+        end,
+        end_instructions: intervals[end - 1].end_instructions,
+        centroid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(end: u64, bp: f64, weight: u64) -> IntervalProfile {
+        let taken = (bp * weight as f64) as u64;
+        let mut branches = BTreeMap::new();
+        branches.insert(0usize, (weight, taken));
+        IntervalProfile {
+            end_instructions: end,
+            branches,
+        }
+    }
+
+    #[test]
+    fn stable_behavior_is_one_phase() {
+        let ivs: Vec<_> = (0..20)
+            .map(|i| interval((i + 1) * 1000, 0.8, 500))
+            .collect();
+        let phases = detect_phases(&ivs, 0.1);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].len(), 20);
+        assert!((phases[0].centroid[&0] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_bias_flip_splits_phases() {
+        let mut ivs: Vec<_> = (0..10)
+            .map(|i| interval((i + 1) * 1000, 0.9, 500))
+            .collect();
+        ivs.extend((10..20).map(|i| interval((i + 1) * 1000, 0.2, 500)));
+        let phases = detect_phases(&ivs, 0.1);
+        assert_eq!(phases.len(), 2, "{phases:?}");
+        assert_eq!(phases[0].end, 10);
+        assert!((phases[0].centroid[&0] - 0.9).abs() < 1e-9);
+        assert!((phases[1].centroid[&0] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_jitter_does_not_split() {
+        let ivs: Vec<_> = (0..30)
+            .map(|i| {
+                interval(
+                    (i + 1) * 1000,
+                    0.8 + 0.02 * f64::from(i32::from(i % 2 == 0)),
+                    500,
+                )
+            })
+            .collect();
+        assert_eq!(detect_phases(&ivs, 0.1).len(), 1);
+    }
+
+    #[test]
+    fn three_phases_detected() {
+        let mut ivs = Vec::new();
+        for (k, bp) in [(0u64, 0.95), (1, 0.5), (2, 0.05)] {
+            for i in 0..8u64 {
+                ivs.push(interval((k * 8 + i + 1) * 1000, bp, 400));
+            }
+        }
+        let phases = detect_phases(&ivs, 0.15);
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases.iter().map(Phase::len).sum::<usize>(), 24);
+        assert!(!phases[0].is_empty());
+    }
+
+    #[test]
+    fn empty_input_yields_no_phases() {
+        assert!(detect_phases(&[], 0.1).is_empty());
+    }
+
+    #[test]
+    fn interval_weight_sums_uses() {
+        let mut iv = interval(1000, 0.5, 100);
+        iv.branches.insert(7, (50, 10));
+        assert_eq!(iv.weight(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_threshold_panics() {
+        let _ = detect_phases(&[], 0.0);
+    }
+}

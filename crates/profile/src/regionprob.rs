@@ -1,0 +1,278 @@
+//! Completion and loop-back probability computation (paper §3.2, §3.3).
+//!
+//! Both quantities are frequency propagations over a region's internal
+//! edges: seed the entry copy with frequency 1 and accumulate along
+//! edges weighted by branch probabilities. Completion probability is the
+//! frequency reaching the designated tail block; loop-back probability
+//! is the frequency reaching a *dummy node* standing in for the region
+//! entry (back edges are redirected to it, Figure 7).
+
+use crate::model::{BlockPc, RegionDump, SuccSlot};
+
+/// A source of per-block successor probabilities: maps a block address
+/// to `(slot, probability)` pairs. `INIP(T)` evaluation reads the frozen
+/// counters; `NAVEP` evaluation reads the AVEP counters.
+pub trait ProbSource {
+    /// The probability of terminator outcome `slot` for block `pc`,
+    /// or `None` when the block has no data for it.
+    fn probability(&self, pc: BlockPc, slot: SuccSlot) -> Option<f64>;
+}
+
+impl<F> ProbSource for F
+where
+    F: Fn(BlockPc, SuccSlot) -> Option<f64>,
+{
+    fn probability(&self, pc: BlockPc, slot: SuccSlot) -> Option<f64> {
+        self(pc, slot)
+    }
+}
+
+fn propagate(region: &RegionDump, probs: &impl ProbSource) -> (Vec<f64>, f64) {
+    // Copy order is a topological order (edges go forward, except back
+    // edges to copy 0, which contribute to the dummy node).
+    let mut freq = vec![0.0; region.copies.len()];
+    let mut dummy = 0.0;
+    if !freq.is_empty() {
+        freq[0] = 1.0;
+    }
+    for (i, &pc) in region.copies.iter().enumerate() {
+        if freq[i] == 0.0 {
+            continue;
+        }
+        for edge in region.edges.iter().filter(|e| e.from == i) {
+            let p = probs.probability(pc, edge.slot).unwrap_or(0.0);
+            let flow = freq[i] * p;
+            if edge.to == 0 {
+                dummy += flow;
+            } else {
+                debug_assert!(edge.to > i, "region edges must be topologically ordered");
+                freq[edge.to] += flow;
+            }
+        }
+    }
+    (freq, dummy)
+}
+
+/// The completion probability of a non-loop region: the likelihood that
+/// execution entering at the region entry reaches the designated tail
+/// block (paper §3.2; Figure 6 evaluates to 0.86).
+///
+/// Returns `None` for an empty region.
+#[must_use]
+pub fn completion_probability(region: &RegionDump, probs: &impl ProbSource) -> Option<f64> {
+    if region.copies.is_empty() {
+        return None;
+    }
+    let (freq, _) = propagate(region, probs);
+    Some(freq[region.tail].min(1.0))
+}
+
+/// The loop-back probability of a loop region: the likelihood that
+/// execution entering at the loop entry returns to it (paper §3.3;
+/// Figure 7 evaluates to 0.886).
+///
+/// Returns `None` for an empty region.
+#[must_use]
+pub fn loopback_probability(region: &RegionDump, probs: &impl ProbSource) -> Option<f64> {
+    if region.copies.is_empty() {
+        return None;
+    }
+    let (_, dummy) = propagate(region, probs);
+    Some(dummy.min(1.0))
+}
+
+/// Converts a loop-back probability to the expected loop trip count via
+/// `LP = (T − 1)/T` (paper §4.3, citing Wu & Larus).
+///
+/// # Panics
+///
+/// Panics if `lp` is outside `[0, 1)` — `lp == 1` would be an infinite
+/// loop.
+#[must_use]
+pub fn trip_count_from_lp(lp: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&lp),
+        "loop-back probability {lp} outside [0,1)"
+    );
+    1.0 / (1.0 - lp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RegionEdge, RegionKind};
+    use std::collections::HashMap;
+
+    struct Table(HashMap<(BlockPc, SuccSlot), f64>);
+
+    impl ProbSource for Table {
+        fn probability(&self, pc: BlockPc, slot: SuccSlot) -> Option<f64> {
+            self.0.get(&(pc, slot)).copied()
+        }
+    }
+
+    /// Paper Figure 6: region b5,b6,b7,b8.
+    /// b5: taken->b6 p0.4, fall->b7 p0.6
+    /// b6: fall->b8 p0.8 (side exit 0.2)
+    /// b7: fall->b8 p0.9 (side exit 0.1)
+    /// CP = 0.4*0.8 + 0.6*0.9 = 0.86
+    #[test]
+    fn figure6_completion_is_0_86() {
+        let region = RegionDump {
+            id: 0,
+            kind: RegionKind::Trace,
+            copies: vec![5, 6, 7, 8],
+            edges: vec![
+                RegionEdge {
+                    from: 0,
+                    slot: SuccSlot::Taken,
+                    to: 1,
+                },
+                RegionEdge {
+                    from: 0,
+                    slot: SuccSlot::Fallthrough,
+                    to: 2,
+                },
+                RegionEdge {
+                    from: 1,
+                    slot: SuccSlot::Fallthrough,
+                    to: 3,
+                },
+                RegionEdge {
+                    from: 2,
+                    slot: SuccSlot::Fallthrough,
+                    to: 3,
+                },
+            ],
+            tail: 3,
+        };
+        let mut t = HashMap::new();
+        t.insert((5, SuccSlot::Taken), 0.4);
+        t.insert((5, SuccSlot::Fallthrough), 0.6);
+        t.insert((6, SuccSlot::Fallthrough), 0.8);
+        t.insert((7, SuccSlot::Fallthrough), 0.9);
+        let cp = completion_probability(&region, &Table(t)).unwrap();
+        assert!((cp - 0.86).abs() < 1e-12, "cp = {cp}");
+    }
+
+    /// Paper Figure 7: loop b5,b7,b8. Per the text, "block b7 will have
+    /// a frequency of 0.6, block b8 will have a frequency of 0.38, and
+    /// the dummy node will have frequency of 0.38*0.9 + 0.6*0.9" —
+    /// which evaluates to 0.882 (the paper prints 0.886, an arithmetic
+    /// slip in the prose; we reproduce the stated computation).
+    /// Model: b5 -> b7 (p0.6), b5 -> b8 (p0.38, remaining 0.02 exits);
+    /// b7 -> dummy (p0.9); b8 -> dummy (p0.9).
+    #[test]
+    fn figure7_loopback_matches_stated_computation() {
+        let region = RegionDump {
+            id: 0,
+            kind: RegionKind::Loop,
+            copies: vec![5, 7, 8],
+            edges: vec![
+                RegionEdge {
+                    from: 0,
+                    slot: SuccSlot::Taken,
+                    to: 1,
+                },
+                RegionEdge {
+                    from: 0,
+                    slot: SuccSlot::Fallthrough,
+                    to: 2,
+                },
+                RegionEdge {
+                    from: 1,
+                    slot: SuccSlot::Taken,
+                    to: 0,
+                },
+                RegionEdge {
+                    from: 2,
+                    slot: SuccSlot::Taken,
+                    to: 0,
+                },
+            ],
+            tail: 2,
+        };
+        let mut t = HashMap::new();
+        t.insert((5, SuccSlot::Taken), 0.6);
+        t.insert((5, SuccSlot::Fallthrough), 0.38);
+        t.insert((7, SuccSlot::Taken), 0.9);
+        t.insert((8, SuccSlot::Taken), 0.9);
+        let lp = loopback_probability(&region, &Table(t)).unwrap();
+        assert!((lp - 0.882).abs() < 1e-12, "lp = {lp}");
+    }
+
+    #[test]
+    fn region_without_side_exits_completes_with_probability_one() {
+        let region = RegionDump {
+            id: 0,
+            kind: RegionKind::Trace,
+            copies: vec![1, 2],
+            edges: vec![RegionEdge {
+                from: 0,
+                slot: SuccSlot::Other(0),
+                to: 1,
+            }],
+            tail: 1,
+        };
+        let probs = |_pc: BlockPc, _slot: SuccSlot| Some(1.0);
+        assert_eq!(completion_probability(&region, &probs), Some(1.0));
+    }
+
+    #[test]
+    fn missing_probability_is_treated_as_never_taken() {
+        let region = RegionDump {
+            id: 0,
+            kind: RegionKind::Trace,
+            copies: vec![1, 2],
+            edges: vec![RegionEdge {
+                from: 0,
+                slot: SuccSlot::Taken,
+                to: 1,
+            }],
+            tail: 1,
+        };
+        let probs = |_pc: BlockPc, _slot: SuccSlot| None;
+        assert_eq!(completion_probability(&region, &probs), Some(0.0));
+    }
+
+    #[test]
+    fn single_block_self_loop() {
+        let region = RegionDump {
+            id: 0,
+            kind: RegionKind::Loop,
+            copies: vec![9],
+            edges: vec![RegionEdge {
+                from: 0,
+                slot: SuccSlot::Taken,
+                to: 0,
+            }],
+            tail: 0,
+        };
+        let probs = |_pc: BlockPc, slot: SuccSlot| (slot == SuccSlot::Taken).then_some(0.95);
+        let lp = loopback_probability(&region, &probs).unwrap();
+        assert!((lp - 0.95).abs() < 1e-12);
+        assert!((trip_count_from_lp(lp) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trip_count_mapping_matches_paper_ranges() {
+        // LP 0.9 -> trip count 10; LP 0.98 -> 50.
+        assert!((trip_count_from_lp(0.9) - 10.0).abs() < 1e-9);
+        assert!((trip_count_from_lp(0.98) - 50.0).abs() < 1e-6);
+        assert_eq!(trip_count_from_lp(0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_region_yields_none() {
+        let region = RegionDump {
+            id: 0,
+            kind: RegionKind::Trace,
+            copies: vec![],
+            edges: vec![],
+            tail: 0,
+        };
+        let probs = |_: BlockPc, _: SuccSlot| Some(1.0);
+        assert_eq!(completion_probability(&region, &probs), None);
+        assert_eq!(loopback_probability(&region, &probs), None);
+    }
+}

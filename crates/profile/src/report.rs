@@ -1,0 +1,160 @@
+//! One-call analysis of an `INIP(T)` dump against `AVEP`.
+
+use crate::error::ProfileError;
+use crate::metrics::{sd_bp, sd_bp_plain, sd_cp, sd_lp};
+use crate::mismatch::{bp_mismatch, bp_mismatch_plain, lp_mismatch};
+use crate::model::{InipDump, PlainProfile};
+use crate::navep::normalize;
+
+/// All paper metrics for one `(benchmark, threshold)` cell.
+///
+/// `Sd.CP` / `Sd.LP` / LP mismatch are `None` when the run formed no
+/// regions of the relevant kind (exactly the cells the paper leaves
+/// blank — e.g. very high thresholds optimize nothing).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThresholdMetrics {
+    /// The retranslation threshold of the run.
+    pub threshold: u64,
+    /// `Sd.BP(T)` — §2.1. `None` if no conditional branches executed.
+    pub sd_bp: Option<f64>,
+    /// BP range mismatch rate — §4.1.
+    pub bp_mismatch: Option<f64>,
+    /// `Sd.CP(T)` — §2.2; `None` without non-loop regions.
+    pub sd_cp: Option<f64>,
+    /// `Sd.LP(T)` — §2.3; `None` without loop regions.
+    pub sd_lp: Option<f64>,
+    /// LP trip-count-class mismatch rate — §4.3.
+    pub lp_mismatch: Option<f64>,
+    /// Profiling operations performed (Figure 18 numerator).
+    pub profiling_ops: u64,
+    /// Simulated cycles (Figure 17).
+    pub cycles: u64,
+    /// Regions formed.
+    pub regions: usize,
+}
+
+/// Computes every metric of one `INIP(T)` dump against `AVEP`.
+///
+/// # Errors
+///
+/// Returns [`ProfileError::MissingBlock`] or [`ProfileError::Solver`]
+/// if NAVEP normalization fails; per-metric empty populations are
+/// reported as `None` fields rather than errors.
+pub fn analyze(inip: &InipDump, avep: &PlainProfile) -> Result<ThresholdMetrics, ProfileError> {
+    let navep = normalize(inip, avep)?;
+    let opt = |r: Result<f64, ProfileError>| match r {
+        Ok(v) => Ok(Some(v)),
+        Err(ProfileError::EmptyPopulation { .. }) => Ok(None),
+        Err(e) => Err(e),
+    };
+    Ok(ThresholdMetrics {
+        threshold: inip.threshold,
+        sd_bp: opt(sd_bp(inip, avep, &navep))?,
+        bp_mismatch: opt(bp_mismatch(inip, avep, &navep))?,
+        sd_cp: opt(sd_cp(inip, avep, &navep))?,
+        sd_lp: opt(sd_lp(inip, avep, &navep))?,
+        lp_mismatch: opt(lp_mismatch(inip, avep, &navep))?,
+        profiling_ops: inip.profiling_ops,
+        cycles: inip.cycles,
+        regions: inip.regions.len(),
+    })
+}
+
+/// The training-input reference metrics (`Sd.BP(train)` and the train
+/// BP mismatch) for a plain training profile against AVEP.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainMetrics {
+    /// `Sd.BP(train)`.
+    pub sd_bp: Option<f64>,
+    /// BP range mismatch of the training profile.
+    pub bp_mismatch: Option<f64>,
+    /// Profiling operations of the training run (Figure 18
+    /// denominator).
+    pub profiling_ops: u64,
+}
+
+/// Computes the training-input reference (the paper computes no
+/// `Sd.CP(train)` / `Sd.LP(train)`: plain profiles have no regions).
+#[must_use]
+pub fn analyze_train(train: &PlainProfile, avep: &PlainProfile) -> TrainMetrics {
+    TrainMetrics {
+        sd_bp: sd_bp_plain(train, avep).ok(),
+        bp_mismatch: bp_mismatch_plain(train, avep).ok(),
+        profiling_ops: train.profiling_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BlockRecord, SuccSlot, TermKind};
+    use std::collections::BTreeMap;
+
+    fn profile_with_one_branch(p: f64) -> PlainProfile {
+        let use_count = 100u64;
+        let taken = (p * use_count as f64) as u64;
+        let mut blocks = BTreeMap::new();
+        blocks.insert(
+            0,
+            BlockRecord {
+                len: 2,
+                kind: Some(TermKind::Cond),
+                use_count,
+                edges: vec![
+                    (SuccSlot::Taken, 0, taken),
+                    (SuccSlot::Fallthrough, 5, use_count - taken),
+                ],
+            },
+        );
+        blocks.insert(
+            5,
+            BlockRecord {
+                len: 1,
+                kind: Some(TermKind::Halt),
+                use_count: 1,
+                ..Default::default()
+            },
+        );
+        PlainProfile {
+            blocks,
+            entry: 0,
+            profiling_ops: 200,
+            instructions: 300,
+        }
+    }
+
+    #[test]
+    fn analyze_without_regions_has_zero_bp_deviation() {
+        let avep = profile_with_one_branch(0.8);
+        let inip = InipDump {
+            threshold: 50,
+            regions: vec![],
+            blocks: avep.blocks.clone(),
+            entry: 0,
+            profiling_ops: 40,
+            cycles: 1234,
+            instructions: 300,
+        };
+        let m = analyze(&inip, &avep).unwrap();
+        assert_eq!(m.threshold, 50);
+        assert_eq!(m.sd_bp, Some(0.0));
+        assert_eq!(m.bp_mismatch, Some(0.0));
+        assert_eq!(m.sd_cp, None);
+        assert_eq!(m.sd_lp, None);
+        assert_eq!(m.lp_mismatch, None);
+        assert_eq!(m.cycles, 1234);
+        assert_eq!(m.regions, 0);
+    }
+
+    #[test]
+    fn train_reference_compares_plain_profiles() {
+        let avep = profile_with_one_branch(0.8);
+        let train = profile_with_one_branch(0.6);
+        let t = analyze_train(&train, &avep);
+        let sd = t.sd_bp.unwrap();
+        assert!((sd - 0.2).abs() < 1e-9, "sd = {sd}");
+        // 0.6 is Mixed, 0.8 is LikelyTaken: a mismatch.
+        assert_eq!(t.bp_mismatch, Some(1.0));
+        assert_eq!(t.profiling_ops, 200);
+    }
+}

@@ -1,0 +1,492 @@
+//! Plain-text dump format.
+//!
+//! The paper's methodology collects `INIP(T)`, `AVEP`, and
+//! `INIP(train)` "into files" and analyzes them offline; this module is
+//! that file format. It is line-based and deliberately simple — one
+//! record per line, space-separated fields — so dumps are diffable and
+//! greppable during experiments.
+
+use std::fmt::Write as _;
+
+use crate::error::ProfileError;
+use crate::model::{
+    BlockPc, BlockRecord, InipDump, PlainProfile, RegionDump, RegionEdge, RegionKind, SuccSlot,
+    TermKind,
+};
+
+fn kind_str(kind: Option<TermKind>) -> &'static str {
+    match kind {
+        Some(TermKind::Cond) => "cond",
+        Some(TermKind::Jump) => "jump",
+        Some(TermKind::Switch) => "switch",
+        Some(TermKind::Call) => "call",
+        Some(TermKind::Return) => "ret",
+        Some(TermKind::Halt) => "halt",
+        None => "none",
+    }
+}
+
+fn parse_kind(s: &str, line: usize) -> Result<Option<TermKind>, ProfileError> {
+    Ok(match s {
+        "cond" => Some(TermKind::Cond),
+        "jump" => Some(TermKind::Jump),
+        "switch" => Some(TermKind::Switch),
+        "call" => Some(TermKind::Call),
+        "ret" => Some(TermKind::Return),
+        "halt" => Some(TermKind::Halt),
+        "none" => None,
+        other => {
+            return Err(ProfileError::Parse {
+                line,
+                detail: format!("unknown terminator kind `{other}`"),
+            })
+        }
+    })
+}
+
+fn slot_str(slot: SuccSlot) -> String {
+    match slot {
+        SuccSlot::Taken => "T".to_string(),
+        SuccSlot::Fallthrough => "F".to_string(),
+        SuccSlot::Other(i) => format!("O{i}"),
+    }
+}
+
+fn parse_slot(s: &str, line: usize) -> Result<SuccSlot, ProfileError> {
+    match s {
+        "T" => Ok(SuccSlot::Taken),
+        "F" => Ok(SuccSlot::Fallthrough),
+        other => other
+            .strip_prefix('O')
+            .and_then(|n| n.parse().ok())
+            .map(SuccSlot::Other)
+            .ok_or_else(|| ProfileError::Parse {
+                line,
+                detail: format!("unknown successor slot `{other}`"),
+            }),
+    }
+}
+
+fn write_blocks(out: &mut String, blocks: &std::collections::BTreeMap<BlockPc, BlockRecord>) {
+    for (pc, b) in blocks {
+        let _ = writeln!(
+            out,
+            "block {} {} {} {}",
+            pc,
+            b.len,
+            kind_str(b.kind),
+            b.use_count
+        );
+        for &(slot, target, count) in &b.edges {
+            let _ = writeln!(out, "edge {} {} {}", slot_str(slot), target, count);
+        }
+    }
+}
+
+/// Serializes a plain (AVEP / train) profile.
+#[must_use]
+pub fn plain_to_string(p: &PlainProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PLAIN v1");
+    let _ = writeln!(out, "entry {}", p.entry);
+    let _ = writeln!(out, "ops {}", p.profiling_ops);
+    let _ = writeln!(out, "instrs {}", p.instructions);
+    write_blocks(&mut out, &p.blocks);
+    out.push_str("end\n");
+    out
+}
+
+/// Serializes an `INIP(T)` dump.
+#[must_use]
+pub fn inip_to_string(d: &InipDump) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "INIP v1");
+    let _ = writeln!(out, "threshold {}", d.threshold);
+    let _ = writeln!(out, "entry {}", d.entry);
+    let _ = writeln!(out, "ops {}", d.profiling_ops);
+    let _ = writeln!(out, "cycles {}", d.cycles);
+    let _ = writeln!(out, "instrs {}", d.instructions);
+    write_blocks(&mut out, &d.blocks);
+    for r in &d.regions {
+        let kind = match r.kind {
+            RegionKind::Trace => "trace",
+            RegionKind::Loop => "loop",
+        };
+        let _ = writeln!(out, "region {} {} {}", r.id, kind, r.tail);
+        for &pc in &r.copies {
+            let _ = writeln!(out, "copy {pc}");
+        }
+        for e in &r.edges {
+            let _ = writeln!(out, "redge {} {} {}", e.from, slot_str(e.slot), e.to);
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Serializes interval profiles (phase-detection input).
+#[must_use]
+pub fn intervals_to_string(intervals: &[crate::phases::IntervalProfile]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "INTERVALS v1");
+    for iv in intervals {
+        let _ = writeln!(out, "interval {}", iv.end_instructions);
+        for (pc, (u, t)) in &iv.branches {
+            let _ = writeln!(out, "ib {pc} {u} {t}");
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses interval profiles produced by [`intervals_to_string`].
+///
+/// # Errors
+///
+/// Returns [`ProfileError::Parse`] with a line number on malformed
+/// input.
+pub fn intervals_from_str(text: &str) -> Result<Vec<crate::phases::IntervalProfile>, ProfileError> {
+    let mut p = Parser::new(text);
+    let (l, header) = p.next_fields().ok_or_else(|| err(0, "empty dump"))?;
+    if header != ["INTERVALS", "v1"] {
+        return Err(err(l, "expected `INTERVALS v1` header"));
+    }
+    let mut out: Vec<crate::phases::IntervalProfile> = Vec::new();
+    while let Some((l, f)) = p.next_fields() {
+        match f[0] {
+            "interval" => {
+                out.push(crate::phases::IntervalProfile {
+                    end_instructions: parse_num(f[1], l)?,
+                    branches: std::collections::BTreeMap::new(),
+                });
+            }
+            "ib" => {
+                let iv = out
+                    .last_mut()
+                    .ok_or_else(|| err(l, "ib before any interval"))?;
+                if f.len() != 4 {
+                    return Err(err(l, "ib takes 3 fields"));
+                }
+                iv.branches.insert(
+                    parse_num(f[1], l)?,
+                    (parse_num(f[2], l)?, parse_num(f[3], l)?),
+                );
+            }
+            "end" => return Ok(out),
+            other => return Err(err(l, format!("unexpected record `{other}`"))),
+        }
+    }
+    Err(err(0, "missing `end`"))
+}
+
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            lines: text.lines().enumerate(),
+        }
+    }
+
+    fn next_fields(&mut self) -> Option<(usize, Vec<&'a str>)> {
+        for (i, line) in self.lines.by_ref() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return Some((i + 1, line.split_whitespace().collect()));
+        }
+        None
+    }
+}
+
+fn err(line: usize, detail: impl Into<String>) -> ProfileError {
+    ProfileError::Parse {
+        line,
+        detail: detail.into(),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, ProfileError> {
+    s.parse()
+        .map_err(|_| err(line, format!("bad number `{s}`")))
+}
+
+/// Parses a plain profile produced by [`plain_to_string`].
+///
+/// # Errors
+///
+/// Returns [`ProfileError::Parse`] with a line number on malformed
+/// input.
+pub fn plain_from_str(text: &str) -> Result<PlainProfile, ProfileError> {
+    let mut p = Parser::new(text);
+    let (l, header) = p.next_fields().ok_or_else(|| err(0, "empty dump"))?;
+    if header != ["PLAIN", "v1"] {
+        return Err(err(l, "expected `PLAIN v1` header"));
+    }
+    let mut profile = PlainProfile::default();
+    let mut current: Option<BlockPc> = None;
+    while let Some((l, f)) = p.next_fields() {
+        match f[0] {
+            "entry" => profile.entry = parse_num(f[1], l)?,
+            "ops" => profile.profiling_ops = parse_num(f[1], l)?,
+            "instrs" => profile.instructions = parse_num(f[1], l)?,
+            "block" => {
+                if f.len() != 5 {
+                    return Err(err(l, "block takes 4 fields"));
+                }
+                let pc: BlockPc = parse_num(f[1], l)?;
+                let rec = BlockRecord {
+                    len: parse_num(f[2], l)?,
+                    kind: parse_kind(f[3], l)?,
+                    use_count: parse_num(f[4], l)?,
+                    edges: Vec::new(),
+                };
+                profile.blocks.insert(pc, rec);
+                current = Some(pc);
+            }
+            "edge" => {
+                let pc = current.ok_or_else(|| err(l, "edge before any block"))?;
+                let slot = parse_slot(f[1], l)?;
+                let target = parse_num(f[2], l)?;
+                let count = parse_num(f[3], l)?;
+                profile
+                    .blocks
+                    .get_mut(&pc)
+                    .expect("current block exists")
+                    .edges
+                    .push((slot, target, count));
+            }
+            "end" => return Ok(profile),
+            other => return Err(err(l, format!("unexpected record `{other}`"))),
+        }
+    }
+    Err(err(0, "missing `end`"))
+}
+
+/// Parses an `INIP(T)` dump produced by [`inip_to_string`].
+///
+/// # Errors
+///
+/// Returns [`ProfileError::Parse`] with a line number on malformed
+/// input.
+pub fn inip_from_str(text: &str) -> Result<InipDump, ProfileError> {
+    let mut p = Parser::new(text);
+    let (l, header) = p.next_fields().ok_or_else(|| err(0, "empty dump"))?;
+    if header != ["INIP", "v1"] {
+        return Err(err(l, "expected `INIP v1` header"));
+    }
+    let mut dump = InipDump {
+        threshold: 0,
+        regions: Vec::new(),
+        blocks: std::collections::BTreeMap::new(),
+        entry: 0,
+        profiling_ops: 0,
+        cycles: 0,
+        instructions: 0,
+    };
+    let mut current_block: Option<BlockPc> = None;
+    while let Some((l, f)) = p.next_fields() {
+        match f[0] {
+            "threshold" => dump.threshold = parse_num(f[1], l)?,
+            "entry" => dump.entry = parse_num(f[1], l)?,
+            "ops" => dump.profiling_ops = parse_num(f[1], l)?,
+            "cycles" => dump.cycles = parse_num(f[1], l)?,
+            "instrs" => dump.instructions = parse_num(f[1], l)?,
+            "block" => {
+                if f.len() != 5 {
+                    return Err(err(l, "block takes 4 fields"));
+                }
+                let pc: BlockPc = parse_num(f[1], l)?;
+                dump.blocks.insert(
+                    pc,
+                    BlockRecord {
+                        len: parse_num(f[2], l)?,
+                        kind: parse_kind(f[3], l)?,
+                        use_count: parse_num(f[4], l)?,
+                        edges: Vec::new(),
+                    },
+                );
+                current_block = Some(pc);
+            }
+            "edge" => {
+                let pc = current_block.ok_or_else(|| err(l, "edge before any block"))?;
+                let slot = parse_slot(f[1], l)?;
+                let target = parse_num(f[2], l)?;
+                let count = parse_num(f[3], l)?;
+                dump.blocks
+                    .get_mut(&pc)
+                    .expect("current block exists")
+                    .edges
+                    .push((slot, target, count));
+            }
+            "region" => {
+                let kind = match f[2] {
+                    "trace" => RegionKind::Trace,
+                    "loop" => RegionKind::Loop,
+                    other => return Err(err(l, format!("unknown region kind `{other}`"))),
+                };
+                dump.regions.push(RegionDump {
+                    id: parse_num(f[1], l)?,
+                    kind,
+                    copies: Vec::new(),
+                    edges: Vec::new(),
+                    tail: parse_num(f[3], l)?,
+                });
+            }
+            "copy" => {
+                let region = dump
+                    .regions
+                    .last_mut()
+                    .ok_or_else(|| err(l, "copy before any region"))?;
+                region.copies.push(parse_num(f[1], l)?);
+            }
+            "redge" => {
+                let from = parse_num(f[1], l)?;
+                let slot = parse_slot(f[2], l)?;
+                let to = parse_num(f[3], l)?;
+                let region = dump
+                    .regions
+                    .last_mut()
+                    .ok_or_else(|| err(l, "redge before any region"))?;
+                region.edges.push(RegionEdge { from, slot, to });
+            }
+            "end" => return Ok(dump),
+            other => return Err(err(l, format!("unexpected record `{other}`"))),
+        }
+    }
+    Err(err(0, "missing `end`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TermKind;
+
+    fn sample_plain() -> PlainProfile {
+        let mut p = PlainProfile {
+            entry: 3,
+            profiling_ops: 77,
+            instructions: 99,
+            ..Default::default()
+        };
+        p.blocks.insert(
+            3,
+            BlockRecord {
+                len: 4,
+                kind: Some(TermKind::Cond),
+                use_count: 10,
+                edges: vec![(SuccSlot::Taken, 3, 7), (SuccSlot::Fallthrough, 8, 3)],
+            },
+        );
+        p.blocks.insert(
+            8,
+            BlockRecord {
+                len: 1,
+                kind: Some(TermKind::Halt),
+                use_count: 1,
+                edges: vec![],
+            },
+        );
+        p
+    }
+
+    fn sample_inip() -> InipDump {
+        let plain = sample_plain();
+        InipDump {
+            threshold: 500,
+            regions: vec![RegionDump {
+                id: 0,
+                kind: RegionKind::Loop,
+                copies: vec![3],
+                edges: vec![RegionEdge {
+                    from: 0,
+                    slot: SuccSlot::Taken,
+                    to: 0,
+                }],
+                tail: 0,
+            }],
+            blocks: plain.blocks,
+            entry: 3,
+            profiling_ops: 20,
+            cycles: 555,
+            instructions: 99,
+        }
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        let p = sample_plain();
+        let text = plain_to_string(&p);
+        let back = plain_from_str(&text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn inip_roundtrip() {
+        let d = sample_inip();
+        let text = inip_to_string(&d);
+        let back = inip_from_str(&text).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = plain_from_str("PLAIN v1\nbogus 3\nend\n").unwrap_err();
+        assert!(matches!(e, ProfileError::Parse { line: 2, .. }), "{e:?}");
+        let e = plain_from_str("NOPE v1\n").unwrap_err();
+        assert!(matches!(e, ProfileError::Parse { line: 1, .. }));
+        let e = inip_from_str("INIP v1\ncopy 4\nend\n").unwrap_err();
+        assert!(matches!(e, ProfileError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn missing_end_is_rejected() {
+        assert!(plain_from_str("PLAIN v1\nentry 0\n").is_err());
+        assert!(inip_from_str("INIP v1\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "PLAIN v1\n\n# a comment\nentry 5\nend\n";
+        let p = plain_from_str(text).unwrap();
+        assert_eq!(p.entry, 5);
+    }
+
+    #[test]
+    fn intervals_roundtrip() {
+        use crate::phases::IntervalProfile;
+        let mut a = IntervalProfile {
+            end_instructions: 1000,
+            ..Default::default()
+        };
+        a.branches.insert(3, (40, 12));
+        a.branches.insert(9, (7, 7));
+        let b = IntervalProfile {
+            end_instructions: 2000,
+            ..Default::default()
+        };
+        let ivs = vec![a, b];
+        let text = intervals_to_string(&ivs);
+        assert_eq!(intervals_from_str(&text).unwrap(), ivs);
+        assert!(intervals_from_str("INTERVALS v1\nib 1 2 3\nend").is_err());
+        assert!(intervals_from_str("WRONG\n").is_err());
+    }
+
+    #[test]
+    fn slot_encoding_roundtrip() {
+        for slot in [
+            SuccSlot::Taken,
+            SuccSlot::Fallthrough,
+            SuccSlot::Other(0),
+            SuccSlot::Other(12),
+        ] {
+            let s = slot_str(slot);
+            assert_eq!(parse_slot(&s, 1).unwrap(), slot);
+        }
+        assert!(parse_slot("Q", 1).is_err());
+        assert!(parse_slot("Ox", 1).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests for the profile analyzer: metric bounds, text-format
+//! round trips over arbitrary dumps, and range-classification
+//! consistency.
+
+use proptest::prelude::*;
+
+use tpdbt_profile::{
+    metrics, mismatch, regionprob, text, BlockRecord, InipDump, PlainProfile, RegionDump,
+    RegionEdge, RegionKind, SuccSlot, TermKind,
+};
+
+fn arb_slot() -> impl Strategy<Value = SuccSlot> {
+    prop_oneof![
+        Just(SuccSlot::Taken),
+        Just(SuccSlot::Fallthrough),
+        (0u32..6).prop_map(SuccSlot::Other),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = Option<TermKind>> {
+    prop_oneof![
+        Just(Some(TermKind::Cond)),
+        Just(Some(TermKind::Jump)),
+        Just(Some(TermKind::Switch)),
+        Just(Some(TermKind::Call)),
+        Just(Some(TermKind::Return)),
+        Just(Some(TermKind::Halt)),
+        Just(None),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        len in 1u32..64,
+        kind in arb_kind(),
+        use_count in 0u64..1_000_000,
+        edges in prop::collection::vec((arb_slot(), 0usize..100, 0u64..1_000_000), 0..5),
+    ) -> BlockRecord {
+        let mut r = BlockRecord { len, kind, use_count, edges: Vec::new() };
+        for (slot, target, count) in edges {
+            r.bump_edge(slot, target, count);
+        }
+        r
+    }
+}
+
+prop_compose! {
+    fn arb_plain()(
+        blocks in prop::collection::btree_map(0usize..100, arb_record(), 0..12),
+        entry in 0usize..100,
+        ops in 0u64..1_000_000,
+        instrs in 0u64..1_000_000,
+    ) -> PlainProfile {
+        PlainProfile { blocks, entry, profiling_ops: ops, instructions: instrs }
+    }
+}
+
+prop_compose! {
+    fn arb_region(id: usize)(
+        copies in prop::collection::vec(0usize..100, 1..6),
+        is_loop in any::<bool>(),
+        edge_spec in prop::collection::vec((arb_slot(), any::<bool>()), 0..6),
+    ) -> RegionDump {
+        // Build topologically valid edges: forward or back-to-entry.
+        let n = copies.len();
+        let mut edges = Vec::new();
+        for (i, (slot, to_entry)) in edge_spec.into_iter().enumerate() {
+            let from = i % n;
+            let to = if to_entry || from + 1 >= n { 0 } else { from + 1 };
+            if to == 0 || to > from {
+                edges.push(RegionEdge { from, slot, to });
+            }
+        }
+        RegionDump {
+            id,
+            kind: if is_loop { RegionKind::Loop } else { RegionKind::Trace },
+            copies,
+            edges,
+            tail: 0,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The plain text format round trips arbitrary profiles exactly.
+    #[test]
+    fn plain_text_roundtrip(p in arb_plain()) {
+        let s = text::plain_to_string(&p);
+        prop_assert_eq!(text::plain_from_str(&s).unwrap(), p);
+    }
+
+    /// The INIP text format round trips arbitrary dumps (blocks plus
+    /// arbitrary-but-valid regions) exactly.
+    #[test]
+    fn inip_text_roundtrip(
+        p in arb_plain(),
+        regions in prop::collection::vec(arb_region(0), 0..4),
+        threshold in 1u64..1_000_000,
+        cycles in 0u64..u64::MAX / 2,
+    ) {
+        let mut regions = regions;
+        for (i, r) in regions.iter_mut().enumerate() {
+            r.id = i;
+        }
+        let dump = InipDump {
+            threshold,
+            regions,
+            blocks: p.blocks,
+            entry: p.entry,
+            profiling_ops: p.profiling_ops,
+            cycles,
+            instructions: p.instructions,
+        };
+        let s = text::inip_to_string(&dump);
+        prop_assert_eq!(text::inip_from_str(&s).unwrap(), dump);
+    }
+
+    /// `weighted_sd` is bounded by the largest absolute deviation and
+    /// is zero iff all deviations are zero (with positive weight).
+    #[test]
+    fn weighted_sd_bounds(points in prop::collection::vec(
+        (0.0f64..=1.0, 0.0f64..=1.0, 0.001f64..1000.0), 1..20)
+    ) {
+        let sd = metrics::weighted_sd(points.clone()).unwrap();
+        let max_dev = points.iter().map(|(a, b, _)| (a - b).abs()).fold(0.0, f64::max);
+        prop_assert!(sd <= max_dev + 1e-12);
+        prop_assert!(sd >= 0.0);
+        if points.iter().all(|(a, b, _)| a == b) {
+            prop_assert!(sd == 0.0);
+        } else {
+            let min_dev = points
+                .iter()
+                .map(|(a, b, _)| (a - b).abs())
+                .fold(f64::INFINITY, f64::min);
+            let _ = min_dev; // sd can be below min_dev only via weighting; no constraint
+        }
+    }
+
+    /// Range classifications agree with their numeric boundaries.
+    #[test]
+    fn classifications_respect_boundaries(p in 0.0f64..=1.0) {
+        use mismatch::{bp_range, trip_class, BpRange, TripClass};
+        let r = bp_range(p);
+        match r {
+            BpRange::RarelyTaken => prop_assert!(p < 0.3),
+            BpRange::Mixed => prop_assert!((0.3..=0.7).contains(&p)),
+            BpRange::LikelyTaken => prop_assert!(p > 0.7),
+        }
+        let c = trip_class(p);
+        match c {
+            TripClass::Low => prop_assert!(p < 0.9),
+            TripClass::Median => prop_assert!((0.9..=0.98).contains(&p)),
+            TripClass::High => prop_assert!(p > 0.98),
+        }
+    }
+
+    /// Trip count and loop-back probability are mutually consistent:
+    /// `trip_count_from_lp(lp)` inverts `(T-1)/T`.
+    #[test]
+    fn trip_count_inverts_lp(trips in 1.0f64..10_000.0) {
+        let lp = (trips - 1.0) / trips;
+        let back = regionprob::trip_count_from_lp(lp);
+        prop_assert!((back - trips).abs() / trips < 1e-9);
+    }
+
+    /// Completion and loop-back probabilities are probabilities: in
+    /// [0, 1] for any region and any probability source.
+    #[test]
+    fn region_probabilities_stay_in_unit_interval(
+        region in arb_region(0),
+        seed_prob in 0.0f64..=1.0,
+    ) {
+        let probs = |_pc: usize, slot: SuccSlot| match slot {
+            SuccSlot::Taken => Some(seed_prob),
+            SuccSlot::Fallthrough => Some(1.0 - seed_prob),
+            SuccSlot::Other(_) => Some(1.0),
+        };
+        if let Some(cp) = regionprob::completion_probability(&region, &probs) {
+            prop_assert!((0.0..=1.0).contains(&cp));
+        }
+        if let Some(lp) = regionprob::loopback_probability(&region, &probs) {
+            prop_assert!((0.0..=1.0).contains(&lp));
+        }
+    }
+
+    /// Branch probability, when defined, is `taken/use` and lies in
+    /// [0, 1] whenever edge counts are consistent with the use count.
+    #[test]
+    fn branch_probability_definition(use_count in 1u64..100_000, taken in 0u64..100_000) {
+        let taken = taken.min(use_count);
+        let r = BlockRecord {
+            len: 2,
+            kind: Some(TermKind::Cond),
+            use_count,
+            edges: vec![
+                (SuccSlot::Taken, 1, taken),
+                (SuccSlot::Fallthrough, 2, use_count - taken),
+            ],
+        };
+        let bp = r.branch_probability().unwrap();
+        prop_assert!((bp - taken as f64 / use_count as f64).abs() < 1e-15);
+        prop_assert!((0.0..=1.0).contains(&bp));
+        // Slot probabilities sum to 1 over the two outcomes.
+        let pt = r.slot_probability(SuccSlot::Taken).unwrap();
+        let pf = r.slot_probability(SuccSlot::Fallthrough).unwrap();
+        prop_assert!((pt + pf - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,448 @@
+//! Static CFG construction, dominators, and natural-loop detection.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use tpdbt_isa::{decode_block, Pc, Program, Terminator};
+
+/// One CFG node: a basic block of the leader-partitioned static CFG.
+///
+/// Unlike the translator's dynamically discovered blocks (which may
+/// overlap), static blocks are split at every *leader* (entry, branch
+/// target, post-branch fall-through), so dominance and natural loops
+/// are well defined. A block cut short by the next leader has
+/// `terminator = None` and a single fall-through successor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CfgNode {
+    /// Block identity (address of its first instruction).
+    pub pc: Pc,
+    /// One past the last instruction of the block.
+    pub end: Pc,
+    /// Terminator summary; `None` when the block falls through into the
+    /// next leader.
+    pub terminator: Option<Terminator>,
+    /// Successor block addresses (conditional: `[taken, fallthrough]`;
+    /// switch: deduplicated targets; call: `[callee]`; fall-through:
+    /// `[next leader]`; return/halt: empty).
+    pub succs: Vec<Pc>,
+}
+
+/// A natural loop found via dominance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Loop header block.
+    pub header: Pc,
+    /// All member blocks (header included).
+    pub members: BTreeSet<Pc>,
+}
+
+/// A static control-flow graph over basic blocks.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    nodes: Vec<CfgNode>,
+    index: BTreeMap<Pc, usize>,
+    entry: Pc,
+    idom: Vec<Option<usize>>,
+    loops: Vec<LoopInfo>,
+}
+
+impl Cfg {
+    /// All nodes in discovery (reverse-postorder-ish BFS) order.
+    #[must_use]
+    pub fn nodes(&self) -> &[CfgNode] {
+        &self.nodes
+    }
+
+    /// The node for block `pc`, if reachable.
+    #[must_use]
+    pub fn node(&self, pc: Pc) -> Option<&CfgNode> {
+        self.index.get(&pc).map(|&i| &self.nodes[i])
+    }
+
+    /// The program entry block.
+    #[must_use]
+    pub fn entry(&self) -> Pc {
+        self.entry
+    }
+
+    /// Natural loops (one per header; nested loops appear separately).
+    #[must_use]
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// Whether `a` dominates `b` (both must be reachable blocks).
+    #[must_use]
+    pub fn dominates(&self, a: Pc, b: Pc) -> bool {
+        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            return false;
+        };
+        let mut cur = Some(ib);
+        while let Some(i) = cur {
+            if i == ia {
+                return true;
+            }
+            cur = self.idom[i];
+            if cur == Some(i) {
+                return i == ia;
+            }
+        }
+        false
+    }
+
+    /// Whether the edge `from → to` is a back edge (target dominates
+    /// source).
+    #[must_use]
+    pub fn is_back_edge(&self, from: Pc, to: Pc) -> bool {
+        self.dominates(to, from)
+    }
+
+    /// The innermost loop containing `pc`, if any (smallest member
+    /// set).
+    #[must_use]
+    pub fn innermost_loop(&self, pc: Pc) -> Option<&LoopInfo> {
+        self.loops
+            .iter()
+            .filter(|l| l.members.contains(&pc))
+            .min_by_key(|l| l.members.len())
+    }
+}
+
+fn static_succs(terminator: &Terminator) -> Vec<Pc> {
+    match terminator {
+        Terminator::Jump { target } => vec![*target],
+        Terminator::Branch { taken, fallthrough } => vec![*taken, *fallthrough],
+        Terminator::Switch { targets } => {
+            let mut t = targets.clone();
+            t.sort_unstable();
+            t.dedup();
+            t
+        }
+        Terminator::Call { target, .. } => vec![*target],
+        Terminator::Return | Terminator::Halt => vec![],
+    }
+}
+
+/// Builds the leader-partitioned CFG reachable from the program entry,
+/// with dominators and natural loops. Return edges are not modelled
+/// (statically unknown); call edges lead to the callee.
+#[must_use]
+pub fn build_cfg(program: &Program) -> Cfg {
+    // Leaders: entry + every static jump target + post-branch
+    // fall-through + call continuations.
+    let mut leaders: BTreeSet<Pc> = program.static_leaders().into_iter().collect();
+    for pc in 0..program.len() {
+        if let Some(tpdbt_isa::Instr::Call { .. }) = program.get(pc) {
+            if pc + 1 < program.len() {
+                leaders.insert(pc + 1);
+            }
+        }
+    }
+
+    // Partitioned block at a leader: scan to the terminator, but stop
+    // early if the next leader arrives first (fall-through block).
+    let block_at = |pc: Pc| -> Option<CfgNode> {
+        let block = decode_block(program, pc)?;
+        let next_leader = leaders.range(pc + 1..).next().copied();
+        match next_leader {
+            Some(l) if l < block.end => Some(CfgNode {
+                pc,
+                end: l,
+                terminator: None,
+                succs: vec![l],
+            }),
+            _ => {
+                let succs = static_succs(&block.terminator);
+                Some(CfgNode {
+                    pc,
+                    end: block.end,
+                    terminator: Some(block.terminator),
+                    succs,
+                })
+            }
+        }
+    };
+
+    // Reachability BFS over partitioned blocks.
+    let mut index: BTreeMap<Pc, usize> = BTreeMap::new();
+    let mut nodes: Vec<CfgNode> = Vec::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(program.entry());
+    while let Some(pc) = queue.pop_front() {
+        if index.contains_key(&pc) {
+            continue;
+        }
+        let Some(node) = block_at(pc) else { continue };
+        index.insert(pc, nodes.len());
+        for &s in &node.succs {
+            if !index.contains_key(&s) {
+                queue.push_back(s);
+            }
+        }
+        if let Some(Terminator::Call { next, .. }) = node.terminator {
+            if !index.contains_key(&next) {
+                queue.push_back(next);
+            }
+        }
+        nodes.push(node);
+    }
+
+    let idom = compute_idoms(&nodes, &index);
+    let loops = find_loops(&nodes, &index, &idom);
+    Cfg {
+        nodes,
+        index,
+        entry: program.entry(),
+        idom,
+        loops,
+    }
+}
+
+/// Cooper–Harvey–Kennedy iterative dominators over the node list.
+fn compute_idoms(nodes: &[CfgNode], index: &BTreeMap<Pc, usize>) -> Vec<Option<usize>> {
+    let n = nodes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Predecessor lists.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in nodes.iter().enumerate() {
+        for s in &node.succs {
+            if let Some(&j) = index.get(s) {
+                preds[j].push(i);
+            }
+        }
+    }
+    // Reverse postorder from node 0 (the entry is discovered first).
+    let rpo = reverse_postorder(nodes, index);
+    let mut order_of = vec![usize::MAX; n];
+    for (k, &i) in rpo.iter().enumerate() {
+        order_of[i] = k;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[0] = Some(0);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, &order_of),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni) {
+                    idom[b] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(mut a: usize, mut b: usize, idom: &[Option<usize>], order: &[usize]) -> usize {
+    while a != b {
+        while order[a] > order[b] {
+            a = idom[a].expect("processed nodes have idoms");
+        }
+        while order[b] > order[a] {
+            b = idom[b].expect("processed nodes have idoms");
+        }
+    }
+    a
+}
+
+fn reverse_postorder(nodes: &[CfgNode], index: &BTreeMap<Pc, usize>) -> Vec<usize> {
+    let n = nodes.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS from node 0.
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+        let succs = &nodes[node].succs;
+        if *child < succs.len() {
+            let next = index.get(&succs[*child]).copied();
+            *child += 1;
+            if let Some(next) = next {
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            }
+        } else {
+            post.push(node);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+fn find_loops(
+    nodes: &[CfgNode],
+    index: &BTreeMap<Pc, usize>,
+    idom: &[Option<usize>],
+) -> Vec<LoopInfo> {
+    let dominates = |a: usize, b: usize| -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idom[cur] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    };
+    // Predecessors for the body walk.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        for s in &node.succs {
+            if let Some(&j) = index.get(s) {
+                preds[j].push(i);
+            }
+        }
+    }
+    let mut by_header: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        for s in &node.succs {
+            let Some(&h) = index.get(s) else { continue };
+            if idom[i].is_some() && dominates(h, i) {
+                // Back edge i -> h: walk predecessors from i to collect
+                // the natural loop body.
+                let body = by_header.entry(h).or_default();
+                body.insert(h);
+                let mut work = vec![i];
+                while let Some(m) = work.pop() {
+                    if body.insert(m) {
+                        work.extend(preds[m].iter().copied());
+                    }
+                }
+            }
+        }
+    }
+    by_header
+        .into_iter()
+        .map(|(h, members)| LoopInfo {
+            header: nodes[h].pc,
+            members: members.into_iter().map(|i| nodes[i].pc).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_isa::{structured, Cond, ProgramBuilder, Reg};
+
+    fn loop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::new(0);
+        structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, 10, |b| {
+            structured::if_then(b, Cond::Eq, Reg::new(1), 0, |b| b.out(r)).unwrap();
+        })
+        .unwrap();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn discovers_reachable_blocks_and_a_loop() {
+        let p = loop_program();
+        let cfg = build_cfg(&p);
+        assert!(cfg.nodes().len() >= 3);
+        assert_eq!(cfg.loops().len(), 1);
+        let l = &cfg.loops()[0];
+        assert!(l.members.len() >= 2, "{l:?}");
+        assert!(l.members.contains(&l.header));
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let p = loop_program();
+        let cfg = build_cfg(&p);
+        for node in cfg.nodes() {
+            assert!(
+                cfg.dominates(cfg.entry(), node.pc),
+                "entry !dom {}",
+                node.pc
+            );
+        }
+    }
+
+    #[test]
+    fn back_edges_point_at_dominators() {
+        let p = loop_program();
+        let cfg = build_cfg(&p);
+        let mut back = 0;
+        for node in cfg.nodes() {
+            for &s in &node.succs {
+                if cfg.is_back_edge(node.pc, s) {
+                    back += 1;
+                    assert!(cfg.dominates(s, node.pc));
+                }
+            }
+        }
+        assert_eq!(back, 1, "exactly one loop latch in this program");
+    }
+
+    #[test]
+    fn innermost_loop_of_nested_structure() {
+        // Two nested counted loops.
+        let mut b = ProgramBuilder::new();
+        let (i, j) = (Reg::new(0), Reg::new(1));
+        structured::counted_loop(&mut b, i, 0, 1, Cond::Lt, 5, |b| {
+            structured::counted_loop(b, j, 0, 1, Cond::Lt, 7, |_| {}).unwrap();
+        })
+        .unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = build_cfg(&p);
+        assert_eq!(cfg.loops().len(), 2);
+        let inner_header = cfg
+            .loops()
+            .iter()
+            .min_by_key(|l| l.members.len())
+            .unwrap()
+            .header;
+        let inner = cfg.innermost_loop(inner_header).unwrap();
+        assert_eq!(inner.header, inner_header);
+    }
+
+    #[test]
+    fn call_discovers_callee_and_continuation() {
+        let mut b = ProgramBuilder::new();
+        let f = b.fresh_label("f");
+        b.call(f); // 0
+        b.out(Reg::new(0)); // 1 (continuation)
+        b.halt();
+        b.bind(f).unwrap();
+        b.ret();
+        let p = b.build().unwrap();
+        let cfg = build_cfg(&p);
+        assert!(cfg.node(1).is_some(), "continuation discovered");
+        assert!(cfg.node(3).is_some(), "callee discovered");
+        // But no CFG edge models the dynamic return.
+        assert!(cfg.node(3).unwrap().succs.is_empty());
+    }
+
+    #[test]
+    fn unreachable_code_is_excluded() {
+        let mut b = ProgramBuilder::new();
+        let end = b.fresh_label("end");
+        b.jmp(end);
+        b.movi(Reg::new(0), 9); // dead
+        b.bind(end).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = build_cfg(&p);
+        assert!(cfg.node(1).is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for static CFG analysis and prediction over random
+//! structured programs.
+
+use proptest::prelude::*;
+
+use tpdbt_isa::{structured, Cond, Program, ProgramBuilder, Reg};
+use tpdbt_staticpred::{build_cfg, predict_with_program, static_profile};
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Loop { trips: i64, nested: bool },
+    IfElse { cond: u8 },
+    Ops(u8),
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (1i64..30, any::<bool>()).prop_map(|(trips, nested)| Stmt::Loop { trips, nested }),
+        (0u8..6).prop_map(|cond| Stmt::IfElse { cond }),
+        (1u8..5).prop_map(Stmt::Ops),
+    ]
+}
+
+fn cond_of(i: u8) -> Cond {
+    match i % 6 {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Le,
+        4 => Cond::Gt,
+        _ => Cond::Ge,
+    }
+}
+
+fn build(stmts: &[Stmt]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let acc = Reg::new(3);
+    for (i, stmt) in stmts.iter().enumerate() {
+        match stmt {
+            Stmt::Loop { trips, nested } => {
+                let ctr = Reg::new(10 + (i % 4) as u8);
+                let inner = Reg::new(14 + (i % 4) as u8);
+                let nested = *nested;
+                structured::counted_loop(&mut b, ctr, 0, 1, Cond::Lt, *trips, move |b| {
+                    if nested {
+                        structured::counted_loop(b, inner, 0, 1, Cond::Lt, 5, |b| {
+                            b.addi(acc, acc, 1);
+                        })
+                        .unwrap();
+                    } else {
+                        b.addi(acc, acc, 1);
+                    }
+                })
+                .unwrap();
+            }
+            Stmt::IfElse { cond } => {
+                b.and(Reg::new(4), acc, 7);
+                structured::if_else(
+                    &mut b,
+                    cond_of(*cond),
+                    Reg::new(4),
+                    3,
+                    |b| b.addi(acc, acc, 2),
+                    |b| b.subi(acc, acc, 1),
+                )
+                .unwrap();
+            }
+            Stmt::Ops(n) => {
+                for _ in 0..*n {
+                    b.muli(acc, acc, 3);
+                }
+            }
+        }
+    }
+    b.out(acc);
+    b.halt();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Partitioned CFG invariants: blocks don't overlap, the entry is a
+    /// node, successors are nodes, and the entry dominates every node.
+    #[test]
+    fn cfg_partition_invariants(stmts in prop::collection::vec(arb_stmt(), 1..7)) {
+        let p = build(&stmts);
+        let cfg = build_cfg(&p);
+        prop_assert!(cfg.node(cfg.entry()).is_some());
+        let mut spans: Vec<(usize, usize)> =
+            cfg.nodes().iter().map(|n| (n.pc, n.end)).collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "blocks overlap: {w:?}");
+        }
+        for node in cfg.nodes() {
+            prop_assert!(node.pc < node.end);
+            for s in &node.succs {
+                prop_assert!(cfg.node(*s).is_some(), "dangling successor {s}");
+            }
+            prop_assert!(cfg.dominates(cfg.entry(), node.pc));
+        }
+    }
+
+    /// Every natural loop contains its header, and the number of loops
+    /// equals the number of loop statements we emitted (nested loops
+    /// count twice).
+    #[test]
+    fn loop_detection_counts(stmts in prop::collection::vec(arb_stmt(), 1..7)) {
+        let p = build(&stmts);
+        let cfg = build_cfg(&p);
+        let expected: usize = stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Loop { nested: true, .. } => 2,
+                Stmt::Loop { nested: false, .. } => 1,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(cfg.loops().len(), expected, "{:?}", stmts);
+        for l in cfg.loops() {
+            prop_assert!(l.members.contains(&l.header));
+        }
+    }
+
+    /// Predictions are probabilities and cover exactly the conditional
+    /// blocks.
+    #[test]
+    fn predictions_are_total_over_branches(stmts in prop::collection::vec(arb_stmt(), 1..7)) {
+        let p = build(&stmts);
+        let cfg = build_cfg(&p);
+        let pred = predict_with_program(&cfg, &p);
+        let n_branches = cfg
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.terminator, Some(tpdbt_isa::Terminator::Branch { .. })))
+            .count();
+        prop_assert_eq!(pred.branch_probabilities.len(), n_branches);
+        for bp in pred.branch_probabilities.values() {
+            prop_assert!((0.0..=1.0).contains(bp));
+        }
+    }
+
+    /// The static profile solves for every program in the family and
+    /// respects flow bounds: no block frequency exceeds total inflow
+    /// amplified by its loops' geometric sums (loose sanity: finite and
+    /// non-negative, entry ≈ SCALE).
+    #[test]
+    fn static_profile_is_finite(stmts in prop::collection::vec(arb_stmt(), 1..6)) {
+        let p = build(&stmts);
+        let profile = static_profile(&p).unwrap();
+        let entry_use = profile.blocks[&p.entry()].use_count;
+        prop_assert!((999_000..=1_001_000).contains(&entry_use), "entry {entry_use}");
+        for rec in profile.blocks.values() {
+            prop_assert!(rec.use_count < u64::MAX / 2);
+        }
+    }
+
+    /// Static loop-latch predictions agree with actual long-loop
+    /// behaviour: for a single counted loop with trips >= 10, the
+    /// predicted latch BP (>= 0.85) lands in the same range class as
+    /// the measured BP.
+    #[test]
+    fn latch_prediction_matches_reality(trips in 10i64..200) {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::new(0);
+        structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, trips, |_| {}).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = build_cfg(&p);
+        let pred = predict_with_program(&cfg, &p);
+        let max_bp = pred.branch_probabilities.values().copied().fold(0.0f64, f64::max);
+        let actual = (trips - 1) as f64 / trips as f64;
+        prop_assert_eq!(
+            tpdbt_profile::mismatch::bp_range(max_bp),
+            tpdbt_profile::mismatch::bp_range(actual)
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Suite errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from workload lookup and construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SuiteError {
+    /// No benchmark with this name exists.
+    UnknownBenchmark {
+        /// The requested name.
+        name: String,
+    },
+    /// A generator produced an invalid guest program (a suite bug).
+    Build {
+        /// The benchmark whose generator failed.
+        name: &'static str,
+        /// The underlying ISA error, stringified.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark `{name}` (see tpdbt_suite::all_names)")
+            }
+            SuiteError::Build { name, detail } => {
+                write!(
+                    f,
+                    "generator for `{name}` produced an invalid program: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SuiteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_benchmark() {
+        assert!(SuiteError::UnknownBenchmark {
+            name: "nope".into()
+        }
+        .to_string()
+        .contains("nope"));
+        assert!(SuiteError::Build {
+            name: "mcf",
+            detail: "x".into()
+        }
+        .to_string()
+        .contains("mcf"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Input-stream generation from segment specifications.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{fields, Segment, MAX_BRANCHES};
+
+fn sample_mix(mix: &[f64], rng: &mut StdRng) -> i64 {
+    if mix.is_empty() {
+        return rng.gen_range(0..16);
+    }
+    let total: f64 = mix.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in mix.iter().enumerate() {
+        if x < *w {
+            return i as i64;
+        }
+        x -= w;
+    }
+    (mix.len() - 1) as i64
+}
+
+/// Generates `records` input words following the segment schedule.
+///
+/// Segment boundaries are record-index fractions; each record samples
+/// its steering bits, trip counts, and selector from its segment's
+/// distributions. Generation is fully determined by `seed`.
+///
+/// # Panics
+///
+/// Panics if `segments` is empty or a trip range is outside the packed
+/// field capacity (trip1 in `1..=256`, trip2 in `1..=64`).
+#[must_use]
+pub fn generate_input(segments: &[Segment], records: usize, seed: u64) -> Vec<i64> {
+    assert!(!segments.is_empty(), "at least one segment required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(records);
+    // Precompute segment boundaries as record indices.
+    let mut boundaries = Vec::with_capacity(segments.len());
+    let mut acc = 0.0;
+    for s in segments {
+        acc += s.frac;
+        boundaries.push(((acc * records as f64) as usize).min(records));
+    }
+    // The last segment absorbs rounding.
+    *boundaries.last_mut().expect("non-empty") = records;
+
+    let mut seg_idx = 0;
+    for i in 0..records {
+        while i >= boundaries[seg_idx] && seg_idx + 1 < segments.len() {
+            seg_idx += 1;
+        }
+        let seg = &segments[seg_idx];
+        let mut bits = 0u8;
+        for (b, bias) in seg.biases.iter().enumerate().take(MAX_BRANCHES) {
+            if rng.gen_bool(bias.clamp(0.0, 1.0)) {
+                bits |= 1 << b;
+            }
+        }
+        let trip1 = rng.gen_range(seg.trip1.0..=seg.trip1.1);
+        let trip2 = rng.gen_range(seg.trip2.0..=seg.trip2.1);
+        let sel = sample_mix(&seg.mix, &mut rng);
+        out.push(fields::pack(bits, trip1, trip2, sel));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(frac: f64, bias0: f64, trips: (i64, i64)) -> Segment {
+        Segment::new(frac, &[bias0], trips, (1, 4))
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let s = [seg(1.0, 0.7, (2, 9))];
+        assert_eq!(generate_input(&s, 500, 42), generate_input(&s, 500, 42));
+        assert_ne!(generate_input(&s, 500, 42), generate_input(&s, 500, 43));
+    }
+
+    #[test]
+    fn bias_is_respected() {
+        let s = [seg(1.0, 0.9, (2, 9))];
+        let words = generate_input(&s, 20_000, 7);
+        let ones = words
+            .iter()
+            .filter(|&&w| crate::spec::fields::steer(w, 0))
+            .count();
+        let rate = ones as f64 / words.len() as f64;
+        assert!((rate - 0.9).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn trips_stay_in_range() {
+        let s = [seg(1.0, 0.5, (60, 250))];
+        for w in generate_input(&s, 2000, 3) {
+            let t = crate::spec::fields::trip1(w);
+            assert!((60..=250).contains(&t), "trip {t}");
+        }
+    }
+
+    #[test]
+    fn segments_switch_at_boundaries() {
+        let s = [seg(0.5, 0.0, (2, 2)), seg(0.5, 1.0, (9, 9))];
+        let words = generate_input(&s, 1000, 1);
+        // First half: bit never set, trip 2; second half: always set,
+        // trip 9.
+        assert!(words[..500]
+            .iter()
+            .all(|&w| !crate::spec::fields::steer(w, 0)));
+        assert!(words[500..]
+            .iter()
+            .all(|&w| crate::spec::fields::steer(w, 0)));
+        assert_eq!(crate::spec::fields::trip1(words[0]), 2);
+        assert_eq!(crate::spec::fields::trip1(words[999]), 9);
+    }
+
+    #[test]
+    fn mix_weights_skew_selectors() {
+        let mut seg = seg(1.0, 0.5, (2, 4));
+        seg.mix = vec![0.0, 0.0, 1.0]; // always arm 2
+        let words = generate_input(&[seg], 200, 9);
+        assert!(words.iter().all(|&w| crate::spec::fields::selector(w) == 2));
+    }
+
+    #[test]
+    fn all_records_non_negative() {
+        let s = [seg(1.0, 0.5, (1, 256))];
+        assert!(generate_input(&s, 5000, 11).iter().all(|&w| w >= 0));
+    }
+}

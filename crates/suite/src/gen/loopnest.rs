@@ -1,0 +1,305 @@
+//! The loop-nest processor template: data-dependent inner loops plus
+//! steering branches — the shape of compressors, solvers, annealers,
+//! and stencil kernels.
+
+use tpdbt_isa::{structured, BuiltProgram, Cond, FReg, IsaError, ProgramBuilder, Reg};
+
+/// Structural knobs for a loop-nest program. Different benchmarks get
+/// structurally different CFGs, not just different inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopNestShape {
+    /// Float body (FP suite) or integer body (INT suite).
+    pub fp: bool,
+    /// Number of steering branches (1..=6), biased per input segment.
+    pub branches: usize,
+    /// One or two data-dependent inner loops.
+    pub nests: usize,
+    /// Jump-table arms after the branches (0 = no switch).
+    pub switch_arms: usize,
+    /// Whether each record calls a helper function.
+    pub helper: bool,
+    /// Extra arithmetic ops in each inner-loop body.
+    pub body_ops: usize,
+    /// Steering branches *inside* the first inner loop (0..=2, using
+    /// bias slots 4 and 5). These branches execute once per iteration,
+    /// so their profile weight rivals the loop latch — the lever for
+    /// benchmarks whose dominant branches drift (wupwise, ammp).
+    pub loop_branches: usize,
+}
+
+// Register conventions for this template.
+const W: Reg = Reg::new(0); // current record
+const TRIP1: Reg = Reg::new(1);
+const STEER: Reg = Reg::new(2);
+const ACC: Reg = Reg::new(3);
+const SEL: Reg = Reg::new(4);
+const TRIP2: Reg = Reg::new(5);
+const SCRATCH: Reg = Reg::new(9);
+const IDX: Reg = Reg::new(7);
+
+/// Builds the guest program for `shape`.
+///
+/// # Errors
+///
+/// Returns [`IsaError`] only on internal template bugs (surfaced so
+/// generator tests catch them).
+///
+/// # Panics
+///
+/// Panics if `shape.branches` is 0 or exceeds 6, or `shape.nests` is
+/// not 1 or 2.
+pub fn build(name: &str, shape: LoopNestShape) -> Result<BuiltProgram, IsaError> {
+    assert!((1..=6).contains(&shape.branches), "branches out of range");
+    assert!((1..=2).contains(&shape.nests), "nests out of range");
+    assert!(shape.loop_branches <= 2, "at most two in-loop branches");
+    let mut b = ProgramBuilder::named(name);
+    b.reserve_mem(64);
+    b.preload_fmem(0, (0..32).map(|i| 1.0 + f64::from(i) * 0.25).collect());
+
+    let outer = b.fresh_label("outer");
+    let end = b.fresh_label("end");
+
+    b.movi(ACC, 0);
+    b.movi(IDX, 0);
+    if shape.fp {
+        b.fmovi(FReg::new(3), 0.0);
+        b.fmovi(FReg::new(2), 1.000_001);
+    }
+    b.bind(outer)?;
+    b.input(W);
+    b.br_imm(Cond::Lt, W, 0, end);
+
+    // Inner loop 1: trip count from the record (bits 8..16).
+    b.shr(TRIP1, W, 8);
+    b.and(TRIP1, TRIP1, 0xFF);
+    b.addi(TRIP1, TRIP1, 1);
+    emit_inner_loop(&mut b, shape, TRIP1)?;
+
+    if shape.nests == 2 {
+        b.shr(TRIP2, W, 16);
+        b.and(TRIP2, TRIP2, 0x3F);
+        b.addi(TRIP2, TRIP2, 1);
+        emit_inner_loop(&mut b, shape, TRIP2)?;
+    }
+
+    // Steering branches: one diamond per configured branch, condition
+    // bit i of the record.
+    for i in 0..shape.branches {
+        b.shr(STEER, W, i as i64);
+        b.and(STEER, STEER, 1);
+        let fp = shape.fp;
+        structured::if_else(
+            &mut b,
+            Cond::Eq,
+            STEER,
+            1,
+            |b| {
+                b.addi(ACC, ACC, 3);
+                if fp {
+                    b.fadd(FReg::new(3), FReg::new(3), FReg::new(2));
+                } else {
+                    b.xor(SCRATCH, ACC, 0x5A);
+                }
+            },
+            |b| {
+                b.addi(ACC, ACC, 1);
+                if fp {
+                    b.fmul(FReg::new(3), FReg::new(3), FReg::new(2));
+                } else {
+                    b.shr(SCRATCH, ACC, 1);
+                }
+            },
+        )?;
+    }
+
+    // Dispatch switch on the selector field.
+    if shape.switch_arms > 0 {
+        b.shr(SEL, W, 24);
+        b.and(SEL, SEL, 0xF);
+        let arms: Vec<structured::Arm> = (0..shape.switch_arms)
+            .map(|k| {
+                let k = k as i64;
+                Box::new(move |b: &mut ProgramBuilder| {
+                    b.addi(ACC, ACC, k + 1);
+                    b.muli(SCRATCH, ACC, k + 3);
+                }) as structured::Arm
+            })
+            .collect();
+        structured::switch(&mut b, SEL, arms)?;
+    }
+
+    let helper_label = if shape.helper {
+        let l = b.fresh_label("helper");
+        b.call(l);
+        Some(l)
+    } else {
+        None
+    };
+
+    b.jmp(outer);
+
+    b.bind(end)?;
+    if shape.fp {
+        b.ftoi(SCRATCH, FReg::new(3));
+        b.out(SCRATCH);
+    }
+    b.out(ACC);
+    b.halt();
+
+    if let Some(l) = helper_label {
+        b.bind(l)?;
+        b.add(ACC, ACC, W);
+        b.and(ACC, ACC, 0xFFFF_FFFF);
+        b.ret();
+    }
+
+    b.build_with_data()
+}
+
+/// Emits a bottom-test inner loop with `counter` iterations and the
+/// shape's body.
+fn emit_inner_loop(
+    b: &mut ProgramBuilder,
+    shape: LoopNestShape,
+    counter: Reg,
+) -> Result<(), IsaError> {
+    let head = b.fresh_label("inner");
+    b.bind(head)?;
+    if shape.fp {
+        b.and(SCRATCH, counter, 31);
+        b.fload(FReg::new(0), SCRATCH, 0);
+        b.fmul(FReg::new(1), FReg::new(0), FReg::new(0));
+        b.fadd(FReg::new(3), FReg::new(3), FReg::new(1));
+        for i in 0..shape.body_ops {
+            let dst = FReg::new((i % 2) as u8);
+            b.fadd(dst, dst, FReg::new(1));
+        }
+    } else {
+        b.add(ACC, ACC, W);
+        b.xor(SCRATCH, ACC, counter);
+        for i in 0..shape.body_ops {
+            if i % 2 == 0 {
+                b.addi(ACC, ACC, 1);
+            } else {
+                b.shr(SCRATCH, SCRATCH, 1);
+            }
+        }
+    }
+    for k in 0..shape.loop_branches {
+        let bit = 4 + k as i64; // bias slots 4 and 5
+        b.shr(STEER, W, bit);
+        b.and(STEER, STEER, 1);
+        let fp = shape.fp;
+        structured::if_else(
+            b,
+            Cond::Eq,
+            STEER,
+            1,
+            move |b| {
+                if fp {
+                    b.fadd(FReg::new(3), FReg::new(3), FReg::new(0));
+                } else {
+                    b.addi(ACC, ACC, 2);
+                }
+            },
+            move |b| {
+                if fp {
+                    b.fmul(FReg::new(0), FReg::new(0), FReg::new(2));
+                } else {
+                    b.xor(SCRATCH, SCRATCH, 3);
+                }
+            },
+        )?;
+    }
+    b.subi(counter, counter, 1);
+    b.br_imm(Cond::Gt, counter, 0, head);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_input;
+    use crate::spec::Segment;
+
+    fn shape() -> LoopNestShape {
+        LoopNestShape {
+            fp: false,
+            branches: 3,
+            nests: 2,
+            switch_arms: 8,
+            helper: true,
+            body_ops: 2,
+            loop_branches: 1,
+        }
+    }
+
+    #[test]
+    fn program_builds_and_runs() {
+        let built = build("t", shape()).unwrap();
+        let input = generate_input(
+            &[Segment::new(1.0, &[0.8, 0.2, 0.5], (2, 9), (1, 4))],
+            200,
+            5,
+        );
+        let out = tpdbt_vm::run_collect(&built.program, &input).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn fp_variant_builds_and_runs() {
+        let s = LoopNestShape {
+            fp: true,
+            branches: 2,
+            nests: 1,
+            switch_arms: 0,
+            helper: false,
+            body_ops: 3,
+            loop_branches: 2,
+        };
+        let built = build("fp", s).unwrap();
+        let input = generate_input(&[Segment::new(1.0, &[0.95, 0.9], (60, 120), (1, 4))], 50, 5);
+        let out = tpdbt_vm::run_collect(&built.program, &input).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let built = build("t", shape()).unwrap();
+        let input = generate_input(&[Segment::new(1.0, &[0.5; 3], (2, 9), (1, 4))], 100, 1);
+        let a = tpdbt_vm::run_collect(&built.program, &input).unwrap();
+        let b = tpdbt_vm::run_collect(&built.program, &input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instruction_count_scales_with_trip_counts() {
+        let built = build(
+            "t",
+            LoopNestShape {
+                nests: 1,
+                ..shape()
+            },
+        )
+        .unwrap();
+        let short = generate_input(&[Segment::new(1.0, &[0.5; 3], (2, 2), (1, 1))], 100, 1);
+        let long = generate_input(&[Segment::new(1.0, &[0.5; 3], (200, 200), (1, 1))], 100, 1);
+        let run = |input: &[i64]| {
+            let mut i = tpdbt_vm::Interpreter::new(&built.program, input);
+            i.run().unwrap().instructions
+        };
+        assert!(run(&long) > run(&short) * 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "branches out of range")]
+    fn zero_branches_rejected() {
+        let _ = build(
+            "t",
+            LoopNestShape {
+                branches: 0,
+                ..shape()
+            },
+        );
+    }
+}

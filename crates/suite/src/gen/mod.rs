@@ -1,0 +1,8 @@
+//! Guest-program templates and input-stream generation.
+
+mod input;
+pub mod interp;
+pub mod loopnest;
+pub mod search;
+
+pub use input::generate_input;

@@ -1,0 +1,155 @@
+//! The recursive-search template: call/ret tree walks steered by input
+//! bits — the shape of crafty, eon, and vortex, where hot branches live
+//! inside a recursive evaluation function.
+
+use tpdbt_isa::{BuiltProgram, Cond, IsaError, ProgramBuilder, Reg};
+
+/// Structural knobs for a search program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchShape {
+    /// Extra evaluation ops at each tree node.
+    pub eval_ops: usize,
+}
+
+const W: Reg = Reg::new(0);
+const DEPTH: Reg = Reg::new(5);
+const STEER: Reg = Reg::new(2);
+const ACC: Reg = Reg::new(3);
+const BITS: Reg = Reg::new(6);
+const SP: Reg = Reg::new(11);
+const SCRATCH: Reg = Reg::new(9);
+
+/// Builds the search program.
+///
+/// Each record descends a tree: the recursion depth comes from the
+/// record's trip2 field, and at each level the node branches on
+/// steering bit `level % 6` — a set bit expands **two** children, a
+/// clear bit one, so the paper-relevant branch probabilities equal the
+/// input bit densities and the work per record is exponential in the
+/// bit density.
+///
+/// # Errors
+///
+/// Returns [`IsaError`] only on internal template bugs.
+pub fn build(name: &str, shape: SearchShape) -> Result<BuiltProgram, IsaError> {
+    let mut b = ProgramBuilder::named(name);
+    // Manual value stack for saved depths (recursion ≤ 64 levels).
+    b.reserve_mem(4096);
+
+    let outer = b.fresh_label("outer");
+    let end = b.fresh_label("end");
+    let search = b.fresh_label("search");
+
+    b.movi(ACC, 0);
+    b.movi(SP, 0);
+    b.bind(outer)?;
+    b.input(W);
+    b.br_imm(Cond::Lt, W, 0, end);
+    // depth = trip2 field (spec keeps it small: 4..10).
+    b.shr(DEPTH, W, 16);
+    b.and(DEPTH, DEPTH, 0x3F);
+    b.addi(DEPTH, DEPTH, 1);
+    b.mov(BITS, W);
+    b.call(search);
+    b.jmp(outer);
+
+    b.bind(end)?;
+    b.out(ACC);
+    b.halt();
+
+    // fn search(depth=DEPTH, bits=BITS):
+    //   saves depth on the value stack so both children see the same
+    //   remaining depth.
+    b.bind(search)?;
+    let leaf = b.fresh_label("leaf");
+    let single = b.fresh_label("single");
+    let done = b.fresh_label("done");
+    b.store(DEPTH, SP, 0);
+    b.addi(SP, SP, 1);
+    b.subi(DEPTH, DEPTH, 1);
+    b.br_imm(Cond::Le, DEPTH, 0, leaf);
+    // Node evaluation.
+    b.add(ACC, ACC, DEPTH);
+    for i in 0..shape.eval_ops {
+        if i % 2 == 0 {
+            b.xor(SCRATCH, ACC, BITS);
+        } else {
+            b.addi(ACC, ACC, 1);
+        }
+    }
+    // Steering bit: level % 6 of the record bits.
+    b.rem(STEER, DEPTH, 6);
+    b.shr(STEER, BITS, STEER);
+    b.and(STEER, STEER, 1);
+    b.br_imm(Cond::Eq, STEER, 0, single);
+    // Two children.
+    b.call(search);
+    // Restore depth for the second child (the callee restored the
+    // *saved* value; re-derive the decremented one).
+    b.subi(SCRATCH, SP, 1);
+    b.load(DEPTH, SCRATCH, 0);
+    b.subi(DEPTH, DEPTH, 1);
+    b.call(search);
+    b.jmp(done);
+    b.bind(single)?;
+    b.call(search);
+    b.bind(done)?;
+    b.jmp(leaf);
+    b.bind(leaf)?;
+    b.subi(SP, SP, 1);
+    b.load(DEPTH, SP, 0);
+    b.ret();
+
+    b.build_with_data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_input;
+    use crate::spec::Segment;
+
+    fn input(density: f64, depth: (i64, i64), records: usize) -> Vec<i64> {
+        let seg = Segment::new(1.0, &[density; 6], (2, 4), depth);
+        generate_input(&[seg], records, 11)
+    }
+
+    #[test]
+    fn builds_and_runs() {
+        let built = build("search", SearchShape { eval_ops: 2 }).unwrap();
+        let out = tpdbt_vm::run_collect(&built.program, &input(0.5, (4, 8), 50)).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn work_grows_with_bit_density() {
+        let built = build("search", SearchShape { eval_ops: 1 }).unwrap();
+        let run = |density: f64| {
+            let mut i = tpdbt_vm::Interpreter::new(&built.program, &input(density, (8, 8), 50));
+            i.run().unwrap().instructions
+        };
+        assert!(
+            run(0.9) > run(0.1) * 3,
+            "dense trees must expand more nodes"
+        );
+    }
+
+    #[test]
+    fn call_stack_balances() {
+        let built = build("search", SearchShape { eval_ops: 0 }).unwrap();
+        let words = input(0.7, (4, 9), 100);
+        let mut i = tpdbt_vm::Interpreter::new(&built.program, &words);
+        i.run().unwrap();
+        assert_eq!(i.machine().call_depth(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let built = build("search", SearchShape { eval_ops: 2 }).unwrap();
+        let words = input(0.6, (4, 8), 80);
+        assert_eq!(
+            tpdbt_vm::run_collect(&built.program, &words).unwrap(),
+            tpdbt_vm::run_collect(&built.program, &words).unwrap()
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Benchmark behaviour specifications.
+//!
+//! A benchmark's *dynamic* character lives in its input stream: the
+//! stream is divided into [`Segment`]s, each fixing the steering-branch
+//! biases, inner-loop trip-count ranges, and dispatch mix for its slice
+//! of the run. Phase behaviour (Mcf), warm-up (Gzip), and slow drift
+//! (annealers) are all segment sequences.
+
+/// INT or FP suite membership.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BenchClass {
+    /// SPEC2000 INT analog (control-intensive).
+    Int,
+    /// SPEC2000 FP analog (loop-intensive).
+    Fp,
+}
+
+/// Maximum number of steering branches a template may use.
+pub const MAX_BRANCHES: usize = 6;
+
+/// One contiguous slice of the input stream with fixed behaviour.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segment {
+    /// Fraction of the total record count this segment covers (the
+    /// final segment absorbs rounding).
+    pub frac: f64,
+    /// Per-steering-branch taken probabilities (unused entries
+    /// ignored). For search templates, `biases[0]` is the recursion
+    /// steering-bit density.
+    pub biases: [f64; MAX_BRANCHES],
+    /// Inclusive trip-count range of the first inner loop (paper
+    /// classes: low < 10, median 10–50, high > 50).
+    pub trip1: (i64, i64),
+    /// Inclusive trip-count range of the second inner loop / recursion
+    /// depth.
+    pub trip2: (i64, i64),
+    /// Weights for the dispatch selector (switch arm / opcode mix).
+    /// Empty means uniform.
+    pub mix: Vec<f64>,
+}
+
+impl Segment {
+    /// A convenience constructor with uniform mix.
+    #[must_use]
+    pub fn new(frac: f64, biases: &[f64], trip1: (i64, i64), trip2: (i64, i64)) -> Self {
+        let mut b = [0.5; MAX_BRANCHES];
+        b[..biases.len()].copy_from_slice(biases);
+        Segment {
+            frac,
+            biases: b,
+            trip1,
+            trip2,
+            mix: Vec::new(),
+        }
+    }
+
+    /// Sets the dispatch mix.
+    #[must_use]
+    pub fn with_mix(mut self, mix: Vec<f64>) -> Self {
+        self.mix = mix;
+        self
+    }
+}
+
+/// Record field layout shared by all templates (packed into one `i64`
+/// input word):
+///
+/// | bits    | field                      |
+/// |---------|----------------------------|
+/// | 0..6    | steering bits `b0..b5`     |
+/// | 8..16   | trip1 − 1 (0..255)         |
+/// | 16..22  | trip2 − 1 (0..63)          |
+/// | 24..28  | dispatch selector (0..15)  |
+pub mod fields {
+    /// Extracts steering bit `i` (0-based).
+    #[must_use]
+    pub fn steer(word: i64, i: usize) -> bool {
+        (word >> i) & 1 == 1
+    }
+
+    /// Extracts the first trip count (≥ 1).
+    #[must_use]
+    pub fn trip1(word: i64) -> i64 {
+        ((word >> 8) & 0xFF) + 1
+    }
+
+    /// Extracts the second trip count (≥ 1).
+    #[must_use]
+    pub fn trip2(word: i64) -> i64 {
+        ((word >> 16) & 0x3F) + 1
+    }
+
+    /// Extracts the dispatch selector.
+    #[must_use]
+    pub fn selector(word: i64) -> i64 {
+        (word >> 24) & 0xF
+    }
+
+    /// Packs the fields into a record word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field is out of range.
+    #[must_use]
+    pub fn pack(steer_bits: u8, trip1: i64, trip2: i64, selector: i64) -> i64 {
+        assert!((1..=256).contains(&trip1), "trip1 {trip1} out of range");
+        assert!((1..=64).contains(&trip2), "trip2 {trip2} out of range");
+        assert!(
+            (0..=15).contains(&selector),
+            "selector {selector} out of range"
+        );
+        i64::from(steer_bits & 0x3F) | ((trip1 - 1) << 8) | ((trip2 - 1) << 16) | (selector << 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fields::*;
+    use super::*;
+
+    #[test]
+    fn pack_and_extract_roundtrip() {
+        let w = pack(0b101101, 200, 33, 7);
+        assert!(steer(w, 0));
+        assert!(!steer(w, 1));
+        assert!(steer(w, 2));
+        assert!(steer(w, 3));
+        assert!(!steer(w, 4));
+        assert!(steer(w, 5));
+        assert_eq!(trip1(w), 200);
+        assert_eq!(trip2(w), 33);
+        assert_eq!(selector(w), 7);
+        assert!(
+            w >= 0,
+            "records must be non-negative (negative is the sentinel)"
+        );
+    }
+
+    #[test]
+    fn extremes_roundtrip() {
+        let w = pack(0, 1, 1, 0);
+        assert_eq!((trip1(w), trip2(w), selector(w)), (1, 1, 0));
+        let w = pack(0x3F, 256, 64, 15);
+        assert_eq!((trip1(w), trip2(w), selector(w)), (256, 64, 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_trip_panics() {
+        let _ = pack(0, 300, 1, 0);
+    }
+
+    #[test]
+    fn segment_constructor_fills_biases() {
+        let s = Segment::new(0.5, &[0.9, 0.1], (2, 8), (1, 4));
+        assert_eq!(s.biases[0], 0.9);
+        assert_eq!(s.biases[1], 0.1);
+        assert_eq!(s.biases[2], 0.5);
+        assert!(s.mix.is_empty());
+        let s = s.with_mix(vec![1.0, 2.0]);
+        assert_eq!(s.mix.len(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Runtime trap errors.
+
+use std::error::Error;
+use std::fmt;
+
+use tpdbt_isa::Pc;
+
+/// A guest runtime trap.
+///
+/// All variants carry the PC of the faulting instruction so workload
+/// authors can find the offending guest code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// Integer division or remainder by zero.
+    DivideByZero {
+        /// Faulting instruction address.
+        pc: Pc,
+    },
+    /// A load or store resolved outside memory.
+    MemOutOfBounds {
+        /// Faulting instruction address.
+        pc: Pc,
+        /// The effective address.
+        addr: i64,
+        /// Size of the addressed memory.
+        len: usize,
+    },
+    /// The call stack exceeded its depth limit.
+    StackOverflow {
+        /// Faulting instruction address.
+        pc: Pc,
+    },
+    /// `ret` executed with an empty call stack.
+    StackUnderflow {
+        /// Faulting instruction address.
+        pc: Pc,
+    },
+    /// Control reached an address outside the program.
+    BadPc {
+        /// The out-of-range address.
+        pc: Pc,
+    },
+    /// Execution exceeded the configured fuel budget.
+    OutOfFuel {
+        /// PC at which fuel ran out.
+        pc: Pc,
+        /// The budget that was exhausted.
+        fuel: u64,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::DivideByZero { pc } => write!(f, "division by zero at {pc}"),
+            VmError::MemOutOfBounds { pc, addr, len } => {
+                write!(
+                    f,
+                    "memory access at {pc} to address {addr} outside 0..{len}"
+                )
+            }
+            VmError::StackOverflow { pc } => write!(f, "call stack overflow at {pc}"),
+            VmError::StackUnderflow { pc } => write!(f, "return with empty call stack at {pc}"),
+            VmError::BadPc { pc } => write!(f, "control transferred outside the program to {pc}"),
+            VmError::OutOfFuel { pc, fuel } => {
+                write!(f, "execution exceeded fuel budget {fuel} at {pc}")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_pc() {
+        for e in [
+            VmError::DivideByZero { pc: 3 },
+            VmError::MemOutOfBounds {
+                pc: 3,
+                addr: -1,
+                len: 4,
+            },
+            VmError::StackOverflow { pc: 3 },
+            VmError::StackUnderflow { pc: 3 },
+            VmError::BadPc { pc: 3 },
+            VmError::OutOfFuel { pc: 3, fuel: 10 },
+        ] {
+            assert!(e.to_string().contains('3'), "{e}");
+        }
+    }
+}

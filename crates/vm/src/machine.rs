@@ -1,0 +1,287 @@
+//! Architectural machine state.
+
+use tpdbt_isa::{Pc, Program, NUM_FREGS, NUM_REGS};
+
+use crate::error::VmError;
+
+/// Maximum call-stack depth before a [`VmError::StackOverflow`] trap.
+pub const MAX_CALL_DEPTH: usize = 1 << 16;
+
+/// The guest machine's architectural state: registers, memories, call
+/// stack, input cursor, and output buffer.
+///
+/// State is independent of how code is executed — the interpreter and
+/// the DBT both drive a `Machine` through [`crate::step`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Machine {
+    regs: [i64; NUM_REGS],
+    fregs: [f64; NUM_FREGS],
+    mem: Vec<i64>,
+    fmem: Vec<f64>,
+    call_stack: Vec<Pc>,
+    input: Vec<i64>,
+    input_pos: usize,
+    output: Vec<i64>,
+    pc: Pc,
+}
+
+impl Machine {
+    /// Creates machine state for `program` with the given input stream.
+    ///
+    /// Memories are zero-initialised at the sizes the program declared;
+    /// the PC starts at the program entry.
+    #[must_use]
+    pub fn new(program: &Program, input: &[i64]) -> Self {
+        Machine {
+            regs: [0; NUM_REGS],
+            fregs: [0.0; NUM_FREGS],
+            mem: vec![0; program.mem_words()],
+            fmem: vec![0.0; program.fmem_words()],
+            call_stack: Vec::new(),
+            input: input.to_vec(),
+            input_pos: 0,
+            output: Vec::new(),
+            pc: program.entry(),
+        }
+    }
+
+    /// Copies preload images into memory (used by
+    /// [`tpdbt_isa::BuiltProgram`] data sections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an image exceeds the reserved memory, which indicates a
+    /// builder bug (the builder grows reservations automatically).
+    pub fn preload(&mut self, mem_image: &[(usize, Vec<i64>)], fmem_image: &[(usize, Vec<f64>)]) {
+        for (addr, words) in mem_image {
+            self.mem[*addr..*addr + words.len()].copy_from_slice(words);
+        }
+        for (addr, words) in fmem_image {
+            self.fmem[*addr..*addr + words.len()].copy_from_slice(words);
+        }
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
+
+    /// Sets the program counter (used by execution drivers).
+    pub fn set_pc(&mut self, pc: Pc) {
+        self.pc = pc;
+    }
+
+    /// Reads integer register `i`.
+    #[must_use]
+    pub fn reg(&self, i: usize) -> i64 {
+        self.regs[i]
+    }
+
+    /// Writes integer register `i`.
+    pub fn set_reg(&mut self, i: usize, v: i64) {
+        self.regs[i] = v;
+    }
+
+    /// Reads float register `i`.
+    #[must_use]
+    pub fn freg(&self, i: usize) -> f64 {
+        self.fregs[i]
+    }
+
+    /// Writes float register `i`.
+    pub fn set_freg(&mut self, i: usize, v: f64) {
+        self.fregs[i] = v;
+    }
+
+    /// Resolves `base + offset` into an integer-memory index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::MemOutOfBounds`] when the effective address is
+    /// negative or past the end of memory.
+    pub fn mem_index(&self, base: i64, offset: i64, pc: Pc) -> Result<usize, VmError> {
+        let addr = base.wrapping_add(offset);
+        if addr < 0 || addr as usize >= self.mem.len() {
+            return Err(VmError::MemOutOfBounds {
+                pc,
+                addr,
+                len: self.mem.len(),
+            });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Resolves `base + offset` into a float-memory index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::MemOutOfBounds`] when the effective address is
+    /// negative or past the end of float memory.
+    pub fn fmem_index(&self, base: i64, offset: i64, pc: Pc) -> Result<usize, VmError> {
+        let addr = base.wrapping_add(offset);
+        if addr < 0 || addr as usize >= self.fmem.len() {
+            return Err(VmError::MemOutOfBounds {
+                pc,
+                addr,
+                len: self.fmem.len(),
+            });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads integer memory at a resolved index.
+    #[must_use]
+    pub fn mem(&self, index: usize) -> i64 {
+        self.mem[index]
+    }
+
+    /// Writes integer memory at a resolved index.
+    pub fn set_mem(&mut self, index: usize, v: i64) {
+        self.mem[index] = v;
+    }
+
+    /// Reads float memory at a resolved index.
+    #[must_use]
+    pub fn fmem(&self, index: usize) -> f64 {
+        self.fmem[index]
+    }
+
+    /// Writes float memory at a resolved index.
+    pub fn set_fmem(&mut self, index: usize, v: f64) {
+        self.fmem[index] = v;
+    }
+
+    /// Pops the next input word, or `-1` once the stream is exhausted.
+    pub fn next_input(&mut self) -> i64 {
+        match self.input.get(self.input_pos) {
+            Some(&v) => {
+                self.input_pos += 1;
+                v
+            }
+            None => -1,
+        }
+    }
+
+    /// Appends a word to the output buffer.
+    pub fn push_output(&mut self, v: i64) {
+        self.output.push(v);
+    }
+
+    /// The words the program has written so far.
+    #[must_use]
+    pub fn output(&self) -> &[i64] {
+        &self.output
+    }
+
+    /// Pushes a return address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::StackOverflow`] past [`MAX_CALL_DEPTH`] frames.
+    pub fn push_call(&mut self, ret: Pc, pc: Pc) -> Result<(), VmError> {
+        if self.call_stack.len() >= MAX_CALL_DEPTH {
+            return Err(VmError::StackOverflow { pc });
+        }
+        self.call_stack.push(ret);
+        Ok(())
+    }
+
+    /// Pops a return address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::StackUnderflow`] when no call frame is open.
+    pub fn pop_call(&mut self, pc: Pc) -> Result<Pc, VmError> {
+        self.call_stack.pop().ok_or(VmError::StackUnderflow { pc })
+    }
+
+    /// Current call-stack depth.
+    #[must_use]
+    pub fn call_depth(&self) -> usize {
+        self.call_stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_isa::{ProgramBuilder, Reg};
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.reserve_mem(8);
+        b.reserve_fmem(4);
+        b.movi(Reg::new(0), 1);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fresh_machine_is_zeroed_at_entry() {
+        let p = tiny();
+        let m = Machine::new(&p, &[1, 2]);
+        assert_eq!(m.pc(), p.entry());
+        assert_eq!(m.reg(5), 0);
+        assert_eq!(m.freg(3), 0.0);
+        assert_eq!(m.mem(7), 0);
+        assert_eq!(m.call_depth(), 0);
+        assert!(m.output().is_empty());
+    }
+
+    #[test]
+    fn input_stream_yields_sentinel_after_end() {
+        let p = tiny();
+        let mut m = Machine::new(&p, &[10, 20]);
+        assert_eq!(m.next_input(), 10);
+        assert_eq!(m.next_input(), 20);
+        assert_eq!(m.next_input(), -1);
+        assert_eq!(m.next_input(), -1);
+    }
+
+    #[test]
+    fn mem_index_bounds() {
+        let p = tiny();
+        let m = Machine::new(&p, &[]);
+        assert_eq!(m.mem_index(3, 4, 0).unwrap(), 7);
+        assert!(matches!(
+            m.mem_index(3, 5, 9),
+            Err(VmError::MemOutOfBounds {
+                pc: 9,
+                addr: 8,
+                len: 8
+            })
+        ));
+        assert!(matches!(
+            m.mem_index(-1, 0, 0),
+            Err(VmError::MemOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.fmem_index(0, 4, 0),
+            Err(VmError::MemOutOfBounds { len: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn call_stack_push_pop() {
+        let p = tiny();
+        let mut m = Machine::new(&p, &[]);
+        m.push_call(17, 0).unwrap();
+        assert_eq!(m.call_depth(), 1);
+        assert_eq!(m.pop_call(1).unwrap(), 17);
+        assert!(matches!(
+            m.pop_call(2),
+            Err(VmError::StackUnderflow { pc: 2 })
+        ));
+    }
+
+    #[test]
+    fn preload_populates_memory() {
+        let p = tiny();
+        let mut m = Machine::new(&p, &[]);
+        m.preload(&[(2, vec![5, 6])], &[(1, vec![0.25])]);
+        assert_eq!(m.mem(2), 5);
+        assert_eq!(m.mem(3), 6);
+        assert_eq!(m.fmem(1), 0.25);
+    }
+}

@@ -1,0 +1,186 @@
+//! Run-to-completion interpretation.
+
+use tpdbt_isa::Program;
+
+use crate::error::VmError;
+use crate::machine::Machine;
+use crate::step::{step, Flow};
+
+/// Default fuel budget: generous enough for every suite workload at the
+/// largest scale, small enough to catch accidental infinite loops.
+pub const DEFAULT_FUEL: u64 = 4_000_000_000;
+
+/// Aggregate statistics from an interpreter run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Dynamic conditional-branch executions.
+    pub cond_branches: u64,
+    /// Conditional branches that were taken.
+    pub taken_branches: u64,
+}
+
+/// A straightforward fetch–execute interpreter over [`step`].
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    machine: Machine,
+    fuel: u64,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter for `program` with the given input stream
+    /// and the default fuel budget.
+    #[must_use]
+    pub fn new(program: &'p Program, input: &[i64]) -> Self {
+        Interpreter {
+            program,
+            machine: Machine::new(program, input),
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Replaces the fuel budget (maximum dynamic instructions).
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Copies preload images into the machine before running.
+    pub fn preload(&mut self, mem: &[(usize, Vec<i64>)], fmem: &[(usize, Vec<f64>)]) {
+        self.machine.preload(mem, fmem);
+    }
+
+    /// The machine state (final state after [`Interpreter::run`]).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Runs until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`VmError`] trap raised by the program, including
+    /// [`VmError::OutOfFuel`] if the budget is exhausted first.
+    pub fn run(&mut self) -> Result<RunStats, VmError> {
+        let mut stats = RunStats::default();
+        loop {
+            if stats.instructions >= self.fuel {
+                return Err(VmError::OutOfFuel {
+                    pc: self.machine.pc(),
+                    fuel: self.fuel,
+                });
+            }
+            let pc = self.machine.pc();
+            let is_cond = matches!(self.program.get(pc), Some(tpdbt_isa::Instr::Br { .. }));
+            let flow = step(self.program, &mut self.machine)?;
+            stats.instructions += 1;
+            if is_cond {
+                stats.cond_branches += 1;
+            }
+            match flow {
+                Flow::Next => self.machine.set_pc(pc + 1),
+                Flow::Jump { target, taken } => {
+                    if is_cond && taken {
+                        stats.taken_branches += 1;
+                    }
+                    self.machine.set_pc(target);
+                }
+                Flow::Halted => return Ok(stats),
+            }
+        }
+    }
+}
+
+/// Convenience: runs `program` on `input` and returns its output words.
+///
+/// # Errors
+///
+/// Returns any [`VmError`] trap raised by the program.
+///
+/// # Example
+///
+/// ```
+/// use tpdbt_isa::{ProgramBuilder, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.input(Reg::new(0));
+/// b.out(Reg::new(0));
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(tpdbt_vm::run_collect(&p, &[9])?, vec![9]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_collect(program: &Program, input: &[i64]) -> Result<Vec<i64>, VmError> {
+    let mut interp = Interpreter::new(program, input);
+    interp.run()?;
+    Ok(interp.machine().output().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_isa::{structured, Cond, ProgramBuilder, Reg};
+
+    #[test]
+    fn counts_instructions_and_branches() {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::new(0);
+        structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, 10, |_| {}).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p, &[]);
+        let stats = i.run().unwrap();
+        // movi + 10 * (addi + br) + halt
+        assert_eq!(stats.instructions, 1 + 20 + 1);
+        assert_eq!(stats.cond_branches, 10);
+        assert_eq!(stats.taken_branches, 9);
+    }
+
+    #[test]
+    fn fuel_limit_traps() {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.bind(top).unwrap();
+        b.jmp(top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p, &[]).with_fuel(100);
+        assert_eq!(i.run(), Err(VmError::OutOfFuel { pc: 0, fuel: 100 }));
+    }
+
+    #[test]
+    fn run_collect_roundtrips_io() {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::new(0);
+        b.input(r);
+        b.addi(r, r, 100);
+        b.out(r);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(run_collect(&p, &[1]).unwrap(), vec![101]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::new(0);
+        structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, 50, |b| {
+            b.out(r);
+        })
+        .unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let a = run_collect(&p, &[]).unwrap();
+        let c = run_collect(&p, &[]).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(a.len(), 50);
+    }
+}

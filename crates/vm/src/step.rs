@@ -1,0 +1,376 @@
+//! Single-instruction semantics shared by the interpreter and the DBT.
+
+use tpdbt_isa::{AluOp, FpuOp, Instr, Operand, Pc, Program};
+
+use crate::error::VmError;
+use crate::machine::Machine;
+
+/// Control-flow outcome of executing one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Fall through to `pc + 1`.
+    Next,
+    /// Transfer to an explicit address. For conditional branches,
+    /// `taken` reports whether the branch condition held (the event the
+    /// translator's `taken` counter records).
+    Jump {
+        /// The next PC.
+        target: Pc,
+        /// Whether a conditional branch was taken (`true` for all
+        /// unconditional transfers).
+        taken: bool,
+    },
+    /// The program executed `halt`.
+    Halted,
+}
+
+fn operand(m: &Machine, op: Operand) -> i64 {
+    match op {
+        Operand::Reg(r) => m.reg(r.index()),
+        Operand::Imm(v) => v,
+    }
+}
+
+/// Executes the instruction at the machine's current PC, updating all
+/// architectural state except the PC itself, and reports where control
+/// goes. Drivers (interpreter, DBT) commit the PC from the returned
+/// [`Flow`], which lets them observe branch outcomes for profiling.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] trap for division by zero, out-of-bounds
+/// memory, call-stack violations, or an out-of-range PC.
+pub fn step(program: &Program, m: &mut Machine) -> Result<Flow, VmError> {
+    let pc = m.pc();
+    let instr = program.get(pc).ok_or(VmError::BadPc { pc })?;
+    let flow = match instr {
+        Instr::Alu { op, dst, a, b } => {
+            let x = m.reg(a.index());
+            let y = operand(m, *b);
+            let v = match op {
+                AluOp::Add => x.wrapping_add(y),
+                AluOp::Sub => x.wrapping_sub(y),
+                AluOp::Mul => x.wrapping_mul(y),
+                AluOp::Div => {
+                    if y == 0 {
+                        return Err(VmError::DivideByZero { pc });
+                    }
+                    x.wrapping_div(y)
+                }
+                AluOp::Rem => {
+                    if y == 0 {
+                        return Err(VmError::DivideByZero { pc });
+                    }
+                    x.wrapping_rem(y)
+                }
+                AluOp::And => x & y,
+                AluOp::Or => x | y,
+                AluOp::Xor => x ^ y,
+                AluOp::Shl => x.wrapping_shl((y & 63) as u32),
+                AluOp::Shr => x.wrapping_shr((y & 63) as u32),
+            };
+            m.set_reg(dst.index(), v);
+            Flow::Next
+        }
+        Instr::Mov { dst, src } => {
+            m.set_reg(dst.index(), m.reg(src.index()));
+            Flow::Next
+        }
+        Instr::MovI { dst, imm } => {
+            m.set_reg(dst.index(), *imm);
+            Flow::Next
+        }
+        Instr::Fpu { op, dst, a, b } => {
+            let x = m.freg(a.index());
+            let y = m.freg(b.index());
+            let v = match op {
+                FpuOp::Add => x + y,
+                FpuOp::Sub => x - y,
+                FpuOp::Mul => x * y,
+                FpuOp::Div => x / y,
+                FpuOp::Max => x.max(y),
+                FpuOp::Min => x.min(y),
+            };
+            m.set_freg(dst.index(), v);
+            Flow::Next
+        }
+        Instr::FMov { dst, src } => {
+            m.set_freg(dst.index(), m.freg(src.index()));
+            Flow::Next
+        }
+        Instr::FMovI { dst, imm } => {
+            m.set_freg(dst.index(), *imm);
+            Flow::Next
+        }
+        Instr::IToF { dst, src } => {
+            m.set_freg(dst.index(), m.reg(src.index()) as f64);
+            Flow::Next
+        }
+        Instr::FToI { dst, src } => {
+            let v = m.freg(src.index());
+            let out = if v.is_nan() { 0 } else { v as i64 };
+            m.set_reg(dst.index(), out);
+            Flow::Next
+        }
+        Instr::FCmpLt { dst, a, b } => {
+            let v = i64::from(m.freg(a.index()) < m.freg(b.index()));
+            m.set_reg(dst.index(), v);
+            Flow::Next
+        }
+        Instr::Load { dst, base, offset } => {
+            let idx = m.mem_index(m.reg(base.index()), *offset, pc)?;
+            m.set_reg(dst.index(), m.mem(idx));
+            Flow::Next
+        }
+        Instr::Store { src, base, offset } => {
+            let idx = m.mem_index(m.reg(base.index()), *offset, pc)?;
+            m.set_mem(idx, m.reg(src.index()));
+            Flow::Next
+        }
+        Instr::FLoad { dst, base, offset } => {
+            let idx = m.fmem_index(m.reg(base.index()), *offset, pc)?;
+            m.set_freg(dst.index(), m.fmem(idx));
+            Flow::Next
+        }
+        Instr::FStore { src, base, offset } => {
+            let idx = m.fmem_index(m.reg(base.index()), *offset, pc)?;
+            m.set_fmem(idx, m.freg(src.index()));
+            Flow::Next
+        }
+        Instr::Jmp { target } => Flow::Jump {
+            target: *target,
+            taken: true,
+        },
+        Instr::Br { cond, a, b, taken } => {
+            let holds = cond.eval(m.reg(a.index()), operand(m, *b));
+            if holds {
+                Flow::Jump {
+                    target: *taken,
+                    taken: true,
+                }
+            } else {
+                Flow::Next
+            }
+        }
+        Instr::JmpTable { selector, table } => {
+            let raw = m.reg(selector.index());
+            let idx = (raw.rem_euclid(table.len() as i64)) as usize;
+            Flow::Jump {
+                target: table[idx],
+                taken: true,
+            }
+        }
+        Instr::Call { target } => {
+            m.push_call(pc + 1, pc)?;
+            Flow::Jump {
+                target: *target,
+                taken: true,
+            }
+        }
+        Instr::Ret => {
+            let target = m.pop_call(pc)?;
+            Flow::Jump {
+                target,
+                taken: true,
+            }
+        }
+        Instr::In { dst } => {
+            let v = m.next_input();
+            m.set_reg(dst.index(), v);
+            Flow::Next
+        }
+        Instr::Out { src } => {
+            m.push_output(m.reg(src.index()));
+            Flow::Next
+        }
+        Instr::Halt => Flow::Halted,
+    };
+    Ok(flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_isa::{Cond, FReg, ProgramBuilder, Reg};
+
+    fn run_one(mut setup: impl FnMut(&mut ProgramBuilder)) -> (Machine, Flow) {
+        let mut b = ProgramBuilder::new();
+        b.reserve_mem(16);
+        b.reserve_fmem(16);
+        setup(&mut b);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[7, 8]);
+        let f = step(&p, &mut m).unwrap();
+        (m, f)
+    }
+
+    #[test]
+    fn alu_wrapping_and_logic() {
+        let (m, _) = run_one(|b| b.movi(Reg::new(0), i64::MAX));
+        assert_eq!(m.reg(0), i64::MAX);
+        let mut b = ProgramBuilder::new();
+        b.movi(Reg::new(0), i64::MAX);
+        b.addi(Reg::new(0), Reg::new(0), 1);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        step(&p, &mut m).unwrap();
+        m.set_pc(1);
+        step(&p, &mut m).unwrap();
+        assert_eq!(m.reg(0), i64::MIN);
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let mut b = ProgramBuilder::new();
+        b.div(Reg::new(0), Reg::new(1), Reg::new(2));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        assert_eq!(step(&p, &mut m), Err(VmError::DivideByZero { pc: 0 }));
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label("l");
+        b.br_imm(Cond::Eq, Reg::new(0), 0, l);
+        b.bind(l).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        assert_eq!(
+            step(&p, &mut m).unwrap(),
+            Flow::Jump {
+                target: 1,
+                taken: true
+            }
+        );
+        m.set_reg(0, 5);
+        m.set_pc(0);
+        assert_eq!(step(&p, &mut m).unwrap(), Flow::Next);
+    }
+
+    #[test]
+    fn jump_table_wraps_negative_selectors() {
+        let mut b = ProgramBuilder::new();
+        let (x, y) = (b.fresh_label("x"), b.fresh_label("y"));
+        b.jmp_table(Reg::new(0), vec![x, y]);
+        b.bind(x).unwrap();
+        b.halt();
+        b.bind(y).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        m.set_reg(0, -1); // rem_euclid(-1, 2) == 1
+        assert_eq!(
+            step(&p, &mut m).unwrap(),
+            Flow::Jump {
+                target: 2,
+                taken: true
+            }
+        );
+        m.set_reg(0, 4);
+        m.set_pc(0);
+        assert_eq!(
+            step(&p, &mut m).unwrap(),
+            Flow::Jump {
+                target: 1,
+                taken: true
+            }
+        );
+    }
+
+    #[test]
+    fn call_and_ret_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        let f = b.fresh_label("f");
+        b.call(f); // 0
+        b.halt(); // 1
+        b.bind(f).unwrap();
+        b.ret(); // 2
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        assert_eq!(
+            step(&p, &mut m).unwrap(),
+            Flow::Jump {
+                target: 2,
+                taken: true
+            }
+        );
+        m.set_pc(2);
+        assert_eq!(
+            step(&p, &mut m).unwrap(),
+            Flow::Jump {
+                target: 1,
+                taken: true
+            }
+        );
+        assert_eq!(m.call_depth(), 0);
+    }
+
+    #[test]
+    fn float_ops_and_conversions() {
+        let mut b = ProgramBuilder::new();
+        b.fmovi(FReg::new(0), 1.5);
+        b.fmovi(FReg::new(1), 2.0);
+        b.fmul(FReg::new(2), FReg::new(0), FReg::new(1));
+        b.ftoi(Reg::new(0), FReg::new(2));
+        b.fcmp_lt(Reg::new(1), FReg::new(0), FReg::new(1));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        for pc in 0..5 {
+            m.set_pc(pc);
+            step(&p, &mut m).unwrap();
+        }
+        assert_eq!(m.freg(2), 3.0);
+        assert_eq!(m.reg(0), 3);
+        assert_eq!(m.reg(1), 1);
+    }
+
+    #[test]
+    fn nan_converts_to_zero() {
+        let mut b = ProgramBuilder::new();
+        b.fmovi(FReg::new(0), f64::NAN);
+        b.ftoi(Reg::new(0), FReg::new(0));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        m.set_reg(0, 99);
+        step(&p, &mut m).unwrap();
+        m.set_pc(1);
+        step(&p, &mut m).unwrap();
+        assert_eq!(m.reg(0), 0);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_io() {
+        let mut b = ProgramBuilder::new();
+        b.reserve_mem(4);
+        b.input(Reg::new(0)); // r0 = 7
+        b.movi(Reg::new(1), 2);
+        b.store(Reg::new(0), Reg::new(1), 1); // mem[3] = 7
+        b.load(Reg::new(2), Reg::new(1), 1); // r2 = 7
+        b.out(Reg::new(2));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[7]);
+        for pc in 0..5 {
+            m.set_pc(pc);
+            step(&p, &mut m).unwrap();
+        }
+        assert_eq!(m.output(), &[7]);
+    }
+
+    #[test]
+    fn bad_pc_traps() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        m.set_pc(42);
+        assert_eq!(step(&p, &mut m), Err(VmError::BadPc { pc: 42 }));
+    }
+}

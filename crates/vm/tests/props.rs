@@ -1,0 +1,133 @@
+//! Property tests for the interpreter: architectural invariants over
+//! random instruction sequences.
+
+use proptest::prelude::*;
+
+use tpdbt_isa::{Cond, FReg, ProgramBuilder, Reg};
+use tpdbt_vm::{run_collect, Interpreter, Machine};
+
+/// A random straight-line arithmetic program over small constants,
+/// ending in out+halt.
+fn arb_linear_program() -> impl Strategy<Value = (tpdbt_isa::Program, Vec<i64>)> {
+    (
+        prop::collection::vec((0u8..6, -50i64..50), 1..40),
+        prop::collection::vec(-100i64..100, 0..8),
+    )
+        .prop_map(|(ops, input)| {
+            let mut b = ProgramBuilder::new();
+            let acc = Reg::new(0);
+            b.reserve_mem(8);
+            for (op, imm) in ops {
+                match op {
+                    0 => b.addi(acc, acc, imm),
+                    1 => b.subi(acc, acc, imm),
+                    2 => b.muli(acc, acc, imm % 7),
+                    3 => b.xor(acc, acc, imm),
+                    4 => b.input(acc),
+                    _ => b.shl(acc, acc, imm.rem_euclid(8)),
+                }
+            }
+            b.out(acc);
+            b.halt();
+            (b.build().expect("linear programs always validate"), input)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The interpreter is deterministic and always terminates on
+    /// straight-line code, executing exactly program-length
+    /// instructions.
+    #[test]
+    fn linear_programs_terminate_deterministically((p, input) in arb_linear_program()) {
+        let mut i1 = Interpreter::new(&p, &input);
+        let s1 = i1.run().unwrap();
+        prop_assert_eq!(s1.instructions, p.len() as u64);
+        prop_assert_eq!(s1.cond_branches, 0);
+        let out2 = run_collect(&p, &input).unwrap();
+        prop_assert_eq!(i1.machine().output(), &out2[..]);
+    }
+
+    /// Branch statistics are consistent: taken ≤ conditional ≤ total.
+    #[test]
+    fn branch_stats_are_consistent(iters in 1i64..500, bias in 0i64..16) {
+        let mut b = ProgramBuilder::new();
+        let (i, x) = (Reg::new(0), Reg::new(1));
+        let top = b.fresh_label("top");
+        let skip = b.fresh_label("skip");
+        b.movi(i, 0);
+        b.bind(top).unwrap();
+        b.and(x, i, 15);
+        b.br_imm(Cond::Lt, x, bias, skip);
+        b.addi(x, x, 1);
+        b.bind(skip).unwrap();
+        b.addi(i, i, 1);
+        b.br_imm(Cond::Lt, i, iters, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut interp = Interpreter::new(&p, &[]);
+        let stats = interp.run().unwrap();
+        prop_assert!(stats.taken_branches <= stats.cond_branches);
+        prop_assert!(stats.cond_branches <= stats.instructions);
+        prop_assert_eq!(stats.cond_branches, 2 * iters as u64);
+    }
+
+    /// Memory loads observe the most recent store (simple coherence)
+    /// for arbitrary in-bounds addresses and values.
+    #[test]
+    fn store_load_coherence(addr in 0i64..64, v1 in any::<i64>(), v2 in any::<i64>()) {
+        let mut b = ProgramBuilder::new();
+        b.reserve_mem(64);
+        let (a, x) = (Reg::new(0), Reg::new(1));
+        b.movi(a, addr);
+        b.movi(x, v1);
+        b.store(x, a, 0);
+        b.movi(x, v2);
+        b.store(x, a, 0);
+        b.load(Reg::new(2), a, 0);
+        b.out(Reg::new(2));
+        b.halt();
+        let p = b.build().unwrap();
+        prop_assert_eq!(run_collect(&p, &[]).unwrap(), vec![v2]);
+    }
+
+    /// Float arithmetic runs the same as host f64 arithmetic.
+    #[test]
+    fn float_semantics_match_host(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+        let mut b = ProgramBuilder::new();
+        let (f0, f1, f2) = (FReg::new(0), FReg::new(1), FReg::new(2));
+        b.fmovi(f0, x);
+        b.fmovi(f1, y);
+        b.fadd(f2, f0, f1);
+        b.fmul(f2, f2, f2);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        for pc in 0..4 {
+            m.set_pc(pc);
+            tpdbt_vm::step(&p, &mut m).unwrap();
+        }
+        let expect = (x + y) * (x + y);
+        prop_assert_eq!(m.freg(2), expect);
+    }
+
+    /// The fuel budget is respected exactly: with fuel f < needed, the
+    /// run traps; with fuel = needed, it completes.
+    #[test]
+    fn fuel_is_exact(pad in 0usize..30) {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..pad {
+            b.movi(Reg::new(0), 1);
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let needed = p.len() as u64;
+        let mut ok = Interpreter::new(&p, &[]).with_fuel(needed);
+        prop_assert!(ok.run().is_ok());
+        if needed > 1 {
+            let mut starved = Interpreter::new(&p, &[]).with_fuel(needed - 1);
+            prop_assert!(starved.run().is_err());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Adaptive rescue: side-exit monitoring versus frozen regions on a
+//! phase-changing workload.
+//!
+//! The paper's §5 proposes "effectively monitoring the side exits of
+//! each region and re-optimizing the region when its completion
+//! probability changes significantly". This example runs the mcf analog
+//! (phase changes + trip-count inversion) and a stable control (bzip2)
+//! under the frozen two-phase translator and under the adaptive mode,
+//! and shows where adaptation pays.
+//!
+//! ```text
+//! cargo run --release --example adaptive_rescue
+//! ```
+
+use tpdbt::dbt::{Dbt, DbtConfig};
+use tpdbt::profile::phases;
+use tpdbt::suite::{workload, InputKind, Scale};
+
+fn study(name: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let w = workload(name, Scale::Small, InputKind::Ref)?;
+    let threshold = 200;
+
+    // First, how many phases does this workload actually have?
+    let probe =
+        Dbt::new(DbtConfig::no_opt().with_interval(100_000)).run_built(&w.binary, &w.input)?;
+    let n_phases = phases::detect_phases(&probe.intervals, 0.1).len();
+
+    let frozen = Dbt::new(DbtConfig::two_phase(threshold)).run_built(&w.binary, &w.input)?;
+    let adaptive = Dbt::new(DbtConfig::adaptive(threshold)).run_built(&w.binary, &w.input)?;
+    assert_eq!(
+        frozen.output, adaptive.output,
+        "adaptation must stay transparent"
+    );
+
+    println!("{name}: {n_phases} phase(s) detected");
+    println!(
+        "  two-phase: {:>9} cycles, {:>7} side exits, {:>6} completions",
+        frozen.stats.cycles, frozen.stats.side_exits, frozen.stats.completions
+    );
+    println!(
+        "  adaptive : {:>9} cycles, {:>7} side exits, {:>6} completions, {} retirements",
+        adaptive.stats.cycles,
+        adaptive.stats.side_exits,
+        adaptive.stats.completions,
+        adaptive.stats.retirements
+    );
+    println!(
+        "  side-exit reduction: {:.1}x, cycle ratio: {:.3}",
+        frozen.stats.side_exits.max(1) as f64 / adaptive.stats.side_exits.max(1) as f64,
+        adaptive.stats.cycles as f64 / frozen.stats.cycles as f64
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    study("mcf")?;
+    println!();
+    study("bzip2")?;
+    println!(
+        "\nOn the phase-changer, retirements re-fit regions to the current \
+         phase: side exits drop and completions jump an order of magnitude. \
+         On the stable benchmark the retirement hysteresis \
+         (AdaptPolicy::max_retirements_per_entry) caps the churn after a \
+         handful of re-forms — inherently 65/35 branches exit often *by \
+         construction*, and re-translating them again would never help. \
+         Both halves of the picture support the paper's call for \
+         *selective* adaptation."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Phase clinic: watch the Mcf analog defeat the initial prediction.
+//!
+//! The paper singles out Mcf: phase changes make its initial profile a
+//! poor predictor, and loops that look high-trip-count early turn
+//! low-trip-count later (and vice versa), which fools trip-count-based
+//! loop optimizations (§4.3). This example sweeps thresholds on the
+//! mcf analog and prints how `Sd.BP` and the LP trip-class mismatch
+//! respond — and contrasts a phase-free benchmark (bzip2).
+//!
+//! ```text
+//! cargo run --release --example phase_clinic
+//! ```
+
+use tpdbt::dbt::{Dbt, DbtConfig};
+use tpdbt::profile::report::analyze;
+use tpdbt::suite::{workload, InputKind, Scale};
+
+fn sweep(name: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let w = workload(name, Scale::Small, InputKind::Ref)?;
+    let avep = Dbt::new(DbtConfig::no_opt())
+        .run_built(&w.binary, &w.input)?
+        .as_plain_profile();
+    println!("{name}:   T   Sd.BP   BP-mis   Sd.LP   LP-mis  regions");
+    for t in [10u64, 50, 200, 1_000, 4_000, 16_000, 100_000] {
+        let out = Dbt::new(DbtConfig::two_phase(t)).run_built(&w.binary, &w.input)?;
+        let m = analyze(&out.inip, &avep)?;
+        let f = |v: Option<f64>| v.map_or_else(|| "  -  ".into(), |x| format!("{x:.3}"));
+        println!(
+            "{name}: {t:>6}  {}   {}    {}   {}   {:>3}",
+            f(m.sd_bp),
+            f(m.bp_mismatch),
+            f(m.sd_lp),
+            f(m.lp_mismatch),
+            m.regions
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("mcf analog: phase changes + trip-count inversion\n");
+    sweep("mcf")?;
+    println!("\nbzip2 analog: stable behaviour from the first record\n");
+    sweep("bzip2")?;
+    println!(
+        "\nReading the tables: mcf's Sd.BP stays high regardless of T (its \
+         phases make *any* single early profile unrepresentative), and its \
+         LP mismatch only falls once the threshold pushes profiling past \
+         the low-trip phase — the paper's §4.3 observation. bzip2's initial \
+         profile is accurate already at tiny thresholds."
+    );
+    Ok(())
+}

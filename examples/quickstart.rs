@@ -1,0 +1,61 @@
+//! Quickstart: run a SPEC2000 analog under the two-phase translator and
+//! measure how well its initial profile predicts the whole run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tpdbt::dbt::{Dbt, DbtConfig};
+use tpdbt::profile::report::{analyze, analyze_train};
+use tpdbt::suite::{workload, InputKind, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The gzip analog at a laptop-friendly scale.
+    let reference = workload("gzip", Scale::Small, InputKind::Ref)?;
+    let training = workload("gzip", Scale::Small, InputKind::Train)?;
+
+    // 1. AVEP: the whole-run average profile (no optimization).
+    let avep = Dbt::new(DbtConfig::no_opt())
+        .run_built(&reference.binary, &reference.input)?
+        .as_plain_profile();
+    println!(
+        "AVEP: {} blocks, {} profiling ops, {} instructions",
+        avep.blocks.len(),
+        avep.profiling_ops,
+        avep.instructions
+    );
+
+    // 2. INIP(T): the initial profile at a retranslation threshold.
+    let threshold = 200;
+    let out =
+        Dbt::new(DbtConfig::two_phase(threshold)).run_built(&reference.binary, &reference.input)?;
+    println!(
+        "INIP({threshold}): {} regions ({} loops), {} side exits, {} completions",
+        out.inip.regions.len(),
+        out.inip.loop_regions().count(),
+        out.stats.side_exits,
+        out.stats.completions,
+    );
+
+    // 3. How accurate was the initial prediction?
+    let metrics = analyze(&out.inip, &avep)?;
+    println!(
+        "Sd.BP = {:?}  BP mismatch = {:?}  Sd.CP = {:?}  Sd.LP = {:?}",
+        metrics.sd_bp, metrics.bp_mismatch, metrics.sd_cp, metrics.sd_lp
+    );
+
+    // 4. Compare with the classic PGO reference: the training input.
+    let train = Dbt::new(DbtConfig::no_opt())
+        .run_built(&training.binary, &training.input)?
+        .as_plain_profile();
+    let train_metrics = analyze_train(&train, &avep);
+    println!(
+        "train reference: Sd.BP = {:?}  BP mismatch = {:?}",
+        train_metrics.sd_bp, train_metrics.bp_mismatch
+    );
+    println!(
+        "profiling cost: INIP({threshold}) used {:.2}% of the training run's operations",
+        100.0 * out.inip.profiling_ops as f64 / train.profiling_ops as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! Shape-regression tests: the qualitative properties each paper figure
+//! rests on, checked on a reduced sweep so refactors can't silently
+//! break the reproduction. (The full-scale numbers live in
+//! EXPERIMENTS.md; these tests pin the *shapes* at tiny scale.)
+
+use tpdbt_experiments::runner::{run_benchmark, BenchResult};
+use tpdbt_suite::Scale;
+
+fn sweep(name: &str) -> BenchResult {
+    run_benchmark(name, Scale::Tiny).unwrap()
+}
+
+/// Figure 8/9 shape: on a stable benchmark the initial prediction is
+/// accurate from tiny thresholds and only improves.
+#[test]
+fn stable_benchmark_sd_bp_is_low_and_shrinking() {
+    let r = sweep("bzip2");
+    // At tiny scale the first ladder points degenerate to single-digit
+    // thresholds; judge from the nominal-2k point (index 4) on.
+    let early = r.per_threshold[4].1.sd_bp.unwrap();
+    let last = r.per_threshold.last().unwrap().1.sd_bp.unwrap();
+    assert!(early < 0.1, "bzip2 Sd.BP at nominal 2k: {early}");
+    assert!(last <= early + 1e-9);
+}
+
+/// Figure 9 shape: the perlbmk analog's initial prediction beats its
+/// training input at every threshold (the paper's most dramatic case).
+#[test]
+fn perlbmk_initial_beats_train_everywhere() {
+    let r = sweep("perlbmk");
+    let train = r.train.sd_bp.unwrap();
+    for (p, m) in &r.per_threshold {
+        let sd = m.sd_bp.unwrap();
+        assert!(sd < train, "T={}: {sd} !< train {train}", p.label);
+    }
+}
+
+/// Figure 9 shape: the mcf analog's initial prediction is worse than
+/// its training input over the operational threshold range.
+#[test]
+fn mcf_initial_is_worse_than_train() {
+    let r = sweep("mcf");
+    let train = r.train.sd_bp.unwrap();
+    let mid: Vec<f64> = r.per_threshold[2..8]
+        .iter()
+        .filter_map(|(_, m)| m.sd_bp)
+        .collect();
+    let avg = mid.iter().sum::<f64>() / mid.len() as f64;
+    assert!(avg > 2.0 * train, "mcf avg {avg} vs train {train}");
+}
+
+/// Figure 17 shape: moderate thresholds beat both extremes of the
+/// ladder.
+#[test]
+fn performance_peaks_at_moderate_thresholds() {
+    let r = sweep("gcc");
+    let rel = |i: usize| r.base_cycles as f64 / r.per_threshold[i].1.cycles as f64;
+    let n = r.per_threshold.len();
+    let best_mid = (1..6).map(rel).fold(0.0f64, f64::max);
+    let last = rel(n - 1);
+    assert!(best_mid > last, "mid {best_mid} must beat huge-T {last}");
+    assert!(
+        best_mid > 1.0,
+        "mid thresholds must beat the T=1 base, got {best_mid}"
+    );
+}
+
+/// Figure 18 shape: profiling operations increase monotonically with
+/// the threshold and start far below the training run.
+#[test]
+fn profiling_ops_grow_with_threshold() {
+    let r = sweep("equake");
+    let ops: Vec<u64> = r
+        .per_threshold
+        .iter()
+        .map(|(_, m)| m.profiling_ops)
+        .collect();
+    for w in ops.windows(2) {
+        assert!(w[0] <= w[1], "ops not monotone: {ops:?}");
+    }
+    assert!(
+        (ops[0] as f64) < 0.2 * r.train.profiling_ops as f64,
+        "smallest threshold should profile far less than the training run"
+    );
+}
+
+/// High-threshold limit: at the top of the ladder (scaled 1M/4M)
+/// almost nothing is optimized, so deviation vanishes.
+#[test]
+fn huge_thresholds_degenerate_to_avep() {
+    for name in ["gzip", "swim"] {
+        let r = sweep(name);
+        let (p, m) = r.per_threshold.last().unwrap();
+        assert!(
+            m.sd_bp.unwrap() < 0.02,
+            "{name} at T={}: sd {:?}",
+            p.label,
+            m.sd_bp
+        );
+    }
+}
+
+/// Figure 16 shape: the mcf analog's loop classification is wrong at
+/// small thresholds and corrects by the upper-middle of the ladder.
+#[test]
+fn mcf_loop_classes_correct_late() {
+    let r = sweep("mcf");
+    let early = r.per_threshold[2].1.lp_mismatch;
+    let late = r
+        .per_threshold
+        .iter()
+        .rev()
+        .find_map(|(_, m)| m.lp_mismatch);
+    assert!(
+        early.unwrap() > 0.9,
+        "mcf early LP classes mostly wrong: {early:?}"
+    );
+    if let Some(late) = late {
+        assert!(late < 0.5, "mcf late LP mismatch {late}");
+    }
+}
+
+/// INT/FP split: the FP class average is easier to predict than INT at
+/// every threshold (Figure 8's headline).
+#[test]
+fn fp_is_easier_than_int_on_representatives() {
+    let int = sweep("gcc");
+    let fp = sweep("swim");
+    for ((p, mi), (_, mf)) in int.per_threshold.iter().zip(&fp.per_threshold) {
+        let (si, sf) = (mi.sd_bp.unwrap(), mf.sd_bp.unwrap());
+        assert!(
+            sf <= si + 0.02,
+            "T={}: fp {sf} should not exceed int {si}",
+            p.label
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests over randomly shaped workloads: the invariants
+//! the whole methodology rests on, checked across the program space the
+//! suite generators can produce.
+
+use proptest::prelude::*;
+
+use tpdbt::dbt::{Dbt, DbtConfig};
+use tpdbt::profile::{navep, text, SuccSlot, TermKind};
+use tpdbt::suite::gen::{generate_input, loopnest, search};
+use tpdbt::suite::Segment;
+
+/// A random loop-nest shape.
+fn arb_shape() -> impl Strategy<Value = loopnest::LoopNestShape> {
+    (
+        any::<bool>(),
+        1usize..=6,
+        1usize..=2,
+        prop_oneof![Just(0usize), Just(4), Just(8)],
+        any::<bool>(),
+        0usize..=3,
+        0usize..=2,
+    )
+        .prop_map(
+            |(fp, branches, nests, switch_arms, helper, body_ops, loop_branches)| {
+                loopnest::LoopNestShape {
+                    fp,
+                    branches,
+                    nests,
+                    switch_arms,
+                    helper,
+                    body_ops,
+                    loop_branches,
+                }
+            },
+        )
+}
+
+/// A random 1–3 segment schedule.
+fn arb_segments() -> impl Strategy<Value = Vec<Segment>> {
+    prop::collection::vec(
+        (prop::collection::vec(0.05f64..0.95, 6), 1i64..32, 1i64..16),
+        1..=3,
+    )
+    .prop_map(|parts| {
+        let n = parts.len();
+        parts
+            .into_iter()
+            .map(|(biases, t1, t2)| {
+                Segment::new(1.0 / n as f64, &biases, (t1, t1 + 8), (t2, t2 + 4))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The translator never changes the architectural result, whatever
+    /// the program shape, input schedule, or threshold.
+    #[test]
+    fn dbt_is_transparent(
+        shape in arb_shape(),
+        segments in arb_segments(),
+        records in 40usize..160,
+        threshold in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        let built = loopnest::build("prop", shape).unwrap();
+        let input = generate_input(&segments, records, seed);
+        let mut interp = tpdbt::vm::Interpreter::new(&built.program, &input);
+        interp.preload(&built.mem_image, &built.fmem_image);
+        interp.run().unwrap();
+        let expected = interp.machine().output().to_vec();
+        for config in [
+            DbtConfig::no_opt(),
+            DbtConfig::two_phase(threshold),
+            DbtConfig::continuous(threshold),
+        ] {
+            let out = Dbt::new(config).run_built(&built, &input).unwrap();
+            prop_assert_eq!(&out.output, &expected);
+        }
+    }
+
+    /// Flow conservation in dumps: for every non-halt block, the edge
+    /// counts sum to the use count; region seeds freeze in [T, 2T].
+    #[test]
+    fn dump_counters_are_flow_consistent(
+        shape in arb_shape(),
+        segments in arb_segments(),
+        threshold in 2u64..100,
+        seed in any::<u64>(),
+    ) {
+        let built = loopnest::build("prop", shape).unwrap();
+        let input = generate_input(&segments, 120, seed);
+        let out = Dbt::new(DbtConfig::two_phase(threshold)).run_built(&built, &input).unwrap();
+        for (pc, rec) in &out.inip.blocks {
+            let edge_sum: u64 = rec.edges.iter().map(|(_, _, c)| c).sum();
+            if rec.kind == Some(TermKind::Halt) {
+                prop_assert_eq!(edge_sum, 0);
+            } else {
+                prop_assert_eq!(edge_sum, rec.use_count, "block {}", pc);
+            }
+        }
+        for region in &out.inip.regions {
+            let seed_rec = out.inip.block(region.entry_pc()).unwrap();
+            prop_assert!(seed_rec.use_count >= threshold);
+            prop_assert!(seed_rec.use_count <= 2 * threshold);
+        }
+    }
+
+    /// NAVEP conservation: the solved copy frequencies of every block
+    /// sum back to its AVEP frequency (the paper's Figure 4 invariant),
+    /// for arbitrary region structures the translator forms.
+    #[test]
+    fn navep_preserves_total_frequencies(
+        shape in arb_shape(),
+        segments in arb_segments(),
+        threshold in 2u64..60,
+        seed in any::<u64>(),
+    ) {
+        let built = loopnest::build("prop", shape).unwrap();
+        let input = generate_input(&segments, 150, seed);
+        let avep = Dbt::new(DbtConfig::no_opt())
+            .run_built(&built, &input).unwrap().as_plain_profile();
+        let inip = Dbt::new(DbtConfig::two_phase(threshold))
+            .run_built(&built, &input).unwrap().inip;
+        let n = navep::normalize(&inip, &avep).unwrap();
+        for (&pc, rec) in &avep.blocks {
+            let total = n.total_frequency(pc);
+            let expect = rec.use_count as f64;
+            prop_assert!(
+                (total - expect).abs() <= 0.02 * expect + 1.0,
+                "block {} navep {} vs avep {}", pc, total, expect
+            );
+        }
+    }
+
+    /// Text dumps round trip for arbitrary real profiles.
+    #[test]
+    fn dumps_roundtrip(
+        shape in arb_shape(),
+        threshold in 2u64..60,
+        seed in any::<u64>(),
+    ) {
+        let built = loopnest::build("prop", shape).unwrap();
+        let segments = [Segment::new(1.0, &[0.6, 0.4, 0.7], (2, 12), (1, 6))];
+        let input = generate_input(&segments, 100, seed);
+        let out = Dbt::new(DbtConfig::two_phase(threshold)).run_built(&built, &input).unwrap();
+        let inip = out.inip;
+        prop_assert_eq!(
+            text::inip_from_str(&text::inip_to_string(&inip)).unwrap(),
+            inip
+        );
+    }
+
+    /// The recursive-search template balances its call stack and is
+    /// transparent too.
+    #[test]
+    fn search_template_is_transparent(
+        eval_ops in 0usize..4,
+        density in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let built = search::build("prop", search::SearchShape { eval_ops }).unwrap();
+        let segments = [Segment::new(1.0, &[density; 6], (2, 4), (3, 7))];
+        let input = generate_input(&segments, 60, seed);
+        let expected = tpdbt::vm::run_collect(&built.program, &input).unwrap();
+        let out = Dbt::new(DbtConfig::two_phase(8)).run_built(&built, &input).unwrap();
+        prop_assert_eq!(out.output, expected);
+    }
+
+    /// Region dumps respect the topological edge invariant the analyzer
+    /// relies on (forward edges, back edges only to the entry).
+    #[test]
+    fn region_edges_are_topological(
+        shape in arb_shape(),
+        segments in arb_segments(),
+        threshold in 2u64..60,
+        seed in any::<u64>(),
+    ) {
+        let built = loopnest::build("prop", shape).unwrap();
+        let input = generate_input(&segments, 150, seed);
+        let out = Dbt::new(DbtConfig::two_phase(threshold)).run_built(&built, &input).unwrap();
+        for region in &out.inip.regions {
+            for e in &region.edges {
+                prop_assert!(e.to > e.from || e.to == 0, "region {:?}", region);
+                prop_assert!(e.from < region.copies.len());
+                prop_assert!(e.to < region.copies.len());
+                prop_assert!(e.slot == SuccSlot::Taken
+                    || e.slot == SuccSlot::Fallthrough
+                    || matches!(e.slot, SuccSlot::Other(_)));
+            }
+            prop_assert!(region.tail < region.copies.len());
+        }
+    }
+}
