@@ -1,0 +1,54 @@
+//! Profile-store benchmarks: a cold sweep (every cell guest-executed
+//! and written to the store) vs a cache-hit sweep (every cell served
+//! from disk) of one benchmark across the full threshold ladder. The
+//! ratio is the speedup the persistent store buys on identical reruns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use tpdbt_experiments::sweep::{run_sweep, SweepOptions};
+use tpdbt_suite::Scale;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tpdbt-bench-store-{}-{tag}", std::process::id()))
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_sweep");
+
+    let cold_dir = scratch("cold");
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            // Start from an empty store every iteration: all misses.
+            let _ = std::fs::remove_dir_all(&cold_dir);
+            let opts = SweepOptions {
+                jobs: 1,
+                cache_dir: Some(cold_dir.clone()),
+            };
+            let report = run_sweep(&["gzip"], Scale::Tiny, &opts, |_| {}).unwrap();
+            assert_eq!(report.cache_hits, 0);
+            black_box(report.guest_runs)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&cold_dir);
+
+    let warm_dir = scratch("warm");
+    let opts = SweepOptions {
+        jobs: 1,
+        cache_dir: Some(warm_dir.clone()),
+    };
+    run_sweep(&["gzip"], Scale::Tiny, &opts, |_| {}).unwrap(); // prime
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let report = run_sweep(&["gzip"], Scale::Tiny, &opts, |_| {}).unwrap();
+            assert_eq!(report.guest_runs, 0);
+            black_box(report.cache_hits)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Offline stand-in for the slice of the `criterion` 0.5 API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so external
+//! dependencies are replaced by minimal in-repo path crates (DESIGN.md,
+//! "Dependency policy"). This shim keeps `benches/` source-compatible:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, and `BatchSize`.
+//! It measures wall time with `std::time::Instant` and prints a
+//! median/min/max line per benchmark — no statistics engine, plots, or
+//! baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted for compatibility; the
+/// shim always re-runs setup outside the timed section).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            let out = routine();
+            self.samples.push(t0.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.samples.push(t0.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        report(name.as_ref(), &mut b.samples);
+    }
+
+    /// Opens a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        self.criterion.bench_function(full, f);
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<44} no samples");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{name:<44} median {:>12?}  (min {:?}, max {:?}, n={})",
+        median,
+        min,
+        max,
+        samples.len()
+    );
+}
+
+/// Returns true when the binary was invoked by `cargo test --benches`
+/// (criterion proper also recognizes `--test`); benches then smoke-run
+/// with one sample instead of the full budget.
+#[must_use]
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Declares a group of benchmark functions, with optional config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            if $crate::test_mode() {
+                criterion = criterion.sample_size(1);
+            }
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("shim/self_test", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0;
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 4);
+    }
+}

@@ -249,6 +249,51 @@ impl DbtConfig {
         self.interval = Some(instructions);
         self
     }
+
+    /// A stable 64-bit digest over every field that can change a run's
+    /// observable result. The profile store (`tpdbt-store`) keys cached
+    /// artifacts on it, so stale cache entries are detected whenever a
+    /// policy knob, cost, or mode changes — two configs compare equal
+    /// iff their fingerprints do (modulo hash collisions).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a 64, inlined so `tpdbt-dbt` stays free of a dependency
+        // on the store crate (which depends on profile data produced
+        // *by* the translator).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let mode_code: u8 = match self.mode {
+            ProfilingMode::TwoPhase => 0,
+            ProfilingMode::NoOpt => 1,
+            ProfilingMode::Continuous => 2,
+            ProfilingMode::Adaptive => 3,
+        };
+        eat(&[mode_code]);
+        eat(&self.threshold.to_le_bytes());
+        eat(&self.policy.main_path_prob.to_bits().to_le_bytes());
+        eat(&self.policy.include_prob.to_bits().to_le_bytes());
+        eat(&(self.policy.max_region_blocks as u64).to_le_bytes());
+        eat(&(self.policy.pool_trigger as u64).to_le_bytes());
+        eat(&self.cost.cold_translate_per_instr.to_le_bytes());
+        eat(&self.cost.unopt_exec_per_instr.to_le_bytes());
+        eat(&self.cost.profile_op_cost.to_le_bytes());
+        eat(&self.cost.dispatch_cost.to_le_bytes());
+        eat(&self.cost.opt_translate_per_instr.to_le_bytes());
+        eat(&self.cost.opt_exec_per_instr.to_le_bytes());
+        eat(&self.cost.side_exit_penalty.to_le_bytes());
+        eat(&self.cost.region_entry_cost.to_le_bytes());
+        eat(&self.adapt.min_entries.to_le_bytes());
+        eat(&self.adapt.max_side_exit_rate.to_bits().to_le_bytes());
+        eat(&u64::from(self.adapt.max_retirements_per_entry).to_le_bytes());
+        eat(&self.interval.map_or(0, |i| i.wrapping_add(1)).to_le_bytes());
+        eat(&self.fuel.to_le_bytes());
+        h
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +331,26 @@ mod tests {
         assert_eq!(c.policy.max_region_blocks, 4);
         assert_eq!(c.cost.opt_exec_per_instr, 1);
         assert_eq!(c.fuel, 99);
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_affecting_fields() {
+        let base = DbtConfig::two_phase(100);
+        assert_eq!(base.fingerprint(), DbtConfig::two_phase(100).fingerprint());
+        assert_ne!(base.fingerprint(), DbtConfig::two_phase(200).fingerprint());
+        assert_ne!(base.fingerprint(), DbtConfig::continuous(100).fingerprint());
+        assert_ne!(base.fingerprint(), base.with_fuel(42).fingerprint());
+        let policy = RegionPolicy {
+            main_path_prob: 0.60,
+            ..RegionPolicy::default()
+        };
+        assert_ne!(base.fingerprint(), base.with_policy(policy).fingerprint());
+        let cost = CostModel {
+            opt_exec_per_instr: 3,
+            ..CostModel::default()
+        };
+        assert_ne!(base.fingerprint(), base.with_cost(cost).fingerprint());
+        assert_ne!(base.fingerprint(), base.with_interval(1).fingerprint());
     }
 
     #[test]

@@ -3,28 +3,87 @@
 //! print the §2 metrics.
 //!
 //! ```text
-//! tpdbt-analyze INIP_FILE AVEP_FILE [--train TRAIN_FILE] [--diagnose N]
-//!               [--phases INTERVALS_FILE] [--eps E]
+//! tpdbt-analyze INIP_FILE... AVEP_FILE [--train TRAIN_FILE] [--diagnose N]
+//!               [--phases INTERVALS_FILE] [--eps E] [--jobs N]
+//! tpdbt-analyze --cache-dir DIR
 //! ```
+//!
+//! With several `INIP_FILE`s (the last positional is always the `AVEP`
+//! reference), each is analyzed on a `--jobs N` worker pool and the
+//! reports print in argument order; `--diagnose`/`--phases` apply to
+//! single-file analysis only. With `--cache-dir DIR` and no files, the
+//! persistent profile store is inspected instead: one line per
+//! artifact with its kind, key digest, size, and integrity status.
 
-use tpdbt_profile::report::{analyze, analyze_train};
+use tpdbt_experiments::sweep::parallel_map;
+use tpdbt_profile::report::{analyze, analyze_train, ThresholdMetrics};
 use tpdbt_profile::{diagnose, navep, phases, text};
+use tpdbt_store::profilefmt::decode;
+use tpdbt_store::Artifact;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpdbt-analyze INIP_FILE AVEP_FILE [--train TRAIN_FILE] [--diagnose N] \\\n       [--phases INTERVALS_FILE] [--eps E]"
+        "usage: tpdbt-analyze INIP_FILE... AVEP_FILE [--train TRAIN_FILE] [--diagnose N] \\\n       [--phases INTERVALS_FILE] [--eps E] [--jobs N]\n       tpdbt-analyze --cache-dir DIR    (inspect the profile store)"
     );
     std::process::exit(2)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let inip_path = args.next().unwrap_or_else(|| usage());
-    let avep_path = args.next().unwrap_or_else(|| usage());
+fn fmt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"))
+}
+
+fn print_metrics(m: &ThresholdMetrics) {
+    println!("INIP(T={}) vs AVEP ({} regions):", m.threshold, m.regions);
+    println!("  Sd.BP       = {}", fmt(m.sd_bp));
+    println!("  BP mismatch = {}", fmt(m.bp_mismatch));
+    println!("  Sd.CP       = {}", fmt(m.sd_cp));
+    println!("  Sd.LP       = {}", fmt(m.sd_lp));
+    println!("  LP mismatch = {}", fmt(m.lp_mismatch));
+    println!("  profiling ops = {}", m.profiling_ops);
+    println!("  cycles        = {}", m.cycles);
+}
+
+fn inspect_store(dir: &str) -> tpdbt_experiments::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "tpst"))
+        .collect();
+    entries.sort();
+    println!("{:<44} {:>6} {:>8}  status", "artifact", "kind", "bytes");
+    let mut ok = 0usize;
+    for path in &entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let bytes = std::fs::read(path)?;
+        match decode(&bytes) {
+            Ok((digest, artifact)) => {
+                ok += 1;
+                let kind = match artifact {
+                    Artifact::Plain(_) => "plain",
+                    Artifact::Cell(_) => "cell",
+                    Artifact::Base(_) => "base",
+                };
+                println!(
+                    "{name:<44} {kind:>6} {:>8}  ok (key {digest:016x})",
+                    bytes.len()
+                );
+            }
+            Err(e) => println!("{name:<44} {:>6} {:>8}  CORRUPT: {e}", "?", bytes.len()),
+        }
+    }
+    println!("{} artifact(s), {} valid", entries.len(), ok);
+    Ok(())
+}
+
+fn main() -> tpdbt_experiments::Result<()> {
+    let mut positional: Vec<String> = Vec::new();
     let mut train_path: Option<String> = None;
     let mut diagnose_n: usize = 0;
     let mut phases_path: Option<String> = None;
     let mut eps = 0.1f64;
+    let mut jobs = 1usize;
+    let mut cache_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--train" => train_path = Some(args.next().unwrap_or_else(|| usage())),
@@ -33,68 +92,90 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--phases" => phases_path = Some(args.next().unwrap_or_else(|| usage())),
             "--eps" => eps = args.next().unwrap_or_else(|| usage()).parse()?,
+            "--jobs" => jobs = args.next().unwrap_or_else(|| usage()).parse()?,
+            "--cache-dir" => cache_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
             _ => usage(),
         }
     }
+    if positional.is_empty() {
+        match cache_dir {
+            Some(dir) => return inspect_store(&dir),
+            None => usage(),
+        }
+    }
+    if positional.len() < 2 {
+        usage()
+    }
+    let avep_path = positional.pop().expect("checked non-empty");
+    let inip_paths = positional;
 
-    let inip = text::inip_from_str(&std::fs::read_to_string(&inip_path)?)?;
     let avep = text::plain_from_str(&std::fs::read_to_string(&avep_path)?)?;
-    let m = analyze(&inip, &avep)?;
-    let f = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"));
-    println!("INIP(T={}) vs AVEP ({} regions):", m.threshold, m.regions);
-    println!("  Sd.BP       = {}", f(m.sd_bp));
-    println!("  BP mismatch = {}", f(m.bp_mismatch));
-    println!("  Sd.CP       = {}", f(m.sd_cp));
-    println!("  Sd.LP       = {}", f(m.sd_lp));
-    println!("  LP mismatch = {}", f(m.lp_mismatch));
-    println!("  profiling ops = {}", m.profiling_ops);
-    println!("  cycles        = {}", m.cycles);
-
-    if let Some(path) = train_path {
-        let train = text::plain_from_str(&std::fs::read_to_string(&path)?)?;
-        let tm = analyze_train(&train, &avep);
-        println!("INIP(train) vs AVEP:");
-        println!("  Sd.BP(train)       = {}", f(tm.sd_bp));
-        println!("  BP mismatch(train) = {}", f(tm.bp_mismatch));
-        println!(
-            "  profiling ops: INIP(T)/train = {:.4}",
-            m.profiling_ops as f64 / tm.profiling_ops.max(1) as f64
-        );
+    if inip_paths.len() > 1 && (diagnose_n > 0 || phases_path.is_some()) {
+        return Err("--diagnose/--phases apply to a single INIP file".into());
     }
 
-    if diagnose_n > 0 {
-        let nav = navep::normalize(&inip, &avep)?;
-        let diags = diagnose::diagnose_branches(&inip, &avep, &nav);
-        println!("worst-predicted branches (top {diagnose_n}):");
-        println!(
-            "  {:>8}  {:>9} {:>8} {:>10} {:>13} range?",
-            "pc", "predicted", "actual", "weight", "contribution"
-        );
-        for d in diags.iter().take(diagnose_n) {
+    // Analyze every INIP dump (worker pool), then print in order.
+    let analyses = parallel_map(jobs.max(1), &inip_paths, |_, path| {
+        let inip = text::inip_from_str(&std::fs::read_to_string(path)?)?;
+        let m = analyze(&inip, &avep)?;
+        tpdbt_experiments::Result::Ok((inip, m))
+    });
+
+    for (path, res) in inip_paths.iter().zip(analyses) {
+        let (inip, m) = res.map_err(|e| format!("{path}: {e}"))?;
+        if inip_paths.len() > 1 {
+            println!("== {path} ==");
+        }
+        print_metrics(&m);
+
+        if let Some(tp) = &train_path {
+            let train = text::plain_from_str(&std::fs::read_to_string(tp)?)?;
+            let tm = analyze_train(&train, &avep);
+            println!("INIP(train) vs AVEP:");
+            println!("  Sd.BP(train)       = {}", fmt(tm.sd_bp));
+            println!("  BP mismatch(train) = {}", fmt(tm.bp_mismatch));
             println!(
-                "  {:>8}  {:>9.3} {:>8.3} {:>10.0} {:>13.1} {}",
-                d.pc,
-                d.predicted,
-                d.actual,
-                d.weight,
-                d.contribution,
-                if d.range_mismatch { "CROSSES" } else { "" }
+                "  profiling ops: INIP(T)/train = {:.4}",
+                m.profiling_ops as f64 / tm.profiling_ops.max(1) as f64
             );
         }
-        let watch = diagnose::select_for_continuous_profiling(&diags, 0.9);
-        println!("continuous-profiling watch set (90% of deviation mass): {watch:?}");
-        let regions = diagnose::diagnose_regions(&inip, &avep, &nav);
-        println!("region diagnoses (worst {diagnose_n}):");
-        for d in regions.iter().take(diagnose_n) {
+
+        if diagnose_n > 0 {
+            let nav = navep::normalize(&inip, &avep)?;
+            let diags = diagnose::diagnose_branches(&inip, &avep, &nav);
+            println!("worst-predicted branches (top {diagnose_n}):");
             println!(
-                "  region {:>3} ({:?}) entry@{}: predicted {:.4} actual {:.4} weight {:.0}",
-                d.region,
-                d.kind,
-                inip.regions[d.region].entry_pc(),
-                d.predicted,
-                d.actual,
-                d.weight
+                "  {:>8}  {:>9} {:>8} {:>10} {:>13} range?",
+                "pc", "predicted", "actual", "weight", "contribution"
             );
+            for d in diags.iter().take(diagnose_n) {
+                println!(
+                    "  {:>8}  {:>9.3} {:>8.3} {:>10.0} {:>13.1} {}",
+                    d.pc,
+                    d.predicted,
+                    d.actual,
+                    d.weight,
+                    d.contribution,
+                    if d.range_mismatch { "CROSSES" } else { "" }
+                );
+            }
+            let watch = diagnose::select_for_continuous_profiling(&diags, 0.9);
+            println!("continuous-profiling watch set (90% of deviation mass): {watch:?}");
+            let regions = diagnose::diagnose_regions(&inip, &avep, &nav);
+            println!("region diagnoses (worst {diagnose_n}):");
+            for d in regions.iter().take(diagnose_n) {
+                println!(
+                    "  region {:>3} ({:?}) entry@{}: predicted {:.4} actual {:.4} weight {:.0}",
+                    d.region,
+                    d.kind,
+                    inip.regions[d.region].entry_pc(),
+                    d.predicted,
+                    d.actual,
+                    d.weight
+                );
+            }
         }
     }
     if let Some(path) = phases_path {

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! tpdbt-dump BENCH DIR [--scale tiny|small|paper] [--threshold T]...
+//!            [--intervals N] [--jobs N] [--cache-dir DIR]
 //! ```
 //!
 //! Writes `DIR/BENCH.avep`, `DIR/BENCH.train`, and one
@@ -11,27 +12,36 @@
 //! also `DIR/BENCH.intervals` (an interval profile every N dynamic
 //! instructions, for phase detection). Analyze them with
 //! `tpdbt-analyze`.
+//!
+//! `--jobs N` runs the per-threshold `INIP(T)` dumps on a worker pool;
+//! `--cache-dir DIR` serves the `AVEP` and `INIP(train)` baselines from
+//! the persistent profile store on reruns (`INIP(T)` dumps carry full
+//! region structure, which the store does not retain, so they always
+//! execute; with `--intervals` the baselines also always execute).
 
 use std::path::Path;
 
 use tpdbt_dbt::{Dbt, DbtConfig};
-use tpdbt_profile::text;
+use tpdbt_experiments::sweep::{parallel_map, plain_profile_run, SweepOptions};
+use tpdbt_profile::{text, PlainProfile};
 use tpdbt_suite::{workload, InputKind, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpdbt-dump BENCH DIR [--scale tiny|small|paper] [--threshold T]... [--intervals N]"
+        "usage: tpdbt-dump BENCH DIR [--scale tiny|small|paper] [--threshold T]...\n\
+         \u{20}                 [--intervals N] [--jobs N] [--cache-dir DIR]"
     );
     std::process::exit(2)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> tpdbt_experiments::Result<()> {
     let mut args = std::env::args().skip(1);
     let bench = args.next().unwrap_or_else(|| usage());
     let dir = args.next().unwrap_or_else(|| usage());
     let mut scale = Scale::Small;
     let mut thresholds: Vec<u64> = Vec::new();
     let mut interval: Option<u64> = None;
+    let mut sweep_opts = SweepOptions::default();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -48,6 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--intervals" => {
                 interval = Some(args.next().unwrap_or_else(|| usage()).parse()?);
             }
+            "--jobs" => {
+                sweep_opts.jobs = args.next().unwrap_or_else(|| usage()).parse()?;
+            }
+            "--cache-dir" => {
+                sweep_opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
             _ => usage(),
         }
     }
@@ -56,21 +72,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     std::fs::create_dir_all(&dir)?;
     let dir = Path::new(&dir);
+    let scale_key = match scale {
+        Scale::Tiny => 0,
+        Scale::Small => 1,
+        Scale::Paper => 2,
+    };
 
     let reference = workload(&bench, scale, InputKind::Ref)?;
     let training = workload(&bench, scale, InputKind::Train)?;
 
-    let mut avep_config = DbtConfig::no_opt();
-    if let Some(n) = interval {
-        avep_config = avep_config.with_interval(n);
-    }
-    let avep = Dbt::new(avep_config).run_built(&reference.binary, &reference.input)?;
-    std::fs::write(
-        dir.join(format!("{bench}.avep")),
-        text::plain_to_string(&avep.as_plain_profile()),
-    )?;
-    println!("wrote {bench}.avep ({} blocks)", avep.inip.blocks.len());
-    if interval.is_some() {
+    // Interval snapshots aren't retained by the store, so a profile
+    // with `--intervals` always runs fresh.
+    let avep_profile: PlainProfile = if let Some(n) = interval {
+        let avep = Dbt::new(DbtConfig::no_opt().with_interval(n))
+            .run_built(&reference.binary, &reference.input)?;
         std::fs::write(
             dir.join(format!("{bench}.intervals")),
             text::intervals_to_string(&avep.intervals),
@@ -79,26 +94,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "wrote {bench}.intervals ({} intervals)",
             avep.intervals.len()
         );
-    }
+        avep.as_plain_profile()
+    } else {
+        let (art, hit) = plain_profile_run(
+            reference.name,
+            &reference.binary,
+            &reference.input,
+            0,
+            scale_key,
+            &sweep_opts,
+        )?;
+        if hit {
+            eprintln!("{bench}.avep served from cache");
+        }
+        art.profile
+    };
+    std::fs::write(
+        dir.join(format!("{bench}.avep")),
+        text::plain_to_string(&avep_profile),
+    )?;
+    println!("wrote {bench}.avep ({} blocks)", avep_profile.blocks.len());
 
-    let train = Dbt::new(DbtConfig::no_opt()).run_built(&training.binary, &training.input)?;
+    let (train_art, train_hit) = plain_profile_run(
+        training.name,
+        &training.binary,
+        &training.input,
+        1,
+        scale_key,
+        &sweep_opts,
+    )?;
+    if train_hit {
+        eprintln!("{bench}.train served from cache");
+    }
     std::fs::write(
         dir.join(format!("{bench}.train")),
-        text::plain_to_string(&train.as_plain_profile()),
+        text::plain_to_string(&train_art.profile),
     )?;
-    println!("wrote {bench}.train ({} blocks)", train.inip.blocks.len());
+    println!(
+        "wrote {bench}.train ({} blocks)",
+        train_art.profile.blocks.len()
+    );
 
-    for t in thresholds {
+    let dumps = parallel_map(sweep_opts.jobs.max(1), &thresholds, |_, &t| {
         let out =
             Dbt::new(DbtConfig::two_phase(t)).run_built(&reference.binary, &reference.input)?;
-        std::fs::write(
-            dir.join(format!("{bench}.inip.{t}")),
-            text::inip_to_string(&out.inip),
-        )?;
-        println!(
-            "wrote {bench}.inip.{t} ({} regions)",
-            out.inip.regions.len()
-        );
+        tpdbt_experiments::Result::Ok((text::inip_to_string(&out.inip), out.inip.regions.len()))
+    });
+    for (&t, dump) in thresholds.iter().zip(dumps) {
+        let (text, regions) = dump?;
+        std::fs::write(dir.join(format!("{bench}.inip.{t}")), text)?;
+        println!("wrote {bench}.inip.{t} ({regions} regions)");
     }
     Ok(())
 }

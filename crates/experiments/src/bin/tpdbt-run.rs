@@ -4,14 +4,22 @@
 //!
 //! ```text
 //! tpdbt-run FILE [--mode interp|noopt|twophase|continuous|adaptive]
-//!                [--threshold T] [--input N,N,...] [--input-file PATH]
+//!                [--threshold T]... [--input N,N,...] [--input-file PATH]
 //!                [--dump PATH] [--stats] [--suite BENCH --scale S]
+//!                [--jobs N] [--cache-dir DIR]
 //! ```
 //!
 //! With `--suite BENCH`, runs a built-in SPEC2000 analog instead of a
 //! file (use `--emit PATH` to write it out as a `.tpdb` binary first).
+//!
+//! Repeating `--threshold` switches to sweep mode (two-phase only): the
+//! guest is swept over every requested threshold on a `--jobs N` worker
+//! pool, each `INIP(T)` is analyzed against the guest's own `AVEP`, and
+//! with `--cache-dir DIR` both the `AVEP` baseline and every cell are
+//! served from the persistent profile store on reruns.
 
 use tpdbt_dbt::{Dbt, DbtConfig};
+use tpdbt_experiments::sweep::{threshold_sweep, SweepOptions};
 use tpdbt_isa::{asm, binfmt, BuiltProgram};
 use tpdbt_profile::text;
 use tpdbt_suite::{workload, InputKind, Scale};
@@ -21,23 +29,25 @@ fn usage() -> ! {
     eprintln!(
         "usage: tpdbt-run FILE|--suite BENCH [--scale tiny|small|paper]\n\
          \u{20}                [--mode interp|noopt|twophase|continuous|adaptive]\n\
-         \u{20}                [--threshold T] [--input N,N,...] [--input-file PATH]\n\
-         \u{20}                [--dump PATH] [--emit PATH] [--stats] [--list]"
+         \u{20}                [--threshold T]... [--input N,N,...] [--input-file PATH]\n\
+         \u{20}                [--dump PATH] [--emit PATH] [--stats] [--list]\n\
+         \u{20}                [--jobs N] [--cache-dir DIR]   (multi-threshold sweep mode)"
     );
     std::process::exit(2)
 }
 
 #[allow(clippy::too_many_lines)]
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> tpdbt_experiments::Result<()> {
     let mut file: Option<String> = None;
     let mut suite: Option<String> = None;
     let mut scale = Scale::Small;
     let mut mode = "twophase".to_string();
-    let mut threshold = 2_000u64;
+    let mut thresholds: Vec<u64> = Vec::new();
     let mut input: Vec<i64> = Vec::new();
     let mut dump: Option<String> = None;
     let mut emit: Option<String> = None;
     let mut show_stats = false;
+    let mut sweep_opts = SweepOptions::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -52,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             "--mode" => mode = args.next().unwrap_or_else(|| usage()),
-            "--threshold" => threshold = args.next().unwrap_or_else(|| usage()).parse()?,
+            "--threshold" => thresholds.push(args.next().unwrap_or_else(|| usage()).parse()?),
+            "--jobs" => {
+                sweep_opts.jobs = args.next().unwrap_or_else(|| usage()).parse()?;
+            }
+            "--cache-dir" => {
+                sweep_opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
             "--input" => {
                 let list = args.next().unwrap_or_else(|| usage());
                 for tok in list.split(',').filter(|t| !t.is_empty()) {
@@ -79,12 +95,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let built: BuiltProgram = if let Some(bench) = &suite {
+    let (built, guest_name, scale_key): (BuiltProgram, String, u8) = if let Some(bench) = &suite {
         let w = workload(bench, scale, InputKind::Ref)?;
         if input.is_empty() {
             input = w.input.clone();
         }
-        w.binary
+        let sc = match scale {
+            Scale::Tiny => 0,
+            Scale::Small => 1,
+            Scale::Paper => 2,
+        };
+        (w.binary, w.name.to_string(), sc)
     } else {
         let path = file.ok_or("expected a FILE or --suite BENCH")?;
         let name = std::path::Path::new(&path)
@@ -92,11 +113,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .and_then(|s| s.to_str())
             .unwrap_or("guest")
             .to_string();
-        if path.ends_with(".s") || path.ends_with(".asm") {
+        let built = if path.ends_with(".s") || path.ends_with(".asm") {
             asm::parse(&std::fs::read_to_string(&path)?)?
         } else {
             binfmt::read_program(&name, &std::fs::read(&path)?)?
-        }
+        };
+        // Files have no suite scale; the binary+input fingerprint in
+        // the cache key is what actually disambiguates them.
+        (built, name, 255)
     };
 
     if let Some(path) = emit {
@@ -117,6 +141,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         return Ok(());
     }
+
+    if thresholds.len() > 1 {
+        if mode != "twophase" {
+            return Err("multi-threshold sweep mode requires --mode twophase".into());
+        }
+        if dump.is_some() {
+            return Err("--dump applies to single runs, not sweep mode".into());
+        }
+        let sweep = threshold_sweep(
+            &guest_name,
+            &built,
+            &input,
+            scale_key,
+            &thresholds,
+            &sweep_opts,
+        )?;
+        let f = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"));
+        println!(
+            "{:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>7}",
+            "T", "Sd.BP", "BP-mis", "Sd.CP", "Sd.LP", "LP-mis", "prof-ops", "cycles", "regions"
+        );
+        for m in &sweep.per_threshold {
+            println!(
+                "{:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>7}",
+                m.threshold,
+                f(m.sd_bp),
+                f(m.bp_mismatch),
+                f(m.sd_cp),
+                f(m.sd_lp),
+                f(m.lp_mismatch),
+                m.profiling_ops,
+                m.cycles,
+                m.regions
+            );
+        }
+        if show_stats || sweep_opts.cache_dir.is_some() {
+            for c in &sweep.cells {
+                eprintln!(
+                    "  {:>8} {:>4} {:>8.1}ms",
+                    c.label,
+                    if c.hit { "hit" } else { "miss" },
+                    c.micros as f64 / 1000.0
+                );
+            }
+            eprintln!(
+                "{} cache hits, {} misses; {} guest runs; {:.2}s",
+                sweep.cache_hits,
+                sweep.cache_misses,
+                sweep.guest_runs,
+                sweep.elapsed.as_secs_f64()
+            );
+        }
+        return Ok(());
+    }
+    let threshold = thresholds.first().copied().unwrap_or(2_000);
 
     let config = match mode.as_str() {
         "noopt" => DbtConfig::no_opt(),

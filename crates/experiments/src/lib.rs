@@ -3,8 +3,10 @@
 //!
 //! The [`runner`] sweeps each benchmark over the paper's retranslation
 //! threshold ladder and collects `AVEP`, `INIP(train)`, and `INIP(T)`
-//! profiles plus the metric set; [`figures`] formats each paper figure
-//! from one shared sweep. The `reproduce` binary drives both.
+//! profiles plus the metric set; [`sweep`] runs the same sweep through
+//! a persistent profile store and a scoped-thread worker pool
+//! (`--jobs`/`--cache-dir`); [`figures`] formats each paper figure from
+//! one shared sweep. The `reproduce` binary drives all three.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,6 +14,7 @@
 pub mod extensions;
 pub mod figures;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
 /// Convenience result type for harness code.

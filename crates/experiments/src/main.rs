@@ -3,23 +3,28 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [--scale tiny|small|paper] [--out DIR] [FIGURE...]
+//! reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]
+//!           [--cache-dir DIR] [FIGURE...]
 //! ```
 //!
 //! `FIGURE` is any of `fig8` … `fig18` or `all` (default). Tables print
 //! to stdout; with `--out DIR`, each table is also written as CSV.
+//! `--jobs N` fans the sweep out over a worker pool; `--cache-dir DIR`
+//! persists profiles so identical reruns skip guest execution.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use tpdbt_experiments::figures;
-use tpdbt_experiments::runner::{run_suite, BenchResult};
+use tpdbt_experiments::runner::BenchResult;
+use tpdbt_experiments::sweep::{run_sweep, SweepOptions};
 use tpdbt_experiments::table::Table;
 use tpdbt_suite::{all_names, fp_names, int_names, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [--scale tiny|small|paper] [--out DIR] [--bench NAME]... [TARGET...]\n\
+        "usage: reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]\n\
+         \u{20}                [--cache-dir DIR] [--bench NAME]... [TARGET...]\n\
          TARGET: fig8..fig18 | all   — the paper's figures\n\
          \u{20}        ext-train-regions    — Sd.CP(train)/Sd.LP(train) via offline regions (§5.3)\n\
          \u{20}        ext-continuous       — continuous vs two-phase profiling (§5)\n\
@@ -67,6 +72,7 @@ fn main() {
     let mut out_dir: Option<String> = None;
     let mut figures_wanted: Vec<String> = Vec::new();
     let mut only: Vec<String> = Vec::new();
+    let mut sweep_opts = SweepOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,6 +86,15 @@ fn main() {
             }
             "--out" => out_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--bench" => only.push(args.next().unwrap_or_else(|| usage())),
+            "--jobs" => {
+                sweep_opts.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--cache-dir" => {
+                sweep_opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
             "--help" | "-h" => usage(),
             f if f.starts_with("fig") || f.starts_with("ext-") || f == "all" => {
                 figures_wanted.push(f.to_string());
@@ -139,9 +154,17 @@ fn main() {
         }
     }
 
-    eprintln!("sweeping {} benchmarks at {scale:?} scale...", names.len());
+    eprintln!(
+        "sweeping {} benchmarks at {scale:?} scale ({} job(s){})...",
+        names.len(),
+        sweep_opts.jobs.max(1),
+        sweep_opts
+            .cache_dir
+            .as_deref()
+            .map_or_else(String::new, |d| format!(", cache {}", d.display()))
+    );
     let t0 = Instant::now();
-    let results = match run_suite(&names, scale, |name| {
+    let report = match run_sweep(&names, scale, &sweep_opts, |name| {
         eprintln!("  [{:>6.1}s] {name}", t0.elapsed().as_secs_f64());
     }) {
         Ok(r) => r,
@@ -150,7 +173,16 @@ fn main() {
             std::process::exit(1);
         }
     };
-    eprintln!("sweep complete in {:.1}s", t0.elapsed().as_secs_f64());
+    if sweep_opts.cache_dir.is_some() {
+        eprint!("{}", report.render_stats());
+    } else {
+        eprintln!(
+            "sweep complete in {:.1}s ({} guest runs)",
+            report.elapsed.as_secs_f64(),
+            report.guest_runs
+        );
+    }
+    let results = report.results;
 
     let selected: Vec<(String, Table)> = figures_wanted
         .iter()

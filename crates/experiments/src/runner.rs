@@ -55,16 +55,32 @@ pub struct LadderPoint {
 }
 
 /// The ladder adjusted for `scale`.
+///
+/// Each actual threshold is the nominal divided by the scale factor,
+/// floored at 2: `T = 1` is the paper's "optimize everything executed
+/// once" *baseline* configuration, so 2 is the smallest threshold with
+/// a real profiling phase. At small scales this floor (and integer
+/// division) collapses neighbouring nominals onto the same actual
+/// threshold — at [`Scale::Tiny`] both 100 and 200 map to 2 — and
+/// sweeping the duplicate would re-run a bit-identical configuration,
+/// so collapsed points are deduplicated, keeping the smallest nominal.
+/// The nominals are strictly increasing, hence the actuals are
+/// nondecreasing and an adjacent-point comparison suffices.
 #[must_use]
 pub fn ladder(scale: Scale) -> Vec<LadderPoint> {
-    PAPER_LADDER
-        .iter()
-        .map(|&(nominal, label)| LadderPoint {
+    let mut points: Vec<LadderPoint> = Vec::with_capacity(PAPER_LADDER.len());
+    for &(nominal, label) in &PAPER_LADDER {
+        let actual = (nominal / scale.divisor() as u64).max(2);
+        if points.last().map(|p| p.actual) == Some(actual) {
+            continue;
+        }
+        points.push(LadderPoint {
             nominal,
             label,
-            actual: (nominal / scale.divisor() as u64).max(2),
-        })
-        .collect()
+            actual,
+        });
+    }
+    points
 }
 
 /// A fully swept benchmark.
@@ -223,18 +239,37 @@ mod tests {
     #[test]
     fn ladder_scales_with_divisor() {
         let paper = ladder(Scale::Paper);
-        let tiny = ladder(Scale::Tiny);
-        assert_eq!(paper.len(), 13);
+        assert_eq!(paper.len(), 13, "full scale keeps every paper point");
         assert_eq!(paper[4].actual, 2000);
-        assert_eq!(tiny[4].actual, 20);
-        assert_eq!(tiny[0].actual, 2, "floors at 2");
-        assert_eq!(tiny[4].label, "2k");
+        assert_eq!(paper[4].label, "2k");
+    }
+
+    #[test]
+    fn ladder_floors_at_two_and_dedupes_collapsed_points() {
+        // At Tiny (divisor 100) nominals 100 and 200 both floor to an
+        // actual of 2; the duplicate is dropped, keeping nominal 100.
+        let tiny = ladder(Scale::Tiny);
+        assert_eq!(tiny.len(), 12);
+        let actuals: Vec<u64> = tiny.iter().map(|p| p.actual).collect();
+        assert_eq!(
+            actuals,
+            [2, 5, 10, 20, 50, 100, 200, 400, 800, 1600, 10_000, 40_000]
+        );
+        assert_eq!(tiny[0].nominal, 100, "collapsed run keeps smallest nominal");
+        for scale in [Scale::Tiny, Scale::Small, Scale::Paper] {
+            let points = ladder(scale);
+            assert!(points.iter().all(|p| p.actual >= 2), "floor holds");
+            assert!(
+                points.windows(2).all(|w| w[0].actual < w[1].actual),
+                "actuals strictly increasing after dedup at {scale:?}"
+            );
+        }
     }
 
     #[test]
     fn sweep_one_benchmark_at_tiny_scale() {
         let r = run_benchmark("bzip2", Scale::Tiny).unwrap();
-        assert_eq!(r.per_threshold.len(), 13);
+        assert_eq!(r.per_threshold.len(), ladder(Scale::Tiny).len());
         // Accuracy metrics exist for small thresholds.
         let (_, first) = &r.per_threshold[0];
         assert!(first.sd_bp.is_some());

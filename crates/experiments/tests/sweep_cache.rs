@@ -1,0 +1,109 @@
+//! Integration tests for the cached, parallel sweep orchestrator:
+//! a warm cache serves a second identical sweep with zero guest
+//! re-executions and bitwise-identical metrics, and `--jobs N` produces
+//! the same results as serial execution.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use tpdbt_experiments::runner::{ladder, run_suite, BenchResult};
+use tpdbt_experiments::sweep::{run_sweep, SweepOptions};
+use tpdbt_profile::report::ThresholdMetrics;
+use tpdbt_suite::Scale;
+
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "tpdbt-sweep-test-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Every float of the metric set as raw bits, so equality is bitwise,
+/// not approximate.
+fn metric_bits(m: &ThresholdMetrics) -> [Option<u64>; 5] {
+    let b = |v: Option<f64>| v.map(f64::to_bits);
+    [
+        b(m.sd_bp),
+        b(m.bp_mismatch),
+        b(m.sd_cp),
+        b(m.sd_lp),
+        b(m.lp_mismatch),
+    ]
+}
+
+fn assert_results_identical(a: &[BenchResult], b: &[BenchResult]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.class, y.class);
+        assert_eq!(x.train, y.train);
+        assert_eq!(x.base_cycles, y.base_cycles);
+        assert_eq!(x.avep_ops, y.avep_ops);
+        assert_eq!(x.avep, y.avep);
+        assert_eq!(x.per_threshold.len(), y.per_threshold.len());
+        for ((pa, ma), (pb, mb)) in x.per_threshold.iter().zip(&y.per_threshold) {
+            assert_eq!(pa, pb);
+            assert_eq!(ma, mb);
+            assert_eq!(
+                metric_bits(ma),
+                metric_bits(mb),
+                "{} T={}",
+                x.name,
+                pa.actual
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_cache_serves_second_sweep_without_guest_runs() {
+    let dir = scratch_dir();
+    let names = ["gzip"];
+    let opts = SweepOptions {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+    };
+    // One AVEP + one train + one base, then one cell per ladder point.
+    let cell_count = 3 + ladder(Scale::Tiny).len() as u64;
+
+    let cold = run_sweep(&names, Scale::Tiny, &opts, |_| {}).unwrap();
+    assert_eq!(cold.cache_hits, 0, "fresh dir cannot hit");
+    assert_eq!(cold.guest_runs, cell_count);
+    assert_eq!(cold.cells.len(), cell_count as usize);
+    assert!(cold.cells.iter().all(|c| !c.hit));
+
+    let warm = run_sweep(&names, Scale::Tiny, &opts, |_| {}).unwrap();
+    assert_eq!(warm.guest_runs, 0, "warm cache must not re-execute");
+    assert_eq!(warm.cache_hits, cell_count);
+    assert_eq!(warm.cache_misses, 0);
+    assert!(warm.cells.iter().all(|c| c.hit));
+
+    assert_results_identical(&cold.results, &warm.results);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parallel_jobs_match_serial_ordering_and_values() {
+    let names = ["bzip2", "swim"];
+    let serial = run_suite(&names, Scale::Tiny, |_| {}).unwrap();
+    let parallel = run_sweep(
+        &names,
+        Scale::Tiny,
+        &SweepOptions {
+            jobs: 4,
+            cache_dir: None,
+        },
+        |_| {},
+    )
+    .unwrap();
+    assert_results_identical(&serial, &parallel.results);
+    // Without a cache dir every cell is a miss-less plain run.
+    assert_eq!(parallel.cache_hits, 0);
+    assert_eq!(parallel.cache_misses, 0);
+    assert_eq!(
+        parallel.guest_runs,
+        2 * (3 + ladder(Scale::Tiny).len() as u64)
+    );
+}

@@ -27,6 +27,38 @@ pub enum TermKind {
     Halt,
 }
 
+impl TermKind {
+    /// Stable on-disk code for this kind. Part of the serialized
+    /// profile-store format (`tpdbt-store`): codes are append-only and
+    /// must never be renumbered.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            TermKind::Cond => 0,
+            TermKind::Jump => 1,
+            TermKind::Switch => 2,
+            TermKind::Call => 3,
+            TermKind::Return => 4,
+            TermKind::Halt => 5,
+        }
+    }
+
+    /// Inverse of [`TermKind::code`]; `None` for unknown codes (a
+    /// decoder must treat those as corruption, not panic).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<TermKind> {
+        Some(match code {
+            0 => TermKind::Cond,
+            1 => TermKind::Jump,
+            2 => TermKind::Switch,
+            3 => TermKind::Call,
+            4 => TermKind::Return,
+            5 => TermKind::Halt,
+            _ => return None,
+        })
+    }
+}
+
 /// An outcome slot of a block terminator. Slots rather than bare targets
 /// keep taken and fall-through distinguishable even when both lead to
 /// the same address.
@@ -39,6 +71,31 @@ pub enum SuccSlot {
     /// Any other outcome, numbered in order of first dynamic occurrence
     /// (jump target, switch targets, call target, return targets).
     Other(u32),
+}
+
+impl SuccSlot {
+    /// Stable on-disk code for this slot. Part of the serialized
+    /// profile-store format (`tpdbt-store`): `Taken` and `Fallthrough`
+    /// are fixed, `Other(k)` maps to `2 + k`.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            SuccSlot::Taken => 0,
+            SuccSlot::Fallthrough => 1,
+            SuccSlot::Other(k) => 2 + u64::from(k),
+        }
+    }
+
+    /// Inverse of [`SuccSlot::code`]; `None` for codes whose `Other`
+    /// index would not fit (treated as corruption by decoders).
+    #[must_use]
+    pub fn from_code(code: u64) -> Option<SuccSlot> {
+        Some(match code {
+            0 => SuccSlot::Taken,
+            1 => SuccSlot::Fallthrough,
+            k => SuccSlot::Other(u32::try_from(k - 2).ok()?),
+        })
+    }
 }
 
 /// Per-block profile record: the paper's `use` and `taken` counts, plus
@@ -332,6 +389,36 @@ mod tests {
         };
         assert_eq!(dump.loop_regions().count(), 1);
         assert_eq!(dump.trace_regions().count(), 1);
+    }
+
+    #[test]
+    fn term_kind_codes_round_trip() {
+        for kind in [
+            TermKind::Cond,
+            TermKind::Jump,
+            TermKind::Switch,
+            TermKind::Call,
+            TermKind::Return,
+            TermKind::Halt,
+        ] {
+            assert_eq!(TermKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(TermKind::from_code(6), None);
+        assert_eq!(TermKind::from_code(255), None);
+    }
+
+    #[test]
+    fn succ_slot_codes_round_trip() {
+        for slot in [
+            SuccSlot::Taken,
+            SuccSlot::Fallthrough,
+            SuccSlot::Other(0),
+            SuccSlot::Other(17),
+            SuccSlot::Other(u32::MAX),
+        ] {
+            assert_eq!(SuccSlot::from_code(slot.code()), Some(slot));
+        }
+        assert_eq!(SuccSlot::from_code(2 + u64::from(u32::MAX) + 1), None);
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Content-addressed on-disk cache of sweep artifacts.
+//!
+//! Every artifact is keyed by a [`CacheKey`] — the full identity of the
+//! run that produced it: workload, input kind, scale, profiling mode,
+//! threshold, and a caller-provided content fingerprint covering the
+//! guest binary, input words, and translator configuration. Any change
+//! to a benchmark spec, generator, or config knob changes the
+//! fingerprint, so stale entries simply stop being addressed; corrupt
+//! entries (checksum, version, or embedded-key mismatches) are deleted
+//! and recomputed.
+//!
+//! Writes go through a temp file plus atomic rename, so a crashed or
+//! concurrent sweep can never leave a half-written artifact behind that
+//! later decodes successfully. All methods take `&self`; the store is
+//! safe to share across the sweep worker pool.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::digest::Fnv64;
+use crate::error::StoreError;
+use crate::profilefmt::{self, Artifact, BaseArtifact, CellArtifact, PlainArtifact};
+
+/// Identity of one cached run.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub workload: String,
+    /// Input kind code (`tpdbt-suite`'s `InputKind`, ref = 0,
+    /// train = 1).
+    pub input: u8,
+    /// Scale code (tiny = 0, small = 1, paper = 2).
+    pub scale: u8,
+    /// Profiling mode code (`DbtConfig` mode, two-phase = 0,
+    /// no-opt = 1, continuous = 2, adaptive = 3).
+    pub mode: u8,
+    /// Retranslation threshold (0 for modes that ignore it).
+    pub threshold: u64,
+    /// Content fingerprint of everything else that determines the run:
+    /// guest binary, input words, and `DbtConfig::fingerprint()`.
+    pub fingerprint: u64,
+}
+
+impl CacheKey {
+    /// The key's content digest — the artifact's on-disk identity.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.workload.len() as u64);
+        h.write(self.workload.as_bytes());
+        h.write(&[self.input, self.scale, self.mode]);
+        h.write_u64(self.threshold);
+        h.write_u64(self.fingerprint);
+        h.finish()
+    }
+
+    /// The artifact file name: a sanitized human-readable prefix plus
+    /// the full key digest.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        let safe: String = self
+            .workload
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .take(32)
+            .collect();
+        format!("{safe}-{:016x}.tpst", self.digest())
+    }
+}
+
+/// Shared counters for sweep-end reporting.
+#[derive(Debug, Default)]
+struct Stats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The on-disk artifact store rooted at one cache directory.
+#[derive(Debug)]
+pub struct ProfileStore {
+    dir: PathBuf,
+    stats: Stats,
+}
+
+impl ProfileStore {
+    /// Opens (without touching the filesystem) a store rooted at `dir`.
+    /// The directory is created on first write.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ProfileStore {
+            dir: dir.into(),
+            stats: Stats::default(),
+        }
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Artifacts served from disk so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.stats.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found no (valid) artifact.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.stats.misses.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt or mismatched entries deleted during lookups.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.stats.evictions.load(Ordering::Relaxed)
+    }
+
+    fn path_of(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Looks up `key`. Returns `None` on a miss; a corrupt, truncated,
+    /// foreign, or stale entry is deleted (best-effort) and reported as
+    /// a miss.
+    #[must_use]
+    pub fn load(&self, key: &CacheKey) -> Option<Artifact> {
+        let path = self.path_of(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match profilefmt::decode(&bytes) {
+            Ok((digest, artifact)) if digest == key.digest() => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(artifact)
+            }
+            _ => {
+                // Corrupt or written under another key (hash-collision
+                // filename or tampering): evict so the slot heals.
+                let _ = fs::remove_file(&path);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists `artifact` under `key` (atomic temp-file + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory or file cannot be written.
+    pub fn store(&self, key: &CacheKey, artifact: &Artifact) -> Result<(), StoreError> {
+        fs::create_dir_all(&self.dir)?;
+        let bytes = profilefmt::encode(key.digest(), artifact);
+        let path = self.path_of(key);
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.file_name(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, &bytes)?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(StoreError::Io(e))
+            }
+        }
+    }
+
+    /// Typed lookup of a plain-profile artifact.
+    #[must_use]
+    pub fn load_plain(&self, key: &CacheKey) -> Option<PlainArtifact> {
+        match self.load(key) {
+            Some(Artifact::Plain(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a sweep-cell artifact.
+    #[must_use]
+    pub fn load_cell(&self, key: &CacheKey) -> Option<CellArtifact> {
+        match self.load(key) {
+            Some(Artifact::Cell(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a baseline artifact.
+    #[must_use]
+    pub fn load_base(&self, key: &CacheKey) -> Option<BaseArtifact> {
+        match self.load(key) {
+            Some(Artifact::Base(b)) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn scratch_dir() -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "tpdbt-store-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn key(threshold: u64) -> CacheKey {
+        CacheKey {
+            workload: "mcf".to_string(),
+            input: 0,
+            scale: 0,
+            mode: 0,
+            threshold,
+            fingerprint: 0x1234,
+        }
+    }
+
+    fn base(cycles: u64) -> Artifact {
+        Artifact::Base(BaseArtifact {
+            cycles,
+            output_digest: 9,
+        })
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = scratch_dir();
+        let store = ProfileStore::new(&dir);
+        assert!(store.load(&key(1)).is_none());
+        assert_eq!(store.misses(), 1);
+
+        store.store(&key(1), &base(77)).unwrap();
+        let got = store.load_base(&key(1)).unwrap();
+        assert_eq!(got.cycles, 77);
+        assert_eq!(store.hits(), 1);
+
+        // A different threshold is a different key.
+        assert!(store.load(&key(2)).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_and_recomputed() {
+        let dir = scratch_dir();
+        let store = ProfileStore::new(&dir);
+        store.store(&key(5), &base(1)).unwrap();
+        let path = store.path_of(&key(5));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        assert!(store.load(&key(5)).is_none());
+        assert_eq!(store.evictions(), 1);
+        assert!(!path.exists(), "corrupt entry must be deleted");
+
+        // The slot heals on the next store.
+        store.store(&key(5), &base(2)).unwrap();
+        assert_eq!(store.load_base(&key(5)).unwrap().cycles, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_change_addresses_a_fresh_slot() {
+        let dir = scratch_dir();
+        let store = ProfileStore::new(&dir);
+        let old = key(7);
+        store.store(&old, &base(1)).unwrap();
+        let new = CacheKey {
+            fingerprint: old.fingerprint + 1,
+            ..old.clone()
+        };
+        assert!(store.load(&new).is_none(), "stale entry must not serve");
+        assert!(store.load(&old).is_some(), "old entry still addressable");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_digest_depends_on_every_field() {
+        let base_key = key(1);
+        let variants = [
+            CacheKey {
+                workload: "gcc".into(),
+                ..base_key.clone()
+            },
+            CacheKey {
+                input: 1,
+                ..base_key.clone()
+            },
+            CacheKey {
+                scale: 1,
+                ..base_key.clone()
+            },
+            CacheKey {
+                mode: 1,
+                ..base_key.clone()
+            },
+            CacheKey {
+                threshold: 2,
+                ..base_key.clone()
+            },
+            CacheKey {
+                fingerprint: 0,
+                ..base_key.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(v.digest(), base_key.digest(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn typed_loads_reject_wrong_kinds() {
+        let dir = scratch_dir();
+        let store = ProfileStore::new(&dir);
+        store.store(&key(3), &base(1)).unwrap();
+        assert!(store.load_cell(&key(3)).is_none());
+        assert!(store.load_plain(&key(3)).is_none());
+        assert!(store.load_base(&key(3)).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,295 @@
+//! Byte-level primitives for the artifact format: a growable writer and
+//! a bounds-checked reader.
+//!
+//! Multi-byte integers are little-endian. Counters and lengths use
+//! LEB128 varints (profiles are mostly small integers with occasional
+//! huge `use` counts, so varints roughly halve artifact size); floats
+//! are stored as raw IEEE 754 bits so round-trips are bitwise exact.
+
+use crate::error::StoreError;
+
+/// Append-only byte buffer with typed writers.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a fixed-width little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a fixed-width little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a LEB128 varint.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes an `i64` as a zigzag-encoded varint.
+    pub fn varint_i64(&mut self, v: i64) {
+        self.varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Writes an `f64` as its raw bits (bitwise-exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes an optional `f64`: presence tag then raw bits.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+        }
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked reader over an artifact payload. Every method returns
+/// [`StoreError::UnexpectedEof`] instead of slicing out of range, so
+/// truncated input is an error, never a panic.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reads from the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left unread.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::UnexpectedEof { offset: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a fixed-width little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a fixed-width little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a LEB128 varint. Rejects encodings longer than 10 bytes or
+    /// overflowing 64 bits.
+    pub fn varint(&mut self) -> Result<u64, StoreError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let bits = u64::from(byte & 0x7F);
+            if shift == 63 && bits > 1 {
+                return Err(StoreError::BadCode {
+                    what: "varint",
+                    code: bits,
+                });
+            }
+            v |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(StoreError::BadCode {
+            what: "varint length",
+            code: 10,
+        })
+    }
+
+    /// Reads a zigzag-encoded varint as `i64`.
+    pub fn varint_i64(&mut self) -> Result<i64, StoreError> {
+        let z = self.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Reads an `f64` from raw bits.
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an optional `f64` written by [`Writer::opt_f64`].
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, StoreError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            t => Err(StoreError::BadCode {
+                what: "option tag",
+                code: u64::from(t),
+            }),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.len_capped(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::BadCode {
+            what: "utf-8 string",
+            code: len as u64,
+        })
+    }
+
+    /// Reads a varint length field and sanity-caps it against the bytes
+    /// actually remaining (`min_item_size` bytes per element), so a
+    /// corrupt length cannot trigger a giant allocation before the data
+    /// runs out.
+    pub fn len_capped(&mut self, min_item_size: usize) -> Result<usize, StoreError> {
+        let len = self.varint()?;
+        let cap = (self.remaining() / min_item_size.max(1)) as u64;
+        if len > cap {
+            return Err(StoreError::UnexpectedEof { offset: self.pos });
+        }
+        Ok(len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_edges() {
+        let mut w = Writer::new();
+        let values = [0, 1, 127, 128, 16_383, 16_384, u64::MAX / 2, u64::MAX];
+        for &v in &values {
+            w.varint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        let mut w = Writer::new();
+        let values = [0, -1, 1, i64::MIN, i64::MAX, -123_456_789];
+        for &v in &values {
+            w.varint_i64(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.varint_i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut w = Writer::new();
+        w.u64(42);
+        w.str("hello");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let a = r.u64();
+            let b = r.str();
+            assert!(a.is_err() || b.is_err(), "cut at {cut} decoded fully");
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // 11 continuation bytes: longer than any valid u64 varint.
+        let bytes = [0x80u8; 11];
+        assert!(Reader::new(&bytes).varint().is_err());
+        // 10 bytes whose top bits overflow 64 bits.
+        let mut overflow = [0xFFu8; 10];
+        overflow[9] = 0x7F;
+        assert!(Reader::new(&overflow).varint().is_err());
+    }
+
+    #[test]
+    fn len_cap_rejects_huge_lengths() {
+        let mut w = Writer::new();
+        w.varint(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.len_capped(1).is_err());
+    }
+
+    #[test]
+    fn float_bits_round_trip() {
+        let mut w = Writer::new();
+        w.f64(0.1 + 0.2);
+        w.opt_f64(None);
+        w.opt_f64(Some(f64::MIN_POSITIVE));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.f64().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(f64::MIN_POSITIVE));
+    }
+}

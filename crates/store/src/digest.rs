@@ -1,0 +1,93 @@
+//! Content digests: FNV-1a 64.
+//!
+//! The store needs a digest that is stable across runs, platforms, and
+//! compiler versions (cache files outlive processes), cheap, and free
+//! of external dependencies. FNV-1a 64 fits: it is a published constant
+//! algorithm and collision resistance is not a security requirement
+//! here — a collision merely serves a stale artifact for one cell, and
+//! the embedded key digest plus checksum already bound the blast
+//! radius.
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64 hasher.
+#[derive(Clone, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(OFFSET_BASIS)
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` in little-endian byte order.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest of everything absorbed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot digest of a byte slice.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// One-shot digest of a guest output (or input) word stream.
+#[must_use]
+pub fn fnv64_words(words: &[i64]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(words.len() as u64);
+    for &w in words {
+        h.write_i64(w);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Vectors from the FNV reference implementation.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn word_digest_separates_length_and_content() {
+        assert_ne!(fnv64_words(&[]), fnv64_words(&[0]));
+        assert_ne!(fnv64_words(&[1, 2]), fnv64_words(&[2, 1]));
+        assert_eq!(fnv64_words(&[1, 2, 3]), fnv64_words(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,76 @@
+//! Store error type.
+
+/// Errors from encoding, decoding, or persisting store artifacts.
+///
+/// Decoders return errors for *any* malformed input — corruption is a
+/// recoverable condition (the cache recomputes the artifact), never a
+/// panic.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The input ended before the structure was complete.
+    UnexpectedEof {
+        /// Byte offset at which more data was needed.
+        offset: usize,
+    },
+    /// The magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// Unknown artifact kind byte.
+    BadKind {
+        /// The offending byte.
+        found: u8,
+    },
+    /// The checksum trailer did not match the content.
+    Checksum,
+    /// The artifact was written under a different cache key (stale or
+    /// colliding entry).
+    KeyMismatch,
+    /// An enum code or length field was out of range.
+    BadCode {
+        /// Which field was malformed.
+        what: &'static str,
+        /// The offending value.
+        code: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of artifact at byte {offset}")
+            }
+            StoreError::BadMagic => write!(f, "not a tpdbt-store artifact (bad magic)"),
+            StoreError::BadVersion { found } => {
+                write!(f, "unsupported store format version {found}")
+            }
+            StoreError::BadKind { found } => write!(f, "unknown artifact kind {found:#x}"),
+            StoreError::Checksum => write!(f, "artifact checksum mismatch (corrupt entry)"),
+            StoreError::KeyMismatch => write!(f, "artifact was stored under a different key"),
+            StoreError::BadCode { what, code } => write!(f, "malformed {what} (value {code})"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the `tpst` artifact format: encode→decode
+//! identity over arbitrary artifacts, and corruption/truncation safety
+//! (malformed input must error, never panic).
+
+use proptest::prelude::*;
+
+use tpdbt_store::profilefmt::{decode, encode};
+use tpdbt_store::{Artifact, BaseArtifact, CellArtifact, PlainArtifact};
+
+use tpdbt_profile::{BlockRecord, PlainProfile, SuccSlot, TermKind, ThresholdMetrics};
+
+fn arb_slot() -> impl Strategy<Value = SuccSlot> {
+    prop_oneof![
+        Just(SuccSlot::Taken),
+        Just(SuccSlot::Fallthrough),
+        (0u32..6).prop_map(SuccSlot::Other),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = Option<TermKind>> {
+    prop_oneof![
+        Just(Some(TermKind::Cond)),
+        Just(Some(TermKind::Jump)),
+        Just(Some(TermKind::Switch)),
+        Just(Some(TermKind::Call)),
+        Just(Some(TermKind::Return)),
+        Just(Some(TermKind::Halt)),
+        Just(None),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        len in 1u32..64,
+        kind in arb_kind(),
+        use_count in 0u64..u64::MAX,
+        edges in prop::collection::vec(
+            (arb_slot(), 0usize..10_000, 0u64..u64::MAX),
+            0..5,
+        ),
+    ) -> BlockRecord {
+        let mut r = BlockRecord { len, kind, use_count, edges: Vec::new() };
+        for (slot, target, count) in edges {
+            r.bump_edge(slot, target, count);
+        }
+        r
+    }
+}
+
+prop_compose! {
+    fn arb_plain_artifact()(
+        blocks in prop::collection::btree_map(0usize..10_000, arb_record(), 0..12),
+        entry in 0usize..10_000,
+        ops in 0u64..u64::MAX,
+        instrs in 0u64..u64::MAX,
+        output in prop::collection::vec(i64::MIN..i64::MAX, 0..8),
+    ) -> PlainArtifact {
+        PlainArtifact {
+            profile: PlainProfile {
+                blocks,
+                entry,
+                profiling_ops: ops,
+                instructions: instrs,
+            },
+            output,
+        }
+    }
+}
+
+fn arb_opt_metric() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![Just(None), (0.0f64..1.0).prop_map(Some)]
+}
+
+prop_compose! {
+    fn arb_cell_artifact()(
+        threshold in 1u64..5_000_000,
+        sd_bp in arb_opt_metric(),
+        bp_mismatch in arb_opt_metric(),
+        sd_cp in arb_opt_metric(),
+        sd_lp in arb_opt_metric(),
+        lp_mismatch in arb_opt_metric(),
+        ops in 0u64..u64::MAX,
+        cycles in 0u64..u64::MAX,
+        regions in 0usize..10_000,
+        output_digest in 0u64..u64::MAX,
+    ) -> CellArtifact {
+        CellArtifact {
+            metrics: ThresholdMetrics {
+                threshold,
+                sd_bp,
+                bp_mismatch,
+                sd_cp,
+                sd_lp,
+                lp_mismatch,
+                profiling_ops: ops,
+                cycles,
+                regions,
+            },
+            output_digest,
+        }
+    }
+}
+
+fn arb_artifact() -> impl Strategy<Value = Artifact> {
+    prop_oneof![
+        arb_plain_artifact().prop_map(Artifact::Plain),
+        arb_cell_artifact().prop_map(Artifact::Cell),
+        (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(cycles, output_digest)| Artifact::Base(
+            BaseArtifact {
+                cycles,
+                output_digest
+            }
+        )),
+    ]
+}
+
+proptest! {
+    /// Encode→decode is the identity, and the embedded key digest
+    /// survives verbatim.
+    #[test]
+    fn round_trip_is_identity(
+        artifact in arb_artifact(),
+        key in 0u64..u64::MAX,
+    ) {
+        let bytes = encode(key, &artifact);
+        let (got_key, got) = decode(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(got_key, key);
+        prop_assert_eq!(got, artifact);
+    }
+
+    /// Any single corrupted byte is detected: decode returns an error
+    /// (the checksum trailer covers every preceding byte) and never
+    /// panics.
+    #[test]
+    fn corrupted_bytes_error_not_panic(
+        artifact in arb_artifact(),
+        key in 0u64..u64::MAX,
+        pos_seed in 0usize..usize::MAX,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode(key, &artifact);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        prop_assert!(
+            decode(&bytes).is_err(),
+            "flip {flip:#x} at byte {pos} went undetected"
+        );
+    }
+
+    /// Every strict prefix fails to decode (truncation can never yield
+    /// a silently shorter artifact) and never panics.
+    #[test]
+    fn truncations_error_not_panic(
+        artifact in arb_artifact(),
+        key in 0u64..u64::MAX,
+        cut_seed in 0usize..usize::MAX,
+    ) {
+        let bytes = encode(key, &artifact);
+        let cut = cut_seed % bytes.len();
+        prop_assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+    }
+
+    /// Arbitrary garbage (random bytes, no structure at all) errors
+    /// rather than panicking.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in prop::collection::vec(0u8..=255, 0..200),
+    ) {
+        let _ = decode(&bytes);
+    }
+}

@@ -115,11 +115,11 @@ fn benches() -> Vec<Bench> {
             // low and vice versa).
             ref_segments: || vec![
                 Segment::new(0.0011, &[0.90, 0.20, 0.60, 0.50, 0.85], (100, 250), (2, 3)),
-                Segment::new(0.35,   &[0.45, 0.60, 0.35, 0.50, 0.30], (2, 3),     (50, 64)),
-                Segment::new(0.6489, &[0.75, 0.35, 0.55, 0.50, 0.60], (2, 4),     (60, 64)),
+                Segment::new(0.35,   &[0.45, 0.60, 0.35, 0.50, 0.10], (2, 3),     (50, 64)),
+                Segment::new(0.6489, &[0.75, 0.35, 0.55, 0.50, 0.80], (2, 4),     (60, 64)),
             ],
             train_segments: || vec![
-                Segment::new(1.0, &[0.70, 0.40, 0.50, 0.50, 0.55], (2, 4), (60, 64)),
+                Segment::new(1.0, &[0.70, 0.40, 0.50, 0.50, 0.57], (2, 4), (60, 64)),
             ],
             notes: "Fig 9/11/16: phase changes; worst INT predictability; trip inversion",
         },

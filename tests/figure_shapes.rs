@@ -2,12 +2,36 @@
 //! rests on, checked on a reduced sweep so refactors can't silently
 //! break the reproduction. (The full-scale numbers live in
 //! EXPERIMENTS.md; these tests pin the *shapes* at tiny scale.)
+//!
+//! Ladder points are addressed by paper-nominal threshold, not index:
+//! at reduced scales the ladder deduplicates points that collapse to
+//! the same actual threshold, so indices shift with scale.
 
 use tpdbt_experiments::runner::{run_benchmark, BenchResult};
+use tpdbt_profile::report::ThresholdMetrics;
 use tpdbt_suite::Scale;
 
 fn sweep(name: &str) -> BenchResult {
     run_benchmark(name, Scale::Tiny).unwrap()
+}
+
+/// The metrics at the ladder point with paper-nominal threshold
+/// `nominal` (which must have survived dedup at this scale).
+fn at(r: &BenchResult, nominal: u64) -> &ThresholdMetrics {
+    r.per_threshold
+        .iter()
+        .find(|(p, _)| p.nominal == nominal)
+        .map(|(_, m)| m)
+        .unwrap_or_else(|| panic!("{}: no ladder point with nominal {nominal}", r.name))
+}
+
+/// The metrics of every ladder point with `lo <= nominal <= hi`.
+fn between(r: &BenchResult, lo: u64, hi: u64) -> Vec<&ThresholdMetrics> {
+    r.per_threshold
+        .iter()
+        .filter(|(p, _)| (lo..=hi).contains(&p.nominal))
+        .map(|(_, m)| m)
+        .collect()
 }
 
 /// Figure 8/9 shape: on a stable benchmark the initial prediction is
@@ -16,8 +40,8 @@ fn sweep(name: &str) -> BenchResult {
 fn stable_benchmark_sd_bp_is_low_and_shrinking() {
     let r = sweep("bzip2");
     // At tiny scale the first ladder points degenerate to single-digit
-    // thresholds; judge from the nominal-2k point (index 4) on.
-    let early = r.per_threshold[4].1.sd_bp.unwrap();
+    // thresholds; judge from the nominal-2k point on.
+    let early = at(&r, 2_000).sd_bp.unwrap();
     let last = r.per_threshold.last().unwrap().1.sd_bp.unwrap();
     assert!(early < 0.1, "bzip2 Sd.BP at nominal 2k: {early}");
     assert!(last <= early + 1e-9);
@@ -41,9 +65,9 @@ fn perlbmk_initial_beats_train_everywhere() {
 fn mcf_initial_is_worse_than_train() {
     let r = sweep("mcf");
     let train = r.train.sd_bp.unwrap();
-    let mid: Vec<f64> = r.per_threshold[2..8]
+    let mid: Vec<f64> = between(&r, 500, 20_000)
         .iter()
-        .filter_map(|(_, m)| m.sd_bp)
+        .filter_map(|m| m.sd_bp)
         .collect();
     let avg = mid.iter().sum::<f64>() / mid.len() as f64;
     assert!(avg > 2.0 * train, "mcf avg {avg} vs train {train}");
@@ -54,10 +78,12 @@ fn mcf_initial_is_worse_than_train() {
 #[test]
 fn performance_peaks_at_moderate_thresholds() {
     let r = sweep("gcc");
-    let rel = |i: usize| r.base_cycles as f64 / r.per_threshold[i].1.cycles as f64;
-    let n = r.per_threshold.len();
-    let best_mid = (1..6).map(rel).fold(0.0f64, f64::max);
-    let last = rel(n - 1);
+    let rel = |m: &ThresholdMetrics| r.base_cycles as f64 / m.cycles as f64;
+    let best_mid = between(&r, 200, 5_000)
+        .iter()
+        .map(|m| rel(m))
+        .fold(0.0f64, f64::max);
+    let last = rel(&r.per_threshold.last().unwrap().1);
     assert!(best_mid > last, "mid {best_mid} must beat huge-T {last}");
     assert!(
         best_mid > 1.0,
@@ -105,7 +131,7 @@ fn huge_thresholds_degenerate_to_avep() {
 #[test]
 fn mcf_loop_classes_correct_late() {
     let r = sweep("mcf");
-    let early = r.per_threshold[2].1.lp_mismatch;
+    let early = at(&r, 500).lp_mismatch;
     let late = r
         .per_threshold
         .iter()
