@@ -25,6 +25,7 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
             let opts = SweepOptions {
                 jobs: 1,
                 cache_dir: Some(cold_dir.clone()),
+                tracer: None,
             };
             let report = run_sweep(&["gzip"], Scale::Tiny, &opts, |_| {}).unwrap();
             assert_eq!(report.cache_hits, 0);
@@ -37,6 +38,7 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     let opts = SweepOptions {
         jobs: 1,
         cache_dir: Some(warm_dir.clone()),
+        tracer: None,
     };
     run_sweep(&["gzip"], Scale::Tiny, &opts, |_| {}).unwrap(); // prime
     g.bench_function("warm", |b| {

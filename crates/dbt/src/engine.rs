@@ -1,10 +1,14 @@
 //! The translator's execution engine: profiling-phase execution,
 //! candidate pool, optimization trigger, and optimized region execution.
 
+use std::sync::Arc;
+
 use tpdbt_isa::{decode_block, Block, BuiltProgram, Pc, Program, Terminator};
 use tpdbt_profile::{
-    BlockRecord, InipDump, IntervalProfile, PlainProfile, RegionDump, SuccSlot, TermKind,
+    BlockRecord, InipDump, IntervalProfile, PlainProfile, RegionDump, RegionKind, SuccSlot,
+    TermKind,
 };
+use tpdbt_trace::{EventKind, TraceRegionKind, Tracer};
 use tpdbt_vm::{step, Flow, Machine};
 
 use crate::config::{DbtConfig, ProfilingMode};
@@ -122,6 +126,25 @@ impl RuntimeRegion {
     }
 }
 
+fn trace_region_kind(kind: RegionKind) -> TraceRegionKind {
+    match kind {
+        RegionKind::Trace => TraceRegionKind::Trace,
+        RegionKind::Loop => TraceRegionKind::Loop,
+    }
+}
+
+/// Continuous-mode staleness test: has `current_use` at least doubled
+/// relative to `formed_use`?
+///
+/// `current_use / 2 >= formed_use` is exactly `current_use >= 2 *
+/// formed_use` for every `u64` pair, without the overflow that made the
+/// multiplying form (`formed_use.saturating_mul(2)`) treat a region
+/// formed past `u64::MAX / 2` uses as due the moment the counter
+/// saturated the comparison.
+fn reform_due(current_use: u64, formed_use: u64) -> bool {
+    current_use / 2 >= formed_use
+}
+
 fn term_kind(t: &Terminator) -> TermKind {
     match t {
         Terminator::Jump { .. } => TermKind::Jump,
@@ -140,13 +163,33 @@ fn term_kind(t: &Terminator) -> TermKind {
 #[derive(Clone, Debug)]
 pub struct Dbt {
     config: DbtConfig,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Dbt {
     /// Creates a translator with the given configuration.
     #[must_use]
     pub fn new(config: DbtConfig) -> Self {
-        Dbt { config }
+        Dbt {
+            config,
+            tracer: None,
+        }
+    }
+
+    /// Attaches a structured-event tracer: every run reports lifecycle
+    /// events (translation, counter bumps and freezes, region
+    /// formation / re-formation / retirement) into it. Without the
+    /// crate's `trace` feature this is a no-op.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The configuration in use.
@@ -184,6 +227,7 @@ impl Dbt {
     ) -> Result<RunOutcome, DbtError> {
         let mut engine = Engine {
             config: &self.config,
+            tracer: self.tracer.as_deref(),
             program,
             cache: (0..program.len()).map(|_| None).collect(),
             regions: Vec::new(),
@@ -201,6 +245,7 @@ impl Dbt {
 
 struct Engine<'p> {
     config: &'p DbtConfig,
+    tracer: Option<&'p Tracer>,
     program: &'p Program,
     cache: Vec<Option<Box<BlockEntry>>>,
     regions: Vec<RuntimeRegion>,
@@ -231,6 +276,23 @@ impl<'p> BlockSource for Engine<'p> {
 }
 
 impl<'p> Engine<'p> {
+    /// Reports a structured event when a tracer is attached; the
+    /// closure defers payload construction to the traced case. With the
+    /// `trace` feature off this compiles to nothing.
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace_emit(&self, event: impl FnOnce() -> EventKind) {
+        if let Some(tracer) = self.tracer {
+            tracer.emit(event());
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline]
+    fn trace_emit(&self, event: impl FnOnce() -> EventKind) {
+        let _ = (self.tracer, event);
+    }
+
     fn execute(&mut self, machine: &mut Machine) -> Result<Vec<i64>, DbtError> {
         let mut pc = self.program.entry();
         loop {
@@ -316,6 +378,7 @@ impl<'p> Engine<'p> {
                 entry_of: None,
                 ret_targets: Vec::new(),
             }));
+            self.trace_emit(|| EventKind::BlockTranslated { pc: pc as u64, len });
         }
         self.cache[pc].as_mut().expect("just inserted").as_mut()
     }
@@ -403,6 +466,11 @@ impl<'p> Engine<'p> {
                     self.stats.cycles += cost.profile_op_cost;
                 }
             }
+            let use_count = entry.record.use_count;
+            self.trace_emit(|| EventKind::CounterBump {
+                pc: pc as u64,
+                use_count,
+            });
         }
 
         if profiled && self.config.mode != ProfilingMode::NoOpt {
@@ -413,12 +481,20 @@ impl<'p> Engine<'p> {
             if use_count == t && registered == 0 {
                 self.cache[pc].as_mut().expect("translated").registered = 1;
                 self.pool.push(pc);
+                self.trace_emit(|| EventKind::Registered {
+                    pc: pc as u64,
+                    use_count,
+                });
                 if self.pool.len() >= self.config.policy.pool_trigger {
                     self.run_optimizer();
                 }
             } else if registered == 1 && use_count == 2 * t {
                 // Registered twice: optimize immediately (paper §1).
                 self.cache[pc].as_mut().expect("translated").registered = 2;
+                self.trace_emit(|| EventKind::RegisteredTwice {
+                    pc: pc as u64,
+                    use_count,
+                });
                 self.run_optimizer();
             }
         }
@@ -488,10 +564,15 @@ impl<'p> Engine<'p> {
                 self.stats.profiling_ops += 1;
             }
         }
+        let use_count = entry.record.use_count;
+        self.trace_emit(|| EventKind::CounterBump {
+            pc: pc as u64,
+            use_count,
+        });
     }
 
     /// Continuous mode: re-form a region whose entry has doubled its
-    /// use count since formation.
+    /// use count since formation (see [`reform_due`]).
     fn maybe_reform(&mut self, ri: usize, entry_pc: Pc) {
         if self.config.mode != ProfilingMode::Continuous {
             return;
@@ -499,14 +580,20 @@ impl<'p> Engine<'p> {
         let current_use = self.cache[entry_pc]
             .as_ref()
             .map_or(0, |e| e.record.use_count);
-        if current_use < self.regions[ri].formed_use.saturating_mul(2) {
+        if !reform_due(current_use, self.regions[ri].formed_use) {
             return;
         }
         if let Some(formed) = form_region(self, &self.config.policy, entry_pc) {
             self.stats.cycles += self.config.cost.opt_translate_per_instr * formed.total_instrs;
             self.stats.opt_invocations += 1;
             let replacement = RuntimeRegion::new(formed, self.regions[ri].dump.id, current_use);
+            let id = replacement.dump.id;
             self.regions[ri] = replacement;
+            self.trace_emit(|| EventKind::RegionReformed {
+                region: id as u64,
+                entry_pc: entry_pc as u64,
+                use_count: current_use,
+            });
         }
     }
 
@@ -543,6 +630,16 @@ impl<'p> Engine<'p> {
         self.stats.retirements += 1;
         let copies = self.regions[ri].dump.copies.clone();
         self.regions[ri].retired = true;
+        let (region_id, entries, side_exits) = {
+            let r = &self.regions[ri];
+            (r.dump.id, r.entries, r.side_exits)
+        };
+        self.trace_emit(|| EventKind::RegionRetired {
+            region: region_id as u64,
+            entry_pc: entry_pc as u64,
+            entries,
+            side_exits,
+        });
         if let Some(e) = self.cache[entry_pc].as_mut() {
             e.entry_of = None;
         }
@@ -599,13 +696,29 @@ impl<'p> Engine<'p> {
                 .record
                 .use_count;
             let region = RuntimeRegion::new(formed, id, formed_use);
+            self.trace_emit(|| EventKind::RegionFormed {
+                region: id as u64,
+                entry_pc: seed as u64,
+                blocks: region.dump.copies.len() as u32,
+                kind: trace_region_kind(region.dump.kind),
+            });
             // Freeze every member: optimized code is not instrumented
             // (two-phase semantics; continuous mode keeps counting).
             if self.freezes() {
                 for &pc in &region.dump.copies {
-                    if let Some(e) = self.cache[pc].as_mut() {
-                        e.frozen = true;
+                    let Some(e) = self.cache[pc].as_mut() else {
+                        continue;
+                    };
+                    if e.frozen {
+                        continue;
                     }
+                    e.frozen = true;
+                    let (use_count, registered) = (e.record.use_count, e.registered);
+                    self.trace_emit(|| EventKind::CounterFrozen {
+                        pc: pc as u64,
+                        use_count,
+                        registered,
+                    });
                 }
             }
             self.cache[seed].as_mut().expect("translated").entry_of = Some(id);
@@ -655,8 +768,8 @@ impl<'p> Engine<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RegionPolicy;
     use tpdbt_isa::{structured, Cond, ProgramBuilder, Reg};
-    use tpdbt_profile::RegionKind;
 
     fn hot_loop(iters: i64) -> Program {
         let mut b = ProgramBuilder::new();
@@ -902,6 +1015,68 @@ mod tests {
     }
 
     #[test]
+    fn reform_due_is_exact_at_the_boundary_and_for_huge_counts() {
+        // The doubling boundary itself.
+        assert!(!reform_due(199, 100));
+        assert!(reform_due(200, 100));
+        assert!(reform_due(201, 100));
+        // formed_use == 0 is always due (matches the old behavior).
+        assert!(reform_due(0, 0));
+        assert!(reform_due(1, 0));
+        // Near u64::MAX the old `formed_use.saturating_mul(2)` form
+        // reported a region formed at u64::MAX uses as due again at
+        // u64::MAX — it can never have doubled.
+        assert!(!reform_due(u64::MAX, u64::MAX));
+        assert!(!reform_due(u64::MAX, u64::MAX / 2 + 1));
+        assert!(reform_due(u64::MAX, u64::MAX / 2));
+    }
+
+    /// Regression (frozen-profile boundary): the pool-full path freezes
+    /// a region seed at exactly `T` — registration happens at
+    /// `use == T` and `pool_trigger = 1` runs the optimizer in the same
+    /// step, before the counter can advance.
+    #[test]
+    fn pool_full_path_freezes_seed_at_exactly_t() {
+        let p = hot_loop(10_000);
+        let t = 100;
+        let policy = RegionPolicy {
+            pool_trigger: 1,
+            ..RegionPolicy::default()
+        };
+        let cfg = DbtConfig::two_phase(t).with_policy(policy);
+        let out = Dbt::new(cfg).run(&p, &[]).unwrap();
+        assert!(!out.inip.regions.is_empty());
+        for region in &out.inip.regions {
+            let rec = out.inip.block(region.entry_pc()).unwrap();
+            assert_eq!(
+                rec.use_count,
+                t,
+                "pool-full seed at {} must freeze at exactly T",
+                region.entry_pc()
+            );
+        }
+    }
+
+    /// Regression (frozen-profile boundary): the registered-twice path
+    /// freezes the triggering block at exactly `2T`. The default pool
+    /// (trigger 8) never fills on a small loop, so the optimizer only
+    /// runs when a block re-registers at `use == 2T` — the reconciled
+    /// invariant's inclusive upper bound.
+    #[test]
+    fn registered_twice_path_freezes_trigger_at_exactly_2t() {
+        let p = hot_loop(10_000);
+        let t = 100;
+        let out = Dbt::new(DbtConfig::two_phase(t)).run(&p, &[]).unwrap();
+        assert_eq!(out.inip.regions.len(), 1);
+        let rec = out.inip.block(out.inip.regions[0].entry_pc()).unwrap();
+        assert_eq!(
+            rec.use_count,
+            2 * t,
+            "registered-twice trigger must freeze at exactly 2T"
+        );
+    }
+
+    #[test]
     fn stats_are_reflected_in_dump() {
         let p = hot_loop(50_000);
         let out = Dbt::new(DbtConfig::two_phase(500)).run(&p, &[]).unwrap();
@@ -909,5 +1084,107 @@ mod tests {
         assert_eq!(out.inip.profiling_ops, out.stats.profiling_ops);
         assert_eq!(out.inip.instructions, out.stats.instructions);
         assert_eq!(out.inip.threshold, 500);
+    }
+
+    #[cfg(feature = "trace")]
+    mod trace_events {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn two_phase_trace_proves_the_freeze_invariant() {
+            let p = hot_loop(10_000);
+            let t = 100;
+            let tracer = Arc::new(Tracer::new());
+            let out = Dbt::new(DbtConfig::two_phase(t))
+                .with_tracer(Arc::clone(&tracer))
+                .run(&p, &[])
+                .unwrap();
+            assert_eq!(tracer.count("region_formed"), out.stats.regions_formed);
+            assert_eq!(
+                tracer.count("block_translated"),
+                out.stats.blocks_translated
+            );
+            assert!(tracer.count("counter_frozen") > 0);
+            assert!(tracer.count("registered") > 0);
+            assert_eq!(tracer.count("registered_twice"), 1);
+            let mut frozen_seen = 0;
+            for e in tracer.events() {
+                match e.kind {
+                    EventKind::Registered { use_count, .. } => assert_eq!(use_count, t),
+                    EventKind::RegisteredTwice { use_count, .. } => {
+                        assert_eq!(use_count, 2 * t);
+                    }
+                    EventKind::CounterFrozen {
+                        use_count,
+                        registered,
+                        ..
+                    } => {
+                        frozen_seen += 1;
+                        if registered > 0 {
+                            assert!(
+                                use_count >= t && use_count <= 2 * t,
+                                "registered block froze at {use_count}, outside [T, 2T]"
+                            );
+                        }
+                        if registered == 2 {
+                            assert_eq!(use_count, 2 * t, "registered-twice freeze");
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(frozen_seen, tracer.count("counter_frozen"));
+        }
+
+        #[test]
+        fn untraced_runs_emit_nothing_and_match_traced_output() {
+            let p = hot_loop(10_000);
+            let tracer = Arc::new(Tracer::new());
+            let traced = Dbt::new(DbtConfig::two_phase(100))
+                .with_tracer(Arc::clone(&tracer))
+                .run(&p, &[])
+                .unwrap();
+            let untraced = Dbt::new(DbtConfig::two_phase(100)).run(&p, &[]).unwrap();
+            assert_eq!(traced.output, untraced.output);
+            assert_eq!(traced.stats, untraced.stats);
+            assert!(!tracer.is_empty());
+        }
+
+        #[test]
+        fn continuous_mode_emits_reform_events() {
+            let p = phase_flip_program();
+            let tracer = Arc::new(Tracer::new());
+            let out = Dbt::new(DbtConfig::continuous(1000))
+                .with_tracer(Arc::clone(&tracer))
+                .run(&p, &[])
+                .unwrap();
+            assert!(
+                tracer.count("region_reformed") >= 1,
+                "{:?}",
+                tracer.counts()
+            );
+            // Re-formation is an optimizer invocation beyond the pool
+            // drains that formed regions.
+            assert!(out.stats.opt_invocations > tracer.count("region_formed"));
+            // The ring wrapped (continuous mode bumps forever) but
+            // per-kind totals stayed exact: one bump event per use
+            // increment, and counters never freeze or reset here.
+            let total_use: u64 = out.inip.blocks.values().map(|b| b.use_count).sum();
+            assert_eq!(tracer.count("counter_bump"), total_use);
+            assert!(tracer.dropped() > 0, "expected the ring to wrap");
+        }
+
+        #[test]
+        fn adaptive_mode_emits_retirement_events() {
+            let p = phase_flip_program();
+            let tracer = Arc::new(Tracer::new());
+            let out = Dbt::new(DbtConfig::adaptive(500))
+                .with_tracer(Arc::clone(&tracer))
+                .run(&p, &[])
+                .unwrap();
+            assert!(out.stats.retirements > 0);
+            assert_eq!(tracer.count("region_retired"), out.stats.retirements);
+        }
     }
 }

@@ -18,8 +18,12 @@
 //!   probabilities, with hammock (if-then / if-else diamond) inclusion
 //!   and **loop regions** when the trace closes back on its entry.
 //!   Blocks may be duplicated into multiple regions. Optimized blocks
-//!   stop profiling — their counters freeze with `T ≤ use < 2T`, which
-//!   is precisely the paper's *initial profile*.
+//!   stop profiling — a registered block's counter freezes with
+//!   `T ≤ use ≤ 2T` (the upper bound is reached exactly when the
+//!   registered-twice rule fires the optimizer at `use == 2T`;
+//!   pool-full triggers freeze strictly below it), which is precisely
+//!   the paper's *initial profile*. Non-candidate blocks pulled into a
+//!   region as hammock arms may freeze below `T`.
 //! * **Optimized execution** — region code runs at a faster
 //!   per-instruction cost; leaving a region anywhere but its designated
 //!   tail is a *side exit* and pays a penalty. Region formation itself

@@ -5,6 +5,7 @@
 //! ```text
 //! tpdbt-analyze INIP_FILE... AVEP_FILE [--train TRAIN_FILE] [--diagnose N]
 //!               [--phases INTERVALS_FILE] [--eps E] [--jobs N]
+//!               [--trace PATH [--trace-format jsonl|chrome]]
 //! tpdbt-analyze --cache-dir DIR
 //! ```
 //!
@@ -14,16 +15,23 @@
 //! single-file analysis only. With `--cache-dir DIR` and no files, the
 //! persistent profile store is inspected instead: one line per
 //! artifact with its kind, key digest, size, and integrity status.
+//! `--trace PATH` records one timed `cell_committed` event per
+//! analyzed dump (plus start/queue markers), exported like the engine
+//! and sweep traces.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use tpdbt_experiments::sweep::parallel_map;
 use tpdbt_profile::report::{analyze, analyze_train, ThresholdMetrics};
 use tpdbt_profile::{diagnose, navep, phases, text};
 use tpdbt_store::profilefmt::decode;
 use tpdbt_store::Artifact;
+use tpdbt_trace::{EventKind, TraceFormat, Tracer};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpdbt-analyze INIP_FILE... AVEP_FILE [--train TRAIN_FILE] [--diagnose N] \\\n       [--phases INTERVALS_FILE] [--eps E] [--jobs N]\n       tpdbt-analyze --cache-dir DIR    (inspect the profile store)"
+        "usage: tpdbt-analyze INIP_FILE... AVEP_FILE [--train TRAIN_FILE] [--diagnose N] \\\n       [--phases INTERVALS_FILE] [--eps E] [--jobs N] \\\n       [--trace PATH [--trace-format jsonl|chrome]]\n       tpdbt-analyze --cache-dir DIR    (inspect the profile store)"
     );
     std::process::exit(2)
 }
@@ -83,6 +91,8 @@ fn main() -> tpdbt_experiments::Result<()> {
     let mut eps = 0.1f64;
     let mut jobs = 1usize;
     let mut cache_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = TraceFormat::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -94,6 +104,8 @@ fn main() -> tpdbt_experiments::Result<()> {
             "--eps" => eps = args.next().unwrap_or_else(|| usage()).parse()?,
             "--jobs" => jobs = args.next().unwrap_or_else(|| usage()).parse()?,
             "--cache-dir" => cache_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-format" => trace_format = args.next().unwrap_or_else(|| usage()).parse()?,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => positional.push(other.to_string()),
             _ => usage(),
@@ -110,16 +122,40 @@ fn main() -> tpdbt_experiments::Result<()> {
     }
     let avep_path = positional.pop().expect("checked non-empty");
     let inip_paths = positional;
+    let tracer: Option<Arc<Tracer>> = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
 
     let avep = text::plain_from_str(&std::fs::read_to_string(&avep_path)?)?;
     if inip_paths.len() > 1 && (diagnose_n > 0 || phases_path.is_some()) {
         return Err("--diagnose/--phases apply to a single INIP file".into());
     }
 
-    // Analyze every INIP dump (worker pool), then print in order.
+    // Analyze every INIP dump (worker pool), then print in order. With
+    // a tracer, each file becomes one timed analysis cell.
+    if let Some(t) = &tracer {
+        for path in &inip_paths {
+            t.emit(EventKind::CellQueued {
+                bench: path.clone(),
+                label: "analyze".to_string(),
+            });
+        }
+    }
     let analyses = parallel_map(jobs.max(1), &inip_paths, |_, path| {
+        if let Some(t) = &tracer {
+            t.emit(EventKind::CellStarted {
+                bench: path.clone(),
+                label: "analyze".to_string(),
+            });
+        }
+        let t0 = Instant::now();
         let inip = text::inip_from_str(&std::fs::read_to_string(path)?)?;
         let m = analyze(&inip, &avep)?;
+        if let Some(t) = &tracer {
+            t.emit(EventKind::CellCommitted {
+                bench: path.clone(),
+                label: "analyze".to_string(),
+                micros: u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+            });
+        }
         tpdbt_experiments::Result::Ok((inip, m))
     });
 
@@ -163,6 +199,13 @@ fn main() -> tpdbt_experiments::Result<()> {
             }
             let watch = diagnose::select_for_continuous_profiling(&diags, 0.9);
             println!("continuous-profiling watch set (90% of deviation mass): {watch:?}");
+            let zero_weight = tpdbt_profile::metrics::zero_weight_regions(&inip, &nav);
+            if !zero_weight.is_empty() {
+                println!(
+                    "regions with zero NAVEP entry weight (excluded from Sd.CP/Sd.LP): \
+                     {zero_weight:?}"
+                );
+            }
             let regions = diagnose::diagnose_regions(&inip, &avep, &nav);
             println!("region diagnoses (worst {diagnose_n}):");
             for d in regions.iter().take(diagnose_n) {
@@ -195,6 +238,14 @@ fn main() -> tpdbt_experiments::Result<()> {
                 ph.centroid.len()
             );
         }
+    }
+    if let (Some(t), Some(p)) = (&tracer, &trace_path) {
+        tpdbt_trace::export::write_file(t, trace_format, p)?;
+        eprintln!(
+            "trace written to {p} ({} events retained, {} dropped)",
+            t.len(),
+            t.dropped()
+        );
     }
     Ok(())
 }

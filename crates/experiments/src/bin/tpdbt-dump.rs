@@ -5,6 +5,7 @@
 //! ```text
 //! tpdbt-dump BENCH DIR [--scale tiny|small|paper] [--threshold T]...
 //!            [--intervals N] [--jobs N] [--cache-dir DIR]
+//!            [--trace PATH [--trace-format jsonl|chrome]]
 //! ```
 //!
 //! Writes `DIR/BENCH.avep`, `DIR/BENCH.train`, and one
@@ -20,18 +21,30 @@
 //! execute; with `--intervals` the baselines also always execute).
 
 use std::path::Path;
+use std::sync::Arc;
 
 use tpdbt_dbt::{Dbt, DbtConfig};
 use tpdbt_experiments::sweep::{parallel_map, plain_profile_run, SweepOptions};
 use tpdbt_profile::{text, PlainProfile};
 use tpdbt_suite::{workload, InputKind, Scale};
+use tpdbt_trace::{TraceFormat, Tracer};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tpdbt-dump BENCH DIR [--scale tiny|small|paper] [--threshold T]...\n\
-         \u{20}                 [--intervals N] [--jobs N] [--cache-dir DIR]"
+         \u{20}                 [--intervals N] [--jobs N] [--cache-dir DIR]\n\
+         \u{20}                 [--trace PATH [--trace-format jsonl|chrome]]"
     );
     std::process::exit(2)
+}
+
+/// Attaches `tracer` to a fresh engine for `config` when tracing.
+fn dbt_for(config: DbtConfig, tracer: Option<&Arc<Tracer>>) -> Dbt {
+    let dbt = Dbt::new(config);
+    match tracer {
+        Some(t) => dbt.with_tracer(Arc::clone(t)),
+        None => dbt,
+    }
 }
 
 fn main() -> tpdbt_experiments::Result<()> {
@@ -42,6 +55,8 @@ fn main() -> tpdbt_experiments::Result<()> {
     let mut thresholds: Vec<u64> = Vec::new();
     let mut interval: Option<u64> = None;
     let mut sweep_opts = SweepOptions::default();
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = TraceFormat::default();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -64,9 +79,13 @@ fn main() -> tpdbt_experiments::Result<()> {
             "--cache-dir" => {
                 sweep_opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
             }
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-format" => trace_format = args.next().unwrap_or_else(|| usage()).parse()?,
             _ => usage(),
         }
     }
+    let tracer: Option<Arc<Tracer>> = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
+    sweep_opts.tracer = tracer.clone();
     if thresholds.is_empty() {
         thresholds.push(2_000 / scale.divisor() as u64);
     }
@@ -84,7 +103,7 @@ fn main() -> tpdbt_experiments::Result<()> {
     // Interval snapshots aren't retained by the store, so a profile
     // with `--intervals` always runs fresh.
     let avep_profile: PlainProfile = if let Some(n) = interval {
-        let avep = Dbt::new(DbtConfig::no_opt().with_interval(n))
+        let avep = dbt_for(DbtConfig::no_opt().with_interval(n), tracer.as_ref())
             .run_built(&reference.binary, &reference.input)?;
         std::fs::write(
             dir.join(format!("{bench}.intervals")),
@@ -136,14 +155,22 @@ fn main() -> tpdbt_experiments::Result<()> {
     );
 
     let dumps = parallel_map(sweep_opts.jobs.max(1), &thresholds, |_, &t| {
-        let out =
-            Dbt::new(DbtConfig::two_phase(t)).run_built(&reference.binary, &reference.input)?;
+        let out = dbt_for(DbtConfig::two_phase(t), tracer.as_ref())
+            .run_built(&reference.binary, &reference.input)?;
         tpdbt_experiments::Result::Ok((text::inip_to_string(&out.inip), out.inip.regions.len()))
     });
     for (&t, dump) in thresholds.iter().zip(dumps) {
         let (text, regions) = dump?;
         std::fs::write(dir.join(format!("{bench}.inip.{t}")), text)?;
         println!("wrote {bench}.inip.{t} ({regions} regions)");
+    }
+    if let (Some(t), Some(p)) = (&tracer, &trace_path) {
+        tpdbt_trace::export::write_file(t, trace_format, p)?;
+        eprintln!(
+            "trace written to {p} ({} events retained, {} dropped)",
+            t.len(),
+            t.dropped()
+        );
     }
     Ok(())
 }

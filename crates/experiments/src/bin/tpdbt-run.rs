@@ -7,7 +7,14 @@
 //!                [--threshold T]... [--input N,N,...] [--input-file PATH]
 //!                [--dump PATH] [--stats] [--suite BENCH --scale S]
 //!                [--jobs N] [--cache-dir DIR]
+//!                [--trace PATH [--trace-format jsonl|chrome]]
 //! ```
+//!
+//! `--trace PATH` attaches a structured-event tracer: the engine
+//! reports translations, counter bumps/freezes, and region lifecycle;
+//! in sweep mode the orchestrator adds per-cell and store events. The
+//! collected events are written to `PATH` on exit (`--trace-format`
+//! picks JSONL or a Chrome `trace_event` timeline).
 //!
 //! With `--suite BENCH`, runs a built-in SPEC2000 analog instead of a
 //! file (use `--emit PATH` to write it out as a `.tpdb` binary first).
@@ -18,11 +25,14 @@
 //! with `--cache-dir DIR` both the `AVEP` baseline and every cell are
 //! served from the persistent profile store on reruns.
 
+use std::sync::Arc;
+
 use tpdbt_dbt::{Dbt, DbtConfig};
 use tpdbt_experiments::sweep::{threshold_sweep, SweepOptions};
 use tpdbt_isa::{asm, binfmt, BuiltProgram};
 use tpdbt_profile::text;
 use tpdbt_suite::{workload, InputKind, Scale};
+use tpdbt_trace::{TraceFormat, Tracer};
 use tpdbt_vm::Interpreter;
 
 fn usage() -> ! {
@@ -31,9 +41,28 @@ fn usage() -> ! {
          \u{20}                [--mode interp|noopt|twophase|continuous|adaptive]\n\
          \u{20}                [--threshold T]... [--input N,N,...] [--input-file PATH]\n\
          \u{20}                [--dump PATH] [--emit PATH] [--stats] [--list]\n\
+         \u{20}                [--trace PATH [--trace-format jsonl|chrome]]\n\
          \u{20}                [--jobs N] [--cache-dir DIR]   (multi-threshold sweep mode)"
     );
     std::process::exit(2)
+}
+
+/// Writes the collected trace (if one was requested) and reports where
+/// it went.
+fn write_trace(
+    tracer: Option<&Arc<Tracer>>,
+    path: Option<&str>,
+    format: TraceFormat,
+) -> tpdbt_experiments::Result<()> {
+    if let (Some(tracer), Some(path)) = (tracer, path) {
+        tpdbt_trace::export::write_file(tracer, format, path)?;
+        eprintln!(
+            "trace written to {path} ({} events retained, {} dropped)",
+            tracer.len(),
+            tracer.dropped()
+        );
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_lines)]
@@ -48,6 +77,8 @@ fn main() -> tpdbt_experiments::Result<()> {
     let mut emit: Option<String> = None;
     let mut show_stats = false;
     let mut sweep_opts = SweepOptions::default();
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = TraceFormat::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -69,6 +100,8 @@ fn main() -> tpdbt_experiments::Result<()> {
             "--cache-dir" => {
                 sweep_opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
             }
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-format" => trace_format = args.next().unwrap_or_else(|| usage()).parse()?,
             "--input" => {
                 let list = args.next().unwrap_or_else(|| usage());
                 for tok in list.split(',').filter(|t| !t.is_empty()) {
@@ -94,6 +127,8 @@ fn main() -> tpdbt_experiments::Result<()> {
             _ => usage(),
         }
     }
+
+    let tracer: Option<Arc<Tracer>> = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
 
     let (built, guest_name, scale_key): (BuiltProgram, String, u8) = if let Some(bench) = &suite {
         let w = workload(bench, scale, InputKind::Ref)?;
@@ -129,6 +164,9 @@ fn main() -> tpdbt_experiments::Result<()> {
     }
 
     if mode == "interp" {
+        if trace_path.is_some() {
+            return Err("--trace applies to translated modes, not --mode interp".into());
+        }
         let mut i = Interpreter::new(&built.program, &input);
         i.preload(&built.mem_image, &built.fmem_image);
         let stats = i.run()?;
@@ -149,6 +187,7 @@ fn main() -> tpdbt_experiments::Result<()> {
         if dump.is_some() {
             return Err("--dump applies to single runs, not sweep mode".into());
         }
+        sweep_opts.tracer = tracer.clone();
         let sweep = threshold_sweep(
             &guest_name,
             &built,
@@ -193,6 +232,7 @@ fn main() -> tpdbt_experiments::Result<()> {
                 sweep.elapsed.as_secs_f64()
             );
         }
+        write_trace(tracer.as_ref(), trace_path.as_deref(), trace_format)?;
         return Ok(());
     }
     let threshold = thresholds.first().copied().unwrap_or(2_000);
@@ -204,7 +244,11 @@ fn main() -> tpdbt_experiments::Result<()> {
         "adaptive" => DbtConfig::adaptive(threshold),
         _ => usage(),
     };
-    let out = Dbt::new(config).run_built(&built, &input)?;
+    let mut dbt = Dbt::new(config);
+    if let Some(t) = &tracer {
+        dbt = dbt.with_tracer(Arc::clone(t));
+    }
+    let out = dbt.run_built(&built, &input)?;
     println!("{:?}", out.output);
     if show_stats {
         eprintln!(
@@ -222,5 +266,6 @@ fn main() -> tpdbt_experiments::Result<()> {
         std::fs::write(&path, text::inip_to_string(&out.inip))?;
         eprintln!("dump written to {path}");
     }
+    write_trace(tracer.as_ref(), trace_path.as_deref(), trace_format)?;
     Ok(())
 }

@@ -4,15 +4,20 @@
 //!
 //! ```text
 //! reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]
-//!           [--cache-dir DIR] [FIGURE...]
+//!           [--cache-dir DIR] [--trace PATH [--trace-format jsonl|chrome]]
+//!           [FIGURE...]
 //! ```
 //!
 //! `FIGURE` is any of `fig8` … `fig18` or `all` (default). Tables print
 //! to stdout; with `--out DIR`, each table is also written as CSV.
 //! `--jobs N` fans the sweep out over a worker pool; `--cache-dir DIR`
 //! persists profiles so identical reruns skip guest execution.
+//! `--trace PATH` attaches a structured-event tracer to the sweep, the
+//! store, and every engine run, writing the collected events to `PATH`
+//! (JSONL by default, or a Chrome `trace_event` timeline).
 
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use tpdbt_experiments::figures;
@@ -20,11 +25,13 @@ use tpdbt_experiments::runner::BenchResult;
 use tpdbt_experiments::sweep::{run_sweep, SweepOptions};
 use tpdbt_experiments::table::Table;
 use tpdbt_suite::{all_names, fp_names, int_names, Scale};
+use tpdbt_trace::{TraceFormat, Tracer};
 
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]\n\
-         \u{20}                [--cache-dir DIR] [--bench NAME]... [TARGET...]\n\
+         \u{20}                [--cache-dir DIR] [--bench NAME]...\n\
+         \u{20}                [--trace PATH [--trace-format jsonl|chrome]] [TARGET...]\n\
          TARGET: fig8..fig18 | all   — the paper's figures\n\
          \u{20}        ext-train-regions    — Sd.CP(train)/Sd.LP(train) via offline regions (§5.3)\n\
          \u{20}        ext-continuous       — continuous vs two-phase profiling (§5)\n\
@@ -73,6 +80,8 @@ fn main() {
     let mut figures_wanted: Vec<String> = Vec::new();
     let mut only: Vec<String> = Vec::new();
     let mut sweep_opts = SweepOptions::default();
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = TraceFormat::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -95,6 +104,13 @@ fn main() {
             "--cache-dir" => {
                 sweep_opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
             }
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-format" => {
+                trace_format = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             f if f.starts_with("fig") || f.starts_with("ext-") || f == "all" => {
                 figures_wanted.push(f.to_string());
@@ -104,6 +120,9 @@ fn main() {
     }
     if figures_wanted.is_empty() {
         figures_wanted.push("all".to_string());
+    }
+    if trace_path.is_some() {
+        sweep_opts.tracer = Some(Arc::new(Tracer::new()));
     }
 
     // Extensions run standalone (they drive their own sweeps).
@@ -173,7 +192,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if sweep_opts.cache_dir.is_some() {
+    if sweep_opts.cache_dir.is_some() || sweep_opts.tracer.is_some() {
         eprint!("{}", report.render_stats());
     } else {
         eprintln!(
@@ -181,6 +200,16 @@ fn main() {
             report.elapsed.as_secs_f64(),
             report.guest_runs
         );
+    }
+    if let (Some(path), Some(tracer)) = (&trace_path, &sweep_opts.tracer) {
+        match tpdbt_trace::export::write_file(tracer, trace_format, path) {
+            Ok(()) => eprintln!(
+                "trace written to {path} ({} events retained, {} dropped)",
+                tracer.len(),
+                tracer.dropped()
+            ),
+            Err(e) => eprintln!("warning: could not write trace to {path}: {e}"),
+        }
     }
     let results = report.results;
 

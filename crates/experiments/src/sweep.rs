@@ -26,7 +26,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tpdbt_dbt::{Dbt, DbtConfig, ProfilingMode, RunOutcome};
@@ -36,6 +36,8 @@ use tpdbt_profile::PlainProfile;
 use tpdbt_store::digest::{fnv64, fnv64_words, Fnv64};
 use tpdbt_store::{Artifact, BaseArtifact, CacheKey, CellArtifact, PlainArtifact, ProfileStore};
 use tpdbt_suite::{workload, BenchClass, InputKind, Scale, Workload};
+use tpdbt_trace::stats::Histogram;
+use tpdbt_trace::{EventKind, Tracer};
 
 use crate::runner::{ladder, BenchResult, LadderPoint};
 use crate::Result;
@@ -47,6 +49,20 @@ pub struct SweepOptions {
     pub jobs: usize,
     /// Artifact cache directory; `None` disables the store.
     pub cache_dir: Option<PathBuf>,
+    /// Structured-event collector shared with the engine and the store;
+    /// `None` disables tracing (every emission site is one branch).
+    pub tracer: Option<Arc<Tracer>>,
+}
+
+/// Opens the profile store (if configured), attaching the sweep's
+/// tracer so store hits/misses/evictions land in the same event stream
+/// as the per-cell lifecycle events.
+fn open_store(opts: &SweepOptions) -> Option<ProfileStore> {
+    let store = ProfileStore::new(opts.cache_dir.as_ref()?);
+    Some(match &opts.tracer {
+        Some(t) => store.with_tracer(Arc::clone(t)),
+        None => store,
+    })
 }
 
 /// One executed (or cache-served) unit of sweep work.
@@ -81,6 +97,28 @@ pub struct SweepReport {
     pub cache_evictions: u64,
     /// Total sweep wall-clock time.
     pub elapsed: Duration,
+    /// Exact per-kind totals from the attached tracer, in name order
+    /// (empty when [`SweepOptions::tracer`] is `None`).
+    pub event_counts: Vec<(&'static str, u64)>,
+    /// Wall-time distribution of the baseline cells (µs): `avep`,
+    /// `train`, and `base`.
+    pub baseline_times: Histogram,
+    /// Wall-time distribution of the `INIP(T)` ladder cells (µs).
+    pub ladder_times: Histogram,
+}
+
+/// Splits per-cell wall times into the sweep's two phases: baselines
+/// (`avep`/`train`/`base`) and ladder cells (everything else).
+fn phase_histograms(cells: &[CellStat]) -> (Histogram, Histogram) {
+    let mut baseline = Histogram::new();
+    let mut ladder = Histogram::new();
+    for c in cells {
+        match c.label.as_str() {
+            "avep" | "train" | "base" => baseline.record(c.micros),
+            _ => ladder.record(c.micros),
+        }
+    }
+    (baseline, ladder)
 }
 
 impl SweepReport {
@@ -115,6 +153,14 @@ impl SweepReport {
             self.guest_runs,
             self.elapsed.as_secs_f64()
         );
+        s.push_str(&self.baseline_times.render("baseline cell time (us)"));
+        s.push_str(&self.ladder_times.render("ladder cell time (us)"));
+        if !self.event_counts.is_empty() {
+            let _ = writeln!(s, "trace event totals:");
+            for (name, n) in &self.event_counts {
+                let _ = writeln!(s, "  {name:<18} {n:>12}");
+            }
+        }
         s
     }
 }
@@ -183,18 +229,54 @@ fn scale_code(scale: Scale) -> u8 {
 /// Shared per-sweep execution state.
 struct Ctx<'a> {
     store: Option<&'a ProfileStore>,
+    tracer: Option<&'a Arc<Tracer>>,
     guest_runs: AtomicU64,
 }
 
 impl Ctx<'_> {
+    /// Builds and emits `event` only when a tracer is attached.
+    fn trace_emit(&self, event: impl FnOnce() -> EventKind) {
+        if let Some(t) = self.tracer {
+            t.emit(event());
+        }
+    }
+
+    /// Emits the cache-resolution pair for one finished cell: a
+    /// hit/miss verdict followed by the committed wall time.
+    fn trace_cell_done(&self, bench: &str, label: &str, hit: bool, micros: u64) {
+        self.trace_emit(|| {
+            let (bench, label) = (bench.to_string(), label.to_string());
+            if hit {
+                EventKind::CellCacheHit { bench, label }
+            } else {
+                EventKind::CellCacheMiss { bench, label }
+            }
+        });
+        self.trace_emit(|| EventKind::CellCommitted {
+            bench: bench.to_string(),
+            label: label.to_string(),
+            micros,
+        });
+    }
+
     fn run_guest(
         &self,
+        name: &str,
         config: DbtConfig,
         binary: &BuiltProgram,
         input: &[i64],
     ) -> Result<RunOutcome> {
         self.guest_runs.fetch_add(1, Ordering::Relaxed);
-        Ok(Dbt::new(config).run_built(binary, input)?)
+        self.trace_emit(|| EventKind::GuestRun {
+            name: name.to_string(),
+        });
+        let mut dbt = Dbt::new(config);
+        if let Some(t) = self.tracer {
+            // The engine reports its own lifecycle (translations,
+            // bumps, freezes, regions) into the same stream.
+            dbt = dbt.with_tracer(Arc::clone(t));
+        }
+        Ok(dbt.run_built(binary, input)?)
     }
 }
 
@@ -246,7 +328,7 @@ fn plain_run(ctx: &Ctx<'_>, guest: &GuestId<'_>, cfg: DbtConfig) -> Result<(Plai
             return Ok((p, true));
         }
     }
-    let out = ctx.run_guest(cfg, guest.binary, guest.input)?;
+    let out = ctx.run_guest(guest.name, cfg, guest.binary, guest.input)?;
     let art = Artifact::Plain(PlainArtifact {
         profile: out.as_plain_profile(),
         output: out.output,
@@ -276,7 +358,7 @@ fn base_run(
             }
         }
     }
-    let out = ctx.run_guest(cfg, guest.binary, guest.input)?;
+    let out = ctx.run_guest(guest.name, cfg, guest.binary, guest.input)?;
     let b = BaseArtifact {
         cycles: out.stats.cycles,
         output_digest: fnv64_words(&out.output),
@@ -306,7 +388,7 @@ fn cell_run(
             }
         }
     }
-    let out = ctx.run_guest(cfg, guest.binary, guest.input)?;
+    let out = ctx.run_guest(guest.name, cfg, guest.binary, guest.input)?;
     let output_digest = fnv64_words(&out.output);
     // The guest must compute the same answer under every threshold.
     debug_assert_eq!(
@@ -353,13 +435,26 @@ fn baselines_for(name: &str, scale: Scale, ctx: &Ctx<'_>) -> Result<Baselines> {
     let reference = workload(name, scale, InputKind::Ref)?;
     let training = workload(name, scale, InputKind::Train)?;
     let sc = scale_code(scale);
+    for label in ["avep", "train", "base"] {
+        ctx.trace_emit(|| EventKind::CellQueued {
+            bench: reference.name.to_string(),
+            label: label.to_string(),
+        });
+    }
     let mut stats = Vec::with_capacity(3);
     let mut stat = |label: &str, hit: bool, micros: u64| {
+        ctx.trace_cell_done(reference.name, label, hit, micros);
         stats.push(CellStat {
             bench: reference.name.to_string(),
             label: label.to_string(),
             hit,
             micros,
+        });
+    };
+    let started = |label: &'static str| {
+        ctx.trace_emit(|| EventKind::CellStarted {
+            bench: reference.name.to_string(),
+            label: label.to_string(),
         });
     };
 
@@ -370,6 +465,7 @@ fn baselines_for(name: &str, scale: Scale, ctx: &Ctx<'_>) -> Result<Baselines> {
         input_code(InputKind::Ref),
         sc,
     );
+    started("avep");
     let ((avep_art, avep_hit), t) = timed(|| plain_run(ctx, &ref_id, DbtConfig::no_opt()))?;
     stat("avep", avep_hit, t);
 
@@ -380,11 +476,13 @@ fn baselines_for(name: &str, scale: Scale, ctx: &Ctx<'_>) -> Result<Baselines> {
         input_code(InputKind::Train),
         sc,
     );
+    started("train");
     let ((train_art, train_hit), t) = timed(|| plain_run(ctx, &train_id, DbtConfig::no_opt()))?;
     stat("train", train_hit, t);
     let train = analyze_train(&train_art.profile, &avep_art.profile);
 
     let avep_output_digest = fnv64_words(&avep_art.output);
+    started("base");
     let ((base, base_hit), t) = timed(|| base_run(ctx, &ref_id, avep_output_digest))?;
     stat("base", base_hit, t);
 
@@ -420,9 +518,10 @@ pub fn run_sweep(
     progress: impl Fn(&str) + Sync,
 ) -> Result<SweepReport> {
     let t0 = Instant::now();
-    let store = opts.cache_dir.as_ref().map(ProfileStore::new);
+    let store = open_store(opts);
     let ctx = Ctx {
         store: store.as_ref(),
+        tracer: opts.tracer.as_ref(),
         guest_runs: AtomicU64::new(0),
     };
     let jobs = opts.jobs.max(1);
@@ -440,8 +539,18 @@ pub fn run_sweep(
     let cell_items: Vec<(usize, LadderPoint)> = (0..baselines.len())
         .flat_map(|b| points.iter().map(move |&p| (b, p)))
         .collect();
+    for &(b, point) in &cell_items {
+        ctx.trace_emit(|| EventKind::CellQueued {
+            bench: baselines[b].name.to_string(),
+            label: point.label.to_string(),
+        });
+    }
     let cell_results = parallel_map(jobs, &cell_items, |_, &(b, point)| {
         let bl = &baselines[b];
+        ctx.trace_emit(|| EventKind::CellStarted {
+            bench: bl.name.to_string(),
+            label: point.label.to_string(),
+        });
         let guest = GuestId::new(
             bl.name,
             &bl.reference.binary,
@@ -449,7 +558,11 @@ pub fn run_sweep(
             input_code(InputKind::Ref),
             scale_code(scale),
         );
-        timed(|| cell_run(&ctx, &guest, point.actual, &bl.avep, bl.avep_output_digest))
+        let res = timed(|| cell_run(&ctx, &guest, point.actual, &bl.avep, bl.avep_output_digest));
+        if let Ok(((_, hit), micros)) = &res {
+            ctx.trace_cell_done(bl.name, point.label, *hit, *micros);
+        }
+        res
     });
 
     // Assemble in deterministic order: baseline stats benchmark-major,
@@ -488,6 +601,7 @@ pub fn run_sweep(
     let (hits, misses, evictions) = store
         .as_ref()
         .map_or((0, 0, 0), |s| (s.hits(), s.misses(), s.evictions()));
+    let (baseline_times, ladder_times) = phase_histograms(&cells);
     Ok(SweepReport {
         results,
         cells,
@@ -496,6 +610,9 @@ pub fn run_sweep(
         cache_misses: misses,
         cache_evictions: evictions,
         elapsed: t0.elapsed(),
+        event_counts: opts.tracer.as_ref().map_or_else(Vec::new, |t| t.counts()),
+        baseline_times,
+        ladder_times,
     })
 }
 
@@ -514,9 +631,10 @@ pub fn plain_profile_run(
     scale_key: u8,
     opts: &SweepOptions,
 ) -> Result<(PlainArtifact, bool)> {
-    let store = opts.cache_dir.as_ref().map(ProfileStore::new);
+    let store = open_store(opts);
     let ctx = Ctx {
         store: store.as_ref(),
+        tracer: opts.tracer.as_ref(),
         guest_runs: AtomicU64::new(0),
     };
     let guest = GuestId::new(name, binary, input, input_key, scale_key);
@@ -559,15 +677,31 @@ pub fn threshold_sweep(
     opts: &SweepOptions,
 ) -> Result<ThresholdSweep> {
     let t0 = Instant::now();
-    let store = opts.cache_dir.as_ref().map(ProfileStore::new);
+    let store = open_store(opts);
     let ctx = Ctx {
         store: store.as_ref(),
+        tracer: opts.tracer.as_ref(),
         guest_runs: AtomicU64::new(0),
     };
     let guest = GuestId::new(name, binary, input, 0, scale_key);
+    ctx.trace_emit(|| EventKind::CellQueued {
+        bench: name.to_string(),
+        label: "avep".to_string(),
+    });
+    for &threshold in thresholds {
+        ctx.trace_emit(|| EventKind::CellQueued {
+            bench: name.to_string(),
+            label: format!("T={threshold}"),
+        });
+    }
 
     let mut cells = Vec::with_capacity(1 + thresholds.len());
+    ctx.trace_emit(|| EventKind::CellStarted {
+        bench: name.to_string(),
+        label: "avep".to_string(),
+    });
     let ((avep_art, avep_hit), t) = timed(|| plain_run(&ctx, &guest, DbtConfig::no_opt()))?;
+    ctx.trace_cell_done(name, "avep", avep_hit, t);
     cells.push(CellStat {
         bench: name.to_string(),
         label: "avep".to_string(),
@@ -577,7 +711,12 @@ pub fn threshold_sweep(
     let avep_output_digest = fnv64_words(&avep_art.output);
 
     let cell_results = parallel_map(opts.jobs.max(1), thresholds, |_, &threshold| {
-        timed(|| {
+        let label = format!("T={threshold}");
+        ctx.trace_emit(|| EventKind::CellStarted {
+            bench: name.to_string(),
+            label: label.clone(),
+        });
+        let res = timed(|| {
             cell_run(
                 &ctx,
                 &guest,
@@ -585,7 +724,11 @@ pub fn threshold_sweep(
                 &avep_art.profile,
                 avep_output_digest,
             )
-        })
+        });
+        if let Ok(((_, hit), micros)) = &res {
+            ctx.trace_cell_done(name, &label, *hit, *micros);
+        }
+        res
     });
     let mut per_threshold = Vec::with_capacity(thresholds.len());
     for (&threshold, res) in thresholds.iter().zip(cell_results) {

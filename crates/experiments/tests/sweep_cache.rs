@@ -5,11 +5,13 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
-use tpdbt_experiments::runner::{ladder, run_suite, BenchResult};
+use tpdbt_experiments::runner::{ladder, run_suite, BenchResult, PAPER_LADDER};
 use tpdbt_experiments::sweep::{run_sweep, SweepOptions};
 use tpdbt_profile::report::ThresholdMetrics;
 use tpdbt_suite::Scale;
+use tpdbt_trace::Tracer;
 
 fn scratch_dir() -> PathBuf {
     static SEQ: AtomicU32 = AtomicU32::new(0);
@@ -64,6 +66,7 @@ fn warm_cache_serves_second_sweep_without_guest_runs() {
     let opts = SweepOptions {
         jobs: 2,
         cache_dir: Some(dir.clone()),
+        tracer: None,
     };
     // One AVEP + one train + one base, then one cell per ladder point.
     let cell_count = 3 + ladder(Scale::Tiny).len() as u64;
@@ -84,6 +87,93 @@ fn warm_cache_serves_second_sweep_without_guest_runs() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The satellite accounting invariant: `ladder()` dedupes collapsed
+/// points at small scales (Tiny keeps 12 of the 13 paper thresholds),
+/// and every *deduped* cell is exactly one store lookup — so cache
+/// hits + misses must sum to the deduped cell count on both the cold
+/// and the warm sweep, never to the nominal 13-point count. The trace
+/// layer double-checks the warm half end to end: zero `guest_run`
+/// events, and per-cell cache verdicts that agree with the store.
+#[test]
+fn cache_accounting_sums_to_deduped_cell_count_with_trace_agreeing() {
+    let dir = scratch_dir();
+    let names = ["bzip2"];
+    let deduped = ladder(Scale::Tiny).len() as u64;
+    assert!(
+        deduped < PAPER_LADDER.len() as u64,
+        "Tiny must collapse at least one ladder point for this test to bite"
+    );
+    let cells = 3 + deduped; // avep + train + base + one per deduped point
+
+    let cold_tracer = Arc::new(Tracer::new());
+    let cold = run_sweep(
+        &names,
+        Scale::Tiny,
+        &SweepOptions {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+            tracer: Some(Arc::clone(&cold_tracer)),
+        },
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(
+        cold.cache_hits + cold.cache_misses,
+        cells,
+        "one lookup per deduped cell"
+    );
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold_tracer.count("cell_queued"), cells);
+    assert_eq!(cold_tracer.count("cell_started"), cells);
+    assert_eq!(cold_tracer.count("cell_committed"), cells);
+    assert_eq!(cold_tracer.count("cell_cache_miss"), cells);
+    assert_eq!(cold_tracer.count("cell_cache_hit"), 0);
+    assert_eq!(cold_tracer.count("guest_run"), cells);
+    assert_eq!(cold_tracer.count("store_miss"), cells);
+
+    let warm_tracer = Arc::new(Tracer::new());
+    let warm = run_sweep(
+        &names,
+        Scale::Tiny,
+        &SweepOptions {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+            tracer: Some(Arc::clone(&warm_tracer)),
+        },
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(
+        warm_tracer.count("guest_run"),
+        0,
+        "warm sweep must not execute any guest"
+    );
+    assert_eq!(
+        warm_tracer.count("cell_cache_hit") + warm_tracer.count("cell_cache_miss"),
+        cells,
+        "trace verdicts sum to the deduped cell count"
+    );
+    assert_eq!(warm.cache_hits, cells);
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(warm_tracer.count("store_hit"), cells);
+
+    // The report surfaces the same numbers: per-kind event totals and
+    // per-phase timing histograms covering every cell.
+    assert!(warm
+        .event_counts
+        .iter()
+        .any(|&(k, n)| k == "cell_cache_hit" && n == cells));
+    assert_eq!(warm.baseline_times.count(), 3);
+    assert_eq!(warm.ladder_times.count(), deduped);
+    let stats = warm.render_stats();
+    assert!(stats.contains("trace event totals:"), "{stats}");
+    assert!(stats.contains("cell_cache_hit"), "{stats}");
+    assert!(stats.contains("ladder cell time (us)"), "{stats}");
+
+    assert_results_identical(&cold.results, &warm.results);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn parallel_jobs_match_serial_ordering_and_values() {
     let names = ["bzip2", "swim"];
@@ -94,6 +184,7 @@ fn parallel_jobs_match_serial_ordering_and_values() {
         &SweepOptions {
             jobs: 4,
             cache_dir: None,
+            tracer: None,
         },
         |_| {},
     )

@@ -174,7 +174,28 @@ fn region_points(
                 ),
             };
             let w = navep.region_entry_frequency(ri);
-            (w > 0.0).then_some((ri, predicted, actual, w))
+            // A region the normalized average profile never enters has
+            // zero entry weight; admitting its point would feed 0/0
+            // (NaN) into the weighted SD. Skip it here — the skipped
+            // indices are reported by [`zero_weight_regions`].
+            (w.is_finite() && w > 0.0 && predicted.is_finite() && actual.is_finite())
+                .then_some((ri, predicted, actual, w))
+        })
+        .collect()
+}
+
+/// Region indices whose NAVEP entry weight is zero (or not finite) —
+/// regions the normalized average profile says were never entered.
+///
+/// These contribute no point to `Sd.CP` / `Sd.LP` (see
+/// [`cp_points`] / [`lp_points`]); diagnosis tooling should surface
+/// them so the exclusion is visible instead of silent.
+#[must_use]
+pub fn zero_weight_regions(inip: &InipDump, navep: &Navep) -> Vec<usize> {
+    (0..inip.regions.len())
+        .filter(|&ri| {
+            let w = navep.region_entry_frequency(ri);
+            !(w.is_finite() && w > 0.0)
         })
         .collect()
 }
@@ -377,5 +398,90 @@ mod tests {
         assert!((sd - 0.4).abs() < 1e-9, "sd = {sd}");
         // And there are no trace regions.
         assert!(sd_cp(&inip, &avep, &navep).is_err());
+    }
+
+    /// A region whose entry copy the normalized profile never enters
+    /// (here: a duplicate region on the same entry block — all dispatch
+    /// flow goes to the first region's entry copy, so the second solves
+    /// to frequency 0) must be skipped with its index reported, never
+    /// fed into the SD as a `0/0`.
+    #[test]
+    fn never_entered_region_is_skipped_not_nan() {
+        let cond = |p: f64| {
+            let use_count = 1000u64;
+            let taken = (p * use_count as f64) as u64;
+            BlockRecord {
+                len: 2,
+                kind: Some(TermKind::Cond),
+                use_count,
+                edges: vec![
+                    (SuccSlot::Taken, 0, taken),
+                    (SuccSlot::Fallthrough, 9, use_count - taken),
+                ],
+            }
+        };
+        let halt = BlockRecord {
+            len: 1,
+            kind: Some(TermKind::Halt),
+            use_count: 1,
+            ..Default::default()
+        };
+        let region = |id: usize| RegionDump {
+            id,
+            kind: RegionKind::Loop,
+            copies: vec![0],
+            edges: vec![RegionEdge {
+                from: 0,
+                slot: SuccSlot::Taken,
+                to: 0,
+            }],
+            tail: 0,
+        };
+        let mut inip_blocks = BTreeMap::new();
+        inip_blocks.insert(0, cond(0.9));
+        inip_blocks.insert(9, halt.clone());
+        let mut avep_blocks = BTreeMap::new();
+        avep_blocks.insert(0, cond(0.5));
+        avep_blocks.insert(9, halt);
+        let mut inip = InipDump {
+            threshold: 10,
+            regions: vec![region(0), region(1)],
+            blocks: inip_blocks,
+            entry: 0,
+            profiling_ops: 0,
+            cycles: 0,
+            instructions: 0,
+        };
+        let avep = PlainProfile {
+            blocks: avep_blocks,
+            entry: 0,
+            profiling_ops: 0,
+            instructions: 0,
+        };
+        let navep = normalize(&inip, &avep).unwrap();
+        assert_eq!(navep.region_entry_frequency(1), 0.0);
+        // The zero-weight region is excluded from the points…
+        let points = lp_points_indexed(&inip, &avep, &navep);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].0, 0);
+        // …the metric stays finite…
+        let sd = sd_lp(&inip, &avep, &navep).unwrap();
+        assert!(sd.is_finite());
+        assert!((sd - 0.4).abs() < 1e-9, "sd = {sd}");
+        // …and the exclusion is reported.
+        assert_eq!(zero_weight_regions(&inip, &navep), vec![1]);
+
+        // When the ONLY loop region is a never-entered one (the trace
+        // region on the same entry soaks up all dispatch flow), the
+        // metric is an explicit empty-population error, not NaN.
+        inip.regions[0].kind = RegionKind::Trace;
+        let navep = normalize(&inip, &avep).unwrap();
+        assert_eq!(navep.region_entry_frequency(1), 0.0);
+        assert!(lp_points_indexed(&inip, &avep, &navep).is_empty());
+        assert!(matches!(
+            sd_lp(&inip, &avep, &navep),
+            Err(ProfileError::EmptyPopulation { .. })
+        ));
+        assert_eq!(zero_weight_regions(&inip, &navep), vec![1]);
     }
 }

@@ -265,8 +265,11 @@ impl RegionDump {
 /// The initial prediction with threshold `T` — the paper's `INIP(T)`.
 ///
 /// Blocks that were placed in regions carry counters **frozen at
-/// optimization time** (so `T ≤ use < 2T`); blocks never optimized carry
-/// end-of-run counters, exactly as in §2 of the paper.
+/// optimization time** — `T ≤ use ≤ 2T` for registered candidates (the
+/// upper bound exactly when the registered-twice rule fired; hammock
+/// arms pulled in without registering may freeze below `T`); blocks
+/// never optimized carry end-of-run counters, exactly as in §2 of the
+/// paper.
 #[derive(Clone, Debug, PartialEq)]
 pub struct InipDump {
     /// The retranslation threshold `T` the run used.

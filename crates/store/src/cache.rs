@@ -17,6 +17,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tpdbt_trace::{EventKind, Tracer};
 
 use crate::digest::Fnv64;
 use crate::error::StoreError;
@@ -82,6 +85,7 @@ struct Stats {
 pub struct ProfileStore {
     dir: PathBuf,
     stats: Stats,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ProfileStore {
@@ -92,6 +96,22 @@ impl ProfileStore {
         ProfileStore {
             dir: dir.into(),
             stats: Stats::default(),
+            tracer: None,
+        }
+    }
+
+    /// Attaches a structured-event tracer: every lookup reports
+    /// [`EventKind::StoreHit`] / [`EventKind::StoreMiss`] /
+    /// [`EventKind::StoreEvicted`] with the artifact file name.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    fn trace_emit(&self, event: impl FnOnce() -> EventKind) {
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(event());
         }
     }
 
@@ -133,12 +153,18 @@ impl ProfileStore {
             Ok(b) => b,
             Err(_) => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.trace_emit(|| EventKind::StoreMiss {
+                    file: key.file_name(),
+                });
                 return None;
             }
         };
         match profilefmt::decode(&bytes) {
             Ok((digest, artifact)) if digest == key.digest() => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.trace_emit(|| EventKind::StoreHit {
+                    file: key.file_name(),
+                });
                 Some(artifact)
             }
             _ => {
@@ -147,6 +173,12 @@ impl ProfileStore {
                 let _ = fs::remove_file(&path);
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.trace_emit(|| EventKind::StoreEvicted {
+                    file: key.file_name(),
+                });
+                self.trace_emit(|| EventKind::StoreMiss {
+                    file: key.file_name(),
+                });
                 None
             }
         }
@@ -323,6 +355,37 @@ mod tests {
         for v in &variants {
             assert_ne!(v.digest(), base_key.digest(), "{v:?}");
         }
+    }
+
+    #[test]
+    fn lookups_report_trace_events() {
+        let dir = scratch_dir();
+        let tracer = Arc::new(Tracer::new());
+        let store = ProfileStore::new(&dir).with_tracer(Arc::clone(&tracer));
+        assert!(store.load(&key(1)).is_none());
+        store.store(&key(1), &base(3)).unwrap();
+        assert!(store.load(&key(1)).is_some());
+        assert_eq!(tracer.count("store_miss"), 1);
+        assert_eq!(tracer.count("store_hit"), 1);
+        // Corruption reports an eviction and a miss.
+        let path = store.path_of(&key(1));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(&key(1)).is_none());
+        assert_eq!(tracer.count("store_evicted"), 1);
+        assert_eq!(tracer.count("store_miss"), 2);
+        let miss_files: Vec<_> = tracer
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::StoreMiss { file } => Some(file.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(miss_files.iter().all(|f| f == &key(1).file_name()));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

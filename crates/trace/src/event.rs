@@ -1,0 +1,291 @@
+//! The event taxonomy: every lifecycle point the engine, the profile
+//! store, and the sweep orchestrator can report.
+//!
+//! Events are plain owned data — no references into engine state — so a
+//! collected trace outlives the run that produced it and can be
+//! exported long after the translator is gone.
+
+/// What kind of region a region event refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceRegionKind {
+    /// A straight-line (non-loop) trace region.
+    Trace,
+    /// A loop region (the trace closed back on its entry).
+    Loop,
+}
+
+impl TraceRegionKind {
+    /// Short lowercase name used by the exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceRegionKind::Trace => "trace",
+            TraceRegionKind::Loop => "loop",
+        }
+    }
+}
+
+/// One structured event. See each variant for the emitting subsystem.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    // ---- engine (tpdbt-dbt) ----
+    /// A guest block was fast-translated for the first time.
+    BlockTranslated {
+        /// Block start address.
+        pc: u64,
+        /// Block length in instructions.
+        len: u32,
+    },
+    /// A profiled block's `use` counter was incremented.
+    CounterBump {
+        /// Block start address.
+        pc: u64,
+        /// The counter value after the bump.
+        use_count: u64,
+    },
+    /// A block reached the retranslation threshold `T` and was
+    /// registered in the candidate pool.
+    Registered {
+        /// Block start address.
+        pc: u64,
+        /// The `use` count at registration (always exactly `T`).
+        use_count: u64,
+    },
+    /// A registered block reached `2T` — the paper's registered-twice
+    /// rule — triggering the optimization phase immediately.
+    RegisteredTwice {
+        /// Block start address.
+        pc: u64,
+        /// The `use` count at the trigger (always exactly `2T`).
+        use_count: u64,
+    },
+    /// A block's counters were frozen because it was swallowed into an
+    /// optimized region (two-phase / adaptive semantics).
+    CounterFrozen {
+        /// Block start address.
+        pc: u64,
+        /// The frozen `use` value. For registered candidate blocks the
+        /// reconciled invariant `T ≤ use ≤ 2T` holds (the upper bound
+        /// exactly when the registered-twice rule fired); non-candidate
+        /// blocks pulled in as hammock arms may freeze below `T`.
+        use_count: u64,
+        /// Registration state at freeze time: 0 = never registered,
+        /// 1 = registered at `T`, 2 = registered twice.
+        registered: u8,
+    },
+    /// The optimization phase formed a region.
+    RegionFormed {
+        /// Region id.
+        region: u64,
+        /// Entry block address.
+        entry_pc: u64,
+        /// Number of block copies in the region.
+        blocks: u32,
+        /// Loop or straight-line trace.
+        kind: TraceRegionKind,
+    },
+    /// Continuous mode re-formed a stale region (entry use count
+    /// doubled since formation).
+    RegionReformed {
+        /// Region id (reused from the replaced region).
+        region: u64,
+        /// Entry block address.
+        entry_pc: u64,
+        /// Entry use count at re-formation.
+        use_count: u64,
+    },
+    /// Adaptive side-exit monitoring retired a region.
+    RegionRetired {
+        /// Region id.
+        region: u64,
+        /// Entry block address.
+        entry_pc: u64,
+        /// Region entries since formation.
+        entries: u64,
+        /// Side exits since formation.
+        side_exits: u64,
+    },
+
+    // ---- profile store (tpdbt-store) ----
+    /// A store lookup was served from disk.
+    StoreHit {
+        /// Artifact file name.
+        file: String,
+    },
+    /// A store lookup found no (valid) artifact.
+    StoreMiss {
+        /// Artifact file name.
+        file: String,
+    },
+    /// A corrupt or foreign artifact was deleted during lookup.
+    StoreEvicted {
+        /// Artifact file name.
+        file: String,
+    },
+
+    // ---- sweep orchestrator (tpdbt-experiments) ----
+    /// A guest program was actually executed (not served from cache).
+    GuestRun {
+        /// Guest / benchmark name.
+        name: String,
+    },
+    /// A sweep cell was placed on the work queue.
+    CellQueued {
+        /// Benchmark (or guest) name.
+        bench: String,
+        /// Cell label (`"avep"`, `"train"`, `"base"`, or ladder label).
+        label: String,
+    },
+    /// A worker began executing a sweep cell.
+    CellStarted {
+        /// Benchmark (or guest) name.
+        bench: String,
+        /// Cell label.
+        label: String,
+    },
+    /// The cell was served from the profile store without a guest run.
+    CellCacheHit {
+        /// Benchmark (or guest) name.
+        bench: String,
+        /// Cell label.
+        label: String,
+    },
+    /// The cell missed the store and had to execute its guest.
+    CellCacheMiss {
+        /// Benchmark (or guest) name.
+        bench: String,
+        /// Cell label.
+        label: String,
+    },
+    /// A sweep cell finished and its result was committed.
+    CellCommitted {
+        /// Benchmark (or guest) name.
+        bench: String,
+        /// Cell label.
+        label: String,
+        /// Wall-clock time spent on the cell, in microseconds.
+        micros: u64,
+    },
+}
+
+impl EventKind {
+    /// The stable event name used for counting and export (`"kind"`
+    /// field of the JSONL output, `"name"` of the Chrome output).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::BlockTranslated { .. } => "block_translated",
+            EventKind::CounterBump { .. } => "counter_bump",
+            EventKind::Registered { .. } => "registered",
+            EventKind::RegisteredTwice { .. } => "registered_twice",
+            EventKind::CounterFrozen { .. } => "counter_frozen",
+            EventKind::RegionFormed { .. } => "region_formed",
+            EventKind::RegionReformed { .. } => "region_reformed",
+            EventKind::RegionRetired { .. } => "region_retired",
+            EventKind::StoreHit { .. } => "store_hit",
+            EventKind::StoreMiss { .. } => "store_miss",
+            EventKind::StoreEvicted { .. } => "store_evicted",
+            EventKind::GuestRun { .. } => "guest_run",
+            EventKind::CellQueued { .. } => "cell_queued",
+            EventKind::CellStarted { .. } => "cell_started",
+            EventKind::CellCacheHit { .. } => "cell_cache_hit",
+            EventKind::CellCacheMiss { .. } => "cell_cache_miss",
+            EventKind::CellCommitted { .. } => "cell_committed",
+        }
+    }
+}
+
+/// A collected event: the kind plus when and where it happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Microseconds since the tracer was created (monotonic).
+    pub t_us: u64,
+    /// Small dense id of the emitting thread (allocation order, not the
+    /// OS thread id).
+    pub tid: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let kinds = [
+            EventKind::BlockTranslated { pc: 0, len: 1 },
+            EventKind::CounterBump {
+                pc: 0,
+                use_count: 1,
+            },
+            EventKind::Registered {
+                pc: 0,
+                use_count: 1,
+            },
+            EventKind::RegisteredTwice {
+                pc: 0,
+                use_count: 2,
+            },
+            EventKind::CounterFrozen {
+                pc: 0,
+                use_count: 1,
+                registered: 1,
+            },
+            EventKind::RegionFormed {
+                region: 0,
+                entry_pc: 0,
+                blocks: 1,
+                kind: TraceRegionKind::Loop,
+            },
+            EventKind::RegionReformed {
+                region: 0,
+                entry_pc: 0,
+                use_count: 2,
+            },
+            EventKind::RegionRetired {
+                region: 0,
+                entry_pc: 0,
+                entries: 1,
+                side_exits: 1,
+            },
+            EventKind::StoreHit {
+                file: String::new(),
+            },
+            EventKind::StoreMiss {
+                file: String::new(),
+            },
+            EventKind::StoreEvicted {
+                file: String::new(),
+            },
+            EventKind::GuestRun {
+                name: String::new(),
+            },
+            EventKind::CellQueued {
+                bench: String::new(),
+                label: String::new(),
+            },
+            EventKind::CellStarted {
+                bench: String::new(),
+                label: String::new(),
+            },
+            EventKind::CellCacheHit {
+                bench: String::new(),
+                label: String::new(),
+            },
+            EventKind::CellCacheMiss {
+                bench: String::new(),
+                label: String::new(),
+            },
+            EventKind::CellCommitted {
+                bench: String::new(),
+                label: String::new(),
+                micros: 0,
+            },
+        ];
+        let names: std::collections::BTreeSet<&str> = kinds.iter().map(EventKind::name).collect();
+        assert_eq!(names.len(), kinds.len(), "duplicate event name");
+        assert_eq!(TraceRegionKind::Loop.name(), "loop");
+        assert_eq!(TraceRegionKind::Trace.name(), "trace");
+    }
+}

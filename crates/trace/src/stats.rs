@@ -1,0 +1,201 @@
+//! Timing histograms for end-of-run reporting.
+//!
+//! A [`Histogram`] buckets microsecond samples by power of two, which
+//! is plenty for "where did the sweep's wall-clock go" questions while
+//! staying allocation-free and mergeable.
+
+use std::fmt::Write as _;
+
+/// A log2-bucketed histogram of `u64` samples (microseconds by
+/// convention).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples with `floor(log2(v)) == i`
+    /// (`buckets[0]` also holds `v == 0`).
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Renders the non-empty bucket range as an ASCII bar chart, one
+    /// bucket per line, prefixed by `label`. Returns an empty string
+    /// for an empty histogram.
+    #[must_use]
+    pub fn render(&self, label: &str) -> String {
+        if self.count == 0 {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{label}: {} sample(s), min {} max {} mean {:.1}",
+            self.count,
+            self.min,
+            self.max,
+            self.mean().unwrap_or(0.0)
+        );
+        let lo = self.buckets.iter().position(|&c| c > 0).unwrap_or(0);
+        let hi = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let peak = *self.buckets[lo..=hi].iter().max().unwrap_or(&1);
+        for (i, &c) in self.buckets.iter().enumerate().take(hi + 1).skip(lo) {
+            let bar_len = if peak == 0 {
+                0
+            } else {
+                (c * 40).div_ceil(peak) as usize
+            };
+            let _ = writeln!(
+                out,
+                "  [{:>10} .. {:>10}) {:>7} {}",
+                if i == 0 { 0 } else { 1u64 << i },
+                1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX),
+                c,
+                "#".repeat(bar_len)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        // 0 and 1 share bucket 0; 2 and 3 bucket 1; 4 and 7 bucket 2;
+        // 8 bucket 3; 1024 bucket 10.
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[10], 1);
+    }
+
+    #[test]
+    fn empty_histogram_renders_nothing() {
+        let h = Histogram::new();
+        assert_eq!(h.render("x"), "");
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn render_covers_bucket_range() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        h.record(300);
+        let s = h.render("cell time (us)");
+        assert!(s.starts_with("cell time (us): 3 sample(s), min 5 max 300"));
+        assert!(s.contains("[         4 ..          8)       2"));
+        assert!(s.contains("[       256 ..        512)       1"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(1000);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(3));
+        assert_eq!(a.max(), Some(1000));
+        assert_eq!(a.sum(), 1013);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.buckets[63], 2);
+        let s = h.render("big");
+        assert!(s.contains("big: 2 sample(s)"));
+    }
+}
