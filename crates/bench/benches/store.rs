@@ -26,6 +26,7 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
                 jobs: 1,
                 cache_dir: Some(cold_dir.clone()),
                 tracer: None,
+                ..Default::default()
             };
             let report = run_sweep(&["gzip"], Scale::Tiny, &opts, |_| {}).unwrap();
             assert_eq!(report.cache_hits, 0);
@@ -39,6 +40,7 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
         jobs: 1,
         cache_dir: Some(warm_dir.clone()),
         tracer: None,
+        ..Default::default()
     };
     run_sweep(&["gzip"], Scale::Tiny, &opts, |_| {}).unwrap(); // prime
     g.bench_function("warm", |b| {

@@ -13,6 +13,19 @@ pub enum DbtError {
     Guest(VmError),
 }
 
+impl DbtError {
+    /// The guest trap behind this error, if that's what it is. Sweep
+    /// harnesses use this to classify a failed cell (deterministic
+    /// guest defect vs. fuel/watchdog exhaustion) without matching on
+    /// the error's display text.
+    #[must_use]
+    pub fn as_guest_trap(&self) -> Option<&VmError> {
+        match self {
+            DbtError::Guest(e) => Some(e),
+        }
+    }
+}
+
 impl fmt::Display for DbtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -14,7 +14,9 @@
 //! reports print in argument order; `--diagnose`/`--phases` apply to
 //! single-file analysis only. With `--cache-dir DIR` and no files, the
 //! persistent profile store is inspected instead: one line per
-//! artifact with its kind, key digest, size, and integrity status.
+//! artifact with its kind, key digest, size, and integrity status,
+//! plus the contents of the store's `quarantine/` directory (entries
+//! that decoded corrupt twice in a row; see DESIGN.md §9).
 //! `--trace PATH` records one timed `cell_committed` event per
 //! analyzed dump (plus start/queue markers), exported like the engine
 //! and sweep traces.
@@ -80,6 +82,23 @@ fn inspect_store(dir: &str) -> tpdbt_experiments::Result<()> {
         }
     }
     println!("{} artifact(s), {} valid", entries.len(), ok);
+
+    // Entries the store moved aside after decoding corrupt twice in a
+    // row (DESIGN.md §9). They are out of the lookup path; delete the
+    // directory to let the keys be recomputed and re-stored.
+    let quarantine = std::path::Path::new(dir).join("quarantine");
+    if let Ok(rd) = std::fs::read_dir(&quarantine) {
+        let mut quarantined: Vec<_> = rd.filter_map(Result::ok).map(|e| e.path()).collect();
+        quarantined.sort();
+        if !quarantined.is_empty() {
+            println!("quarantined (decoded corrupt twice):");
+            for path in &quarantined {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                println!("  {name:<42} {bytes:>8}");
+            }
+        }
+    }
     Ok(())
 }
 

@@ -6,6 +6,7 @@
 //! tpdbt-dump BENCH DIR [--scale tiny|small|paper] [--threshold T]...
 //!            [--intervals N] [--jobs N] [--cache-dir DIR]
 //!            [--trace PATH [--trace-format jsonl|chrome]]
+//!            [--max-retries N] [--watchdog-fuel N] [--inject SPEC]
 //! ```
 //!
 //! Writes `DIR/BENCH.avep`, `DIR/BENCH.train`, and one
@@ -19,12 +20,17 @@
 //! the persistent profile store on reruns (`INIP(T)` dumps carry full
 //! region structure, which the store does not retain, so they always
 //! execute; with `--intervals` the baselines also always execute).
+//! The cached baseline runs honor the fault-tolerance policy
+//! (DESIGN.md §9): `--max-retries`/`--watchdog-fuel` tune it and
+//! `--inject SPEC` arms deterministic fault injection
+//! (`fault-injection` builds only).
 
 use std::path::Path;
 use std::sync::Arc;
 
 use tpdbt_dbt::{Dbt, DbtConfig};
 use tpdbt_experiments::sweep::{parallel_map, plain_profile_run, SweepOptions};
+use tpdbt_faults::FaultPlan;
 use tpdbt_profile::{text, PlainProfile};
 use tpdbt_suite::{workload, InputKind, Scale};
 use tpdbt_trace::{TraceFormat, Tracer};
@@ -33,7 +39,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: tpdbt-dump BENCH DIR [--scale tiny|small|paper] [--threshold T]...\n\
          \u{20}                 [--intervals N] [--jobs N] [--cache-dir DIR]\n\
-         \u{20}                 [--trace PATH [--trace-format jsonl|chrome]]"
+         \u{20}                 [--trace PATH [--trace-format jsonl|chrome]]\n\
+         \u{20}                 [--max-retries N] [--watchdog-fuel N] [--inject SPEC]"
     );
     std::process::exit(2)
 }
@@ -81,6 +88,17 @@ fn main() -> tpdbt_experiments::Result<()> {
             }
             "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-format" => trace_format = args.next().unwrap_or_else(|| usage()).parse()?,
+            "--max-retries" => {
+                sweep_opts.policy.max_retries = args.next().unwrap_or_else(|| usage()).parse()?;
+            }
+            "--watchdog-fuel" => {
+                sweep_opts.policy.watchdog_fuel =
+                    Some(args.next().unwrap_or_else(|| usage()).parse()?);
+            }
+            "--inject" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                sweep_opts.policy.plan = Some(Arc::new(FaultPlan::parse(&spec)?));
+            }
             _ => usage(),
         }
     }

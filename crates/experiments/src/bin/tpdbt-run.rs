@@ -8,6 +8,8 @@
 //!                [--dump PATH] [--stats] [--suite BENCH --scale S]
 //!                [--jobs N] [--cache-dir DIR]
 //!                [--trace PATH [--trace-format jsonl|chrome]]
+//!                [--max-retries N] [--fail-fast] [--watchdog-fuel N]
+//!                [--inject SPEC]
 //! ```
 //!
 //! `--trace PATH` attaches a structured-event tracer: the engine
@@ -23,12 +25,16 @@
 //! guest is swept over every requested threshold on a `--jobs N` worker
 //! pool, each `INIP(T)` is analyzed against the guest's own `AVEP`, and
 //! with `--cache-dir DIR` both the `AVEP` baseline and every cell are
-//! served from the persistent profile store on reruns.
+//! served from the persistent profile store on reruns. Sweep cells are
+//! fault isolated (DESIGN.md §9): `--max-retries`/`--fail-fast`/
+//! `--watchdog-fuel` tune the policy and `--inject SPEC` arms
+//! deterministic fault injection (`fault-injection` builds only).
 
 use std::sync::Arc;
 
 use tpdbt_dbt::{Dbt, DbtConfig};
 use tpdbt_experiments::sweep::{threshold_sweep, SweepOptions};
+use tpdbt_faults::FaultPlan;
 use tpdbt_isa::{asm, binfmt, BuiltProgram};
 use tpdbt_profile::text;
 use tpdbt_suite::{workload, InputKind, Scale};
@@ -42,7 +48,8 @@ fn usage() -> ! {
          \u{20}                [--threshold T]... [--input N,N,...] [--input-file PATH]\n\
          \u{20}                [--dump PATH] [--emit PATH] [--stats] [--list]\n\
          \u{20}                [--trace PATH [--trace-format jsonl|chrome]]\n\
-         \u{20}                [--jobs N] [--cache-dir DIR]   (multi-threshold sweep mode)"
+         \u{20}                [--jobs N] [--cache-dir DIR]   (multi-threshold sweep mode)\n\
+         \u{20}                [--max-retries N] [--fail-fast] [--watchdog-fuel N] [--inject SPEC]"
     );
     std::process::exit(2)
 }
@@ -102,6 +109,18 @@ fn main() -> tpdbt_experiments::Result<()> {
             }
             "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-format" => trace_format = args.next().unwrap_or_else(|| usage()).parse()?,
+            "--max-retries" => {
+                sweep_opts.policy.max_retries = args.next().unwrap_or_else(|| usage()).parse()?;
+            }
+            "--fail-fast" => sweep_opts.policy.fail_fast = true,
+            "--watchdog-fuel" => {
+                sweep_opts.policy.watchdog_fuel =
+                    Some(args.next().unwrap_or_else(|| usage()).parse()?);
+            }
+            "--inject" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                sweep_opts.policy.plan = Some(Arc::new(FaultPlan::parse(&spec)?));
+            }
             "--input" => {
                 let list = args.next().unwrap_or_else(|| usage());
                 for tok in list.split(',').filter(|t| !t.is_empty()) {
@@ -232,7 +251,11 @@ fn main() -> tpdbt_experiments::Result<()> {
                 sweep.elapsed.as_secs_f64()
             );
         }
+        eprint!("{}", sweep.degraded.render());
         write_trace(tracer.as_ref(), trace_path.as_deref(), trace_format)?;
+        if sweep.degraded.has_failures() {
+            std::process::exit(3);
+        }
         return Ok(());
     }
     let threshold = thresholds.first().copied().unwrap_or(2_000);

@@ -5,14 +5,18 @@
 //! threshold ladder and collects `AVEP`, `INIP(train)`, and `INIP(T)`
 //! profiles plus the metric set; [`sweep`] runs the same sweep through
 //! a persistent profile store and a scoped-thread worker pool
-//! (`--jobs`/`--cache-dir`); [`figures`] formats each paper figure from
-//! one shared sweep. The `reproduce` binary drives all three.
+//! (`--jobs`/`--cache-dir`), isolating each cell behind the fault
+//! tolerance in [`resilience`] (retry policy, failure taxonomy,
+//! degraded report — see DESIGN.md §9); [`figures`] formats each paper
+//! figure from one shared sweep. The `reproduce` binary drives all
+//! three.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod extensions;
 pub mod figures;
+pub mod resilience;
 pub mod runner;
 pub mod sweep;
 pub mod table;

@@ -5,7 +5,8 @@
 //! ```text
 //! reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]
 //!           [--cache-dir DIR] [--trace PATH [--trace-format jsonl|chrome]]
-//!           [FIGURE...]
+//!           [--max-retries N] [--fail-fast] [--watchdog-fuel N]
+//!           [--inject SPEC] [FIGURE...]
 //! ```
 //!
 //! `FIGURE` is any of `fig8` … `fig18` or `all` (default). Tables print
@@ -15,6 +16,17 @@
 //! `--trace PATH` attaches a structured-event tracer to the sweep, the
 //! store, and every engine run, writing the collected events to `PATH`
 //! (JSONL by default, or a Chrome `trace_event` timeline).
+//!
+//! The sweep is fault tolerant (DESIGN.md §9): a failed cell is
+//! retried (`--max-retries`, default 2) when the cause is retryable and
+//! otherwise dropped, with the damage reported at the end of the run —
+//! `--fail-fast` aborts on the first failure instead. `--watchdog-fuel`
+//! caps each guest's fuel budget so a runaway cell traps instead of
+//! stalling the pool. `--inject` arms deterministic fault injection
+//! (builds with the `fault-injection` feature only), e.g.
+//! `--inject worker_panic:0,store_corrupt:1` or
+//! `--inject seed=7,rate=5`. Exit status: 0 for a clean (possibly
+//! retried) run, 3 when cells failed and were dropped.
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -24,6 +36,7 @@ use tpdbt_experiments::figures;
 use tpdbt_experiments::runner::BenchResult;
 use tpdbt_experiments::sweep::{run_sweep, SweepOptions};
 use tpdbt_experiments::table::Table;
+use tpdbt_faults::FaultPlan;
 use tpdbt_suite::{all_names, fp_names, int_names, Scale};
 use tpdbt_trace::{TraceFormat, Tracer};
 
@@ -31,7 +44,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]\n\
          \u{20}                [--cache-dir DIR] [--bench NAME]...\n\
-         \u{20}                [--trace PATH [--trace-format jsonl|chrome]] [TARGET...]\n\
+         \u{20}                [--trace PATH [--trace-format jsonl|chrome]]\n\
+         \u{20}                [--max-retries N] [--fail-fast] [--watchdog-fuel N]\n\
+         \u{20}                [--inject SPEC] [TARGET...]\n\
          TARGET: fig8..fig18 | all   — the paper's figures\n\
          \u{20}        ext-train-regions    — Sd.CP(train)/Sd.LP(train) via offline regions (§5.3)\n\
          \u{20}        ext-continuous       — continuous vs two-phase profiling (§5)\n\
@@ -110,6 +125,30 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--max-retries" => {
+                sweep_opts.policy.max_retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--fail-fast" => sweep_opts.policy.fail_fast = true,
+            "--watchdog-fuel" => {
+                sweep_opts.policy.watchdog_fuel = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--inject" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => sweep_opts.policy.plan = Some(Arc::new(plan)),
+                    Err(e) => {
+                        eprintln!("--inject {spec}: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             f if f.starts_with("fig") || f.starts_with("ext-") || f == "all" => {
@@ -200,6 +239,9 @@ fn main() {
             report.elapsed.as_secs_f64(),
             report.guest_runs
         );
+        // render_stats includes this; print it in the terse path too so
+        // degradation is never silent.
+        eprint!("{}", report.degraded.render());
     }
     if let (Some(path), Some(tracer)) = (&trace_path, &sweep_opts.tracer) {
         match tpdbt_trace::export::write_file(tracer, trace_format, path) {
@@ -211,6 +253,7 @@ fn main() {
             Err(e) => eprintln!("warning: could not write trace to {path}: {e}"),
         }
     }
+    let degraded = report.degraded.has_failures();
     let results = report.results;
 
     let selected: Vec<(String, Table)> = figures_wanted
@@ -224,6 +267,10 @@ fn main() {
                 eprintln!("warning: could not write {name}.csv: {e}");
             }
         }
+    }
+    if degraded {
+        // Cells were dropped: the figures above are incomplete.
+        std::process::exit(3);
     }
 }
 

@@ -23,13 +23,27 @@
 //! expensive runs), then every `INIP(T)` ladder cell, each phase fanned
 //! out over the pool. Per-cell hit/miss and timing stats are collected
 //! in [`SweepReport::cells`] for end-of-sweep reporting.
+//!
+//! Every cell is additionally a fault-isolation domain (DESIGN.md §9):
+//! its body runs under `catch_unwind`, failures are classified by
+//! [`crate::resilience::CellFailure`], retryable ones (worker panics)
+//! get up to [`FaultPolicy::max_retries`] exponential-backoff retries,
+//! and fatal ones (deterministic guest traps, harness errors) fail the
+//! cell alone — the sweep keeps going, drops the failed cell from the
+//! results, and reports the damage in [`SweepReport::degraded`]. With
+//! [`FaultPolicy::fail_fast`] the first failed cell aborts the sweep
+//! instead. A [`FaultPolicy::plan`] arms deterministic fault injection
+//! in the workers and the store (a no-op unless the `fault-injection`
+//! feature is compiled in).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use tpdbt_dbt::{Dbt, DbtConfig, ProfilingMode, RunOutcome};
+use tpdbt_dbt::{Dbt, DbtConfig, DbtError, ProfilingMode, RunOutcome};
+use tpdbt_faults::FaultSite;
 use tpdbt_isa::{binfmt, BuiltProgram};
 use tpdbt_profile::report::{analyze, analyze_train, ThresholdMetrics, TrainMetrics};
 use tpdbt_profile::PlainProfile;
@@ -38,9 +52,16 @@ use tpdbt_store::{Artifact, BaseArtifact, CacheKey, CellArtifact, PlainArtifact,
 use tpdbt_suite::{workload, BenchClass, InputKind, Scale, Workload};
 use tpdbt_trace::stats::Histogram;
 use tpdbt_trace::{EventKind, Tracer};
+use tpdbt_vm::VmError;
 
+use crate::resilience::{
+    panic_message, CellFailure, CellIncident, DegradedReport, FaultPolicy, Incidents,
+};
 use crate::runner::{ladder, BenchResult, LadderPoint};
 use crate::Result;
+
+/// Ceiling on the per-retry exponential backoff.
+const MAX_BACKOFF: Duration = Duration::from_millis(500);
 
 /// How a sweep is executed.
 #[derive(Clone, Debug, Default)]
@@ -52,17 +73,23 @@ pub struct SweepOptions {
     /// Structured-event collector shared with the engine and the store;
     /// `None` disables tracing (every emission site is one branch).
     pub tracer: Option<Arc<Tracer>>,
+    /// Per-cell fault tolerance: retry budget, fail-fast, watchdog
+    /// fuel, and the (optional) deterministic fault-injection plan.
+    pub policy: FaultPolicy,
 }
 
 /// Opens the profile store (if configured), attaching the sweep's
 /// tracer so store hits/misses/evictions land in the same event stream
 /// as the per-cell lifecycle events.
 fn open_store(opts: &SweepOptions) -> Option<ProfileStore> {
-    let store = ProfileStore::new(opts.cache_dir.as_ref()?);
-    Some(match &opts.tracer {
-        Some(t) => store.with_tracer(Arc::clone(t)),
-        None => store,
-    })
+    let mut store = ProfileStore::new(opts.cache_dir.as_ref()?);
+    if let Some(t) = &opts.tracer {
+        store = store.with_tracer(Arc::clone(t));
+    }
+    if let Some(plan) = &opts.policy.plan {
+        store = store.with_faults(Arc::clone(plan));
+    }
+    Some(store)
 }
 
 /// One executed (or cache-served) unit of sweep work.
@@ -105,6 +132,12 @@ pub struct SweepReport {
     pub baseline_times: Histogram,
     /// Wall-time distribution of the `INIP(T)` ladder cells (µs).
     pub ladder_times: Histogram,
+    /// What partial failure the sweep absorbed: retried and failed
+    /// cells with causes (empty for a clean sweep). Benchmarks whose
+    /// baselines failed are dropped from [`SweepReport::results`];
+    /// individual failed ladder cells are dropped from their
+    /// benchmark's `per_threshold`.
+    pub degraded: DegradedReport,
 }
 
 /// Splits per-cell wall times into the sweep's two phases: baselines
@@ -161,6 +194,7 @@ impl SweepReport {
                 let _ = writeln!(s, "  {name:<18} {n:>12}");
             }
         }
+        s.push_str(&self.degraded.render());
         s
     }
 }
@@ -170,7 +204,9 @@ impl SweepReport {
 /// single item) this is a plain serial map, bit-identical by
 /// construction; with more, workers claim indices from a shared atomic
 /// counter and commit into per-index slots, so only wall-clock order
-/// varies. A panicking worker propagates when the scope joins.
+/// varies. A panicking worker propagates when the scope joins — the
+/// sweep never lets one get that far: every cell body runs inside the
+/// `catch_unwind` isolation boundary of `Ctx::guarded`.
 pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -231,6 +267,24 @@ struct Ctx<'a> {
     store: Option<&'a ProfileStore>,
     tracer: Option<&'a Arc<Tracer>>,
     guest_runs: AtomicU64,
+    policy: &'a FaultPolicy,
+    incidents: &'a Incidents,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(
+        store: Option<&'a ProfileStore>,
+        opts: &'a SweepOptions,
+        incidents: &'a Incidents,
+    ) -> Self {
+        Ctx {
+            store,
+            tracer: opts.tracer.as_ref(),
+            guest_runs: AtomicU64::new(0),
+            policy: &opts.policy,
+            incidents,
+        }
+    }
 }
 
 impl Ctx<'_> {
@@ -238,6 +292,145 @@ impl Ctx<'_> {
     fn trace_emit(&self, event: impl FnOnce() -> EventKind) {
         if let Some(t) = self.tracer {
             t.emit(event());
+        }
+    }
+
+    /// Applies the fuel watchdog (if any) to a cell's config. Must run
+    /// before the cache key is computed: fuel is part of
+    /// [`DbtConfig::fingerprint`], so watchdogged runs address their
+    /// own cache slots instead of aliasing unwatched ones.
+    fn apply_watchdog(&self, cfg: DbtConfig) -> DbtConfig {
+        match self.policy.watchdog_fuel {
+            Some(fuel) => {
+                let capped = fuel.min(cfg.fuel);
+                cfg.with_fuel(capped)
+            }
+            None => cfg,
+        }
+    }
+
+    /// Consults the injection plan once per cell attempt, in a fixed
+    /// site order. Compiles to nothing without the `fault-injection`
+    /// feature (`fire_indexed` is a constant `None`).
+    fn inject_cell_faults(&self, bench: &str, label: &str) -> Result<()> {
+        let Some(plan) = self.policy.plan.as_deref() else {
+            return Ok(());
+        };
+        if let Some(occurrence) = plan.fire_indexed(FaultSite::WorkerPanic) {
+            self.trace_emit(|| EventKind::FaultInjected {
+                site: FaultSite::WorkerPanic.name(),
+                occurrence,
+            });
+            panic!("injected worker panic at {bench}/{label}");
+        }
+        if let Some(occurrence) = plan.fire_indexed(FaultSite::SlowCell) {
+            self.trace_emit(|| EventKind::FaultInjected {
+                site: FaultSite::SlowCell.name(),
+                occurrence,
+            });
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        if let Some(occurrence) = plan.fire_indexed(FaultSite::GuestTrap) {
+            self.trace_emit(|| EventKind::FaultInjected {
+                site: FaultSite::GuestTrap.name(),
+                occurrence,
+            });
+            return Err(Box::new(DbtError::Guest(VmError::DivideByZero { pc: 0 })));
+        }
+        if let Some(occurrence) = plan.fire_indexed(FaultSite::FuelExhaustion) {
+            self.trace_emit(|| EventKind::FaultInjected {
+                site: FaultSite::FuelExhaustion.name(),
+                occurrence,
+            });
+            return Err(Box::new(DbtError::Guest(VmError::OutOfFuel {
+                pc: 0,
+                fuel: self.policy.watchdog_fuel.unwrap_or(0),
+            })));
+        }
+        Ok(())
+    }
+
+    /// Records one cell's terminal failure: a `CellFailed` trace event,
+    /// a degradation incident, and (under `--fail-fast`) the sweep-wide
+    /// abort flag. Skipped cells are not incidents — they are the
+    /// *consequence* of an abort, not a cause.
+    fn record_failure(&self, bench: &str, label: &str, attempts: u32, failure: &CellFailure) {
+        if matches!(failure, CellFailure::Skipped) {
+            return;
+        }
+        let cause = failure.to_string();
+        self.trace_emit(|| EventKind::CellFailed {
+            bench: bench.to_string(),
+            label: label.to_string(),
+            cause: cause.clone(),
+        });
+        self.incidents.record_failed(CellIncident {
+            bench: bench.to_string(),
+            label: label.to_string(),
+            attempts,
+            cause,
+        });
+        if self.policy.fail_fast {
+            self.incidents.abort();
+        }
+    }
+
+    /// Runs one cell body inside the fault-isolation boundary: panics
+    /// are caught, failures classified, retryable ones retried with
+    /// exponential backoff up to [`FaultPolicy::max_retries`], terminal
+    /// failures recorded. Cells queued after a `--fail-fast` abort
+    /// return [`CellFailure::Skipped`] without running.
+    fn guarded<T>(
+        &self,
+        bench: &str,
+        label: &str,
+        body: impl Fn() -> Result<T>,
+    ) -> std::result::Result<T, CellFailure> {
+        let mut attempt: u32 = 0;
+        let mut last_cause = String::new();
+        loop {
+            if self.incidents.aborted() {
+                return Err(CellFailure::Skipped);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.inject_cell_faults(bench, label)?;
+                body()
+            }));
+            let failure = match outcome {
+                Ok(Ok(v)) => {
+                    if attempt > 0 {
+                        self.incidents.record_retried(CellIncident {
+                            bench: bench.to_string(),
+                            label: label.to_string(),
+                            attempts: attempt + 1,
+                            cause: last_cause,
+                        });
+                    }
+                    return Ok(v);
+                }
+                Ok(Err(e)) => CellFailure::classify(bench, e.as_ref()),
+                Err(payload) => CellFailure::Panic(panic_message(payload.as_ref())),
+            };
+            let cause = failure.to_string();
+            if failure.retryable() && attempt < self.policy.max_retries {
+                attempt += 1;
+                self.trace_emit(|| EventKind::CellRetried {
+                    bench: bench.to_string(),
+                    label: label.to_string(),
+                    attempt,
+                    cause: cause.clone(),
+                });
+                let backoff = self
+                    .policy
+                    .backoff
+                    .saturating_mul(1_u32 << (attempt - 1).min(16))
+                    .min(MAX_BACKOFF);
+                std::thread::sleep(backoff);
+                last_cause = cause;
+                continue;
+            }
+            self.record_failure(bench, label, attempt + 1, &failure);
+            return Err(failure);
         }
     }
 
@@ -322,6 +515,7 @@ impl<'a> GuestId<'a> {
 
 /// Runs (or loads) a plain whole-run profile: `AVEP` or `INIP(train)`.
 fn plain_run(ctx: &Ctx<'_>, guest: &GuestId<'_>, cfg: DbtConfig) -> Result<(PlainArtifact, bool)> {
+    let cfg = ctx.apply_watchdog(cfg);
     let key = guest.key(&cfg);
     if let Some(store) = ctx.store {
         if let Some(p) = store.load_plain(&key) {
@@ -349,7 +543,7 @@ fn base_run(
     guest: &GuestId<'_>,
     expected_output_digest: u64,
 ) -> Result<(BaseArtifact, bool)> {
-    let cfg = DbtConfig::two_phase(1);
+    let cfg = ctx.apply_watchdog(DbtConfig::two_phase(1));
     let key = guest.key(&cfg);
     if let Some(store) = ctx.store {
         if let Some(b) = store.load_base(&key) {
@@ -377,7 +571,7 @@ fn cell_run(
     avep: &PlainProfile,
     avep_output_digest: u64,
 ) -> Result<(ThresholdMetrics, bool)> {
-    let cfg = DbtConfig::two_phase(threshold);
+    let cfg = ctx.apply_watchdog(DbtConfig::two_phase(threshold));
     let key = guest.key(&cfg);
     if let Some(store) = ctx.store {
         if let Some(c) = store.load_cell(&key) {
@@ -431,9 +625,24 @@ struct Baselines {
     stats: Vec<CellStat>,
 }
 
-fn baselines_for(name: &str, scale: Scale, ctx: &Ctx<'_>) -> Result<Baselines> {
-    let reference = workload(name, scale, InputKind::Ref)?;
-    let training = workload(name, scale, InputKind::Train)?;
+/// Stage 1 for one benchmark. Any failed cell (after retries) fails the
+/// whole benchmark — every ladder cell needs the AVEP baseline — and
+/// returns the failure so [`run_sweep`] can drop it and keep going.
+fn baselines_for(
+    name: &str,
+    scale: Scale,
+    ctx: &Ctx<'_>,
+) -> std::result::Result<Baselines, CellFailure> {
+    let built = workload(name, scale, InputKind::Ref)
+        .and_then(|r| workload(name, scale, InputKind::Train).map(|t| (r, t)));
+    let (reference, training) = match built {
+        Ok(v) => v,
+        Err(e) => {
+            let failure = CellFailure::Harness(e.to_string());
+            ctx.record_failure(name, "workload", 1, &failure);
+            return Err(failure);
+        }
+    };
     let sc = scale_code(scale);
     for label in ["avep", "train", "base"] {
         ctx.trace_emit(|| EventKind::CellQueued {
@@ -466,7 +675,9 @@ fn baselines_for(name: &str, scale: Scale, ctx: &Ctx<'_>) -> Result<Baselines> {
         sc,
     );
     started("avep");
-    let ((avep_art, avep_hit), t) = timed(|| plain_run(ctx, &ref_id, DbtConfig::no_opt()))?;
+    let ((avep_art, avep_hit), t) = ctx.guarded(reference.name, "avep", || {
+        timed(|| plain_run(ctx, &ref_id, DbtConfig::no_opt()))
+    })?;
     stat("avep", avep_hit, t);
 
     let train_id = GuestId::new(
@@ -477,13 +688,17 @@ fn baselines_for(name: &str, scale: Scale, ctx: &Ctx<'_>) -> Result<Baselines> {
         sc,
     );
     started("train");
-    let ((train_art, train_hit), t) = timed(|| plain_run(ctx, &train_id, DbtConfig::no_opt()))?;
+    let ((train_art, train_hit), t) = ctx.guarded(training.name, "train", || {
+        timed(|| plain_run(ctx, &train_id, DbtConfig::no_opt()))
+    })?;
     stat("train", train_hit, t);
     let train = analyze_train(&train_art.profile, &avep_art.profile);
 
     let avep_output_digest = fnv64_words(&avep_art.output);
     started("base");
-    let ((base, base_hit), t) = timed(|| base_run(ctx, &ref_id, avep_output_digest))?;
+    let ((base, base_hit), t) = ctx.guarded(reference.name, "base", || {
+        timed(|| base_run(ctx, &ref_id, avep_output_digest))
+    })?;
     stat("base", base_hit, t);
 
     let avep_ops = avep_art.profile.profiling_ops;
@@ -509,8 +724,10 @@ fn baselines_for(name: &str, scale: Scale, ctx: &Ctx<'_>) -> Result<Baselines> {
 ///
 /// # Errors
 ///
-/// Propagates workload construction failures, guest traps, and analyzer
-/// errors (the first, in deterministic cell order).
+/// By default the sweep keeps going past per-cell failures (they are
+/// dropped from the results and reported in [`SweepReport::degraded`]);
+/// an error is returned only under [`FaultPolicy::fail_fast`], naming
+/// the first failed cell.
 pub fn run_sweep(
     names: &[&str],
     scale: Scale,
@@ -519,23 +736,41 @@ pub fn run_sweep(
 ) -> Result<SweepReport> {
     let t0 = Instant::now();
     let store = open_store(opts);
-    let ctx = Ctx {
-        store: store.as_ref(),
-        tracer: opts.tracer.as_ref(),
-        guest_runs: AtomicU64::new(0),
-    };
+    let incidents = Incidents::default();
+    let ctx = Ctx::new(store.as_ref(), opts, &incidents);
     let jobs = opts.jobs.max(1);
 
     // Stage 1: baselines, fanned out per benchmark. The barrier before
     // stage 2 is real: every ladder cell needs its benchmark's AVEP.
-    let baselines = parallel_map(jobs, names, |_, name| {
+    let baseline_results = parallel_map(jobs, names, |_, name| {
         progress(name);
         baselines_for(name, scale, &ctx)
     });
-    let mut baselines = baselines.into_iter().collect::<Result<Vec<_>>>()?;
 
-    // Stage 2: every (benchmark, ladder point) cell over one pool.
     let points = ladder(scale);
+    // Keep-going: a benchmark whose baselines failed is dropped, and
+    // its never-attempted ladder cells are recorded as failed so the
+    // degradation report accounts for every planned cell.
+    let mut baselines: Vec<Baselines> = Vec::with_capacity(names.len());
+    for (name, res) in names.iter().zip(baseline_results) {
+        match res {
+            Ok(b) => baselines.push(b),
+            Err(CellFailure::Skipped) => {}
+            Err(failure) => {
+                for point in &points {
+                    incidents.record_failed(CellIncident {
+                        bench: (*name).to_string(),
+                        label: point.label.to_string(),
+                        attempts: 0,
+                        cause: format!("skipped: baselines failed ({failure})"),
+                    });
+                }
+            }
+        }
+    }
+
+    // Stage 2: every surviving (benchmark, ladder point) cell over one
+    // pool.
     let cell_items: Vec<(usize, LadderPoint)> = (0..baselines.len())
         .flat_map(|b| points.iter().map(move |&p| (b, p)))
         .collect();
@@ -558,7 +793,9 @@ pub fn run_sweep(
             input_code(InputKind::Ref),
             scale_code(scale),
         );
-        let res = timed(|| cell_run(&ctx, &guest, point.actual, &bl.avep, bl.avep_output_digest));
+        let res = ctx.guarded(bl.name, point.label, || {
+            timed(|| cell_run(&ctx, &guest, point.actual, &bl.avep, bl.avep_output_digest))
+        });
         if let Ok(((_, hit), micros)) = &res {
             ctx.trace_cell_done(bl.name, point.label, *hit, *micros);
         }
@@ -574,7 +811,11 @@ pub fn run_sweep(
     let mut per_bench: Vec<Vec<(LadderPoint, ThresholdMetrics)>> =
         baselines.iter().map(|_| Vec::new()).collect();
     for (&(b, point), res) in cell_items.iter().zip(cell_results) {
-        let ((metrics, hit), micros) = res?;
+        // A failed cell was already recorded by `guarded`; it is simply
+        // absent from its benchmark's per_threshold ladder.
+        let Ok(((metrics, hit), micros)) = res else {
+            continue;
+        };
         cells.push(CellStat {
             bench: baselines[b].name.to_string(),
             label: point.label.to_string(),
@@ -602,10 +843,15 @@ pub fn run_sweep(
         .as_ref()
         .map_or((0, 0, 0), |s| (s.hits(), s.misses(), s.evictions()));
     let (baseline_times, ladder_times) = phase_histograms(&cells);
+    let guest_runs = ctx.guest_runs.load(Ordering::Relaxed);
+    if incidents.aborted() {
+        return Err(fail_fast_error(&incidents));
+    }
+    let completed = cells.len();
     Ok(SweepReport {
         results,
         cells,
-        guest_runs: ctx.guest_runs.load(Ordering::Relaxed),
+        guest_runs,
         cache_hits: hits,
         cache_misses: misses,
         cache_evictions: evictions,
@@ -613,7 +859,22 @@ pub fn run_sweep(
         event_counts: opts.tracer.as_ref().map_or_else(Vec::new, |t| t.counts()),
         baseline_times,
         ladder_times,
+        degraded: incidents.into_report(completed),
     })
+}
+
+/// The `--fail-fast` abort error, naming the first failed cell.
+fn fail_fast_error(incidents: &Incidents) -> Box<dyn std::error::Error + Send + Sync> {
+    incidents.first_failure().map_or_else(
+        || "sweep aborted (--fail-fast)".into(),
+        |i| {
+            format!(
+                "sweep aborted (--fail-fast): {}/{}: {}",
+                i.bench, i.label, i.cause
+            )
+            .into()
+        },
+    )
 }
 
 /// Runs — or serves from `opts.cache_dir` — a plain no-opt profile of
@@ -622,7 +883,8 @@ pub fn run_sweep(
 ///
 /// # Errors
 ///
-/// Propagates guest traps.
+/// Propagates guest traps (classified as a [`CellFailure`], after the
+/// policy's retries for retryable causes).
 pub fn plain_profile_run(
     name: &str,
     binary: &BuiltProgram,
@@ -632,20 +894,22 @@ pub fn plain_profile_run(
     opts: &SweepOptions,
 ) -> Result<(PlainArtifact, bool)> {
     let store = open_store(opts);
-    let ctx = Ctx {
-        store: store.as_ref(),
-        tracer: opts.tracer.as_ref(),
-        guest_runs: AtomicU64::new(0),
-    };
+    let incidents = Incidents::default();
+    let ctx = Ctx::new(store.as_ref(), opts, &incidents);
     let guest = GuestId::new(name, binary, input, input_key, scale_key);
-    plain_run(&ctx, &guest, DbtConfig::no_opt())
+    Ok(ctx.guarded(name, "avep", || {
+        plain_run(&ctx, &guest, DbtConfig::no_opt())
+    })?)
 }
 
 /// A multi-threshold sweep of one guest (the `tpdbt-run` path): metrics
 /// per requested threshold, in request order.
 #[derive(Debug)]
 pub struct ThresholdSweep {
-    /// One metric set per requested threshold, in request order.
+    /// One metric set per *completed* threshold, in request order
+    /// (failed cells are dropped and reported in
+    /// [`ThresholdSweep::degraded`]; each metric set carries its
+    /// threshold).
     pub per_threshold: Vec<ThresholdMetrics>,
     /// Per-cell stats (the `avep` baseline first).
     pub cells: Vec<CellStat>,
@@ -657,6 +921,8 @@ pub struct ThresholdSweep {
     pub cache_misses: u64,
     /// Total wall-clock time.
     pub elapsed: Duration,
+    /// Retried and failed cells with causes (empty for a clean sweep).
+    pub degraded: DegradedReport,
 }
 
 /// Sweeps one guest program over `thresholds` with caching and a worker
@@ -667,7 +933,9 @@ pub struct ThresholdSweep {
 ///
 /// # Errors
 ///
-/// Propagates guest traps and analyzer errors.
+/// A failed `avep` baseline (every cell needs it) and `--fail-fast`
+/// aborts return errors; individually failed threshold cells are
+/// dropped and reported in [`ThresholdSweep::degraded`].
 pub fn threshold_sweep(
     name: &str,
     binary: &BuiltProgram,
@@ -678,11 +946,8 @@ pub fn threshold_sweep(
 ) -> Result<ThresholdSweep> {
     let t0 = Instant::now();
     let store = open_store(opts);
-    let ctx = Ctx {
-        store: store.as_ref(),
-        tracer: opts.tracer.as_ref(),
-        guest_runs: AtomicU64::new(0),
-    };
+    let incidents = Incidents::default();
+    let ctx = Ctx::new(store.as_ref(), opts, &incidents);
     let guest = GuestId::new(name, binary, input, 0, scale_key);
     ctx.trace_emit(|| EventKind::CellQueued {
         bench: name.to_string(),
@@ -700,7 +965,9 @@ pub fn threshold_sweep(
         bench: name.to_string(),
         label: "avep".to_string(),
     });
-    let ((avep_art, avep_hit), t) = timed(|| plain_run(&ctx, &guest, DbtConfig::no_opt()))?;
+    let ((avep_art, avep_hit), t) = ctx.guarded(name, "avep", || {
+        timed(|| plain_run(&ctx, &guest, DbtConfig::no_opt()))
+    })?;
     ctx.trace_cell_done(name, "avep", avep_hit, t);
     cells.push(CellStat {
         bench: name.to_string(),
@@ -716,14 +983,16 @@ pub fn threshold_sweep(
             bench: name.to_string(),
             label: label.clone(),
         });
-        let res = timed(|| {
-            cell_run(
-                &ctx,
-                &guest,
-                threshold,
-                &avep_art.profile,
-                avep_output_digest,
-            )
+        let res = ctx.guarded(name, &label, || {
+            timed(|| {
+                cell_run(
+                    &ctx,
+                    &guest,
+                    threshold,
+                    &avep_art.profile,
+                    avep_output_digest,
+                )
+            })
         });
         if let Ok(((_, hit), micros)) = &res {
             ctx.trace_cell_done(name, &label, *hit, *micros);
@@ -732,7 +1001,9 @@ pub fn threshold_sweep(
     });
     let mut per_threshold = Vec::with_capacity(thresholds.len());
     for (&threshold, res) in thresholds.iter().zip(cell_results) {
-        let ((metrics, hit), micros) = res?;
+        let Ok(((metrics, hit), micros)) = res else {
+            continue;
+        };
         cells.push(CellStat {
             bench: name.to_string(),
             label: format!("T={threshold}"),
@@ -743,13 +1014,19 @@ pub fn threshold_sweep(
     }
 
     let (hits, misses) = store.as_ref().map_or((0, 0), |s| (s.hits(), s.misses()));
+    let guest_runs = ctx.guest_runs.load(Ordering::Relaxed);
+    if incidents.aborted() {
+        return Err(fail_fast_error(&incidents));
+    }
+    let completed = cells.len();
     Ok(ThresholdSweep {
         per_threshold,
         cells,
-        guest_runs: ctx.guest_runs.load(Ordering::Relaxed),
+        guest_runs,
         cache_hits: hits,
         cache_misses: misses,
         elapsed: t0.elapsed(),
+        degraded: incidents.into_report(completed),
     })
 }
 

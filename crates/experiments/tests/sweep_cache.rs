@@ -67,6 +67,7 @@ fn warm_cache_serves_second_sweep_without_guest_runs() {
         jobs: 2,
         cache_dir: Some(dir.clone()),
         tracer: None,
+        ..Default::default()
     };
     // One AVEP + one train + one base, then one cell per ladder point.
     let cell_count = 3 + ladder(Scale::Tiny).len() as u64;
@@ -113,6 +114,7 @@ fn cache_accounting_sums_to_deduped_cell_count_with_trace_agreeing() {
             jobs: 2,
             cache_dir: Some(dir.clone()),
             tracer: Some(Arc::clone(&cold_tracer)),
+            ..Default::default()
         },
         |_| {},
     )
@@ -139,6 +141,7 @@ fn cache_accounting_sums_to_deduped_cell_count_with_trace_agreeing() {
             jobs: 2,
             cache_dir: Some(dir.clone()),
             tracer: Some(Arc::clone(&warm_tracer)),
+            ..Default::default()
         },
         |_| {},
     )
@@ -185,6 +188,7 @@ fn parallel_jobs_match_serial_ordering_and_values() {
             jobs: 4,
             cache_dir: None,
             tracer: None,
+            ..Default::default()
         },
         |_| {},
     )

@@ -1,0 +1,366 @@
+//! The fault plan: which occurrence of which site fails.
+
+use std::fmt;
+
+use crate::site::FaultSite;
+
+/// A malformed or unsupported `--inject` specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A spec token did not parse.
+    BadToken {
+        /// The offending token.
+        token: String,
+        /// What was wrong with it.
+        why: String,
+    },
+    /// The binary was built without the `fault-injection` feature, so
+    /// a non-empty plan can never fire.
+    Unsupported,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::BadToken { token, why } => {
+                write!(f, "bad fault spec token `{token}`: {why}")
+            }
+            PlanError::Unsupported => write!(
+                f,
+                "fault injection was compiled out (rebuild with the \
+                 `fault-injection` feature to use --inject)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// SplitMix64: the seeded plan's per-occurrence decision function.
+#[cfg(feature = "fault-injection")]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::splitmix64;
+    use crate::site::FaultSite;
+
+    /// Enabled implementation: per-site occurrence counters plus the
+    /// planned (site, occurrence) set and an optional seeded rate.
+    #[derive(Debug, Default)]
+    pub(super) struct Imp {
+        counters: [AtomicU64; FaultSite::ALL.len()],
+        points: BTreeSet<(usize, u64)>,
+        /// `(seed, per-mille rate)`: each occurrence additionally fires
+        /// with probability `rate / 1000`, decided by hashing
+        /// `(seed, site, occurrence)`.
+        seeded: Option<(u64, u32)>,
+        fired: AtomicU64,
+    }
+
+    impl Imp {
+        pub(super) fn add_point(&mut self, site: FaultSite, occurrence: u64) {
+            self.points.insert((site.index(), occurrence));
+        }
+
+        pub(super) fn set_seeded(&mut self, seed: u64, per_mille: u32) {
+            self.seeded = Some((seed, per_mille.min(1000)));
+        }
+
+        pub(super) fn fire(&self, site: FaultSite) -> Option<u64> {
+            let occ = self.counters[site.index()].fetch_add(1, Ordering::Relaxed);
+            let planned = self.points.contains(&(site.index(), occ))
+                || self.seeded.is_some_and(|(seed, rate)| {
+                    let h = splitmix64(seed ^ ((site.index() as u64) << 32) ^ occ);
+                    h % 1000 < u64::from(rate)
+                });
+            if planned {
+                self.fired.fetch_add(1, Ordering::Relaxed);
+                Some(occ)
+            } else {
+                None
+            }
+        }
+
+        pub(super) fn occurrences(&self, site: FaultSite) -> u64 {
+            self.counters[site.index()].load(Ordering::Relaxed)
+        }
+
+        pub(super) fn fired(&self) -> u64 {
+            self.fired.load(Ordering::Relaxed)
+        }
+
+        pub(super) fn armed(&self) -> bool {
+            !self.points.is_empty() || self.seeded.is_some()
+        }
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+mod imp {
+    use crate::site::FaultSite;
+
+    /// Disabled implementation: a zero-sized inert plan. Every method
+    /// is a constant the optimizer folds away, so injection sites
+    /// downstream compile out entirely.
+    #[derive(Debug, Default)]
+    pub(super) struct Imp;
+
+    impl Imp {
+        pub(super) fn add_point(&mut self, _site: FaultSite, _occurrence: u64) {}
+
+        pub(super) fn set_seeded(&mut self, _seed: u64, _per_mille: u32) {}
+
+        #[inline(always)]
+        pub(super) fn fire(&self, _site: FaultSite) -> Option<u64> {
+            None
+        }
+
+        pub(super) fn occurrences(&self, _site: FaultSite) -> u64 {
+            0
+        }
+
+        pub(super) fn fired(&self) -> u64 {
+            0
+        }
+
+        pub(super) fn armed(&self) -> bool {
+            false
+        }
+    }
+}
+
+/// A deterministic injection plan shared (behind an `Arc`) by the
+/// store, the sweep workers, and the guest runner.
+///
+/// Every consult ([`FaultPlan::fire`]) increments the site's occurrence
+/// counter; the plan fires when that occurrence was explicitly planned
+/// ([`FaultPlan::inject`]) or the seeded rate selects it
+/// ([`FaultPlan::seeded`]). All methods take `&self` and are
+/// thread-safe.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    imp: imp::Imp,
+}
+
+impl FaultPlan {
+    /// Whether this build compiled the injection machinery in. Without
+    /// it every plan is inert: [`FaultPlan::fire`] is constant `false`.
+    pub const ENABLED: bool = cfg!(feature = "fault-injection");
+
+    /// An empty plan: counts occurrences, never fires.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plans the `occurrence`-th consult (0-based) of `site` to fail.
+    /// No-op when injection is compiled out.
+    #[must_use]
+    pub fn inject(mut self, site: FaultSite, occurrence: u64) -> Self {
+        self.imp.add_point(site, occurrence);
+        self
+    }
+
+    /// Additionally fires *every* site occurrence with probability
+    /// `per_mille / 1000`, decided deterministically from `seed` and
+    /// the (site, occurrence) pair — the same seed replays the same
+    /// faults. No-op when injection is compiled out.
+    #[must_use]
+    pub fn seeded(mut self, seed: u64, per_mille: u32) -> Self {
+        self.imp.set_seeded(seed, per_mille);
+        self
+    }
+
+    /// Parses an `--inject` spec: comma-separated `site:occurrence`
+    /// tokens (e.g. `worker_panic:0,store_corrupt:2`) plus optional
+    /// `seed=N` / `rate=N` (per-mille) for a seeded plan.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::BadToken`] on a malformed token, and
+    /// [`PlanError::Unsupported`] when the `fault-injection` feature is
+    /// compiled out (a plan that can never fire is a silent lie).
+    pub fn parse(spec: &str) -> Result<Self, PlanError> {
+        if !Self::ENABLED {
+            return Err(PlanError::Unsupported);
+        }
+        let mut plan = FaultPlan::new();
+        let mut seed: Option<u64> = None;
+        let mut rate: Option<u32> = None;
+        for token in spec.split(',').filter(|t| !t.trim().is_empty()) {
+            let token = token.trim();
+            let bad = |why: String| PlanError::BadToken {
+                token: token.to_string(),
+                why,
+            };
+            if let Some(v) = token.strip_prefix("seed=") {
+                seed = Some(v.parse().map_err(|e| bad(format!("bad seed: {e}")))?);
+            } else if let Some(v) = token.strip_prefix("rate=") {
+                rate = Some(v.parse().map_err(|e| bad(format!("bad rate: {e}")))?);
+            } else if let Some((site, occ)) = token.split_once(':') {
+                let site: FaultSite = site.parse().map_err(bad)?;
+                let occ: u64 = occ
+                    .parse()
+                    .map_err(|e| bad(format!("bad occurrence index: {e}")))?;
+                plan = plan.inject(site, occ);
+            } else {
+                return Err(bad("expected site:occurrence, seed=N, or rate=N".into()));
+            }
+        }
+        match (seed, rate) {
+            (None, None) => {}
+            (s, r) => plan = plan.seeded(s.unwrap_or(0), r.unwrap_or(1)),
+        }
+        Ok(plan)
+    }
+
+    /// Consults the plan at `site`: bumps the site's occurrence counter
+    /// and reports whether this occurrence should fail.
+    #[inline]
+    #[must_use]
+    pub fn fire(&self, site: FaultSite) -> bool {
+        self.imp.fire(site).is_some()
+    }
+
+    /// Like [`FaultPlan::fire`], but also reports which occurrence
+    /// index fired (for trace events).
+    #[inline]
+    #[must_use]
+    pub fn fire_indexed(&self, site: FaultSite) -> Option<u64> {
+        self.imp.fire(site)
+    }
+
+    /// How many times `site` has been consulted so far.
+    #[must_use]
+    pub fn occurrences(&self, site: FaultSite) -> u64 {
+        self.imp.occurrences(site)
+    }
+
+    /// Total faults fired so far, across all sites.
+    #[must_use]
+    pub fn fired(&self) -> u64 {
+        self.imp.fired()
+    }
+
+    /// Whether any injection is configured (an inert or empty plan
+    /// reports `false`).
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.imp.armed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires_but_counts() {
+        let plan = FaultPlan::new();
+        assert!(!plan.armed());
+        for _ in 0..5 {
+            assert!(!plan.fire(FaultSite::StoreRead));
+        }
+        assert_eq!(plan.fired(), 0);
+        if FaultPlan::ENABLED {
+            assert_eq!(plan.occurrences(FaultSite::StoreRead), 5);
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod enabled {
+        use super::*;
+
+        #[test]
+        fn fires_exactly_the_planned_occurrence() {
+            let plan = FaultPlan::new()
+                .inject(FaultSite::WorkerPanic, 2)
+                .inject(FaultSite::StoreRead, 0);
+            assert!(plan.armed());
+            assert!(plan.fire(FaultSite::StoreRead), "store_read:0");
+            assert!(!plan.fire(FaultSite::StoreRead));
+            assert!(!plan.fire(FaultSite::WorkerPanic));
+            assert!(!plan.fire(FaultSite::WorkerPanic));
+            assert_eq!(plan.fire_indexed(FaultSite::WorkerPanic), Some(2));
+            assert!(!plan.fire(FaultSite::WorkerPanic));
+            assert_eq!(plan.fired(), 2);
+        }
+
+        #[test]
+        fn sites_have_independent_counters() {
+            let plan = FaultPlan::new().inject(FaultSite::GuestTrap, 0);
+            assert!(!plan.fire(FaultSite::SlowCell));
+            assert!(plan.fire(FaultSite::GuestTrap));
+        }
+
+        #[test]
+        fn seeded_plans_replay_identically() {
+            let observe = || {
+                let plan = FaultPlan::new().seeded(42, 250);
+                (0..64)
+                    .map(|_| plan.fire(FaultSite::StoreRead))
+                    .collect::<Vec<bool>>()
+            };
+            let a = observe();
+            assert_eq!(a, observe(), "same seed, same faults");
+            let fired = a.iter().filter(|&&f| f).count();
+            assert!(fired > 0, "a 25% rate over 64 draws should fire");
+            assert!(fired < 64, "and should not fire every time");
+        }
+
+        #[test]
+        fn parse_builds_the_same_plan() {
+            let plan = FaultPlan::parse("worker_panic:0, store_corrupt:1").unwrap();
+            assert!(plan.fire(FaultSite::WorkerPanic));
+            assert!(!plan.fire(FaultSite::StoreCorrupt));
+            assert!(plan.fire(FaultSite::StoreCorrupt));
+
+            let seeded = FaultPlan::parse("seed=7,rate=1000").unwrap();
+            assert!(seeded.fire(FaultSite::SlowCell), "rate=1000 always fires");
+
+            assert!(matches!(
+                FaultPlan::parse("bogus:1"),
+                Err(PlanError::BadToken { .. })
+            ));
+            assert!(matches!(
+                FaultPlan::parse("worker_panic"),
+                Err(PlanError::BadToken { .. })
+            ));
+            assert!(matches!(
+                FaultPlan::parse("worker_panic:x"),
+                Err(PlanError::BadToken { .. })
+            ));
+        }
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    mod disabled {
+        use super::*;
+
+        #[test]
+        fn parse_refuses_inert_plans() {
+            assert!(matches!(
+                FaultPlan::parse("worker_panic:0"),
+                Err(PlanError::Unsupported)
+            ));
+        }
+
+        #[test]
+        fn builders_are_inert() {
+            let plan = FaultPlan::new()
+                .inject(FaultSite::WorkerPanic, 0)
+                .seeded(1, 1000);
+            assert!(!plan.armed());
+            assert!(!plan.fire(FaultSite::WorkerPanic));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The injection-site taxonomy: every place the pipeline consults the
+//! plan before doing real work.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A named injection point in the experiment pipeline.
+///
+/// Each site has its own occurrence counter inside a
+/// [`FaultPlan`](crate::FaultPlan), so `store_read:2` and
+/// `worker_panic:2` are independent events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// A store artifact read fails with a transient I/O error.
+    StoreRead,
+    /// A store artifact write fails with a transient I/O error.
+    StoreWrite,
+    /// The bytes returned by a store read are corrupted (simulates a
+    /// bad disk sector: the on-disk file may be fine, the read is not).
+    StoreCorrupt,
+    /// A sweep worker panics at the start of a cell.
+    WorkerPanic,
+    /// The guest traps (a synthetic `VmError`) instead of running.
+    GuestTrap,
+    /// The guest exhausts its fuel budget instead of running.
+    FuelExhaustion,
+    /// The cell stalls (a bounded sleep) before running, simulating a
+    /// slow or contended worker.
+    SlowCell,
+}
+
+impl FaultSite {
+    /// Every site, in stable declaration order (the occurrence-counter
+    /// index is this position).
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::StoreRead,
+        FaultSite::StoreWrite,
+        FaultSite::StoreCorrupt,
+        FaultSite::WorkerPanic,
+        FaultSite::GuestTrap,
+        FaultSite::FuelExhaustion,
+        FaultSite::SlowCell,
+    ];
+
+    /// Stable lowercase name, used by `--inject` specs and trace
+    /// events.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::StoreRead => "store_read",
+            FaultSite::StoreWrite => "store_write",
+            FaultSite::StoreCorrupt => "store_corrupt",
+            FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::GuestTrap => "guest_trap",
+            FaultSite::FuelExhaustion => "fuel_exhaustion",
+            FaultSite::SlowCell => "slow_cell",
+        }
+    }
+
+    /// The site's dense index into per-site counter arrays (only the
+    /// enabled plan implementation allocates those).
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    #[must_use]
+    pub(crate) fn index(self) -> usize {
+        Self::ALL.iter().position(|&s| s == self).expect("in ALL")
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultSite {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultSite::ALL
+            .into_iter()
+            .find(|site| site.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+                format!("unknown fault site `{s}` (one of: {})", names.join(", "))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for site in FaultSite::ALL {
+            assert!(seen.insert(site.name()), "duplicate name {site}");
+            assert_eq!(site.name().parse::<FaultSite>().unwrap(), site);
+        }
+        assert!("bogus".parse::<FaultSite>().is_err());
+    }
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, site) in FaultSite::ALL.into_iter().enumerate() {
+            assert_eq!(site.index(), i);
+        }
+    }
+}

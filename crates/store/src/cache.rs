@@ -9,21 +9,51 @@
 //! entries (checksum, version, or embedded-key mismatches) are deleted
 //! and recomputed.
 //!
-//! Writes go through a temp file plus atomic rename, so a crashed or
-//! concurrent sweep can never leave a half-written artifact behind that
-//! later decodes successfully. All methods take `&self`; the store is
-//! safe to share across the sweep worker pool.
+//! Writes go through a temp file that is fsynced before an atomic
+//! rename (with a best-effort directory sync after), so neither a
+//! crashed nor a concurrent sweep can publish a torn artifact. All
+//! methods take `&self`; the store is safe to share across the sweep
+//! worker pool.
+//!
+//! Fault tolerance (see DESIGN.md §9):
+//!
+//! * transient I/O errors (interrupted/timed-out/would-block reads and
+//!   writes) are retried up to [`IO_ATTEMPTS`] times with a short
+//!   linear backoff before the lookup degrades to a miss;
+//! * an entry that decodes corrupt **twice in a row** is moved to a
+//!   `quarantine/` subdirectory instead of deleted, and its key is
+//!   blocked from being cached again this run — a bad disk sector
+//!   therefore costs one recompute per sweep, not a
+//!   recompute-corrupt-recompute loop;
+//! * with the `fault-injection` feature, an attached
+//!   [`FaultPlan`](tpdbt_faults::FaultPlan) can deterministically
+//!   inject read/write errors and read corruption to prove all of the
+//!   above (without the feature the sites compile out).
 
+use std::collections::HashMap;
 use std::fs;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
+use tpdbt_faults::{FaultPlan, FaultSite};
 use tpdbt_trace::{EventKind, Tracer};
 
 use crate::digest::Fnv64;
-use crate::error::StoreError;
+use crate::error::{io_error_is_transient, StoreError};
 use crate::profilefmt::{self, Artifact, BaseArtifact, CellArtifact, PlainArtifact};
+
+/// Maximum tries for one filesystem operation (1 initial + 2 retries).
+pub const IO_ATTEMPTS: u32 = 3;
+
+/// Consecutive corrupt decodes of one key before the entry is
+/// quarantined instead of evicted.
+pub const QUARANTINE_AFTER: u32 = 2;
+
+/// Linear backoff unit between I/O retries.
+const RETRY_BACKOFF: Duration = Duration::from_millis(1);
 
 /// Identity of one cached run.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -78,6 +108,8 @@ struct Stats {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    io_retries: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 /// The on-disk artifact store rooted at one cache directory.
@@ -86,6 +118,10 @@ pub struct ProfileStore {
     dir: PathBuf,
     stats: Stats,
     tracer: Option<Arc<Tracer>>,
+    faults: Option<Arc<FaultPlan>>,
+    /// Consecutive corrupt decodes per key digest; reaching
+    /// [`QUARANTINE_AFTER`] blocks the key from the cache this run.
+    corruption: Mutex<HashMap<u64, u32>>,
 }
 
 impl ProfileStore {
@@ -97,7 +133,19 @@ impl ProfileStore {
             dir: dir.into(),
             stats: Stats::default(),
             tracer: None,
+            faults: None,
+            corruption: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attaches a deterministic fault-injection plan: reads, writes,
+    /// and decoded bytes consult it (`store_read` / `store_write` /
+    /// `store_corrupt` sites). A no-op without the `fault-injection`
+    /// feature.
+    #[must_use]
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Attaches a structured-event tracer: every lookup reports
@@ -139,28 +187,118 @@ impl ProfileStore {
         self.stats.evictions.load(Ordering::Relaxed)
     }
 
+    /// Transient I/O failures that were retried (reads and writes).
+    #[must_use]
+    pub fn io_retries(&self) -> u64 {
+        self.stats.io_retries.load(Ordering::Relaxed)
+    }
+
+    /// Entries moved to the quarantine directory after decoding corrupt
+    /// [`QUARANTINE_AFTER`] times in a row.
+    #[must_use]
+    pub fn quarantined(&self) -> u64 {
+        self.stats.quarantined.load(Ordering::Relaxed)
+    }
+
     fn path_of(&self, key: &CacheKey) -> PathBuf {
         self.dir.join(key.file_name())
     }
 
-    /// Looks up `key`. Returns `None` on a miss; a corrupt, truncated,
-    /// foreign, or stale entry is deleted (best-effort) and reported as
-    /// a miss.
+    /// Where corrupt-twice entries are parked for post-mortem.
+    #[must_use]
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Consults the injection plan at `site`; reports (and traces) a
+    /// fired fault as a synthetic transient I/O error.
+    fn injected_io_error(&self, site: FaultSite) -> Option<io::Error> {
+        let occurrence = self.faults.as_ref()?.fire_indexed(site)?;
+        self.trace_emit(|| EventKind::FaultInjected {
+            site: site.name(),
+            occurrence,
+        });
+        Some(io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("injected {site} fault (occurrence {occurrence})"),
+        ))
+    }
+
+    /// Runs `op` with bounded retry on transient I/O errors; `file`
+    /// names the artifact in retry trace events.
+    fn with_io_retry<T>(
+        &self,
+        file: &str,
+        site: FaultSite,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            let result = match self.injected_io_error(site) {
+                Some(e) => Err(e),
+                None => op(),
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if io_error_is_transient(&e) && attempt + 1 < IO_ATTEMPTS => {
+                    attempt += 1;
+                    self.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+                    self.trace_emit(|| EventKind::StoreIoRetry {
+                        file: file.to_string(),
+                        attempt,
+                    });
+                    std::thread::sleep(RETRY_BACKOFF * attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether `key` has been blocked from the cache this run (its
+    /// entry decoded corrupt [`QUARANTINE_AFTER`] times in a row).
+    fn is_quarantined(&self, digest: u64) -> bool {
+        self.corruption
+            .lock()
+            .map(|m| m.get(&digest).is_some_and(|&n| n >= QUARANTINE_AFTER))
+            .unwrap_or(false)
+    }
+
+    fn record_miss(&self, key: &CacheKey) {
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.trace_emit(|| EventKind::StoreMiss {
+            file: key.file_name(),
+        });
+    }
+
+    /// Looks up `key`. Returns `None` on a miss; transient read errors
+    /// are retried ([`IO_ATTEMPTS`]); a corrupt, truncated, foreign, or
+    /// stale entry is deleted (best-effort) and reported as a miss; an
+    /// entry corrupt twice in a row is quarantined and its key blocked
+    /// from the cache for the rest of the run.
     #[must_use]
     pub fn load(&self, key: &CacheKey) -> Option<Artifact> {
+        let digest = key.digest();
+        if self.is_quarantined(digest) {
+            self.record_miss(key);
+            return None;
+        }
         let path = self.path_of(key);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(_) => {
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                self.trace_emit(|| EventKind::StoreMiss {
-                    file: key.file_name(),
-                });
-                return None;
-            }
-        };
+        let bytes =
+            match self.with_io_retry(&key.file_name(), FaultSite::StoreRead, || fs::read(&path)) {
+                Ok(b) => b,
+                Err(_) => {
+                    // Not found, or a persistent I/O failure: degrade to a
+                    // miss and recompute rather than abort the sweep.
+                    self.record_miss(key);
+                    return None;
+                }
+            };
+        let bytes = self.maybe_corrupt(bytes);
         match profilefmt::decode(&bytes) {
-            Ok((digest, artifact)) if digest == key.digest() => {
+            Ok((found, artifact)) if found == digest => {
+                if let Ok(mut m) = self.corruption.lock() {
+                    m.remove(&digest); // a clean decode resets the strike count
+                }
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 self.trace_emit(|| EventKind::StoreHit {
                     file: key.file_name(),
@@ -168,28 +306,77 @@ impl ProfileStore {
                 Some(artifact)
             }
             _ => {
-                // Corrupt or written under another key (hash-collision
-                // filename or tampering): evict so the slot heals.
-                let _ = fs::remove_file(&path);
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                self.trace_emit(|| EventKind::StoreEvicted {
-                    file: key.file_name(),
-                });
-                self.trace_emit(|| EventKind::StoreMiss {
-                    file: key.file_name(),
-                });
+                self.handle_corrupt(key, digest, &path);
+                self.record_miss(key);
                 None
             }
         }
     }
 
-    /// Persists `artifact` under `key` (atomic temp-file + rename).
+    /// Injection site `store_corrupt`: flips a byte of the freshly read
+    /// artifact, simulating a bad sector under a healthy-looking read.
+    fn maybe_corrupt(&self, mut bytes: Vec<u8>) -> Vec<u8> {
+        if let Some(plan) = &self.faults {
+            if let Some(occurrence) = plan.fire_indexed(FaultSite::StoreCorrupt) {
+                self.trace_emit(|| EventKind::FaultInjected {
+                    site: FaultSite::StoreCorrupt.name(),
+                    occurrence,
+                });
+                let mid = bytes.len() / 2;
+                if let Some(b) = bytes.get_mut(mid) {
+                    *b ^= 0xFF;
+                }
+            }
+        }
+        bytes
+    }
+
+    /// One corrupt decode of `key`: evict the entry, or — on the
+    /// [`QUARANTINE_AFTER`]th consecutive strike — move it to the
+    /// quarantine directory and block the key from being re-cached, so
+    /// a bad sector cannot trap the cache in a recompute-corrupt loop.
+    fn handle_corrupt(&self, key: &CacheKey, digest: u64, path: &Path) {
+        let strikes = {
+            let mut m = self.corruption.lock().unwrap_or_else(|e| e.into_inner());
+            let n = m.entry(digest).or_insert(0);
+            *n += 1;
+            *n
+        };
+        if strikes >= QUARANTINE_AFTER {
+            let qdir = self.quarantine_dir();
+            let quarantined = fs::create_dir_all(&qdir)
+                .and_then(|()| fs::rename(path, qdir.join(key.file_name())))
+                .is_ok();
+            if !quarantined {
+                let _ = fs::remove_file(path); // fall back to eviction
+            }
+            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            self.trace_emit(|| EventKind::StoreQuarantined {
+                file: key.file_name(),
+            });
+        } else {
+            let _ = fs::remove_file(path);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            self.trace_emit(|| EventKind::StoreEvicted {
+                file: key.file_name(),
+            });
+        }
+    }
+
+    /// Persists `artifact` under `key`: temp file, fsync, atomic
+    /// rename, best-effort directory sync — a crash at any point
+    /// publishes either the complete entry or nothing. Transient write
+    /// errors are retried ([`IO_ATTEMPTS`]). Writes to a quarantined
+    /// key are skipped (reported as success): the artifact was
+    /// recomputed for the caller, but the slot is known-bad this run.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] if the directory or file cannot be written.
     pub fn store(&self, key: &CacheKey, artifact: &Artifact) -> Result<(), StoreError> {
+        if self.is_quarantined(key.digest()) {
+            return Ok(());
+        }
         fs::create_dir_all(&self.dir)?;
         let bytes = profilefmt::encode(key.digest(), artifact);
         let path = self.path_of(key);
@@ -200,9 +387,27 @@ impl ProfileStore {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp, &bytes)?;
+        let written = self.with_io_retry(&key.file_name(), FaultSite::StoreWrite, || {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            // The rename below publishes the entry; sync first so a
+            // crash cannot publish a torn file under the final name.
+            f.sync_all()
+        });
+        if let Err(e) = written {
+            let _ = fs::remove_file(&tmp);
+            return Err(StoreError::Io(e));
+        }
         match fs::rename(&tmp, &path) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // Best-effort directory sync so the rename itself is
+                // durable; filesystems that refuse dir fsync still get
+                // the torn-file protection from the file sync above.
+                if let Ok(d) = fs::File::open(&self.dir) {
+                    let _ = d.sync_all();
+                }
+                Ok(())
+            }
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
                 Err(StoreError::Io(e))
@@ -388,6 +593,63 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    fn corrupt_on_disk(store: &ProfileStore, key: &CacheKey) {
+        let path = store.path_of(key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+    }
+
+    #[test]
+    fn second_consecutive_corruption_quarantines_and_blocks_the_key() {
+        let dir = scratch_dir();
+        let store = ProfileStore::new(&dir);
+        store.store(&key(5), &base(1)).unwrap();
+
+        // Strike one: evicted (deleted) and recomputed as before.
+        corrupt_on_disk(&store, &key(5));
+        assert!(store.load(&key(5)).is_none());
+        assert_eq!((store.evictions(), store.quarantined()), (1, 0));
+        store.store(&key(5), &base(2)).unwrap();
+
+        // Strike two: quarantined, not deleted.
+        corrupt_on_disk(&store, &key(5));
+        assert!(store.load(&key(5)).is_none());
+        assert_eq!((store.evictions(), store.quarantined()), (1, 1));
+        assert!(!store.path_of(&key(5)).exists(), "removed from the cache");
+        assert!(
+            store.quarantine_dir().join(key(5).file_name()).exists(),
+            "parked for post-mortem"
+        );
+
+        // The key is now blocked: stores are skipped, lookups miss, so
+        // a bad sector costs one recompute per run, not a loop.
+        store.store(&key(5), &base(3)).unwrap();
+        assert!(!store.path_of(&key(5)).exists(), "no re-cache");
+        assert!(store.load(&key(5)).is_none());
+
+        // Healthy keys are unaffected.
+        store.store(&key(6), &base(4)).unwrap();
+        assert_eq!(store.load_base(&key(6)).unwrap().cycles, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clean_decode_resets_the_corruption_strike_count() {
+        let dir = scratch_dir();
+        let store = ProfileStore::new(&dir);
+        store.store(&key(9), &base(1)).unwrap();
+        corrupt_on_disk(&store, &key(9));
+        assert!(store.load(&key(9)).is_none()); // strike 1: evict
+        store.store(&key(9), &base(2)).unwrap();
+        assert!(store.load(&key(9)).is_some()); // clean decode: reset
+        corrupt_on_disk(&store, &key(9));
+        assert!(store.load(&key(9)).is_none()); // strike 1 again: evict
+        assert_eq!((store.evictions(), store.quarantined()), (2, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn typed_loads_reject_wrong_kinds() {
         let dir = scratch_dir();
@@ -397,5 +659,78 @@ mod tests {
         assert!(store.load_plain(&key(3)).is_none());
         assert!(store.load_base(&key(3)).is_some());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod injected {
+        use super::*;
+        use tpdbt_faults::{FaultPlan, FaultSite};
+
+        #[test]
+        fn transient_read_fault_is_retried_to_a_hit() {
+            let dir = scratch_dir();
+            let plan = Arc::new(FaultPlan::new().inject(FaultSite::StoreRead, 0));
+            let store = ProfileStore::new(&dir).with_faults(plan);
+            store.store(&key(1), &base(7)).unwrap();
+            let got = store.load_base(&key(1)).expect("retry should recover");
+            assert_eq!(got.cycles, 7);
+            assert_eq!(store.io_retries(), 1);
+            assert_eq!((store.hits(), store.misses()), (1, 0));
+            fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn persistent_read_fault_degrades_to_a_miss_then_heals() {
+            let dir = scratch_dir();
+            // All IO_ATTEMPTS tries of the first lookup fail.
+            let plan = Arc::new(
+                (0..u64::from(IO_ATTEMPTS))
+                    .fold(FaultPlan::new(), |p, i| p.inject(FaultSite::StoreRead, i)),
+            );
+            let store = ProfileStore::new(&dir).with_faults(plan);
+            store.store(&key(2), &base(8)).unwrap();
+            assert!(store.load(&key(2)).is_none(), "exhausted retries => miss");
+            assert_eq!(store.io_retries(), u64::from(IO_ATTEMPTS) - 1);
+            assert!(
+                store.path_of(&key(2)).exists(),
+                "an I/O miss must not evict the (healthy) entry"
+            );
+            assert!(store.load(&key(2)).is_some(), "next lookup is clean");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn injected_corruption_walks_the_evict_then_quarantine_path() {
+            let dir = scratch_dir();
+            let tracer = Arc::new(Tracer::new());
+            let plan = Arc::new(
+                FaultPlan::new()
+                    .inject(FaultSite::StoreCorrupt, 0)
+                    .inject(FaultSite::StoreCorrupt, 1),
+            );
+            let store = ProfileStore::new(&dir)
+                .with_faults(plan)
+                .with_tracer(Arc::clone(&tracer));
+            store.store(&key(4), &base(1)).unwrap();
+            assert!(store.load(&key(4)).is_none(), "first corrupt read");
+            assert_eq!((store.evictions(), store.quarantined()), (1, 0));
+            store.store(&key(4), &base(1)).unwrap(); // the recompute
+            assert!(store.load(&key(4)).is_none(), "second corrupt read");
+            assert_eq!((store.evictions(), store.quarantined()), (1, 1));
+            assert_eq!(tracer.count("fault_injected"), 2);
+            assert_eq!(tracer.count("store_quarantined"), 1);
+            fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn transient_write_fault_is_retried() {
+            let dir = scratch_dir();
+            let plan = Arc::new(FaultPlan::new().inject(FaultSite::StoreWrite, 0));
+            let store = ProfileStore::new(&dir).with_faults(plan);
+            store.store(&key(3), &base(5)).unwrap();
+            assert_eq!(store.io_retries(), 1);
+            assert_eq!(store.load_base(&key(3)).unwrap().cycles, 5);
+            fs::remove_dir_all(&dir).unwrap();
+        }
     }
 }

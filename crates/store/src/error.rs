@@ -41,6 +41,30 @@ pub enum StoreError {
     },
 }
 
+impl StoreError {
+    /// Whether this error is plausibly transient — worth a bounded
+    /// retry before giving up. Only a conservative set of I/O kinds
+    /// qualifies (interrupted syscalls, timeouts, would-block); decode
+    /// errors never do: re-reading the same corrupt bytes cannot help,
+    /// eviction or quarantine can.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(e) => io_error_is_transient(e),
+            _ => false,
+        }
+    }
+}
+
+/// The retry classification shared by reads and writes.
+pub(crate) fn io_error_is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e.kind(),
+        ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock
+    )
+}
+
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

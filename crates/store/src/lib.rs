@@ -19,8 +19,12 @@
 //! * [`digest`] — the FNV-1a 64 content digest used throughout.
 //!
 //! Decoders never panic on malformed input: corruption surfaces as
-//! [`StoreError`] and the cache heals by recomputation. See DESIGN.md,
-//! "Profile store & sweep orchestration".
+//! [`StoreError`] and the cache heals by recomputation. The cache layer
+//! additionally retries transient I/O errors, fsyncs before publishing
+//! an entry, and quarantines entries that decode corrupt twice in a
+//! row (see DESIGN.md §9, "Fault tolerance and injection"); with the
+//! `fault-injection` feature, a `tpdbt_faults::FaultPlan` can be
+//! attached to prove those paths deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

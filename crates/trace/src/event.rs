@@ -122,6 +122,19 @@ pub enum EventKind {
         /// Artifact file name.
         file: String,
     },
+    /// A transient store I/O failure was retried.
+    StoreIoRetry {
+        /// Artifact file name.
+        file: String,
+        /// Which retry this was (1 = first retry).
+        attempt: u32,
+    },
+    /// An artifact decoded corrupt twice in a row and was moved to the
+    /// quarantine directory; its key will not be cached again this run.
+    StoreQuarantined {
+        /// Artifact file name.
+        file: String,
+    },
 
     // ---- sweep orchestrator (tpdbt-experiments) ----
     /// A guest program was actually executed (not served from cache).
@@ -166,6 +179,36 @@ pub enum EventKind {
         /// Wall-clock time spent on the cell, in microseconds.
         micros: u64,
     },
+    /// A cell attempt failed with a retryable cause and will run again.
+    CellRetried {
+        /// Benchmark (or guest) name.
+        bench: String,
+        /// Cell label.
+        label: String,
+        /// Which retry this was (1 = first retry).
+        attempt: u32,
+        /// Human-readable failure cause of the attempt being retried.
+        cause: String,
+    },
+    /// A cell exhausted its retries (or failed fatally) and was dropped
+    /// from the sweep's results.
+    CellFailed {
+        /// Benchmark (or guest) name.
+        bench: String,
+        /// Cell label.
+        label: String,
+        /// Human-readable failure cause.
+        cause: String,
+    },
+
+    // ---- fault injection (tpdbt-faults consumers) ----
+    /// A planned fault fired at an injection site.
+    FaultInjected {
+        /// Site name (`tpdbt_faults::FaultSite::name`).
+        site: &'static str,
+        /// The site occurrence index that fired.
+        occurrence: u64,
+    },
 }
 
 impl EventKind {
@@ -185,12 +228,17 @@ impl EventKind {
             EventKind::StoreHit { .. } => "store_hit",
             EventKind::StoreMiss { .. } => "store_miss",
             EventKind::StoreEvicted { .. } => "store_evicted",
+            EventKind::StoreIoRetry { .. } => "store_io_retry",
+            EventKind::StoreQuarantined { .. } => "store_quarantined",
             EventKind::GuestRun { .. } => "guest_run",
             EventKind::CellQueued { .. } => "cell_queued",
             EventKind::CellStarted { .. } => "cell_started",
             EventKind::CellCacheHit { .. } => "cell_cache_hit",
             EventKind::CellCacheMiss { .. } => "cell_cache_miss",
             EventKind::CellCommitted { .. } => "cell_committed",
+            EventKind::CellRetried { .. } => "cell_retried",
+            EventKind::CellFailed { .. } => "cell_failed",
+            EventKind::FaultInjected { .. } => "fault_injected",
         }
     }
 }
@@ -281,6 +329,28 @@ mod tests {
                 bench: String::new(),
                 label: String::new(),
                 micros: 0,
+            },
+            EventKind::StoreIoRetry {
+                file: String::new(),
+                attempt: 1,
+            },
+            EventKind::StoreQuarantined {
+                file: String::new(),
+            },
+            EventKind::CellRetried {
+                bench: String::new(),
+                label: String::new(),
+                attempt: 1,
+                cause: String::new(),
+            },
+            EventKind::CellFailed {
+                bench: String::new(),
+                label: String::new(),
+                cause: String::new(),
+            },
+            EventKind::FaultInjected {
+                site: "worker_panic",
+                occurrence: 0,
             },
         ];
         let names: std::collections::BTreeSet<&str> = kinds.iter().map(EventKind::name).collect();

@@ -108,9 +108,16 @@ fn fields(kind: &EventKind) -> Vec<Field<'_>> {
             Field::U64("entries", *entries),
             Field::U64("side_exits", *side_exits),
         ],
-        E::StoreHit { file } | E::StoreMiss { file } | E::StoreEvicted { file } => {
+        E::StoreHit { file }
+        | E::StoreMiss { file }
+        | E::StoreEvicted { file }
+        | E::StoreQuarantined { file } => {
             vec![Field::Str("file", file)]
         }
+        E::StoreIoRetry { file, attempt } => vec![
+            Field::Str("file", file),
+            Field::U64("attempt", u64::from(*attempt)),
+        ],
         E::GuestRun { name } => vec![Field::Str("name", name)],
         E::CellQueued { bench, label }
         | E::CellStarted { bench, label }
@@ -126,6 +133,30 @@ fn fields(kind: &EventKind) -> Vec<Field<'_>> {
             Field::Str("bench", bench),
             Field::Str("label", label),
             Field::U64("micros", *micros),
+        ],
+        E::CellRetried {
+            bench,
+            label,
+            attempt,
+            cause,
+        } => vec![
+            Field::Str("bench", bench),
+            Field::Str("label", label),
+            Field::U64("attempt", u64::from(*attempt)),
+            Field::Str("cause", cause),
+        ],
+        E::CellFailed {
+            bench,
+            label,
+            cause,
+        } => vec![
+            Field::Str("bench", bench),
+            Field::Str("label", label),
+            Field::Str("cause", cause),
+        ],
+        E::FaultInjected { site, occurrence } => vec![
+            Field::Str("site", site),
+            Field::U64("occurrence", *occurrence),
         ],
     }
 }

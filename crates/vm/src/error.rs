@@ -50,6 +50,44 @@ pub enum VmError {
     },
 }
 
+impl VmError {
+    /// The faulting (or exhausting) instruction address.
+    #[must_use]
+    pub fn pc(&self) -> Pc {
+        match self {
+            VmError::DivideByZero { pc }
+            | VmError::MemOutOfBounds { pc, .. }
+            | VmError::StackOverflow { pc }
+            | VmError::StackUnderflow { pc }
+            | VmError::BadPc { pc }
+            | VmError::OutOfFuel { pc, .. } => *pc,
+        }
+    }
+
+    /// Whether the trap is a resource-budget exhaustion (fuel) rather
+    /// than a guest-program bug. Fault-tolerant harnesses report these
+    /// as watchdog kills — the guest did not misbehave, it overran its
+    /// budget — while every other trap is a deterministic guest defect
+    /// that retrying cannot fix.
+    #[must_use]
+    pub fn is_resource_exhaustion(&self) -> bool {
+        matches!(self, VmError::OutOfFuel { .. })
+    }
+
+    /// Stable lowercase trap name for reports and trace events.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            VmError::DivideByZero { .. } => "divide_by_zero",
+            VmError::MemOutOfBounds { .. } => "mem_out_of_bounds",
+            VmError::StackOverflow { .. } => "stack_overflow",
+            VmError::StackUnderflow { .. } => "stack_underflow",
+            VmError::BadPc { .. } => "bad_pc",
+            VmError::OutOfFuel { .. } => "out_of_fuel",
+        }
+    }
+}
+
 impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -91,6 +129,31 @@ mod tests {
             VmError::OutOfFuel { pc: 3, fuel: 10 },
         ] {
             assert!(e.to_string().contains('3'), "{e}");
+        }
+    }
+
+    #[test]
+    fn classification_separates_fuel_from_guest_bugs() {
+        let all = [
+            VmError::DivideByZero { pc: 1 },
+            VmError::MemOutOfBounds {
+                pc: 2,
+                addr: -1,
+                len: 4,
+            },
+            VmError::StackOverflow { pc: 3 },
+            VmError::StackUnderflow { pc: 4 },
+            VmError::BadPc { pc: 5 },
+            VmError::OutOfFuel { pc: 6, fuel: 10 },
+        ];
+        let names: std::collections::BTreeSet<&str> = all.iter().map(VmError::kind_name).collect();
+        assert_eq!(names.len(), all.len(), "duplicate kind name");
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.pc(), i as Pc + 1);
+            assert_eq!(
+                e.is_resource_exhaustion(),
+                matches!(e, VmError::OutOfFuel { .. })
+            );
         }
     }
 }
