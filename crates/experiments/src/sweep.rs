@@ -513,6 +513,81 @@ impl<'a> GuestId<'a> {
     }
 }
 
+/// Owned identity of one suite guest: the built binary, input words,
+/// and the digests needed to form cache keys. This is the sweep's cell
+/// machinery exposed for reuse — `tpdbt-serve` builds one per requested
+/// `(workload, scale, input)` and resolves every query through the same
+/// keys (and therefore the same on-disk artifacts) as a sweep, so a
+/// warm sweep cache serves queries with zero guest runs and vice versa.
+#[derive(Debug)]
+pub struct SuiteGuest {
+    /// Benchmark name.
+    pub name: String,
+    binary: BuiltProgram,
+    input: Vec<i64>,
+    input_code: u8,
+    scale_code: u8,
+    binary_digest: u64,
+}
+
+impl SuiteGuest {
+    /// Builds the named suite workload and hashes its identity once.
+    ///
+    /// # Errors
+    ///
+    /// Unknown benchmark names and generator failures (from
+    /// [`tpdbt_suite::workload`]).
+    pub fn build(name: &str, scale: Scale, input: InputKind) -> Result<SuiteGuest> {
+        let w = workload(name, scale, input)?;
+        Ok(SuiteGuest {
+            name: w.name.to_string(),
+            binary_digest: fnv64(&binfmt::write_program(&w.binary)),
+            binary: w.binary,
+            input: w.input,
+            input_code: input_code(input),
+            scale_code: scale_code(scale),
+        })
+    }
+
+    fn id(&self) -> GuestId<'_> {
+        GuestId {
+            name: &self.name,
+            binary: &self.binary,
+            input: &self.input,
+            binary_digest: self.binary_digest,
+            input_code: self.input_code,
+            scale_code: self.scale_code,
+        }
+    }
+
+    /// The cache key of running this guest under `cfg` — identical to
+    /// the key a sweep computes for the same cell.
+    #[must_use]
+    pub fn key(&self, cfg: &DbtConfig) -> CacheKey {
+        self.id().key(cfg)
+    }
+
+    /// Executes the guest under `cfg`, reporting a
+    /// [`EventKind::GuestRun`] (and the engine's own lifecycle events)
+    /// into `tracer` when attached.
+    ///
+    /// # Errors
+    ///
+    /// Guest traps and harness failures from the engine.
+    pub fn run(&self, cfg: DbtConfig, tracer: Option<&Arc<Tracer>>) -> Result<RunOutcome> {
+        if let Some(t) = tracer {
+            t.emit(EventKind::GuestRun {
+                name: self.name.clone(),
+            });
+        }
+        let mut dbt = Dbt::new(cfg);
+        if let Some(t) = tracer {
+            dbt = dbt.with_tracer(Arc::clone(t));
+        }
+        Ok(dbt.run_built(&self.binary, &self.input)?)
+    }
+}
+
 /// Runs (or loads) a plain whole-run profile: `AVEP` or `INIP(train)`.
 fn plain_run(ctx: &Ctx<'_>, guest: &GuestId<'_>, cfg: DbtConfig) -> Result<(PlainArtifact, bool)> {
     let cfg = ctx.apply_watchdog(cfg);

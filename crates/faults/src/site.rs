@@ -27,12 +27,21 @@ pub enum FaultSite {
     /// The cell stalls (a bounded sleep) before running, simulating a
     /// slow or contended worker.
     SlowCell,
+    /// The serve listener drops a freshly accepted connection before
+    /// any frame is read (simulates a flaky network / dying peer).
+    ServeListener,
+    /// A serve request frame is treated as undecodable even though the
+    /// bytes were fine (simulates a corrupted or hostile frame).
+    ServeDecode,
+    /// A serve request's artifact computation fails with a synthetic
+    /// error instead of running.
+    ServeCompute,
 }
 
 impl FaultSite {
     /// Every site, in stable declaration order (the occurrence-counter
     /// index is this position).
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::StoreRead,
         FaultSite::StoreWrite,
         FaultSite::StoreCorrupt,
@@ -40,6 +49,9 @@ impl FaultSite {
         FaultSite::GuestTrap,
         FaultSite::FuelExhaustion,
         FaultSite::SlowCell,
+        FaultSite::ServeListener,
+        FaultSite::ServeDecode,
+        FaultSite::ServeCompute,
     ];
 
     /// Stable lowercase name, used by `--inject` specs and trace
@@ -54,6 +66,9 @@ impl FaultSite {
             FaultSite::GuestTrap => "guest_trap",
             FaultSite::FuelExhaustion => "fuel_exhaustion",
             FaultSite::SlowCell => "slow_cell",
+            FaultSite::ServeListener => "serve_listener",
+            FaultSite::ServeDecode => "serve_decode",
+            FaultSite::ServeCompute => "serve_compute",
         }
     }
 

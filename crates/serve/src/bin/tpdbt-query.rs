@@ -1,0 +1,118 @@
+//! `tpdbt-query` — the client for a running `tpdbt-serve`.
+//!
+//! ```text
+//! tpdbt-query --connect SPEC ping
+//! tpdbt-query --connect SPEC stats
+//! tpdbt-query --connect SPEC shutdown
+//! tpdbt-query --connect SPEC plain WORKLOAD [--scale S] [--input ref|train]
+//! tpdbt-query --connect SPEC cell  WORKLOAD THRESHOLD [--scale S]
+//! tpdbt-query --connect SPEC base  WORKLOAD [--scale S]
+//! tpdbt-query --connect SPEC malformed     (protocol test: sends garbage)
+//! ```
+//!
+//! Prints the response body as one line of JSON on stdout. Exit
+//! status: 0 when the server answered `ok: true`, 1 on transport
+//! failures or an `ok: false` response, 2 on usage errors.
+
+use tpdbt_serve::proto::Request;
+use tpdbt_serve::Client;
+use tpdbt_suite::{InputKind, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpdbt-query --connect SPEC [--deadline-ms MS] OP [ARGS]\n  OP: ping | stats | shutdown | malformed\n      plain WORKLOAD [--scale tiny|small|paper] [--input ref|train]\n      cell  WORKLOAD THRESHOLD [--scale tiny|small|paper]\n      base  WORKLOAD [--scale tiny|small|paper]"
+    );
+    std::process::exit(2)
+}
+
+fn fatal(message: impl std::fmt::Display) -> ! {
+    eprintln!("tpdbt-query: {message}");
+    std::process::exit(1)
+}
+
+fn parse_scale(s: &str) -> Scale {
+    match s {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "paper" => Scale::Paper,
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut scale = Scale::Tiny;
+    let mut input = InputKind::Ref;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--connect" => connect = Some(value()),
+            "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--scale" => scale = parse_scale(&value()),
+            "--input" => {
+                input = match value().as_str() {
+                    "ref" => InputKind::Ref,
+                    "train" => InputKind::Train,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => positional.push(arg),
+        }
+    }
+    let Some(connect) = connect else { usage() };
+    let mut pos = positional.iter().map(String::as_str);
+    let op = pos.next().unwrap_or_else(|| usage());
+
+    let mut client =
+        Client::connect(&connect).unwrap_or_else(|e| fatal(format_args!("connect {connect}: {e}")));
+
+    let reply = if op == "malformed" {
+        // Deliberately not JSON: exercises the server's structured
+        // malformed-frame error path.
+        client.send_raw(b"this is not json")
+    } else {
+        let request = match op {
+            "ping" => Request::Ping,
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            "plain" => Request::Plain {
+                workload: pos.next().unwrap_or_else(|| usage()).to_string(),
+                scale,
+                input,
+            },
+            "cell" => Request::Cell {
+                workload: pos.next().unwrap_or_else(|| usage()).to_string(),
+                scale,
+                threshold: pos
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage()),
+            },
+            "base" => Request::Base {
+                workload: pos.next().unwrap_or_else(|| usage()).to_string(),
+                scale,
+            },
+            _ => usage(),
+        };
+        if pos.next().is_some() {
+            usage();
+        }
+        client.request(request, deadline_ms)
+    };
+
+    match reply {
+        Ok(body) => {
+            println!("{}", body.render());
+            let ok = body
+                .get("ok")
+                .and_then(tpdbt_serve::json::Json::as_bool)
+                .unwrap_or(false);
+            std::process::exit(i32::from(!ok));
+        }
+        Err(e) => fatal(e),
+    }
+}

@@ -1,0 +1,110 @@
+//! `tpdbt-serve` — the profile-query daemon.
+//!
+//! ```text
+//! tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N]
+//!             [--hot N] [--deadline-ms MS]
+//!             [--trace PATH [--trace-format jsonl|chrome]]
+//!             [--inject SPEC]
+//! ```
+//!
+//! `--listen` takes `unix:PATH` or `HOST:PORT` (port 0 picks an
+//! ephemeral port; the bound address is printed). `--cache-dir` shares
+//! the on-disk store with `tpdbt-sweep`, so a warm sweep serves
+//! queries with zero guest runs. The daemon prints exactly one
+//! `listening on ADDR` line to stdout once ready, then blocks until a
+//! `shutdown` request drains it.
+//!
+//! Exit status: 0 after a clean drain, 1 on bind/setup failure, 2 on
+//! usage errors (README, "Exit codes").
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tpdbt_faults::FaultPlan;
+use tpdbt_serve::{start, Bind, ProfileService, ServerConfig, ServiceConfig};
+use tpdbt_trace::{TraceFormat, Tracer};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N] \\\n       [--hot N] [--deadline-ms MS] [--trace PATH [--trace-format jsonl|chrome]] \\\n       [--inject SPEC]\n\nSPEC is unix:PATH or HOST:PORT (port 0 = ephemeral)."
+    );
+    std::process::exit(2)
+}
+
+fn fatal(message: impl std::fmt::Display) -> ! {
+    eprintln!("tpdbt-serve: {message}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut listen: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut jobs: usize = 4;
+    let mut queue: usize = 16;
+    let mut hot: usize = 256;
+    let mut deadline_ms: u64 = 30_000;
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = TraceFormat::default();
+    let mut inject: Option<String> = None;
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--listen" => listen = Some(value()),
+            "--cache-dir" => cache_dir = Some(value()),
+            "--jobs" => jobs = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => queue = value().parse().unwrap_or_else(|_| usage()),
+            "--hot" => hot = value().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => deadline_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--trace" => trace_path = Some(value()),
+            "--trace-format" => trace_format = value().parse().unwrap_or_else(|_| usage()),
+            "--inject" => inject = Some(value()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(listen) = listen else { usage() };
+    let bind = Bind::parse(&listen).unwrap_or_else(|e| fatal(format_args!("--listen: {e}")));
+
+    let mut service = ProfileService::new(ServiceConfig {
+        cache_dir: cache_dir.map(Into::into),
+        hot_capacity: hot,
+        default_deadline: Duration::from_millis(deadline_ms.max(1)),
+    });
+    let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
+    if let Some(t) = &tracer {
+        service = service.with_tracer(Arc::clone(t));
+    }
+    if let Some(spec) = &inject {
+        match FaultPlan::parse(spec) {
+            Ok(plan) => service = service.with_faults(Arc::new(plan)),
+            Err(e) => fatal(format_args!("--inject {spec}: {e}")),
+        }
+    }
+
+    let handle = start(
+        Arc::new(service),
+        ServerConfig {
+            bind,
+            workers: jobs.max(1),
+            queue_depth: queue.max(1),
+        },
+    )
+    .unwrap_or_else(|e| fatal(format_args!("bind {listen}: {e}")));
+
+    // The readiness line scripts and tests wait for.
+    println!("listening on {}", handle.addr());
+
+    handle.wait();
+
+    if let (Some(t), Some(p)) = (&tracer, &trace_path) {
+        match tpdbt_trace::export::write_file(t, trace_format, p) {
+            Ok(()) => eprintln!(
+                "trace written to {p} ({} events retained, {} dropped)",
+                t.len(),
+                t.dropped()
+            ),
+            Err(e) => fatal(format_args!("writing trace {p}: {e}")),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! A blocking protocol client, used by `tpdbt-query` and the
+//! integration tests. One client is one connection; requests are
+//! strictly in-order (send, then read the matching response).
+
+use std::io;
+
+use crate::json::{self, Json};
+use crate::proto::{self, Envelope, Request};
+use crate::server::Stream;
+
+/// A connected client.
+pub struct Client {
+    stream: Stream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Dials `spec`: `unix:PATH` or `host:port`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and malformed specs.
+    pub fn connect(spec: &str) -> io::Result<Client> {
+        Ok(Client {
+            stream: Stream::connect(spec)?,
+            next_id: 1,
+        })
+    }
+
+    /// Sends `request` and reads its response. The response `id` is
+    /// checked against the request's.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-closed connection, an unparseable
+    /// response, or an id mismatch. Protocol-level failures (`ok:
+    /// false`) are *not* errors — the caller inspects the body.
+    pub fn request(&mut self, request: Request, deadline_ms: Option<u64>) -> io::Result<Json> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let env = Envelope {
+            id,
+            deadline_ms,
+            request,
+        };
+        let reply = self.send_raw(env.render().as_bytes())?;
+        let got = reply.get("id").and_then(Json::as_u64);
+        // Connection-level rejections (overloaded, shutting_down for a
+        // queued connection) carry id 0 because no request was read.
+        if got != Some(id) && got != Some(0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {got:?} does not match request id {id}"),
+            ));
+        }
+        Ok(reply)
+    }
+
+    /// Sends an arbitrary frame body and reads one response frame.
+    /// Exists so tests can deliver deliberately malformed frames.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a closed connection, or a response that is
+    /// not valid JSON.
+    pub fn send_raw(&mut self, body: &[u8]) -> io::Result<Json> {
+        proto::write_frame(&mut self.stream, body)?;
+        self.read_reply()
+    }
+
+    /// Reads one response frame without sending anything (e.g. the
+    /// rejection frame of an overloaded connection).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send_raw`].
+    pub fn read_reply(&mut self) -> io::Result<Json> {
+        let frame = proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        let text = std::str::from_utf8(&frame)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+        json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

@@ -1,0 +1,176 @@
+//! The in-memory hot tier: a small exact-counter LRU keyed by cache
+//! key digest, sitting in front of the on-disk [`tpdbt_store::ProfileStore`].
+//!
+//! Capacities are tens-to-hundreds of artifacts, so eviction scans for
+//! the minimum logical tick instead of maintaining an intrusive list —
+//! O(capacity) on the insert path, with one mutex and no unsafe code.
+//! Counters are updated under the same lock, so they are *exact*: the
+//! concurrency stress test asserts equalities, not inequalities.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use tpdbt_store::Artifact;
+
+/// Exact counters of hot-tier traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotStats {
+    /// Lookups that found the artifact in memory.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Artifacts inserted.
+    pub inserts: u64,
+    /// Artifacts evicted to make room.
+    pub evictions: u64,
+}
+
+struct Entry {
+    artifact: Arc<Artifact>,
+    tick: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+    stats: HotStats,
+}
+
+/// A bounded LRU of decoded artifacts.
+pub struct HotTier {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl HotTier {
+    /// A tier holding at most `capacity` artifacts; capacity 0 disables
+    /// the tier (every lookup misses, inserts are dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> HotTier {
+        HotTier {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: HotStats::default(),
+            }),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<Artifact>> {
+        let mut inner = self.inner.lock().expect("hot tier poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let hit = Arc::clone(&entry.artifact);
+                inner.stats.hits += 1;
+                Some(hit)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if the tier is full.
+    pub fn insert(&self, key: u64, artifact: Arc<Artifact>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("hot tier poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.artifact = artifact;
+            entry.tick = tick;
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some(&victim) = inner.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
+                inner.map.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.insert(key, Entry { artifact, tick });
+        inner.stats.inserts += 1;
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("hot tier poisoned").map.len()
+    }
+
+    /// Whether the tier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> HotStats {
+        self.inner.lock().expect("hot tier poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_store::{BaseArtifact, TypedArtifact};
+
+    fn art(n: u64) -> Arc<Artifact> {
+        Arc::new(
+            BaseArtifact {
+                cycles: n,
+                output_digest: n,
+            }
+            .into_artifact(),
+        )
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let tier = HotTier::new(2);
+        tier.insert(1, art(1));
+        tier.insert(2, art(2));
+        assert!(tier.get(1).is_some()); // refresh 1: now 2 is LRU
+        tier.insert(3, art(3)); // evicts 2
+        assert!(tier.get(1).is_some());
+        assert!(tier.get(2).is_none());
+        assert!(tier.get(3).is_some());
+        let s = tier.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.inserts, 3);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let tier = HotTier::new(2);
+        tier.insert(1, art(1));
+        tier.insert(2, art(2));
+        tier.insert(1, art(10)); // refresh, not a new entry
+        assert_eq!(tier.len(), 2);
+        assert_eq!(tier.stats().evictions, 0);
+        match &*tier.get(1).unwrap() {
+            Artifact::Base(b) => assert_eq!(b.cycles, 10),
+            other => panic!("wrong artifact: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_tier() {
+        let tier = HotTier::new(0);
+        tier.insert(1, art(1));
+        assert!(tier.get(1).is_none());
+        assert!(tier.is_empty());
+        assert_eq!(tier.stats().inserts, 0);
+    }
+}

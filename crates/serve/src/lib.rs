@@ -1,0 +1,42 @@
+//! `tpdbt-serve`: a concurrent profile-query service over the
+//! persistent profile store.
+//!
+//! A sweep (`tpdbt-sweep`) computes the full benchmark × threshold
+//! matrix and leaves its artifacts in the on-disk [`tpdbt_store`]
+//! cache. This crate turns that cache into a long-running service:
+//! many consumers query per-cell INIP/AVEP artifacts and paper metrics
+//! (`Sd.BP`, `Sd.CP`, `Sd.LP`, mismatch rates) over a length-prefixed
+//! JSON protocol (DESIGN.md §10) without each paying for guest
+//! executions.
+//!
+//! The moving parts, bottom up:
+//!
+//! - [`json`] — hand-rolled JSON (the build is offline; no serde),
+//! - [`proto`] — frames, the request/response model, error codes,
+//! - [`singleflight`] — N concurrent requests for one uncached cell
+//!   perform exactly one guest execution,
+//! - [`hot`] — a small exact-counter LRU of decoded artifacts in front
+//!   of the disk store,
+//! - [`service`] — tiered resolution (memory → disk → compute) through
+//!   the same cell machinery sweeps use,
+//! - [`server`] — listener, bounded connection queue with explicit
+//!   backpressure, worker pool, graceful drain,
+//! - [`client`] — the blocking client behind `tpdbt-query`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod hot;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod singleflight;
+
+pub use client::Client;
+pub use hot::{HotStats, HotTier};
+pub use proto::{Envelope, ErrorCode, Request, Source, MAX_FRAME};
+pub use server::{start, Bind, ConnQueue, ServerConfig, ServerHandle};
+pub use service::{ProfileService, Resolved, ServeFailure, ServiceConfig};
+pub use singleflight::{FlightOutcome, SingleFlight};

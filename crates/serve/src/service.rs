@@ -1,0 +1,645 @@
+//! The profile service: tiered artifact resolution behind the wire
+//! protocol.
+//!
+//! Every query resolves through three tiers:
+//!
+//! 1. the in-memory [`HotTier`] (LRU of decoded artifacts),
+//! 2. the on-disk [`ProfileStore`] (shared with `tpdbt-sweep`, so a
+//!    warm sweep cache serves queries with zero guest runs),
+//! 3. a fresh guest execution through the same cell machinery sweeps
+//!    use ([`SuiteGuest`]).
+//!
+//! Tiers 2–3 run under [`SingleFlight`], so N concurrent requests for
+//! the same uncached cell perform exactly one guest execution and the
+//! other N−1 share its artifact. The service is synchronous and
+//! `Sync`; the server supplies the thread pool.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tpdbt_dbt::DbtConfig;
+use tpdbt_experiments::sweep::SuiteGuest;
+use tpdbt_faults::{FaultPlan, FaultSite};
+use tpdbt_profile::report::analyze;
+use tpdbt_store::digest::fnv64_words;
+use tpdbt_store::{Artifact, BaseArtifact, CellArtifact, PlainArtifact, ProfileStore};
+use tpdbt_suite::{InputKind, Scale};
+use tpdbt_trace::stats::Histogram;
+use tpdbt_trace::Tracer;
+
+use crate::hot::{HotStats, HotTier};
+use crate::json::Json;
+use crate::proto::{
+    self, base_payload, cell_payload, input_name, plain_payload, scale_name, Envelope, ErrorCode,
+    Request, Source,
+};
+use crate::singleflight::{FlightOutcome, SingleFlight};
+
+/// Payload fields plus the source tier for artifact queries, or a
+/// structured failure — the intermediate shape `respond` renders.
+type RespondResult = Result<(Vec<(&'static str, Json)>, Option<Source>), ServeFailure>;
+
+/// How the service is assembled.
+pub struct ServiceConfig {
+    /// On-disk store directory; `None` serves purely from memory and
+    /// recomputes across restarts.
+    pub cache_dir: Option<PathBuf>,
+    /// Hot-tier capacity in artifacts (0 disables the tier).
+    pub hot_capacity: usize,
+    /// Deadline applied when a request carries none.
+    pub default_deadline: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_dir: None,
+            hot_capacity: 256,
+            default_deadline: proto::DEFAULT_DEADLINE,
+        }
+    }
+}
+
+/// A resolution failure, mapped onto the wire error codes.
+#[derive(Clone, Debug)]
+pub enum ServeFailure {
+    /// The request named an unknown workload or invalid parameter.
+    BadRequest(String),
+    /// The guest execution or analysis failed.
+    Compute(String),
+    /// The deadline passed before the artifact was available.
+    DeadlineExceeded,
+}
+
+impl ServeFailure {
+    /// The wire error code of this failure.
+    #[must_use]
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeFailure::BadRequest(_) => ErrorCode::BadRequest,
+            ServeFailure::Compute(_) => ErrorCode::ComputeFailed,
+            ServeFailure::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        }
+    }
+
+    /// The human-readable message of this failure.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            ServeFailure::BadRequest(m) | ServeFailure::Compute(m) => m,
+            ServeFailure::DeadlineExceeded => "deadline exceeded",
+        }
+    }
+}
+
+/// A successfully resolved artifact plus where it came from.
+#[derive(Clone, Debug)]
+pub struct Resolved {
+    /// The artifact.
+    pub artifact: Arc<Artifact>,
+    /// The tier that produced it.
+    pub source: Source,
+}
+
+/// The query engine: owns the cache tiers, the single-flight group,
+/// and the memoized guest builds.
+pub struct ProfileService {
+    store: Option<ProfileStore>,
+    hot: HotTier,
+    flights: SingleFlight<(Arc<Artifact>, Source)>,
+    guests: Mutex<HashMap<String, Arc<SuiteGuest>>>,
+    guest_runs: AtomicU64,
+    tracer: Option<Arc<Tracer>>,
+    faults: Option<Arc<FaultPlan>>,
+    latency: Mutex<BTreeMap<&'static str, Histogram>>,
+    default_deadline: Duration,
+}
+
+impl ProfileService {
+    /// Builds the service; creates the store directory lazily on first
+    /// write (the store itself handles that).
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> ProfileService {
+        ProfileService {
+            store: config.cache_dir.map(ProfileStore::new),
+            hot: HotTier::new(config.hot_capacity),
+            flights: SingleFlight::new(),
+            guests: Mutex::new(HashMap::new()),
+            guest_runs: AtomicU64::new(0),
+            tracer: None,
+            faults: None,
+            latency: Mutex::new(BTreeMap::new()),
+            default_deadline: config.default_deadline,
+        }
+    }
+
+    /// Attaches a structured-event tracer (request lifecycle events,
+    /// store events, engine events of computed cells).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> ProfileService {
+        if let Some(store) = self.store.take() {
+            self.store = Some(store.with_tracer(Arc::clone(&tracer)));
+        }
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attaches a fault plan (serve-side sites plus the store's own).
+    #[must_use]
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> ProfileService {
+        if let Some(store) = self.store.take() {
+            self.store = Some(store.with_faults(Arc::clone(&plan)));
+        }
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The tracer, if one is attached (the server shares it).
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// The fault plan, if one is attached (the server shares it).
+    #[must_use]
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// The deadline to apply to a request carrying none.
+    #[must_use]
+    pub fn default_deadline(&self) -> Duration {
+        self.default_deadline
+    }
+
+    /// Total guest executions performed since startup.
+    #[must_use]
+    pub fn guest_runs(&self) -> u64 {
+        self.guest_runs.load(Ordering::Relaxed)
+    }
+
+    fn guest(
+        &self,
+        name: &str,
+        scale: Scale,
+        input: InputKind,
+    ) -> Result<Arc<SuiteGuest>, ServeFailure> {
+        let memo_key = format!("{name}/{}/{}", scale_name(scale), input_name(input));
+        if let Some(g) = self.guests.lock().expect("guests poisoned").get(&memo_key) {
+            return Ok(Arc::clone(g));
+        }
+        // Built outside the lock: generation is not free, and a losing
+        // racer just drops its duplicate.
+        let built = Arc::new(
+            SuiteGuest::build(name, scale, input)
+                .map_err(|e| ServeFailure::BadRequest(e.to_string()))?,
+        );
+        let mut guests = self.guests.lock().expect("guests poisoned");
+        Ok(Arc::clone(guests.entry(memo_key).or_insert(built)))
+    }
+
+    fn check_deadline(deadline: Instant) -> Result<(), ServeFailure> {
+        if Instant::now() >= deadline {
+            Err(ServeFailure::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn fire_compute_fault(&self) -> Result<(), ServeFailure> {
+        if let Some(plan) = &self.faults {
+            if plan.fire(FaultSite::ServeCompute) {
+                return Err(ServeFailure::Compute(
+                    "injected fault: serve_compute".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Tiered resolution: hot tier, then (under single-flight) disk,
+    /// then `compute`. The leader fills both caches on a compute.
+    fn resolve(
+        &self,
+        key_digest: u64,
+        deadline: Instant,
+        load_disk: impl FnOnce() -> Option<Artifact>,
+        compute: impl FnOnce() -> Result<Artifact, ServeFailure>,
+    ) -> Result<Resolved, ServeFailure> {
+        if let Some(artifact) = self.hot.get(key_digest) {
+            return Ok(Resolved {
+                artifact,
+                source: Source::Memory,
+            });
+        }
+        Self::check_deadline(deadline)?;
+        let outcome = self.flights.run(key_digest, deadline, || {
+            if let Some(found) = load_disk() {
+                let artifact = Arc::new(found);
+                self.hot.insert(key_digest, Arc::clone(&artifact));
+                return Ok((artifact, Source::Disk));
+            }
+            self.fire_compute_fault()?;
+            let artifact = Arc::new(compute()?);
+            self.hot.insert(key_digest, Arc::clone(&artifact));
+            Ok((artifact, Source::Computed))
+        })?;
+        match outcome {
+            FlightOutcome::Led((artifact, source)) => Ok(Resolved { artifact, source }),
+            FlightOutcome::Joined((artifact, _)) => Ok(Resolved {
+                artifact,
+                source: Source::Coalesced,
+            }),
+            FlightOutcome::TimedOut => Err(ServeFailure::DeadlineExceeded),
+        }
+    }
+
+    fn run_guest(
+        &self,
+        guest: &SuiteGuest,
+        cfg: DbtConfig,
+    ) -> Result<tpdbt_dbt::RunOutcome, ServeFailure> {
+        self.guest_runs.fetch_add(1, Ordering::Relaxed);
+        guest
+            .run(cfg, self.tracer.as_ref())
+            .map_err(|e| ServeFailure::Compute(e.to_string()))
+    }
+
+    fn store_artifact(&self, key: &tpdbt_store::CacheKey, artifact: &Artifact) {
+        if let Some(store) = &self.store {
+            // A write failure degrades the cache, not the response; the
+            // store's own counters and trace events record it.
+            let _ = store.store(key, artifact);
+        }
+    }
+
+    /// Resolves a plain whole-run profile (`AVEP` on ref input,
+    /// `INIP(train)` on train input).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeFailure`] on unknown workloads, compute failures, or a
+    /// passed deadline.
+    pub fn resolve_plain(
+        &self,
+        workload: &str,
+        scale: Scale,
+        input: InputKind,
+        deadline: Instant,
+    ) -> Result<Resolved, ServeFailure> {
+        let guest = self.guest(workload, scale, input)?;
+        let cfg = DbtConfig::no_opt();
+        let key = guest.key(&cfg);
+        self.resolve(
+            key.digest(),
+            deadline,
+            || self.store.as_ref().and_then(|s| s.load(&key)),
+            || {
+                let out = self.run_guest(&guest, cfg)?;
+                let artifact = Artifact::Plain(PlainArtifact {
+                    profile: out.as_plain_profile(),
+                    output: out.output,
+                });
+                self.store_artifact(&key, &artifact);
+                Ok(artifact)
+            },
+        )
+    }
+
+    /// Resolves one analyzed `INIP(T)` sweep cell. A cold cell first
+    /// resolves the workload's AVEP (itself tiered and deduplicated),
+    /// then executes the two-phase run and analyzes it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeFailure`]; a zero threshold is a bad request (the engine
+    /// requires `T >= 1`).
+    pub fn resolve_cell(
+        &self,
+        workload: &str,
+        scale: Scale,
+        threshold: u64,
+        deadline: Instant,
+    ) -> Result<Resolved, ServeFailure> {
+        if threshold == 0 {
+            return Err(ServeFailure::BadRequest(
+                "threshold must be at least 1".to_string(),
+            ));
+        }
+        let guest = self.guest(workload, scale, InputKind::Ref)?;
+        let cfg = DbtConfig::two_phase(threshold);
+        let key = guest.key(&cfg);
+        self.resolve(
+            key.digest(),
+            deadline,
+            || self.store.as_ref().and_then(|s| s.load(&key)),
+            || {
+                let avep = self.resolve_plain(workload, scale, InputKind::Ref, deadline)?;
+                let Artifact::Plain(avep) = &*avep.artifact else {
+                    return Err(ServeFailure::Compute(
+                        "AVEP resolution produced a non-plain artifact".to_string(),
+                    ));
+                };
+                let out = self.run_guest(&guest, cfg)?;
+                let metrics = analyze(&out.inip, &avep.profile)
+                    .map_err(|e| ServeFailure::Compute(e.to_string()))?;
+                let artifact = Artifact::Cell(CellArtifact {
+                    metrics,
+                    output_digest: fnv64_words(&out.output),
+                });
+                self.store_artifact(&key, &artifact);
+                Ok(artifact)
+            },
+        )
+    }
+
+    /// Resolves the `T = 1` performance baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeFailure`].
+    pub fn resolve_base(
+        &self,
+        workload: &str,
+        scale: Scale,
+        deadline: Instant,
+    ) -> Result<Resolved, ServeFailure> {
+        let guest = self.guest(workload, scale, InputKind::Ref)?;
+        let cfg = DbtConfig::two_phase(1);
+        let key = guest.key(&cfg);
+        self.resolve(
+            key.digest(),
+            deadline,
+            || self.store.as_ref().and_then(|s| s.load(&key)),
+            || {
+                let out = self.run_guest(&guest, cfg)?;
+                let artifact = Artifact::Base(BaseArtifact {
+                    cycles: out.stats.cycles,
+                    output_digest: fnv64_words(&out.output),
+                });
+                self.store_artifact(&key, &artifact);
+                Ok(artifact)
+            },
+        )
+    }
+
+    /// Records one request latency sample under its op name.
+    pub fn record_latency(&self, op: &'static str, micros: u64) {
+        self.latency
+            .lock()
+            .expect("latency poisoned")
+            .entry(op)
+            .or_default()
+            .record(micros);
+    }
+
+    /// The `stats` payload: tier counters, single-flight counters,
+    /// guest runs, and per-endpoint latency summaries.
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        let HotStats {
+            hits,
+            misses,
+            inserts,
+            evictions,
+        } = self.hot.stats();
+        let mut fields: Vec<(&'static str, Json)> = vec![
+            ("guest_runs", Json::num(self.guest_runs())),
+            (
+                "hot",
+                Json::obj([
+                    ("hits", Json::num(hits)),
+                    ("misses", Json::num(misses)),
+                    ("inserts", Json::num(inserts)),
+                    ("evictions", Json::num(evictions)),
+                    ("len", Json::num(self.hot.len() as u64)),
+                ]),
+            ),
+            (
+                "singleflight",
+                Json::obj([
+                    ("leaders", Json::num(self.flights.leaders())),
+                    ("followers", Json::num(self.flights.followers())),
+                    ("timeouts", Json::num(self.flights.timeouts())),
+                ]),
+            ),
+        ];
+        if let Some(store) = &self.store {
+            fields.push((
+                "store",
+                Json::obj([
+                    ("hits", Json::num(store.hits())),
+                    ("misses", Json::num(store.misses())),
+                    ("evictions", Json::num(store.evictions())),
+                    ("io_retries", Json::num(store.io_retries())),
+                    ("quarantined", Json::num(store.quarantined())),
+                ]),
+            ));
+        }
+        let latency = self.latency.lock().expect("latency poisoned");
+        let endpoints: BTreeMap<String, Json> = latency
+            .iter()
+            .map(|(op, h)| {
+                (
+                    (*op).to_string(),
+                    Json::obj([
+                        ("count", Json::num(h.count())),
+                        ("sum_us", Json::num(h.sum())),
+                        ("min_us", h.min().map_or(Json::Null, Json::num)),
+                        ("max_us", h.max().map_or(Json::Null, Json::num)),
+                        ("mean_us", Json::opt(h.mean())),
+                    ]),
+                )
+            })
+            .collect();
+        fields.push(("latency", Json::Obj(endpoints)));
+        Json::obj(fields)
+    }
+
+    /// Serves one parsed request end to end, producing the response
+    /// body and (for artifact queries) the source tier for tracing.
+    /// `Shutdown` is the server's concern and answered here with a bare
+    /// ack, letting transport-free tests drive the full matrix.
+    #[must_use]
+    pub fn respond(&self, env: &Envelope) -> (Json, Option<Source>) {
+        let started = Instant::now();
+        let deadline = started
+            + env
+                .deadline_ms
+                .map_or(self.default_deadline, Duration::from_millis);
+        let result: RespondResult = match &env.request {
+            Request::Ping => Ok((vec![("pong", Json::Bool(true))], None)),
+            Request::Shutdown => Ok((vec![("stopping", Json::Bool(true))], None)),
+            Request::Stats => Ok((vec![("stats", self.stats_json())], None)),
+            Request::Plain {
+                workload,
+                scale,
+                input,
+            } => self
+                .resolve_plain(workload, *scale, *input, deadline)
+                .map(|r| {
+                    let Artifact::Plain(p) = &*r.artifact else {
+                        unreachable!("plain key resolved to non-plain artifact")
+                    };
+                    let payload = plain_payload(p, fnv64_words(&p.output));
+                    (vec![("profile", payload)], Some(r.source))
+                }),
+            Request::Cell {
+                workload,
+                scale,
+                threshold,
+            } => self
+                .resolve_cell(workload, *scale, *threshold, deadline)
+                .map(|r| {
+                    let Artifact::Cell(c) = &*r.artifact else {
+                        unreachable!("cell key resolved to non-cell artifact")
+                    };
+                    (vec![("cell", cell_payload(c))], Some(r.source))
+                }),
+            Request::Base { workload, scale } => {
+                self.resolve_base(workload, *scale, deadline).map(|r| {
+                    let Artifact::Base(b) = &*r.artifact else {
+                        unreachable!("base key resolved to non-base artifact")
+                    };
+                    (vec![("base", base_payload(b))], Some(r.source))
+                })
+            }
+        };
+        let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.record_latency(env.request.op(), elapsed);
+        match result {
+            Ok((mut payload, source)) => {
+                if let Some(s) = source {
+                    payload.push(("source", Json::str(s.name())));
+                    payload.push(("coalesced", Json::Bool(s == Source::Coalesced)));
+                }
+                payload.push(("elapsed_us", Json::num(elapsed)));
+                (proto::ok_response(env.id, payload), source)
+            }
+            Err(failure) => (
+                proto::error_response(env.id, failure.code(), failure.message()),
+                None,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(dir: Option<PathBuf>) -> ProfileService {
+        ProfileService::new(ServiceConfig {
+            cache_dir: dir,
+            hot_capacity: 16,
+            default_deadline: Duration::from_secs(60),
+        })
+    }
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    #[test]
+    fn unknown_workload_is_a_bad_request() {
+        let s = svc(None);
+        let err = s
+            .resolve_base("not-a-benchmark", Scale::Tiny, far())
+            .unwrap_err();
+        assert!(matches!(err, ServeFailure::BadRequest(_)));
+    }
+
+    #[test]
+    fn zero_threshold_is_a_bad_request() {
+        let s = svc(None);
+        let err = s.resolve_cell("gzip", Scale::Tiny, 0, far()).unwrap_err();
+        assert!(matches!(err, ServeFailure::BadRequest(_)));
+    }
+
+    #[test]
+    fn second_lookup_hits_the_hot_tier() {
+        let s = svc(None);
+        let first = s.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+        assert_eq!(first.source, Source::Computed);
+        let second = s.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+        assert_eq!(second.source, Source::Memory);
+        assert_eq!(s.guest_runs(), 1);
+        assert_eq!(first.artifact, second.artifact);
+    }
+
+    #[test]
+    fn cell_resolution_needs_avep_plus_cell_run() {
+        let s = svc(None);
+        let cell = s.resolve_cell("gzip", Scale::Tiny, 50, far()).unwrap();
+        assert_eq!(cell.source, Source::Computed);
+        assert_eq!(s.guest_runs(), 2, "AVEP + INIP(T)");
+        // Another threshold reuses the hot AVEP: one more run only.
+        let cell2 = s.resolve_cell("gzip", Scale::Tiny, 500, far()).unwrap();
+        assert_eq!(cell2.source, Source::Computed);
+        assert_eq!(s.guest_runs(), 3);
+    }
+
+    #[test]
+    fn disk_store_serves_across_service_instances() {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tpdbt-serve-test-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let a = svc(Some(dir.clone()));
+        let first = a.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+        assert_eq!(first.source, Source::Computed);
+        drop(a);
+        let b = svc(Some(dir.clone()));
+        let warm = b.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+        assert_eq!(warm.source, Source::Disk);
+        assert_eq!(b.guest_runs(), 0);
+        assert_eq!(first.artifact, warm.artifact);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn respond_round_trips_the_protocol() {
+        let s = svc(None);
+        let (reply, source) = s.respond(&Envelope {
+            id: 11,
+            deadline_ms: None,
+            request: Request::Base {
+                workload: "gzip".into(),
+                scale: Scale::Tiny,
+            },
+        });
+        assert_eq!(source, Some(Source::Computed));
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(11));
+        assert_eq!(reply.get("source").and_then(Json::as_str), Some("computed"));
+        assert!(reply
+            .get("base")
+            .and_then(|b| b.get("output_digest"))
+            .and_then(Json::as_hex_u64)
+            .is_some());
+        let (stats, _) = s.respond(&Envelope {
+            id: 12,
+            deadline_ms: None,
+            request: Request::Stats,
+        });
+        let guest_runs = stats
+            .get("stats")
+            .and_then(|v| v.get("guest_runs"))
+            .and_then(Json::as_u64);
+        assert_eq!(guest_runs, Some(1));
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_not_computed() {
+        let s = svc(None);
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = s.resolve_base("gzip", Scale::Tiny, past).unwrap_err();
+        assert!(matches!(err, ServeFailure::DeadlineExceeded));
+        assert_eq!(s.guest_runs(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Single-flight deduplication: N concurrent requests for the same
+//! key collapse into exactly one computation.
+//!
+//! The first caller to register a key becomes the **leader** and runs
+//! the closure; callers arriving while the flight is open become
+//! **followers** and block on a condvar until the leader publishes a
+//! result (every follower gets a clone) or their own deadline passes.
+//! The flight is removed once complete, so a later request for the
+//! same key starts fresh — the cache tiers above this layer decide
+//! whether that recomputes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Outcome of [`SingleFlight::run`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlightOutcome<V> {
+    /// This caller led the flight and computed the value itself.
+    Led(V),
+    /// This caller joined an existing flight and shares its value.
+    Joined(V),
+    /// The caller's deadline passed while waiting on the leader.
+    TimedOut,
+}
+
+enum FlightState<V> {
+    Running,
+    Done(V),
+    Failed,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+/// A keyed single-flight group. `V` must be cheap to clone — the serve
+/// tiers pass `Arc`-wrapped artifacts.
+pub struct SingleFlight<V> {
+    flights: Mutex<HashMap<u64, Arc<Flight<V>>>>,
+    leaders: AtomicU64,
+    followers: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl<V> Default for SingleFlight<V> {
+    fn default() -> Self {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+            leaders: AtomicU64::new(0),
+            followers: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// A fresh group with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Runs `compute` for `key`, deduplicating against concurrent
+    /// callers. `deadline` bounds only the *waiting* of a follower; a
+    /// leader always runs `compute` to completion so its result can
+    /// serve followers and fill the caches.
+    ///
+    /// On compute error the flight is dissolved without publishing, the
+    /// error returns to the leader only, and followers time out rather
+    /// than receive a broken value (their retry path re-resolves
+    /// through the caches).
+    pub fn run<E>(
+        &self,
+        key: u64,
+        deadline: Instant,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<FlightOutcome<V>, E> {
+        let (flight, is_leader) = {
+            let mut flights = self.flights.lock().expect("singleflight poisoned");
+            match flights.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running),
+                        cv: Condvar::new(),
+                    });
+                    flights.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if is_leader {
+            self.leaders.fetch_add(1, Ordering::Relaxed);
+            let result = compute();
+            {
+                let mut flights = self.flights.lock().expect("singleflight poisoned");
+                flights.remove(&key);
+            }
+            match result {
+                Ok(v) => {
+                    let mut state = flight.state.lock().expect("flight poisoned");
+                    *state = FlightState::Done(v.clone());
+                    drop(state);
+                    flight.cv.notify_all();
+                    Ok(FlightOutcome::Led(v))
+                }
+                Err(e) => {
+                    let mut state = flight.state.lock().expect("flight poisoned");
+                    *state = FlightState::Failed;
+                    drop(state);
+                    flight.cv.notify_all();
+                    Err(e)
+                }
+            }
+        } else {
+            self.followers.fetch_add(1, Ordering::Relaxed);
+            let mut state = flight.state.lock().expect("flight poisoned");
+            loop {
+                match &*state {
+                    FlightState::Done(v) => return Ok(FlightOutcome::Joined(v.clone())),
+                    FlightState::Failed => {
+                        // The leader's compute failed; report as a
+                        // timeout so the caller retries through the
+                        // cache tiers instead of inheriting an error it
+                        // cannot attribute.
+                        self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Ok(FlightOutcome::TimedOut);
+                    }
+                    FlightState::Running => {}
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Ok(FlightOutcome::TimedOut);
+                }
+                let (next, _timed_out) = flight
+                    .cv
+                    .wait_timeout(state, deadline - now)
+                    .expect("flight poisoned");
+                state = next;
+            }
+        }
+    }
+
+    /// Flights led (distinct computations performed).
+    #[must_use]
+    pub fn leaders(&self) -> u64 {
+        self.leaders.load(Ordering::Relaxed)
+    }
+
+    /// Flights joined (computations saved by deduplication).
+    #[must_use]
+    pub fn followers(&self) -> u64 {
+        self.followers.load(Ordering::Relaxed)
+    }
+
+    /// Followers that gave up at their deadline.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn sequential_runs_each_lead() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        for i in 0..3 {
+            let out = sf.run::<()>(9, deadline, || Ok(i)).unwrap();
+            assert_eq!(out, FlightOutcome::Led(i));
+        }
+        assert_eq!(sf.leaders(), 3);
+        assert_eq!(sf.followers(), 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let sf: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let n = 8;
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let sf = Arc::clone(&sf);
+            let computed = Arc::clone(&computed);
+            let gate = Arc::clone(&gate);
+            handles.push(std::thread::spawn(move || {
+                // Hold every thread at the gate so they contend on the
+                // same open flight instead of running sequentially.
+                {
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                }
+                let deadline = Instant::now() + Duration::from_secs(10);
+                sf.run::<()>(42, deadline, || {
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(50));
+                    Ok(7)
+                })
+                .unwrap()
+            }));
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Threads that slipped past the leader's removal start their own
+        // flight, so "exactly one compute" needs the sleep above to hold
+        // the flight open; with it, every value is 7 and the leader count
+        // plus follower count covers all callers.
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, FlightOutcome::Led(7) | FlightOutcome::Joined(7))));
+        assert_eq!(sf.leaders() + sf.followers(), n as u64);
+        assert_eq!(sf.leaders(), computed.load(Ordering::SeqCst) as u64);
+    }
+
+    #[test]
+    fn follower_times_out_against_stuck_leader() {
+        let sf: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+        let sf2 = Arc::clone(&sf);
+        let leader = std::thread::spawn(move || {
+            sf2.run::<()>(1, Instant::now() + Duration::from_secs(5), || {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(1)
+            })
+        });
+        // Give the leader time to open the flight.
+        std::thread::sleep(Duration::from_millis(50));
+        let out = sf
+            .run::<()>(1, Instant::now() + Duration::from_millis(50), || Ok(2))
+            .unwrap();
+        assert_eq!(out, FlightOutcome::TimedOut);
+        assert_eq!(sf.timeouts(), 1);
+        leader.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn leader_error_does_not_poison_the_key() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        let err = sf.run(5, deadline, || Err::<u32, &str>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        let ok = sf.run::<&str>(5, deadline, || Ok(3)).unwrap();
+        assert_eq!(ok, FlightOutcome::Led(3));
+    }
+}

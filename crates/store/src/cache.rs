@@ -43,7 +43,7 @@ use tpdbt_trace::{EventKind, Tracer};
 
 use crate::digest::Fnv64;
 use crate::error::{io_error_is_transient, StoreError};
-use crate::profilefmt::{self, Artifact, BaseArtifact, CellArtifact, PlainArtifact};
+use crate::profilefmt::{self, Artifact, BaseArtifact, CellArtifact, PlainArtifact, TypedArtifact};
 
 /// Maximum tries for one filesystem operation (1 initial + 2 retries).
 pub const IO_ATTEMPTS: u32 = 3;
@@ -415,31 +415,31 @@ impl ProfileStore {
         }
     }
 
+    /// Generic typed lookup: loads `key` and extracts the requested
+    /// artifact kind ([`TypedArtifact`]). An entry of another kind is
+    /// `None` — the hit was still counted, but the caller asked for the
+    /// wrong shape. The serve hot tier resolves through the same trait.
+    #[must_use]
+    pub fn load_as<T: TypedArtifact>(&self, key: &CacheKey) -> Option<T> {
+        self.load(key).and_then(T::from_artifact)
+    }
+
     /// Typed lookup of a plain-profile artifact.
     #[must_use]
     pub fn load_plain(&self, key: &CacheKey) -> Option<PlainArtifact> {
-        match self.load(key) {
-            Some(Artifact::Plain(p)) => Some(p),
-            _ => None,
-        }
+        self.load_as(key)
     }
 
     /// Typed lookup of a sweep-cell artifact.
     #[must_use]
     pub fn load_cell(&self, key: &CacheKey) -> Option<CellArtifact> {
-        match self.load(key) {
-            Some(Artifact::Cell(c)) => Some(c),
-            _ => None,
-        }
+        self.load_as(key)
     }
 
     /// Typed lookup of a baseline artifact.
     #[must_use]
     pub fn load_base(&self, key: &CacheKey) -> Option<BaseArtifact> {
-        match self.load(key) {
-            Some(Artifact::Base(b)) => Some(b),
-            _ => None,
-        }
+        self.load_as(key)
     }
 }
 

@@ -37,4 +37,4 @@ pub mod profilefmt;
 
 pub use cache::{CacheKey, ProfileStore};
 pub use error::StoreError;
-pub use profilefmt::{Artifact, BaseArtifact, CellArtifact, PlainArtifact};
+pub use profilefmt::{Artifact, BaseArtifact, CellArtifact, PlainArtifact, TypedArtifact};

@@ -73,6 +73,67 @@ pub enum Artifact {
     Base(BaseArtifact),
 }
 
+/// A concrete artifact kind that can be extracted from (and wrapped
+/// back into) the [`Artifact`] enum. The store's generic typed lookup
+/// ([`crate::ProfileStore::load_as`]) and the serve hot tier both
+/// dispatch through this trait instead of hand-written per-kind
+/// wrappers.
+pub trait TypedArtifact: Sized {
+    /// Stable lowercase kind name (store inspection, serve responses).
+    const KIND: &'static str;
+
+    /// Extracts this kind from `artifact`; `None` if it holds another.
+    fn from_artifact(artifact: Artifact) -> Option<Self>;
+
+    /// Wraps a value of this kind back into the enum.
+    fn into_artifact(self) -> Artifact;
+}
+
+impl TypedArtifact for PlainArtifact {
+    const KIND: &'static str = "plain";
+
+    fn from_artifact(artifact: Artifact) -> Option<Self> {
+        match artifact {
+            Artifact::Plain(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    fn into_artifact(self) -> Artifact {
+        Artifact::Plain(self)
+    }
+}
+
+impl TypedArtifact for CellArtifact {
+    const KIND: &'static str = "cell";
+
+    fn from_artifact(artifact: Artifact) -> Option<Self> {
+        match artifact {
+            Artifact::Cell(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    fn into_artifact(self) -> Artifact {
+        Artifact::Cell(self)
+    }
+}
+
+impl TypedArtifact for BaseArtifact {
+    const KIND: &'static str = "base";
+
+    fn from_artifact(artifact: Artifact) -> Option<Self> {
+        match artifact {
+            Artifact::Base(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn into_artifact(self) -> Artifact {
+        Artifact::Base(self)
+    }
+}
+
 const KIND_PLAIN: u8 = 0;
 const KIND_CELL: u8 = 1;
 const KIND_BASE: u8 = 2;

@@ -201,6 +201,42 @@ pub enum EventKind {
         cause: String,
     },
 
+    // ---- profile-query service (tpdbt-serve) ----
+    /// The serve listener accepted a client connection.
+    ServeConnAccepted {
+        /// Server-assigned connection id (accept order).
+        conn: u64,
+    },
+    /// A request frame was decoded and queued for execution.
+    ServeRequest {
+        /// Connection id the frame arrived on.
+        conn: u64,
+        /// Operation name (`"cell"`, `"plain"`, `"base"`, `"stats"`,
+        /// `"ping"`, `"shutdown"`).
+        op: &'static str,
+    },
+    /// A request completed and its response frame was sent.
+    ServeDone {
+        /// Connection id the response went to.
+        conn: u64,
+        /// Operation name.
+        op: &'static str,
+        /// Where the artifact came from (`"memory"`, `"disk"`,
+        /// `"computed"`, `"coalesced"`; `"-"` for non-artifact ops).
+        source: &'static str,
+        /// Wall-clock request latency, in microseconds.
+        micros: u64,
+    },
+    /// A request was refused with a structured error instead of a
+    /// result (malformed frame, overload shed, missed deadline, failed
+    /// computation, post-shutdown arrival).
+    ServeRejected {
+        /// Connection id (0 when the connection itself was shed).
+        conn: u64,
+        /// Machine-readable error code of the rejection.
+        code: &'static str,
+    },
+
     // ---- fault injection (tpdbt-faults consumers) ----
     /// A planned fault fired at an injection site.
     FaultInjected {
@@ -238,6 +274,10 @@ impl EventKind {
             EventKind::CellCommitted { .. } => "cell_committed",
             EventKind::CellRetried { .. } => "cell_retried",
             EventKind::CellFailed { .. } => "cell_failed",
+            EventKind::ServeConnAccepted { .. } => "serve_conn_accepted",
+            EventKind::ServeRequest { .. } => "serve_request",
+            EventKind::ServeDone { .. } => "serve_done",
+            EventKind::ServeRejected { .. } => "serve_rejected",
             EventKind::FaultInjected { .. } => "fault_injected",
         }
     }
@@ -347,6 +387,21 @@ mod tests {
                 bench: String::new(),
                 label: String::new(),
                 cause: String::new(),
+            },
+            EventKind::ServeConnAccepted { conn: 0 },
+            EventKind::ServeRequest {
+                conn: 0,
+                op: "cell",
+            },
+            EventKind::ServeDone {
+                conn: 0,
+                op: "cell",
+                source: "memory",
+                micros: 0,
+            },
+            EventKind::ServeRejected {
+                conn: 0,
+                code: "overloaded",
             },
             EventKind::FaultInjected {
                 site: "worker_panic",

@@ -154,6 +154,24 @@ fn fields(kind: &EventKind) -> Vec<Field<'_>> {
             Field::Str("label", label),
             Field::Str("cause", cause),
         ],
+        E::ServeConnAccepted { conn } => vec![Field::U64("conn", *conn)],
+        E::ServeRequest { conn, op } => {
+            vec![Field::U64("conn", *conn), Field::Str("op", op)]
+        }
+        E::ServeDone {
+            conn,
+            op,
+            source,
+            micros,
+        } => vec![
+            Field::U64("conn", *conn),
+            Field::Str("op", op),
+            Field::Str("source", source),
+            Field::U64("micros", *micros),
+        ],
+        E::ServeRejected { conn, code } => {
+            vec![Field::U64("conn", *conn), Field::Str("code", code)]
+        }
         E::FaultInjected { site, occurrence } => vec![
             Field::Str("site", site),
             Field::U64("occurrence", *occurrence),
