@@ -1,0 +1,74 @@
+//! Guest-execution backend benchmarks: the same suite workloads run
+//! end to end under the two-phase translator on the reference
+//! interpreter backend (`interp`, re-decoding every instruction on
+//! every execution) versus the pre-decoded translation cache
+//! (`cached`, micro-op buffers decoded once at translation time with
+//! direct block-to-successor chaining inside regions).
+//!
+//! Both backends produce bitwise-identical outputs, stats, and
+//! profiles (pinned by `crates/dbt/tests/backend_differential.rs`), so
+//! any gap here is pure host-side dispatch cost. A third group shows
+//! what a long-lived host (the sweep orchestrator, `tpdbt-serve`)
+//! gains by sharing one `PredecodedProgram` across runs: the decode
+//! cost itself amortizes to zero.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use tpdbt_dbt::{Backend, Dbt, DbtConfig};
+use tpdbt_isa::PredecodedProgram;
+use tpdbt_suite::{workload, InputKind, Scale, Workload};
+
+/// The hottest guests of the suite: tight integer loops (gzip), a
+/// branchy pointer-chaser (mcf), and an FP kernel (equake) — the three
+/// exercise ALU, branch, and float micro-op dispatch respectively.
+const GUESTS: &[&str] = &["gzip", "mcf", "equake"];
+
+fn guest(name: &str) -> Workload {
+    workload(name, Scale::Tiny, InputKind::Ref).expect("suite workload")
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let cfg = DbtConfig::two_phase(100);
+    let mut g = c.benchmark_group("guest_exec");
+    for name in GUESTS {
+        let w = guest(name);
+        for backend in Backend::ALL {
+            g.bench_function(format!("{name}/{backend}"), |b| {
+                b.iter(|| {
+                    let out = Dbt::new(cfg.with_backend(backend))
+                        .run_built(&w.binary, &w.input)
+                        .unwrap();
+                    black_box(out.stats.instructions)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The shared-cache variant: one decode-once `PredecodedProgram` per
+/// guest, reused across every run — the shape of a ladder sweep (many
+/// thresholds, one guest) or a profile-query service.
+fn bench_shared_predecode(c: &mut Criterion) {
+    let cfg = DbtConfig::two_phase(100);
+    let mut g = c.benchmark_group("guest_exec_shared");
+    for name in GUESTS {
+        let w = guest(name);
+        let shared = Arc::new(PredecodedProgram::new(&w.binary.program));
+        g.bench_function(format!("{name}/cached-shared"), |b| {
+            b.iter(|| {
+                let out = Dbt::new(cfg.with_backend(Backend::Cached))
+                    .with_predecoded(Arc::clone(&shared))
+                    .run_built(&w.binary, &w.input)
+                    .unwrap();
+                black_box(out.stats.instructions)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_shared_predecode);
+criterion_main!(benches);

@@ -11,6 +11,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use tpdbt_dbt::Backend;
 use tpdbt_serve::proto::Request;
 use tpdbt_serve::{start, Bind, Client, ProfileService, ServerConfig, ServiceConfig};
 use tpdbt_suite::Scale;
@@ -24,10 +25,15 @@ fn far() -> Instant {
 }
 
 fn service(cache_dir: Option<PathBuf>, hot_capacity: usize) -> ProfileService {
+    service_on(cache_dir, hot_capacity, Backend::default())
+}
+
+fn service_on(cache_dir: Option<PathBuf>, hot_capacity: usize, backend: Backend) -> ProfileService {
     ProfileService::new(ServiceConfig {
         cache_dir,
         hot_capacity,
         default_deadline: Duration::from_secs(600),
+        backend,
     })
 }
 
@@ -35,15 +41,18 @@ fn bench_resolution_tiers(c: &mut Criterion) {
     let mut g = c.benchmark_group("serve_tiers");
 
     // Cold: a fresh service per iteration, no store — every resolve is
-    // a real guest execution.
-    g.bench_function("cold_compute", |b| {
-        b.iter(|| {
-            let s = service(None, 0);
-            let r = s.resolve_base("gzip", Scale::Tiny, far()).unwrap();
-            assert_eq!(s.guest_runs(), 1);
-            black_box(r.artifact)
-        })
-    });
+    // a real guest execution. One leg per execution backend: the gap
+    // is what the pre-decoded translation cache buys a cold query.
+    for backend in Backend::ALL {
+        g.bench_function(format!("cold_compute/{backend}"), |b| {
+            b.iter(|| {
+                let s = service_on(None, 0, backend);
+                let r = s.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+                assert_eq!(s.guest_runs(), 1);
+                black_box(r.artifact)
+            })
+        });
+    }
 
     // Disk-warm: the store is primed once; each iteration constructs a
     // fresh service (empty hot tier) so every resolve decodes from disk.

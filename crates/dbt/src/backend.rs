@@ -1,0 +1,469 @@
+//! Pluggable execution backends: how translated guest code actually
+//! runs.
+//!
+//! The engine in [`crate::engine`] owns *when* things happen — block
+//! discovery, counter bumps, threshold registration, region formation,
+//! freezing — while an [`ExecBackend`] owns *how* a translated block's
+//! instructions execute. Two backends are provided:
+//!
+//! * [`InterpBackend`] — the reference backend: per-instruction
+//!   dispatch through [`tpdbt_vm::step`], exactly the execution model
+//!   the engine used before backends existed.
+//! * [`CachedBackend`] — a pre-decoded translation cache: each block
+//!   is decoded once at translation time into a
+//!   [`tpdbt_isa::DecodedBlock`] (a flat micro-op buffer plus a
+//!   pre-resolved terminator) and every later execution replays the
+//!   buffer through [`tpdbt_vm::exec_op`] / [`tpdbt_vm::exec_term`].
+//!   Optimized regions additionally get direct block-to-successor
+//!   chaining: at region-install time the copies are resolved to their
+//!   decoded bodies, so region execution never consults the per-pc
+//!   cache.
+//!
+//! Both backends drive the same execute-half semantics in `tpdbt-vm`,
+//! so architectural state, outputs, and every profile counter are
+//! bitwise identical by construction — the differential proptest in
+//! `tests/backend_differential.rs` pins this.
+
+use std::sync::Arc;
+
+use tpdbt_isa::{Block, DecodedBlock, Pc, PredecodedProgram, Program};
+use tpdbt_vm::{exec_op, exec_term, step, Flow, Machine, VmError};
+
+/// Which execution backend runs translated code — the user-facing
+/// selection knob (`--backend {interp,cached}` on every binary).
+///
+/// The backend never changes a run's observable results (profiles,
+/// outputs, stats, simulated cycles) — only how fast the host executes
+/// the guest — so it is deliberately excluded from
+/// [`crate::DbtConfig::fingerprint`] and the two backends share
+/// profile-store cache entries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Reference per-instruction interpreter dispatch.
+    Interp,
+    /// Pre-decoded translation cache (the default).
+    #[default]
+    Cached,
+}
+
+impl Backend {
+    /// All backends, for test matrices.
+    pub const ALL: [Backend; 2] = [Backend::Interp, Backend::Cached];
+
+    /// The flag-value name (`"interp"` / `"cached"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Interp => "interp",
+            Backend::Cached => "cached",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" => Ok(Backend::Interp),
+            "cached" => Ok(Backend::Cached),
+            other => Err(format!(
+                "unknown backend '{other}' (expected 'interp' or 'cached')"
+            )),
+        }
+    }
+}
+
+/// Where a block execution was dispatched from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecSite {
+    /// Profiling-phase (unoptimized) dispatch.
+    Unopt,
+    /// Copy `copy` of optimized region `region`.
+    Region {
+        /// Region id (index into the engine's region table).
+        region: usize,
+        /// Copy index within the region.
+        copy: usize,
+    },
+}
+
+/// How translated code executes. Implementations must be semantically
+/// transparent: for any block, [`ExecBackend::exec_block`] must effect
+/// exactly the architectural-state transition and [`Flow`] that
+/// per-instruction [`tpdbt_vm::step`] dispatch would, including trap
+/// payloads.
+///
+/// The engine reports translation-cache lifecycle events through the
+/// remaining hooks: [`ExecBackend::on_translate`] at fast-translation
+/// (cache insert), [`ExecBackend::install_region`] at region formation
+/// *and* re-formation (optimized-code insert / replace), and
+/// [`ExecBackend::retire_region`] at adaptive retirement (optimized-code
+/// invalidation).
+pub trait ExecBackend {
+    /// The block at `block.start` was fast-translated.
+    fn on_translate(&mut self, program: &Program, block: &Block) {
+        let _ = (program, block);
+    }
+
+    /// Region `region` was formed or re-formed over `copies` (block
+    /// start addresses, entry first).
+    fn install_region(&mut self, region: usize, copies: &[Pc]) {
+        let _ = (region, copies);
+    }
+
+    /// Region `region` was retired: its optimized code must never run
+    /// again.
+    fn retire_region(&mut self, region: usize) {
+        let _ = region;
+    }
+
+    /// Executes the translated block spanning `[start, end)`, returning
+    /// the terminator's control flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest traps ([`VmError`]) exactly as interpretation
+    /// of the same instructions would.
+    fn exec_block(
+        &mut self,
+        program: &Program,
+        start: Pc,
+        end: Pc,
+        site: ExecSite,
+        machine: &mut Machine,
+    ) -> Result<Flow, VmError>;
+}
+
+/// The reference backend: per-instruction dispatch through
+/// [`tpdbt_vm::step`], byte-for-byte the execution model the engine
+/// used before the translation cache existed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InterpBackend;
+
+impl InterpBackend {
+    /// Creates the reference backend.
+    #[must_use]
+    pub fn new() -> InterpBackend {
+        InterpBackend
+    }
+}
+
+impl ExecBackend for InterpBackend {
+    fn exec_block(
+        &mut self,
+        program: &Program,
+        start: Pc,
+        end: Pc,
+        _site: ExecSite,
+        machine: &mut Machine,
+    ) -> Result<Flow, VmError> {
+        let mut flow = Flow::Halted;
+        for at in start..end {
+            machine.set_pc(at);
+            flow = step(program, machine)?;
+            if matches!(flow, Flow::Halted) && at + 1 < end {
+                unreachable!("halt only terminates blocks");
+            }
+        }
+        Ok(flow)
+    }
+}
+
+/// Replays a decoded block's micro-ops and terminator. After a
+/// successful block the machine PC rests on the terminator, matching
+/// the interpreter backend's final state exactly.
+fn run_decoded(block: &DecodedBlock, machine: &mut Machine) -> Result<Flow, VmError> {
+    let mut pc = block.start;
+    for op in block.ops.iter() {
+        exec_op(op, pc, machine)?;
+        pc += 1;
+    }
+    machine.set_pc(pc);
+    exec_term(block.term.view(), pc, machine)
+}
+
+/// The pre-decoded translation cache.
+///
+/// Blocks are decoded exactly once — at fast-translation time — into
+/// [`DecodedBlock`]s; optionally a shared [`PredecodedProgram`] makes
+/// that a once-per-*guest* cost across runs and threads (sweep ladder
+/// cells, serve queries) instead of once per run.
+#[derive(Debug)]
+pub struct CachedBackend {
+    /// Cross-run shared decode cache, when the driver provided one.
+    shared: Option<Arc<PredecodedProgram>>,
+    /// The translation cache proper: decoded block per start address.
+    blocks: Vec<Option<Arc<DecodedBlock>>>,
+    /// Per-region chains: copies resolved to their decoded bodies at
+    /// install time (direct block-to-successor chaining — region
+    /// execution never consults `blocks`). Cleared on retirement.
+    chains: Vec<Vec<Arc<DecodedBlock>>>,
+}
+
+impl CachedBackend {
+    /// Creates a translation cache for a program of `program_len`
+    /// instructions. When `shared` is given (and sized for the same
+    /// program), decoded blocks are pulled from — and published to —
+    /// it, so concurrent and successive runs of the same guest decode
+    /// each block only once globally.
+    #[must_use]
+    pub fn new(program_len: usize, shared: Option<Arc<PredecodedProgram>>) -> CachedBackend {
+        let shared = shared.filter(|p| p.len() == program_len);
+        CachedBackend {
+            shared,
+            blocks: vec![None; program_len],
+            chains: Vec::new(),
+        }
+    }
+
+    /// Number of blocks currently in the translation cache.
+    #[must_use]
+    pub fn cached_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+impl ExecBackend for CachedBackend {
+    fn on_translate(&mut self, program: &Program, block: &Block) {
+        let pc = block.start;
+        if self.blocks[pc].is_some() {
+            return;
+        }
+        let decoded = match &self.shared {
+            Some(cache) => cache.block(program, pc),
+            None => Some(Arc::new(DecodedBlock::from_block(program, block))),
+        };
+        self.blocks[pc] = decoded;
+    }
+
+    fn install_region(&mut self, region: usize, copies: &[Pc]) {
+        if self.chains.len() <= region {
+            self.chains.resize_with(region + 1, Vec::new);
+        }
+        let chain: Vec<Arc<DecodedBlock>> = copies
+            .iter()
+            .map(|&pc| {
+                Arc::clone(
+                    self.blocks[pc]
+                        .as_ref()
+                        .expect("region members are translated before formation"),
+                )
+            })
+            .collect();
+        self.chains[region] = chain;
+    }
+
+    fn retire_region(&mut self, region: usize) {
+        if let Some(chain) = self.chains.get_mut(region) {
+            chain.clear();
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        program: &Program,
+        start: Pc,
+        end: Pc,
+        site: ExecSite,
+        machine: &mut Machine,
+    ) -> Result<Flow, VmError> {
+        if let ExecSite::Region { region, copy } = site {
+            if let Some(block) = self.chains.get(region).and_then(|c| c.get(copy)) {
+                return run_decoded(block, machine);
+            }
+        }
+        if self.blocks[start].is_none() {
+            // Defensive: the engine always translates before executing,
+            // but a standalone user of the backend may not.
+            self.blocks[start] = match &self.shared {
+                Some(cache) => cache.block(program, start),
+                None => DecodedBlock::decode(program, start).map(Arc::new),
+            };
+        }
+        let block = self.blocks[start]
+            .as_ref()
+            .ok_or(VmError::BadPc { pc: start })?;
+        debug_assert_eq!((block.start, block.end), (start, end));
+        let _ = end;
+        run_decoded(block, machine)
+    }
+}
+
+/// Static dispatch over the two built-in backends (keeps the engine's
+/// hot loop free of virtual calls).
+#[derive(Debug)]
+pub(crate) enum BackendImpl {
+    Interp(InterpBackend),
+    Cached(CachedBackend),
+}
+
+impl BackendImpl {
+    pub(crate) fn new(
+        backend: Backend,
+        program: &Program,
+        shared: Option<Arc<PredecodedProgram>>,
+    ) -> BackendImpl {
+        match backend {
+            Backend::Interp => BackendImpl::Interp(InterpBackend::new()),
+            Backend::Cached => BackendImpl::Cached(CachedBackend::new(program.len(), shared)),
+        }
+    }
+}
+
+impl ExecBackend for BackendImpl {
+    fn on_translate(&mut self, program: &Program, block: &Block) {
+        match self {
+            BackendImpl::Interp(b) => b.on_translate(program, block),
+            BackendImpl::Cached(b) => b.on_translate(program, block),
+        }
+    }
+
+    fn install_region(&mut self, region: usize, copies: &[Pc]) {
+        match self {
+            BackendImpl::Interp(b) => b.install_region(region, copies),
+            BackendImpl::Cached(b) => b.install_region(region, copies),
+        }
+    }
+
+    fn retire_region(&mut self, region: usize) {
+        match self {
+            BackendImpl::Interp(b) => b.retire_region(region),
+            BackendImpl::Cached(b) => b.retire_region(region),
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        program: &Program,
+        start: Pc,
+        end: Pc,
+        site: ExecSite,
+        machine: &mut Machine,
+    ) -> Result<Flow, VmError> {
+        match self {
+            BackendImpl::Interp(b) => b.exec_block(program, start, end, site, machine),
+            BackendImpl::Cached(b) => b.exec_block(program, start, end, site, machine),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_isa::{decode_block, Cond, ProgramBuilder, Reg};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.reserve_mem(8);
+        let top = b.fresh_label("top");
+        b.movi(Reg::new(1), 3); // 0
+        b.bind(top).unwrap();
+        b.addi(Reg::new(0), Reg::new(0), 5); // 1
+        b.store(Reg::new(0), Reg::new(1), 0); // 2
+        b.out(Reg::new(0)); // 3
+        b.br_imm(Cond::Lt, Reg::new(0), 20, top); // 4
+        b.halt(); // 5
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn backend_flag_round_trips() {
+        for b in Backend::ALL {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert!("jit".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::Cached);
+    }
+
+    #[test]
+    fn both_backends_step_a_block_identically() {
+        let p = sample();
+        let block = decode_block(&p, 0).unwrap();
+        let mut interp = InterpBackend::new();
+        let mut cached = CachedBackend::new(p.len(), None);
+        cached.on_translate(&p, &block);
+        assert_eq!(cached.cached_blocks(), 1);
+
+        let mut mi = Machine::new(&p, &[]);
+        let mut mc = mi.clone();
+        let fi = interp
+            .exec_block(&p, block.start, block.end, ExecSite::Unopt, &mut mi)
+            .unwrap();
+        let fc = cached
+            .exec_block(&p, block.start, block.end, ExecSite::Unopt, &mut mc)
+            .unwrap();
+        assert_eq!(fi, fc);
+        assert_eq!(mi, mc, "architectural state must be bitwise identical");
+    }
+
+    #[test]
+    fn shared_predecode_is_published_across_backends() {
+        let p = sample();
+        let shared = Arc::new(PredecodedProgram::new(&p));
+        let block = decode_block(&p, 0).unwrap();
+        let mut first = CachedBackend::new(p.len(), Some(Arc::clone(&shared)));
+        first.on_translate(&p, &block);
+        assert_eq!(shared.decoded_count(), 1);
+        // A second run of the same guest reuses the decode.
+        let mut second = CachedBackend::new(p.len(), Some(Arc::clone(&shared)));
+        second.on_translate(&p, &block);
+        assert_eq!(shared.decoded_count(), 1);
+        let a = first.blocks[0].as_ref().unwrap();
+        let b = second.blocks[0].as_ref().unwrap();
+        assert!(Arc::ptr_eq(a, b));
+    }
+
+    #[test]
+    fn mismatched_shared_cache_is_ignored() {
+        let p = sample();
+        let mut other = ProgramBuilder::new();
+        other.halt();
+        let tiny = other.build().unwrap();
+        let shared = Arc::new(PredecodedProgram::new(&tiny));
+        let backend = CachedBackend::new(p.len(), Some(shared));
+        assert!(backend.shared.is_none());
+    }
+
+    #[test]
+    fn region_chains_install_and_retire() {
+        let p = sample();
+        let entry = decode_block(&p, 0).unwrap();
+        let body = decode_block(&p, 1).unwrap();
+        let mut cached = CachedBackend::new(p.len(), None);
+        cached.on_translate(&p, &entry);
+        cached.on_translate(&p, &body);
+        cached.install_region(0, &[1, 1]);
+        assert_eq!(cached.chains[0].len(), 2);
+        // Region execution uses the chain directly.
+        let mut m = Machine::new(&p, &[]);
+        let flow = cached
+            .exec_block(
+                &p,
+                body.start,
+                body.end,
+                ExecSite::Region { region: 0, copy: 1 },
+                &mut m,
+            )
+            .unwrap();
+        assert_eq!(
+            flow,
+            Flow::Jump {
+                target: 1,
+                taken: true
+            }
+        );
+        cached.retire_region(0);
+        assert!(cached.chains[0].is_empty());
+        // Re-formation reinstalls.
+        cached.install_region(0, &[1]);
+        assert_eq!(cached.chains[0].len(), 1);
+    }
+}

@@ -1,5 +1,7 @@
 //! Translator configuration: profiling mode, region-formation policy,
-//! and the simulated cost model.
+//! execution backend, and the simulated cost model.
+
+use crate::backend::Backend;
 
 /// How the translator profiles and optimizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -153,6 +155,9 @@ pub struct DbtConfig {
     /// Maximum dynamic guest instructions before the run aborts
     /// (defends against runaway workloads).
     pub fuel: u64,
+    /// Which execution backend runs translated code. Never affects a
+    /// run's observable results — see [`Backend`].
+    pub backend: Backend,
 }
 
 impl DbtConfig {
@@ -174,6 +179,7 @@ impl DbtConfig {
             adapt: AdaptPolicy::default(),
             interval: None,
             fuel: tpdbt_vm::DEFAULT_FUEL,
+            backend: Backend::default(),
         }
     }
 
@@ -237,6 +243,13 @@ impl DbtConfig {
         self
     }
 
+    /// Selects the execution backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Enables interval profile recording every `instructions` dynamic
     /// instructions (phase detection input).
     ///
@@ -292,6 +305,9 @@ impl DbtConfig {
         eat(&u64::from(self.adapt.max_retirements_per_entry).to_le_bytes());
         eat(&self.interval.map_or(0, |i| i.wrapping_add(1)).to_le_bytes());
         eat(&self.fuel.to_le_bytes());
+        // `backend` is deliberately NOT hashed: backends are bitwise
+        // result-identical by construction (pinned by the differential
+        // proptest), so interp and cached runs share store entries.
         h
     }
 }
@@ -351,6 +367,18 @@ mod tests {
         };
         assert_ne!(base.fingerprint(), base.with_cost(cost).fingerprint());
         assert_ne!(base.fingerprint(), base.with_interval(1).fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_backend() {
+        let base = DbtConfig::two_phase(100);
+        assert_eq!(base.backend, Backend::Cached);
+        assert_eq!(
+            base.fingerprint(),
+            base.with_backend(Backend::Interp).fingerprint(),
+            "backends are result-identical and must share store entries"
+        );
+        assert_eq!(base.with_backend(Backend::Interp).backend, Backend::Interp);
     }
 
     #[test]

@@ -3,14 +3,15 @@
 
 use std::sync::Arc;
 
-use tpdbt_isa::{decode_block, Block, BuiltProgram, Pc, Program, Terminator};
+use tpdbt_isa::{decode_block, Block, BuiltProgram, Pc, PredecodedProgram, Program, Terminator};
 use tpdbt_profile::{
     BlockRecord, InipDump, IntervalProfile, PlainProfile, RegionDump, RegionKind, SuccSlot,
     TermKind,
 };
 use tpdbt_trace::{EventKind, TraceRegionKind, Tracer};
-use tpdbt_vm::{step, Flow, Machine};
+use tpdbt_vm::{Flow, Machine};
 
+use crate::backend::{BackendImpl, ExecBackend, ExecSite};
 use crate::config::{DbtConfig, ProfilingMode};
 use crate::error::DbtError;
 use crate::region::{form_region, BlockSource, FormedRegion};
@@ -88,6 +89,10 @@ struct BlockEntry {
     /// First-occurrence order of dynamic return targets (stable slot
     /// numbering for `ret` edges).
     ret_targets: Vec<Pc>,
+    /// For switch terminators: the deduplicated, sorted target table,
+    /// computed once at translation time (stable static slot numbering
+    /// without a per-execution sort).
+    switch_uniq: Box<[Pc]>,
 }
 
 /// A formed region prepared for execution.
@@ -164,6 +169,7 @@ fn term_kind(t: &Terminator) -> TermKind {
 pub struct Dbt {
     config: DbtConfig,
     tracer: Option<Arc<Tracer>>,
+    predecoded: Option<Arc<PredecodedProgram>>,
 }
 
 impl Dbt {
@@ -173,6 +179,7 @@ impl Dbt {
         Dbt {
             config,
             tracer: None,
+            predecoded: None,
         }
     }
 
@@ -190,6 +197,19 @@ impl Dbt {
     #[must_use]
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
         self.tracer.as_ref()
+    }
+
+    /// Shares a pre-decoded block cache across runs of the same
+    /// program. Only consulted by the [`crate::Backend::Cached`]
+    /// backend; it must have been created (via
+    /// [`PredecodedProgram::new`]) for the exact program later passed
+    /// to [`Dbt::run`], otherwise it is silently ignored. Sweeps hand
+    /// one cache to every ladder cell of a guest so each block is
+    /// decoded once per guest instead of once per cell.
+    #[must_use]
+    pub fn with_predecoded(mut self, predecoded: Arc<PredecodedProgram>) -> Self {
+        self.predecoded = Some(predecoded);
+        self
     }
 
     /// The configuration in use.
@@ -229,6 +249,7 @@ impl Dbt {
             config: &self.config,
             tracer: self.tracer.as_deref(),
             program,
+            backend: BackendImpl::new(self.config.backend, program, self.predecoded.clone()),
             cache: (0..program.len()).map(|_| None).collect(),
             regions: Vec::new(),
             pool: Vec::new(),
@@ -247,6 +268,7 @@ struct Engine<'p> {
     config: &'p DbtConfig,
     tracer: Option<&'p Tracer>,
     program: &'p Program,
+    backend: BackendImpl,
     cache: Vec<Option<Box<BlockEntry>>>,
     regions: Vec<RuntimeRegion>,
     pool: Vec<Pc>,
@@ -356,7 +378,9 @@ impl<'p> Engine<'p> {
     }
 
     /// Ensures the block at `pc` is translated, charging the one-time
-    /// fast-translation cost.
+    /// fast-translation cost. This is the translation-cache insert: the
+    /// backend decodes (or chains) the block here, once, and every
+    /// later execution replays the cached form.
     fn translate(&mut self, pc: Pc) -> &mut BlockEntry {
         if self.cache[pc].is_none() {
             let block = decode_block(self.program, pc)
@@ -364,6 +388,16 @@ impl<'p> Engine<'p> {
             let len = (block.end - block.start) as u32;
             self.stats.blocks_translated += 1;
             self.stats.cycles += self.config.cost.cold_translate_per_instr * u64::from(len);
+            self.backend.on_translate(self.program, &block);
+            let switch_uniq: Box<[Pc]> = match &block.terminator {
+                Terminator::Switch { targets } => {
+                    let mut uniq = targets.clone();
+                    uniq.sort_unstable();
+                    uniq.dedup();
+                    uniq.into_boxed_slice()
+                }
+                _ => Box::default(),
+            };
             let record = BlockRecord {
                 len,
                 kind: Some(term_kind(&block.terminator)),
@@ -377,6 +411,7 @@ impl<'p> Engine<'p> {
                 registered: 0,
                 entry_of: None,
                 ret_targets: Vec::new(),
+                switch_uniq,
             }));
             self.trace_emit(|| EventKind::BlockTranslated { pc: pc as u64, len });
         }
@@ -384,24 +419,24 @@ impl<'p> Engine<'p> {
     }
 
     /// Executes the straight-line body and terminator of the block at
-    /// `pc`, returning the control-flow outcome. Shared by the
-    /// profiling path and region execution (identical architectural
-    /// semantics, different costs).
-    fn step_block(&mut self, pc: Pc, machine: &mut Machine) -> Result<(Flow, u32), DbtError> {
+    /// `pc` through the configured backend, returning the control-flow
+    /// outcome. Shared by the profiling path and region execution
+    /// (identical architectural semantics, different costs).
+    fn step_block(
+        &mut self,
+        pc: Pc,
+        site: ExecSite,
+        machine: &mut Machine,
+    ) -> Result<(Flow, u32), DbtError> {
         let (start, end) = {
             let e = self.cache[pc]
                 .as_ref()
                 .expect("block translated before execution");
             (e.block.start, e.block.end)
         };
-        let mut flow = Flow::Halted;
-        for at in start..end {
-            machine.set_pc(at);
-            flow = step(self.program, machine)?;
-            if matches!(flow, Flow::Halted) && at + 1 < end {
-                unreachable!("halt only terminates blocks");
-            }
-        }
+        let flow = self
+            .backend
+            .exec_block(self.program, start, end, site, machine)?;
         let len = (end - start) as u32;
         self.stats.instructions += u64::from(len);
         Ok((flow, len))
@@ -422,13 +457,13 @@ impl<'p> Engine<'p> {
             (Terminator::Jump { .. } | Terminator::Call { .. }, Flow::Jump { target, .. }) => {
                 Some((SuccSlot::Other(0), *target))
             }
-            (Terminator::Switch { targets }, Flow::Jump { target, .. }) => {
+            (Terminator::Switch { .. }, Flow::Jump { target, .. }) => {
                 // Stable static slot: position among deduplicated,
-                // sorted targets.
-                let mut uniq: Vec<Pc> = targets.clone();
-                uniq.sort_unstable();
-                uniq.dedup();
-                let idx = uniq.binary_search(target).expect("switch target in table");
+                // sorted targets, pre-computed at translation time.
+                let idx = entry
+                    .switch_uniq
+                    .binary_search(target)
+                    .expect("switch target in table");
                 Some((SuccSlot::Other(idx as u32), *target))
             }
             (Terminator::Return, Flow::Jump { target, .. }) => {
@@ -447,7 +482,7 @@ impl<'p> Engine<'p> {
 
     fn execute_unopt(&mut self, pc: Pc, machine: &mut Machine) -> Result<Next, DbtError> {
         self.translate(pc);
-        let (flow, len) = self.step_block(pc, machine)?;
+        let (flow, len) = self.step_block(pc, ExecSite::Unopt, machine)?;
         let cost = &self.config.cost;
         self.stats.cycles += cost.unopt_exec_per_instr * u64::from(len) + cost.dispatch_cost;
 
@@ -520,7 +555,11 @@ impl<'p> Engine<'p> {
                 }));
             }
             let pc = self.regions[ri].dump.copies[cur];
-            let (flow, len) = self.step_block(pc, machine)?;
+            let site = ExecSite::Region {
+                region: ri,
+                copy: cur,
+            };
+            let (flow, len) = self.step_block(pc, site, machine)?;
             self.stats.cycles += self.config.cost.opt_exec_per_instr * u64::from(len);
             // Continuous mode keeps counting inside regions too.
             if self.config.mode == ProfilingMode::Continuous {
@@ -589,6 +628,10 @@ impl<'p> Engine<'p> {
             let replacement = RuntimeRegion::new(formed, self.regions[ri].dump.id, current_use);
             let id = replacement.dump.id;
             self.regions[ri] = replacement;
+            // Re-formation replaces the region's optimized code: the
+            // backend re-chains the new copy list.
+            self.backend
+                .install_region(ri, &self.regions[ri].dump.copies);
             self.trace_emit(|| EventKind::RegionReformed {
                 region: id as u64,
                 entry_pc: entry_pc as u64,
@@ -630,6 +673,8 @@ impl<'p> Engine<'p> {
         self.stats.retirements += 1;
         let copies = self.regions[ri].dump.copies.clone();
         self.regions[ri].retired = true;
+        // Retirement invalidates the region's optimized code.
+        self.backend.retire_region(ri);
         let (region_id, entries, side_exits) = {
             let r = &self.regions[ri];
             (r.dump.id, r.entries, r.side_exits)
@@ -722,6 +767,10 @@ impl<'p> Engine<'p> {
                 }
             }
             self.cache[seed].as_mut().expect("translated").entry_of = Some(id);
+            // Formation installs the region's optimized code: the
+            // backend resolves each copy to its decoded body once, so
+            // region execution chains block-to-successor directly.
+            self.backend.install_region(id, &region.dump.copies);
             self.regions.push(region);
         }
     }

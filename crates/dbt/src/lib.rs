@@ -60,12 +60,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod config;
 mod engine;
 mod error;
 pub mod offline;
 mod region;
 
+pub use backend::{Backend, CachedBackend, ExecBackend, ExecSite, InterpBackend};
 pub use config::{AdaptPolicy, CostModel, DbtConfig, ProfilingMode, RegionPolicy};
 pub use engine::{Dbt, ExecStats, RunOutcome};
 pub use error::DbtError;

@@ -1,0 +1,328 @@
+//! Differential harness for the execution backends.
+//!
+//! The correctness contract of the translation cache is *bitwise
+//! transparency*: for any guest program, mode, and threshold, the
+//! cached backend must produce exactly the architectural state,
+//! outputs, run statistics, and profile counters of the reference
+//! interpreter backend. These tests pin that contract with generated
+//! programs (proptest) and with exact-boundary regressions at the
+//! freeze/reform events that drive translation-cache inserts, installs,
+//! and invalidations.
+
+use proptest::prelude::*;
+
+use tpdbt_dbt::{
+    Backend, CachedBackend, Dbt, DbtConfig, ExecBackend, ExecSite, InterpBackend, RegionPolicy,
+    RunOutcome,
+};
+use tpdbt_isa::{decode_block, structured, Cond, FReg, Program, ProgramBuilder, Reg};
+use tpdbt_vm::{Flow, Machine};
+
+/// A random structured statement. Richer than the ISA-layer generator:
+/// includes calls, memory and float traffic, and input-driven branches
+/// so every terminator kind and trap-free op reaches both backends.
+#[derive(Clone, Debug)]
+enum Stmt {
+    HotLoop { trips: i64, body_ops: u8 },
+    IfElse { bias_imm: i64 },
+    Switch { arms: u8 },
+    MemOps { slots: u8 },
+    FloatOps { n: u8 },
+    CallLeaf { times: i64 },
+    ReadInput,
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (20i64..200, 0u8..4).prop_map(|(trips, body_ops)| Stmt::HotLoop { trips, body_ops }),
+        (0i64..10).prop_map(|bias_imm| Stmt::IfElse { bias_imm }),
+        (1u8..5).prop_map(|arms| Stmt::Switch { arms }),
+        (1u8..8).prop_map(|slots| Stmt::MemOps { slots }),
+        (1u8..5).prop_map(|n| Stmt::FloatOps { n }),
+        (1i64..60).prop_map(|times| Stmt::CallLeaf { times }),
+        Just(Stmt::ReadInput),
+    ]
+}
+
+fn build(stmts: &[Stmt]) -> Program {
+    let mut b = ProgramBuilder::named("diff");
+    b.reserve_mem(16);
+    b.reserve_fmem(4);
+    let acc = Reg::new(3);
+    let tmp = Reg::new(4);
+    let leaf = b.fresh_label("leaf");
+    let start = b.fresh_label("start");
+    b.jmp(start);
+    // fn leaf(): acc = acc * 3 + 1
+    b.bind(leaf).unwrap();
+    b.muli(acc, acc, 3);
+    b.addi(acc, acc, 1);
+    b.ret();
+    b.bind(start).unwrap();
+    b.movi(acc, 0);
+    for (i, stmt) in stmts.iter().enumerate() {
+        match stmt {
+            Stmt::HotLoop { trips, body_ops } => {
+                let ctr = Reg::new(10 + (i % 4) as u8);
+                structured::counted_loop(&mut b, ctr, 0, 1, Cond::Lt, *trips, |b| {
+                    for _ in 0..*body_ops {
+                        b.addi(acc, acc, 1);
+                    }
+                })
+                .unwrap();
+            }
+            Stmt::IfElse { bias_imm } => {
+                b.and(tmp, acc, 7);
+                structured::if_else(
+                    &mut b,
+                    Cond::Lt,
+                    tmp,
+                    *bias_imm,
+                    |b| b.addi(acc, acc, 2),
+                    |b| b.subi(acc, acc, 1),
+                )
+                .unwrap();
+            }
+            Stmt::Switch { arms } => {
+                b.and(tmp, acc, 15);
+                let arms: Vec<structured::Arm> = (0..*arms)
+                    .map(|k| {
+                        Box::new(move |b: &mut ProgramBuilder| b.addi(acc, acc, i64::from(k)))
+                            as structured::Arm
+                    })
+                    .collect();
+                structured::switch(&mut b, tmp, arms).unwrap();
+            }
+            Stmt::MemOps { slots } => {
+                for s in 0..*slots {
+                    b.movi(tmp, i64::from(s));
+                    b.store(acc, tmp, 0);
+                    b.load(Reg::new(5), tmp, 0);
+                    b.add(acc, acc, Reg::new(5));
+                }
+            }
+            Stmt::FloatOps { n } => {
+                for _ in 0..*n {
+                    b.itof(FReg::new(0), acc);
+                    b.fmovi(FReg::new(1), 1.5);
+                    b.fmul(FReg::new(2), FReg::new(0), FReg::new(1));
+                    b.ftoi(acc, FReg::new(2));
+                }
+            }
+            Stmt::CallLeaf { times } => {
+                let ctr = Reg::new(14 + (i % 2) as u8);
+                structured::counted_loop(&mut b, ctr, 0, 1, Cond::Lt, *times, |b| {
+                    b.call(leaf);
+                })
+                .unwrap();
+            }
+            Stmt::ReadInput => {
+                b.input(tmp);
+                b.add(acc, acc, tmp);
+            }
+        }
+        b.out(acc);
+    }
+    b.out(acc);
+    b.halt();
+    b.build().expect("structured composition always validates")
+}
+
+fn run_with(config: DbtConfig, backend: Backend, p: &Program, input: &[i64]) -> RunOutcome {
+    Dbt::new(config.with_backend(backend))
+        .run(p, input)
+        .expect("generated programs are trap-free")
+}
+
+/// Full observable-result equality between the two backends.
+fn assert_identical(config: DbtConfig, p: &Program, input: &[i64]) {
+    let interp = run_with(config, Backend::Interp, p, input);
+    let cached = run_with(config, Backend::Cached, p, input);
+    let ctx = format!("mode {:?} T={}", config.mode, config.threshold);
+    assert_eq!(interp.output, cached.output, "output diverged: {ctx}");
+    assert_eq!(interp.stats, cached.stats, "stats diverged: {ctx}");
+    assert_eq!(
+        interp.inip.blocks, cached.inip.blocks,
+        "profile counters diverged: {ctx}"
+    );
+    assert_eq!(
+        interp.inip.regions, cached.inip.regions,
+        "regions diverged: {ctx}"
+    );
+    assert_eq!(interp.inip.cycles, cached.inip.cycles, "cycles: {ctx}");
+    assert_eq!(
+        interp.inip.profiling_ops, cached.inip.profiling_ops,
+        "profiling ops: {ctx}"
+    );
+    assert_eq!(
+        interp.intervals, cached.intervals,
+        "interval snapshots diverged: {ctx}"
+    );
+    // And both are transparent against the raw interpreter.
+    let reference = tpdbt_vm::run_collect(p, input).expect("trap-free");
+    assert_eq!(cached.output, reference, "translation transparency: {ctx}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The tentpole invariant: on arbitrary generated programs, every
+    /// mode produces bitwise-identical outputs, stats, profile
+    /// counters, regions, and interval snapshots on both backends.
+    #[test]
+    fn backends_are_bitwise_identical(
+        stmts in prop::collection::vec(arb_stmt(), 1..8),
+        input in prop::collection::vec(-50i64..50, 0..8),
+        t in 1u64..40,
+    ) {
+        let p = build(&stmts);
+        assert_identical(DbtConfig::no_opt(), &p, &input);
+        assert_identical(DbtConfig::two_phase(t), &p, &input);
+        assert_identical(DbtConfig::continuous(t), &p, &input);
+        assert_identical(DbtConfig::adaptive(t), &p, &input);
+    }
+
+    /// Architectural state, block by block: walking a whole program
+    /// through the two backends in lockstep keeps the machines
+    /// bitwise-equal after every single block execution.
+    #[test]
+    fn lockstep_walk_keeps_machines_bitwise_equal(
+        stmts in prop::collection::vec(arb_stmt(), 1..6),
+        input in prop::collection::vec(-50i64..50, 0..6),
+    ) {
+        let p = build(&stmts);
+        let mut interp = InterpBackend::new();
+        let mut cached = CachedBackend::new(p.len(), None);
+        let mut mi = Machine::new(&p, &input);
+        let mut mc = mi.clone();
+        let mut pc = p.entry();
+        let mut halted = false;
+        for step_count in 0..200_000u32 {
+            let block = decode_block(&p, pc).expect("pc in range");
+            cached.on_translate(&p, &block);
+            let fi = interp
+                .exec_block(&p, block.start, block.end, ExecSite::Unopt, &mut mi)
+                .expect("trap-free");
+            let fc = cached
+                .exec_block(&p, block.start, block.end, ExecSite::Unopt, &mut mc)
+                .expect("trap-free");
+            prop_assert_eq!(fi, fc, "flow diverged at pc {} (block #{})", pc, step_count);
+            prop_assert_eq!(&mi, &mc, "machine diverged at pc {} (block #{})", pc, step_count);
+            match fi {
+                Flow::Halted => {
+                    halted = true;
+                    break;
+                }
+                Flow::Jump { target, .. } => pc = target,
+                Flow::Next => pc = block.end,
+            }
+        }
+        prop_assert!(halted, "generated program did not halt within the walk budget");
+    }
+}
+
+/// Boundary regression, both backends: the pool-full path freezes a
+/// region seed at exactly `use == T` — i.e. the translation-cache
+/// entry registers, the optimizer runs, and the counter freezes in the
+/// same step its use count reaches the threshold.
+#[test]
+fn cache_entry_registers_and_freezes_at_exactly_t_on_both_backends() {
+    let p = hot_loop(10_000);
+    let t = 100;
+    let policy = RegionPolicy {
+        pool_trigger: 1,
+        ..RegionPolicy::default()
+    };
+    for backend in Backend::ALL {
+        let cfg = DbtConfig::two_phase(t)
+            .with_policy(policy)
+            .with_backend(backend);
+        let out = Dbt::new(cfg).run(&p, &[]).unwrap();
+        assert!(!out.inip.regions.is_empty(), "{backend}");
+        for region in &out.inip.regions {
+            let rec = out.inip.block(region.entry_pc()).unwrap();
+            assert_eq!(
+                rec.use_count, t,
+                "{backend}: pool-full seed must freeze at T"
+            );
+        }
+    }
+}
+
+/// Boundary regression, both backends: the registered-twice path
+/// freezes the triggering block at exactly `use == 2T`.
+#[test]
+fn registered_twice_freezes_at_exactly_2t_on_both_backends() {
+    let p = hot_loop(10_000);
+    let t = 100;
+    for backend in Backend::ALL {
+        let out = Dbt::new(DbtConfig::two_phase(t).with_backend(backend))
+            .run(&p, &[])
+            .unwrap();
+        assert_eq!(out.inip.regions.len(), 1, "{backend}");
+        let rec = out.inip.block(out.inip.regions[0].entry_pc()).unwrap();
+        assert_eq!(
+            rec.use_count,
+            2 * t,
+            "{backend}: registered-twice trigger must freeze at exactly 2T"
+        );
+    }
+}
+
+/// Boundary regression, both backends: continuous-mode re-formation
+/// replaces a chained region in place (the backend re-installs its
+/// chain) and adaptive-mode retirement invalidates it — and in both
+/// cases results stay identical across backends.
+#[test]
+fn chained_regions_survive_reform_and_retirement_identically() {
+    let p = phase_flip_program();
+    // Continuous: regions re-form when the entry's use count doubles.
+    let cont_i = run_with(DbtConfig::continuous(1000), Backend::Interp, &p, &[]);
+    let cont_c = run_with(DbtConfig::continuous(1000), Backend::Cached, &p, &[]);
+    assert!(
+        cont_c.stats.opt_invocations > cont_c.stats.regions_formed,
+        "a reform must fire"
+    );
+    assert_eq!(cont_i.output, cont_c.output);
+    assert_eq!(cont_i.stats, cont_c.stats);
+    assert_eq!(cont_i.inip.blocks, cont_c.inip.blocks);
+    // Adaptive: the stale region is retired (its chain evicted) and a
+    // fresh one forms; still bitwise-identical.
+    let ad_i = run_with(DbtConfig::adaptive(500), Backend::Interp, &p, &[]);
+    let ad_c = run_with(DbtConfig::adaptive(500), Backend::Cached, &p, &[]);
+    assert!(ad_c.stats.retirements > 0, "a retirement must fire");
+    assert_eq!(ad_i.output, ad_c.output);
+    assert_eq!(ad_i.stats, ad_c.stats);
+    assert_eq!(ad_i.inip.blocks, ad_c.inip.blocks);
+    assert_eq!(ad_i.inip.regions, ad_c.inip.regions);
+}
+
+fn hot_loop(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let r = Reg::new(0);
+    structured::counted_loop(&mut b, r, 0, 1, Cond::Lt, iters, |_| {}).unwrap();
+    b.halt();
+    b.build().unwrap()
+}
+
+/// A loop whose likely branch direction flips halfway through the run.
+fn phase_flip_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let (i, x, half) = (Reg::new(0), Reg::new(1), Reg::new(2));
+    b.movi(half, 60_000);
+    let head = b.fresh_label("head");
+    let then = b.fresh_label("then");
+    let join = b.fresh_label("join");
+    b.movi(i, 0);
+    b.bind(head).unwrap();
+    b.br_reg(Cond::Lt, i, half, then);
+    b.addi(x, x, 2);
+    b.jmp(join);
+    b.bind(then).unwrap();
+    b.addi(x, x, 1);
+    b.bind(join).unwrap();
+    b.addi(i, i, 1);
+    b.br_imm(Cond::Lt, i, 120_000, head);
+    b.halt();
+    b.build().unwrap()
+}

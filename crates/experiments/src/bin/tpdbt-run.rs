@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! tpdbt-run FILE [--mode interp|noopt|twophase|continuous|adaptive]
+//!                [--backend interp|cached]
 //!                [--threshold T]... [--input N,N,...] [--input-file PATH]
 //!                [--dump PATH] [--stats] [--suite BENCH --scale S]
 //!                [--jobs N] [--cache-dir DIR]
@@ -20,6 +21,13 @@
 //!
 //! With `--suite BENCH`, runs a built-in SPEC2000 analog instead of a
 //! file (use `--emit PATH` to write it out as a `.tpdb` binary first).
+//!
+//! `--backend` picks how translated guest code executes: `cached` (the
+//! default) runs pre-decoded micro-op buffers with direct
+//! block-to-successor chaining in regions; `interp` re-decodes each
+//! instruction on every execution. Results are bitwise identical —
+//! only host-side speed differs. (Distinct from `--mode interp`, which
+//! bypasses the translator entirely.)
 //!
 //! Repeating `--threshold` switches to sweep mode (two-phase only): the
 //! guest is swept over every requested threshold on a `--jobs N` worker
@@ -45,6 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: tpdbt-run FILE|--suite BENCH [--scale tiny|small|paper]\n\
          \u{20}                [--mode interp|noopt|twophase|continuous|adaptive]\n\
+         \u{20}                [--backend interp|cached]\n\
          \u{20}                [--threshold T]... [--input N,N,...] [--input-file PATH]\n\
          \u{20}                [--dump PATH] [--emit PATH] [--stats] [--list]\n\
          \u{20}                [--trace PATH [--trace-format jsonl|chrome]]\n\
@@ -100,6 +109,12 @@ fn main() -> tpdbt_experiments::Result<()> {
                 }
             }
             "--mode" => mode = args.next().unwrap_or_else(|| usage()),
+            "--backend" => {
+                sweep_opts.backend = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--threshold" => thresholds.push(args.next().unwrap_or_else(|| usage()).parse()?),
             "--jobs" => {
                 sweep_opts.jobs = args.next().unwrap_or_else(|| usage()).parse()?;
@@ -267,7 +282,7 @@ fn main() -> tpdbt_experiments::Result<()> {
         "adaptive" => DbtConfig::adaptive(threshold),
         _ => usage(),
     };
-    let mut dbt = Dbt::new(config);
+    let mut dbt = Dbt::new(config.with_backend(sweep_opts.backend));
     if let Some(t) = &tracer {
         dbt = dbt.with_tracer(Arc::clone(t));
     }

@@ -4,15 +4,20 @@
 //!
 //! ```text
 //! reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]
-//!           [--cache-dir DIR] [--trace PATH [--trace-format jsonl|chrome]]
+//!           [--backend interp|cached] [--cache-dir DIR]
+//!           [--trace PATH [--trace-format jsonl|chrome]]
 //!           [--max-retries N] [--fail-fast] [--watchdog-fuel N]
 //!           [--inject SPEC] [FIGURE...]
 //! ```
 //!
 //! `FIGURE` is any of `fig8` … `fig18` or `all` (default). Tables print
 //! to stdout; with `--out DIR`, each table is also written as CSV.
-//! `--jobs N` fans the sweep out over a worker pool; `--cache-dir DIR`
-//! persists profiles so identical reruns skip guest execution.
+//! `--jobs N` fans the sweep out over a worker pool; `--backend`
+//! selects the guest execution backend (default `cached`, the
+//! pre-decoded translation cache; `interp` is the reference
+//! interpreter — both produce bitwise-identical figures);
+//! `--cache-dir DIR` persists profiles so identical reruns skip guest
+//! execution.
 //! `--trace PATH` attaches a structured-event tracer to the sweep, the
 //! store, and every engine run, writing the collected events to `PATH`
 //! (JSONL by default, or a Chrome `trace_event` timeline).
@@ -43,7 +48,7 @@ use tpdbt_trace::{TraceFormat, Tracer};
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]\n\
-         \u{20}                [--cache-dir DIR] [--bench NAME]...\n\
+         \u{20}                [--backend interp|cached] [--cache-dir DIR] [--bench NAME]...\n\
          \u{20}                [--trace PATH [--trace-format jsonl|chrome]]\n\
          \u{20}                [--max-retries N] [--fail-fast] [--watchdog-fuel N]\n\
          \u{20}                [--inject SPEC] [TARGET...]\n\
@@ -118,6 +123,12 @@ fn main() {
             }
             "--cache-dir" => {
                 sweep_opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--backend" => {
+                sweep_opts.backend = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-format" => {

@@ -47,6 +47,7 @@ mod builder;
 mod disasm;
 mod error;
 mod instr;
+mod predecode;
 mod program;
 mod reg;
 pub mod structured;
@@ -55,5 +56,6 @@ pub use block::{decode_block, Block, StaticSuccs, Terminator};
 pub use builder::{BuiltProgram, Label, ProgramBuilder};
 pub use error::IsaError;
 pub use instr::{AluOp, Cond, FpuOp, Instr, Operand};
+pub use predecode::{DecodedBlock, MicroOp, MicroOperand, MicroTerm, PredecodedProgram, TermView};
 pub use program::{Pc, Program};
 pub use reg::{FReg, Reg, NUM_FREGS, NUM_REGS};

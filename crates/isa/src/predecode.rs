@@ -1,0 +1,643 @@
+//! Pre-decoded micro-op representation of translated code.
+//!
+//! A real two-phase translator decodes a guest block once, at
+//! translation time, into host code; every later execution runs the
+//! translated body without touching the guest encoding again. This
+//! module provides the analogous representation for the `tpdbt` guest
+//! ISA: a [`DecodedBlock`] holds the straight-line body of a basic
+//! block as a flat buffer of [`MicroOp`]s plus a pre-resolved
+//! [`MicroTerm`] terminator. Executors iterate the buffer directly —
+//! no per-instruction fetch, no `Vec` clones for jump tables, and (for
+//! [`Terminator::Switch`](crate::Terminator)) a pre-sorted successor
+//! table.
+//!
+//! The decode half lives here; the execute half (the operational
+//! semantics of a [`MicroOp`]) lives in `tpdbt-vm` so the interpreter
+//! and the translation cache provably share one implementation.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::block::{decode_block, Block};
+use crate::instr::{AluOp, Cond, FpuOp, Instr, Operand};
+use crate::program::{Pc, Program};
+
+/// The second operand of a micro-op: a pre-resolved register index or
+/// an immediate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MicroOperand {
+    /// Integer register index (`0..NUM_REGS`).
+    Reg(u8),
+    /// Immediate value.
+    Imm(i64),
+}
+
+impl From<Operand> for MicroOperand {
+    fn from(op: Operand) -> Self {
+        match op {
+            Operand::Reg(r) => MicroOperand::Reg(r.index() as u8),
+            Operand::Imm(v) => MicroOperand::Imm(v),
+        }
+    }
+}
+
+/// A straight-line (non-terminator) instruction with all register
+/// operands pre-resolved to raw indices. One `MicroOp` corresponds to
+/// exactly one guest [`Instr`]; the mapping is performed once at
+/// translation time by [`DecodedBlock::from_block`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MicroOp {
+    /// `dst = a OP b` integer ALU operation.
+    Alu {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register index.
+        dst: u8,
+        /// Left operand register index.
+        a: u8,
+        /// Right operand.
+        b: MicroOperand,
+    },
+    /// `dst = src` register move.
+    Mov {
+        /// Destination register index.
+        dst: u8,
+        /// Source register index.
+        src: u8,
+    },
+    /// `dst = imm` load immediate.
+    MovI {
+        /// Destination register index.
+        dst: u8,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = a OP b` floating-point operation.
+    Fpu {
+        /// Operation selector.
+        op: FpuOp,
+        /// Destination float register index.
+        dst: u8,
+        /// Left operand float register index.
+        a: u8,
+        /// Right operand float register index.
+        b: u8,
+    },
+    /// `dst = src` float register move.
+    FMov {
+        /// Destination float register index.
+        dst: u8,
+        /// Source float register index.
+        src: u8,
+    },
+    /// `dst = imm` float load immediate.
+    FMovI {
+        /// Destination float register index.
+        dst: u8,
+        /// Immediate value.
+        imm: f64,
+    },
+    /// `dst = src as f64` integer-to-float conversion.
+    IToF {
+        /// Destination float register index.
+        dst: u8,
+        /// Source integer register index.
+        src: u8,
+    },
+    /// `dst = src as i64` float-to-integer conversion.
+    FToI {
+        /// Destination integer register index.
+        dst: u8,
+        /// Source float register index.
+        src: u8,
+    },
+    /// `dst = if a < b { 1 } else { 0 }` float comparison.
+    FCmpLt {
+        /// Destination integer register index.
+        dst: u8,
+        /// Left float operand index.
+        a: u8,
+        /// Right float operand index.
+        b: u8,
+    },
+    /// `dst = mem[base + offset]` word load.
+    Load {
+        /// Destination register index.
+        dst: u8,
+        /// Base address register index.
+        base: u8,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// `mem[base + offset] = src` word store.
+    Store {
+        /// Source register index.
+        src: u8,
+        /// Base address register index.
+        base: u8,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// `dst = fmem[base + offset]` float load.
+    FLoad {
+        /// Destination float register index.
+        dst: u8,
+        /// Base address register index.
+        base: u8,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// `fmem[base + offset] = src` float store.
+    FStore {
+        /// Source float register index.
+        src: u8,
+        /// Base address register index.
+        base: u8,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// `dst = next input word`.
+    In {
+        /// Destination register index.
+        dst: u8,
+    },
+    /// Appends the register value to the program output.
+    Out {
+        /// Source register index.
+        src: u8,
+    },
+}
+
+impl MicroOp {
+    /// Decodes a straight-line instruction into its micro-op, or `None`
+    /// for terminators (which decode to a [`MicroTerm`] instead).
+    #[must_use]
+    pub fn from_instr(instr: &Instr) -> Option<MicroOp> {
+        Some(match instr {
+            Instr::Alu { op, dst, a, b } => MicroOp::Alu {
+                op: *op,
+                dst: dst.index() as u8,
+                a: a.index() as u8,
+                b: (*b).into(),
+            },
+            Instr::Mov { dst, src } => MicroOp::Mov {
+                dst: dst.index() as u8,
+                src: src.index() as u8,
+            },
+            Instr::MovI { dst, imm } => MicroOp::MovI {
+                dst: dst.index() as u8,
+                imm: *imm,
+            },
+            Instr::Fpu { op, dst, a, b } => MicroOp::Fpu {
+                op: *op,
+                dst: dst.index() as u8,
+                a: a.index() as u8,
+                b: b.index() as u8,
+            },
+            Instr::FMov { dst, src } => MicroOp::FMov {
+                dst: dst.index() as u8,
+                src: src.index() as u8,
+            },
+            Instr::FMovI { dst, imm } => MicroOp::FMovI {
+                dst: dst.index() as u8,
+                imm: *imm,
+            },
+            Instr::IToF { dst, src } => MicroOp::IToF {
+                dst: dst.index() as u8,
+                src: src.index() as u8,
+            },
+            Instr::FToI { dst, src } => MicroOp::FToI {
+                dst: dst.index() as u8,
+                src: src.index() as u8,
+            },
+            Instr::FCmpLt { dst, a, b } => MicroOp::FCmpLt {
+                dst: dst.index() as u8,
+                a: a.index() as u8,
+                b: b.index() as u8,
+            },
+            Instr::Load { dst, base, offset } => MicroOp::Load {
+                dst: dst.index() as u8,
+                base: base.index() as u8,
+                offset: *offset,
+            },
+            Instr::Store { src, base, offset } => MicroOp::Store {
+                src: src.index() as u8,
+                base: base.index() as u8,
+                offset: *offset,
+            },
+            Instr::FLoad { dst, base, offset } => MicroOp::FLoad {
+                dst: dst.index() as u8,
+                base: base.index() as u8,
+                offset: *offset,
+            },
+            Instr::FStore { src, base, offset } => MicroOp::FStore {
+                src: src.index() as u8,
+                base: base.index() as u8,
+                offset: *offset,
+            },
+            Instr::In { dst } => MicroOp::In {
+                dst: dst.index() as u8,
+            },
+            Instr::Out { src } => MicroOp::Out {
+                src: src.index() as u8,
+            },
+            Instr::Jmp { .. }
+            | Instr::Br { .. }
+            | Instr::JmpTable { .. }
+            | Instr::Call { .. }
+            | Instr::Ret
+            | Instr::Halt => return None,
+        })
+    }
+}
+
+/// A pre-decoded block terminator. Owns its jump table (so a decoded
+/// block is self-contained); executors borrow it through
+/// [`MicroTerm::view`] to avoid copies on the hot path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MicroTerm {
+    /// Unconditional jump.
+    Jump {
+        /// Jump target.
+        target: Pc,
+    },
+    /// Conditional branch with pre-resolved fallthrough.
+    Branch {
+        /// Comparison condition.
+        cond: Cond,
+        /// Left operand register index.
+        a: u8,
+        /// Right operand.
+        b: MicroOperand,
+        /// Target when the condition holds.
+        taken: Pc,
+        /// Target when it does not.
+        fallthrough: Pc,
+    },
+    /// Indirect jump through a jump table.
+    Switch {
+        /// Selector register index.
+        selector: u8,
+        /// Jump targets, in guest order (possibly with duplicates).
+        table: Box<[Pc]>,
+    },
+    /// Call with pre-resolved return address.
+    Call {
+        /// Callee entry.
+        target: Pc,
+        /// Return address.
+        next: Pc,
+    },
+    /// Return through the call stack.
+    Return,
+    /// Program end.
+    Halt,
+}
+
+impl MicroTerm {
+    /// Decodes a terminator instruction at address `pc`, or `None` for
+    /// straight-line instructions.
+    #[must_use]
+    pub fn from_instr(instr: &Instr, pc: Pc) -> Option<MicroTerm> {
+        Some(match instr {
+            Instr::Jmp { target } => MicroTerm::Jump { target: *target },
+            Instr::Br { cond, a, b, taken } => MicroTerm::Branch {
+                cond: *cond,
+                a: a.index() as u8,
+                b: (*b).into(),
+                taken: *taken,
+                fallthrough: pc + 1,
+            },
+            Instr::JmpTable { selector, table } => MicroTerm::Switch {
+                selector: selector.index() as u8,
+                table: table.clone().into_boxed_slice(),
+            },
+            Instr::Call { target } => MicroTerm::Call {
+                target: *target,
+                next: pc + 1,
+            },
+            Instr::Ret => MicroTerm::Return,
+            Instr::Halt => MicroTerm::Halt,
+            _ => return None,
+        })
+    }
+
+    /// A borrowed, `Copy` view for execution.
+    #[must_use]
+    pub fn view(&self) -> TermView<'_> {
+        match self {
+            MicroTerm::Jump { target } => TermView::Jump { target: *target },
+            MicroTerm::Branch {
+                cond,
+                a,
+                b,
+                taken,
+                fallthrough,
+            } => TermView::Branch {
+                cond: *cond,
+                a: *a,
+                b: *b,
+                taken: *taken,
+                fallthrough: *fallthrough,
+            },
+            MicroTerm::Switch { selector, table } => TermView::Switch {
+                selector: *selector,
+                table,
+            },
+            MicroTerm::Call { target, next } => TermView::Call {
+                target: *target,
+                next: *next,
+            },
+            MicroTerm::Return => TermView::Return,
+            MicroTerm::Halt => TermView::Halt,
+        }
+    }
+}
+
+/// A borrowed terminator, cheap to construct and pass by value. The
+/// interpreter builds one directly from the guest [`Instr`] each step
+/// (its decode half); the translation cache builds one from a stored
+/// [`MicroTerm`] without copying the jump table.
+#[derive(Clone, Copy, Debug)]
+pub enum TermView<'a> {
+    /// Unconditional jump.
+    Jump {
+        /// Jump target.
+        target: Pc,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Comparison condition.
+        cond: Cond,
+        /// Left operand register index.
+        a: u8,
+        /// Right operand.
+        b: MicroOperand,
+        /// Target when the condition holds.
+        taken: Pc,
+        /// Target when it does not.
+        fallthrough: Pc,
+    },
+    /// Indirect jump through a borrowed jump table.
+    Switch {
+        /// Selector register index.
+        selector: u8,
+        /// Jump targets.
+        table: &'a [Pc],
+    },
+    /// Call.
+    Call {
+        /// Callee entry.
+        target: Pc,
+        /// Return address.
+        next: Pc,
+    },
+    /// Return through the call stack.
+    Return,
+    /// Program end.
+    Halt,
+}
+
+impl<'a> TermView<'a> {
+    /// Builds a view directly from a terminator instruction at `pc`
+    /// (borrowing its jump table), or `None` for straight-line
+    /// instructions.
+    #[must_use]
+    pub fn of_instr(instr: &'a Instr, pc: Pc) -> Option<TermView<'a>> {
+        Some(match instr {
+            Instr::Jmp { target } => TermView::Jump { target: *target },
+            Instr::Br { cond, a, b, taken } => TermView::Branch {
+                cond: *cond,
+                a: a.index() as u8,
+                b: (*b).into(),
+                taken: *taken,
+                fallthrough: pc + 1,
+            },
+            Instr::JmpTable { selector, table } => TermView::Switch {
+                selector: selector.index() as u8,
+                table,
+            },
+            Instr::Call { target } => TermView::Call {
+                target: *target,
+                next: pc + 1,
+            },
+            Instr::Ret => TermView::Return,
+            Instr::Halt => TermView::Halt,
+            _ => return None,
+        })
+    }
+}
+
+/// A basic block decoded once into executable micro-ops: the
+/// translation cache's unit of storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecodedBlock {
+    /// Address of the first instruction (the block's cache identity).
+    pub start: Pc,
+    /// One past the terminator.
+    pub end: Pc,
+    /// The straight-line body, in address order: `ops[i]` is the
+    /// instruction at `start + i`.
+    pub ops: Box<[MicroOp]>,
+    /// The pre-decoded terminator (at address `end - 1`).
+    pub term: MicroTerm,
+}
+
+impl DecodedBlock {
+    /// Decodes the body and terminator of an already-discovered block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` does not describe a valid basic block of
+    /// `program` (interior terminator, truncated range) — impossible
+    /// for blocks produced by [`decode_block`] on the same program.
+    #[must_use]
+    pub fn from_block(program: &Program, block: &Block) -> DecodedBlock {
+        let term_pc = block.end - 1;
+        let ops: Box<[MicroOp]> = (block.start..term_pc)
+            .map(|pc| {
+                let instr = program.get(pc).expect("block range within program");
+                MicroOp::from_instr(instr).expect("interior instructions are straight-line")
+            })
+            .collect();
+        let term_instr = program.get(term_pc).expect("block range within program");
+        let term = MicroTerm::from_instr(term_instr, term_pc).expect("blocks end at a terminator");
+        DecodedBlock {
+            start: block.start,
+            end: block.end,
+            ops,
+            term,
+        }
+    }
+
+    /// Discovers and decodes the block at `pc` in one call. `None` when
+    /// `pc` is outside the program.
+    #[must_use]
+    pub fn decode(program: &Program, pc: Pc) -> Option<DecodedBlock> {
+        let block = decode_block(program, pc)?;
+        Some(DecodedBlock::from_block(program, &block))
+    }
+
+    /// Number of instructions, terminator included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never true for decoded blocks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Address of the terminator instruction.
+    #[must_use]
+    pub fn term_pc(&self) -> Pc {
+        self.end - 1
+    }
+}
+
+/// A lazily-populated, thread-safe cache of [`DecodedBlock`]s for one
+/// program, indexed by block start address.
+///
+/// Decoding happens at most once per address across all threads and
+/// runs sharing the same `PredecodedProgram` (ladder cells in a sweep,
+/// concurrent serve queries), which is what makes the decode cost a
+/// per-*guest* cost instead of a per-*run* cost.
+///
+/// The cache stores no reference to the program; callers pass the same
+/// [`Program`] it was created for to [`PredecodedProgram::block`].
+#[derive(Debug, Default)]
+pub struct PredecodedProgram {
+    slots: Vec<OnceLock<Arc<DecodedBlock>>>,
+}
+
+impl PredecodedProgram {
+    /// Creates an empty cache sized for `program`.
+    #[must_use]
+    pub fn new(program: &Program) -> PredecodedProgram {
+        PredecodedProgram {
+            slots: (0..program.len()).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Number of addressable slots (the program length this cache was
+    /// sized for).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The block starting at `pc`, decoding it on first access. `None`
+    /// when `pc` is out of range.
+    #[must_use]
+    pub fn block(&self, program: &Program, pc: Pc) -> Option<Arc<DecodedBlock>> {
+        let slot = self.slots.get(pc)?;
+        if let Some(cached) = slot.get() {
+            return Some(Arc::clone(cached));
+        }
+        let decoded = Arc::new(DecodedBlock::decode(program, pc)?);
+        // Racing initialisers decode identical blocks; first write wins.
+        let _ = slot.set(decoded);
+        slot.get().map(Arc::clone)
+    }
+
+    /// How many blocks have been decoded so far.
+    #[must_use]
+    pub fn decoded_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.movi(Reg::new(0), 0); // 0
+        b.bind(top).unwrap();
+        b.addi(Reg::new(0), Reg::new(0), 1); // 1
+        b.br_imm(Cond::Lt, Reg::new(0), 10, top); // 2
+        b.halt(); // 3
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn decoded_block_mirrors_decode_block() {
+        let p = sample();
+        let blk = decode_block(&p, 0).unwrap();
+        let d = DecodedBlock::from_block(&p, &blk);
+        assert_eq!((d.start, d.end), (blk.start, blk.end));
+        assert_eq!(d.len(), blk.len());
+        assert_eq!(d.term_pc(), 2);
+        assert_eq!(d.ops.len(), 2);
+        assert!(matches!(d.ops[0], MicroOp::MovI { dst: 0, imm: 0 }));
+        assert!(matches!(
+            d.term,
+            MicroTerm::Branch {
+                taken: 1,
+                fallthrough: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn micro_op_rejects_terminators_and_term_rejects_bodies() {
+        assert!(MicroOp::from_instr(&Instr::Halt).is_none());
+        assert!(MicroOp::from_instr(&Instr::Jmp { target: 0 }).is_none());
+        let mov = Instr::MovI {
+            dst: Reg::new(3),
+            imm: 7,
+        };
+        assert!(MicroOp::from_instr(&mov).is_some());
+        assert!(MicroTerm::from_instr(&mov, 0).is_none());
+        assert!(TermView::of_instr(&mov, 0).is_none());
+    }
+
+    #[test]
+    fn switch_view_borrows_the_stored_table() {
+        let instr = Instr::JmpTable {
+            selector: Reg::new(2),
+            table: vec![4, 9, 4],
+        };
+        let term = MicroTerm::from_instr(&instr, 5).unwrap();
+        match term.view() {
+            TermView::Switch { selector, table } => {
+                assert_eq!(selector, 2);
+                assert_eq!(table, &[4, 9, 4]);
+            }
+            other => panic!("unexpected view {other:?}"),
+        }
+        match TermView::of_instr(&instr, 5).unwrap() {
+            TermView::Switch { table, .. } => assert_eq!(table, &[4, 9, 4]),
+            other => panic!("unexpected view {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predecoded_program_decodes_once_and_shares() {
+        let p = sample();
+        let cache = PredecodedProgram::new(&p);
+        assert_eq!(cache.len(), p.len());
+        assert_eq!(cache.decoded_count(), 0);
+        let a = cache.block(&p, 0).unwrap();
+        let b = cache.block(&p, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.decoded_count(), 1);
+        // Overlapping interior block gets its own slot.
+        let tail = cache.block(&p, 1).unwrap();
+        assert_eq!(tail.start, 1);
+        assert_eq!(cache.decoded_count(), 2);
+        assert!(cache.block(&p, 99).is_none());
+    }
+}

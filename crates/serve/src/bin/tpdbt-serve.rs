@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N]
-//!             [--hot N] [--deadline-ms MS]
+//!             [--hot N] [--deadline-ms MS] [--backend interp|cached]
 //!             [--trace PATH [--trace-format jsonl|chrome]]
 //!             [--inject SPEC]
 //! ```
@@ -10,7 +10,10 @@
 //! `--listen` takes `unix:PATH` or `HOST:PORT` (port 0 picks an
 //! ephemeral port; the bound address is printed). `--cache-dir` shares
 //! the on-disk store with `tpdbt-sweep`, so a warm sweep serves
-//! queries with zero guest runs. The daemon prints exactly one
+//! queries with zero guest runs. `--backend` picks the execution
+//! backend for cold (computed) queries — `cached` (default, the
+//! pre-decoded translation cache) or `interp` (the reference
+//! interpreter); results are bitwise identical either way. The daemon prints exactly one
 //! `listening on ADDR` line to stdout once ready, then blocks until a
 //! `shutdown` request drains it.
 //!
@@ -26,7 +29,7 @@ use tpdbt_trace::{TraceFormat, Tracer};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N] \\\n       [--hot N] [--deadline-ms MS] [--trace PATH [--trace-format jsonl|chrome]] \\\n       [--inject SPEC]\n\nSPEC is unix:PATH or HOST:PORT (port 0 = ephemeral)."
+        "usage: tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N] \\\n       [--hot N] [--deadline-ms MS] [--backend interp|cached] \\\n       [--trace PATH [--trace-format jsonl|chrome]] [--inject SPEC]\n\nSPEC is unix:PATH or HOST:PORT (port 0 = ephemeral)."
     );
     std::process::exit(2)
 }
@@ -47,6 +50,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut trace_format = TraceFormat::default();
     let mut inject: Option<String> = None;
+    let mut backend = tpdbt_dbt::Backend::default();
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match arg.as_str() {
@@ -56,6 +60,7 @@ fn main() {
             "--queue" => queue = value().parse().unwrap_or_else(|_| usage()),
             "--hot" => hot = value().parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => deadline_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--backend" => backend = value().parse().unwrap_or_else(|_| usage()),
             "--trace" => trace_path = Some(value()),
             "--trace-format" => trace_format = value().parse().unwrap_or_else(|_| usage()),
             "--inject" => inject = Some(value()),
@@ -70,6 +75,7 @@ fn main() {
         cache_dir: cache_dir.map(Into::into),
         hot_capacity: hot,
         default_deadline: Duration::from_millis(deadline_ms.max(1)),
+        backend,
     });
     let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
     if let Some(t) = &tracer {

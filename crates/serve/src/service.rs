@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use tpdbt_dbt::DbtConfig;
+use tpdbt_dbt::{Backend, DbtConfig};
 use tpdbt_experiments::sweep::SuiteGuest;
 use tpdbt_faults::{FaultPlan, FaultSite};
 use tpdbt_profile::report::analyze;
@@ -51,6 +51,9 @@ pub struct ServiceConfig {
     pub hot_capacity: usize,
     /// Deadline applied when a request carries none.
     pub default_deadline: Duration,
+    /// Execution backend for computed (tier-3) queries. Backends are
+    /// bitwise result-identical; this only changes cold-query latency.
+    pub backend: Backend,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +62,7 @@ impl Default for ServiceConfig {
             cache_dir: None,
             hot_capacity: 256,
             default_deadline: proto::DEFAULT_DEADLINE,
+            backend: Backend::default(),
         }
     }
 }
@@ -116,6 +120,7 @@ pub struct ProfileService {
     faults: Option<Arc<FaultPlan>>,
     latency: Mutex<BTreeMap<&'static str, Histogram>>,
     default_deadline: Duration,
+    backend: Backend,
 }
 
 impl ProfileService {
@@ -133,6 +138,7 @@ impl ProfileService {
             faults: None,
             latency: Mutex::new(BTreeMap::new()),
             default_deadline: config.default_deadline,
+            backend: config.backend,
         }
     }
 
@@ -263,8 +269,10 @@ impl ProfileService {
         cfg: DbtConfig,
     ) -> Result<tpdbt_dbt::RunOutcome, ServeFailure> {
         self.guest_runs.fetch_add(1, Ordering::Relaxed);
+        // The backend is applied here, after the cache key was derived
+        // from `cfg`: it never affects results, only compute latency.
         guest
-            .run(cfg, self.tracer.as_ref())
+            .run(cfg.with_backend(self.backend), self.tracer.as_ref())
             .map_err(|e| ServeFailure::Compute(e.to_string()))
     }
 
@@ -536,6 +544,7 @@ mod tests {
             cache_dir: dir,
             hot_capacity: 16,
             default_deadline: Duration::from_secs(60),
+            ..ServiceConfig::default()
         })
     }
 

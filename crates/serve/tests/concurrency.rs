@@ -65,6 +65,7 @@ fn service_races_for_one_cell_run_one_guest() {
         cache_dir: None,
         hot_capacity: 16,
         default_deadline: Duration::from_secs(120),
+        ..ServiceConfig::default()
     }));
     let barrier = Arc::new(Barrier::new(N));
     let handles: Vec<_> = (0..N)

@@ -34,6 +34,7 @@ fn start_server(cache_dir: Option<PathBuf>) -> tpdbt_serve::ServerHandle {
         cache_dir,
         hot_capacity: 64,
         default_deadline: Duration::from_secs(120),
+        ..ServiceConfig::default()
     });
     start(
         Arc::new(service),
@@ -228,6 +229,7 @@ fn unix_socket_transport_round_trips() {
         cache_dir: None,
         hot_capacity: 8,
         default_deadline: Duration::from_secs(30),
+        ..ServiceConfig::default()
     });
     let server = start(
         Arc::new(service),

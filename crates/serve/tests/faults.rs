@@ -22,6 +22,7 @@ fn start_with_plan(spec: &str) -> tpdbt_serve::ServerHandle {
         cache_dir: None,
         hot_capacity: 8,
         default_deadline: Duration::from_secs(60),
+        ..ServiceConfig::default()
     })
     .with_faults(Arc::new(plan));
     start(

@@ -1,0 +1,308 @@
+//! The execute half of instruction semantics, operating on pre-decoded
+//! micro-ops.
+//!
+//! [`crate::step`] (the reference interpreter's dispatch) decodes each
+//! guest instruction into a [`MicroOp`] / [`TermView`] and immediately
+//! executes it here; the translation cache in `tpdbt-dbt` decodes once
+//! at translation time and replays the stored micro-ops through the
+//! same two functions. Because both paths share this single
+//! implementation, translated code computes exactly what the
+//! interpreter computes — including trap payloads, which carry the
+//! guest `pc` passed in explicitly.
+
+use tpdbt_isa::{AluOp, FpuOp, MicroOp, MicroOperand, Pc, TermView};
+
+use crate::error::VmError;
+use crate::machine::Machine;
+use crate::step::Flow;
+
+#[inline]
+fn operand(m: &Machine, op: MicroOperand) -> i64 {
+    match op {
+        MicroOperand::Reg(r) => m.reg(r as usize),
+        MicroOperand::Imm(v) => v,
+    }
+}
+
+/// Executes one straight-line micro-op located at guest address `pc`
+/// (used only for trap payloads), updating architectural state.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] trap for division by zero or out-of-bounds
+/// memory, exactly as the instruction at `pc` would under
+/// [`crate::step`].
+#[inline]
+pub fn exec_op(op: &MicroOp, pc: Pc, m: &mut Machine) -> Result<(), VmError> {
+    match *op {
+        MicroOp::Alu { op, dst, a, b } => {
+            let x = m.reg(a as usize);
+            let y = operand(m, b);
+            let v = match op {
+                AluOp::Add => x.wrapping_add(y),
+                AluOp::Sub => x.wrapping_sub(y),
+                AluOp::Mul => x.wrapping_mul(y),
+                AluOp::Div => {
+                    if y == 0 {
+                        return Err(VmError::DivideByZero { pc });
+                    }
+                    x.wrapping_div(y)
+                }
+                AluOp::Rem => {
+                    if y == 0 {
+                        return Err(VmError::DivideByZero { pc });
+                    }
+                    x.wrapping_rem(y)
+                }
+                AluOp::And => x & y,
+                AluOp::Or => x | y,
+                AluOp::Xor => x ^ y,
+                AluOp::Shl => x.wrapping_shl((y & 63) as u32),
+                AluOp::Shr => x.wrapping_shr((y & 63) as u32),
+            };
+            m.set_reg(dst as usize, v);
+        }
+        MicroOp::Mov { dst, src } => {
+            m.set_reg(dst as usize, m.reg(src as usize));
+        }
+        MicroOp::MovI { dst, imm } => {
+            m.set_reg(dst as usize, imm);
+        }
+        MicroOp::Fpu { op, dst, a, b } => {
+            let x = m.freg(a as usize);
+            let y = m.freg(b as usize);
+            let v = match op {
+                FpuOp::Add => x + y,
+                FpuOp::Sub => x - y,
+                FpuOp::Mul => x * y,
+                FpuOp::Div => x / y,
+                FpuOp::Max => x.max(y),
+                FpuOp::Min => x.min(y),
+            };
+            m.set_freg(dst as usize, v);
+        }
+        MicroOp::FMov { dst, src } => {
+            m.set_freg(dst as usize, m.freg(src as usize));
+        }
+        MicroOp::FMovI { dst, imm } => {
+            m.set_freg(dst as usize, imm);
+        }
+        MicroOp::IToF { dst, src } => {
+            m.set_freg(dst as usize, m.reg(src as usize) as f64);
+        }
+        MicroOp::FToI { dst, src } => {
+            let v = m.freg(src as usize);
+            let out = if v.is_nan() { 0 } else { v as i64 };
+            m.set_reg(dst as usize, out);
+        }
+        MicroOp::FCmpLt { dst, a, b } => {
+            let v = i64::from(m.freg(a as usize) < m.freg(b as usize));
+            m.set_reg(dst as usize, v);
+        }
+        MicroOp::Load { dst, base, offset } => {
+            let idx = m.mem_index(m.reg(base as usize), offset, pc)?;
+            m.set_reg(dst as usize, m.mem(idx));
+        }
+        MicroOp::Store { src, base, offset } => {
+            let idx = m.mem_index(m.reg(base as usize), offset, pc)?;
+            m.set_mem(idx, m.reg(src as usize));
+        }
+        MicroOp::FLoad { dst, base, offset } => {
+            let idx = m.fmem_index(m.reg(base as usize), offset, pc)?;
+            m.set_freg(dst as usize, m.fmem(idx));
+        }
+        MicroOp::FStore { src, base, offset } => {
+            let idx = m.fmem_index(m.reg(base as usize), offset, pc)?;
+            m.set_fmem(idx, m.freg(src as usize));
+        }
+        MicroOp::In { dst } => {
+            let v = m.next_input();
+            m.set_reg(dst as usize, v);
+        }
+        MicroOp::Out { src } => {
+            m.push_output(m.reg(src as usize));
+        }
+    }
+    Ok(())
+}
+
+/// Executes a pre-decoded terminator located at guest address `pc`
+/// (used for trap payloads and the call return address check) and
+/// reports where control goes.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] trap for call-stack violations, exactly as
+/// the instruction at `pc` would under [`crate::step`].
+#[inline]
+pub fn exec_term(term: TermView<'_>, pc: Pc, m: &mut Machine) -> Result<Flow, VmError> {
+    Ok(match term {
+        TermView::Jump { target } => Flow::Jump {
+            target,
+            taken: true,
+        },
+        TermView::Branch {
+            cond, a, b, taken, ..
+        } => {
+            if cond.eval(m.reg(a as usize), operand(m, b)) {
+                Flow::Jump {
+                    target: taken,
+                    taken: true,
+                }
+            } else {
+                Flow::Next
+            }
+        }
+        TermView::Switch { selector, table } => {
+            let raw = m.reg(selector as usize);
+            let idx = (raw.rem_euclid(table.len() as i64)) as usize;
+            Flow::Jump {
+                target: table[idx],
+                taken: true,
+            }
+        }
+        TermView::Call { target, next } => {
+            m.push_call(next, pc)?;
+            Flow::Jump {
+                target,
+                taken: true,
+            }
+        }
+        TermView::Return => {
+            let target = m.pop_call(pc)?;
+            Flow::Jump {
+                target,
+                taken: true,
+            }
+        }
+        TermView::Halt => Flow::Halted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_isa::{Cond, DecodedBlock, Instr, ProgramBuilder, Reg};
+
+    /// Pre-decoded execution of a whole block equals stepping the same
+    /// instructions through the interpreter dispatch.
+    #[test]
+    fn decoded_block_replay_matches_step() {
+        let mut b = ProgramBuilder::new();
+        b.reserve_mem(8);
+        let top = b.fresh_label("top");
+        b.movi(Reg::new(1), 3); // 0
+        b.bind(top).unwrap();
+        b.addi(Reg::new(0), Reg::new(0), 5); // 1
+        b.store(Reg::new(0), Reg::new(1), 0); // 2
+        b.out(Reg::new(0)); // 3
+        b.br_imm(Cond::Lt, Reg::new(0), 20, top); // 4
+        b.halt(); // 5
+        let p = b.build().unwrap();
+
+        let mut by_step = Machine::new(&p, &[]);
+        let mut by_replay = by_step.clone();
+
+        let block = DecodedBlock::decode(&p, 0).unwrap();
+        for (i, op) in block.ops.iter().enumerate() {
+            exec_op(op, block.start + i, &mut by_replay).unwrap();
+        }
+        by_replay.set_pc(block.term_pc());
+        let replay_flow = exec_term(block.term.view(), block.term_pc(), &mut by_replay).unwrap();
+
+        let mut step_flow = Flow::Halted;
+        for pc in block.start..block.end {
+            by_step.set_pc(pc);
+            step_flow = crate::step(&p, &mut by_step).unwrap();
+        }
+        assert_eq!(replay_flow, step_flow);
+        assert_eq!(by_replay, by_step);
+    }
+
+    #[test]
+    fn traps_carry_the_guest_pc() {
+        let mut b = ProgramBuilder::new();
+        b.reserve_mem(1);
+        b.load(Reg::new(0), Reg::new(1), 7); // 0: oob
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        let op = MicroOp::from_instr(p.get(0).unwrap()).unwrap();
+        assert!(matches!(
+            exec_op(&op, 0, &mut m),
+            Err(VmError::MemOutOfBounds { pc: 0, addr: 7, .. })
+        ));
+        let div = MicroOp::Alu {
+            op: tpdbt_isa::AluOp::Div,
+            dst: 0,
+            a: 0,
+            b: MicroOperand::Imm(0),
+        };
+        assert_eq!(
+            exec_op(&div, 9, &mut m),
+            Err(VmError::DivideByZero { pc: 9 })
+        );
+        assert_eq!(
+            exec_term(TermView::Return, 4, &mut m),
+            Err(VmError::StackUnderflow { pc: 4 })
+        );
+    }
+
+    #[test]
+    fn call_pushes_decoded_return_address() {
+        let mut b = ProgramBuilder::new();
+        let f = b.fresh_label("f");
+        b.call(f); // 0
+        b.halt(); // 1
+        b.bind(f).unwrap();
+        b.ret(); // 2
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+        let term = TermView::of_instr(p.get(0).unwrap(), 0).unwrap();
+        assert_eq!(
+            exec_term(term, 0, &mut m).unwrap(),
+            Flow::Jump {
+                target: 2,
+                taken: true
+            }
+        );
+        assert_eq!(m.call_depth(), 1);
+        assert_eq!(
+            exec_term(TermView::Return, 2, &mut m).unwrap(),
+            Flow::Jump {
+                target: 1,
+                taken: true
+            }
+        );
+    }
+
+    /// `step`'s decode half produces micro-ops that round-trip every
+    /// straight-line instruction kind.
+    #[test]
+    fn every_straight_line_instr_predecodes() {
+        use tpdbt_isa::FReg;
+        let instrs = [
+            Instr::Mov {
+                dst: Reg::new(1),
+                src: Reg::new(2),
+            },
+            Instr::FMov {
+                dst: FReg::new(1),
+                src: FReg::new(2),
+            },
+            Instr::IToF {
+                dst: FReg::new(0),
+                src: Reg::new(0),
+            },
+            Instr::FCmpLt {
+                dst: Reg::new(0),
+                a: FReg::new(0),
+                b: FReg::new(1),
+            },
+            Instr::In { dst: Reg::new(0) },
+        ];
+        for i in &instrs {
+            assert!(MicroOp::from_instr(i).is_some(), "{i:?}");
+        }
+    }
+}

@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 mod error;
+mod exec;
 mod machine;
 mod run;
 mod step;
 
 pub use error::VmError;
+pub use exec::{exec_op, exec_term};
 pub use machine::{Machine, MAX_CALL_DEPTH};
 pub use run::{run_collect, Interpreter, RunStats, DEFAULT_FUEL};
 pub use step::{step, Flow};

@@ -1,8 +1,9 @@
 //! Single-instruction semantics shared by the interpreter and the DBT.
 
-use tpdbt_isa::{AluOp, FpuOp, Instr, Operand, Pc, Program};
+use tpdbt_isa::{MicroOp, Pc, Program, TermView};
 
 use crate::error::VmError;
+use crate::exec::{exec_op, exec_term};
 use crate::machine::Machine;
 
 /// Control-flow outcome of executing one instruction.
@@ -24,17 +25,17 @@ pub enum Flow {
     Halted,
 }
 
-fn operand(m: &Machine, op: Operand) -> i64 {
-    match op {
-        Operand::Reg(r) => m.reg(r.index()),
-        Operand::Imm(v) => v,
-    }
-}
-
 /// Executes the instruction at the machine's current PC, updating all
 /// architectural state except the PC itself, and reports where control
 /// goes. Drivers (interpreter, DBT) commit the PC from the returned
 /// [`Flow`], which lets them observe branch outcomes for profiling.
+///
+/// Internally this is decode + execute: the instruction is lowered to
+/// its pre-decoded micro form ([`MicroOp`] / [`TermView`], both
+/// allocation-free) and run through [`exec_op`] / [`exec_term`] — the
+/// same execute half the translation cache in `tpdbt-dbt` replays from
+/// its stored [`tpdbt_isa::DecodedBlock`]s, so interpreted and
+/// translated execution share one set of operational semantics.
 ///
 /// # Errors
 ///
@@ -43,149 +44,12 @@ fn operand(m: &Machine, op: Operand) -> i64 {
 pub fn step(program: &Program, m: &mut Machine) -> Result<Flow, VmError> {
     let pc = m.pc();
     let instr = program.get(pc).ok_or(VmError::BadPc { pc })?;
-    let flow = match instr {
-        Instr::Alu { op, dst, a, b } => {
-            let x = m.reg(a.index());
-            let y = operand(m, *b);
-            let v = match op {
-                AluOp::Add => x.wrapping_add(y),
-                AluOp::Sub => x.wrapping_sub(y),
-                AluOp::Mul => x.wrapping_mul(y),
-                AluOp::Div => {
-                    if y == 0 {
-                        return Err(VmError::DivideByZero { pc });
-                    }
-                    x.wrapping_div(y)
-                }
-                AluOp::Rem => {
-                    if y == 0 {
-                        return Err(VmError::DivideByZero { pc });
-                    }
-                    x.wrapping_rem(y)
-                }
-                AluOp::And => x & y,
-                AluOp::Or => x | y,
-                AluOp::Xor => x ^ y,
-                AluOp::Shl => x.wrapping_shl((y & 63) as u32),
-                AluOp::Shr => x.wrapping_shr((y & 63) as u32),
-            };
-            m.set_reg(dst.index(), v);
-            Flow::Next
-        }
-        Instr::Mov { dst, src } => {
-            m.set_reg(dst.index(), m.reg(src.index()));
-            Flow::Next
-        }
-        Instr::MovI { dst, imm } => {
-            m.set_reg(dst.index(), *imm);
-            Flow::Next
-        }
-        Instr::Fpu { op, dst, a, b } => {
-            let x = m.freg(a.index());
-            let y = m.freg(b.index());
-            let v = match op {
-                FpuOp::Add => x + y,
-                FpuOp::Sub => x - y,
-                FpuOp::Mul => x * y,
-                FpuOp::Div => x / y,
-                FpuOp::Max => x.max(y),
-                FpuOp::Min => x.min(y),
-            };
-            m.set_freg(dst.index(), v);
-            Flow::Next
-        }
-        Instr::FMov { dst, src } => {
-            m.set_freg(dst.index(), m.freg(src.index()));
-            Flow::Next
-        }
-        Instr::FMovI { dst, imm } => {
-            m.set_freg(dst.index(), *imm);
-            Flow::Next
-        }
-        Instr::IToF { dst, src } => {
-            m.set_freg(dst.index(), m.reg(src.index()) as f64);
-            Flow::Next
-        }
-        Instr::FToI { dst, src } => {
-            let v = m.freg(src.index());
-            let out = if v.is_nan() { 0 } else { v as i64 };
-            m.set_reg(dst.index(), out);
-            Flow::Next
-        }
-        Instr::FCmpLt { dst, a, b } => {
-            let v = i64::from(m.freg(a.index()) < m.freg(b.index()));
-            m.set_reg(dst.index(), v);
-            Flow::Next
-        }
-        Instr::Load { dst, base, offset } => {
-            let idx = m.mem_index(m.reg(base.index()), *offset, pc)?;
-            m.set_reg(dst.index(), m.mem(idx));
-            Flow::Next
-        }
-        Instr::Store { src, base, offset } => {
-            let idx = m.mem_index(m.reg(base.index()), *offset, pc)?;
-            m.set_mem(idx, m.reg(src.index()));
-            Flow::Next
-        }
-        Instr::FLoad { dst, base, offset } => {
-            let idx = m.fmem_index(m.reg(base.index()), *offset, pc)?;
-            m.set_freg(dst.index(), m.fmem(idx));
-            Flow::Next
-        }
-        Instr::FStore { src, base, offset } => {
-            let idx = m.fmem_index(m.reg(base.index()), *offset, pc)?;
-            m.set_fmem(idx, m.freg(src.index()));
-            Flow::Next
-        }
-        Instr::Jmp { target } => Flow::Jump {
-            target: *target,
-            taken: true,
-        },
-        Instr::Br { cond, a, b, taken } => {
-            let holds = cond.eval(m.reg(a.index()), operand(m, *b));
-            if holds {
-                Flow::Jump {
-                    target: *taken,
-                    taken: true,
-                }
-            } else {
-                Flow::Next
-            }
-        }
-        Instr::JmpTable { selector, table } => {
-            let raw = m.reg(selector.index());
-            let idx = (raw.rem_euclid(table.len() as i64)) as usize;
-            Flow::Jump {
-                target: table[idx],
-                taken: true,
-            }
-        }
-        Instr::Call { target } => {
-            m.push_call(pc + 1, pc)?;
-            Flow::Jump {
-                target: *target,
-                taken: true,
-            }
-        }
-        Instr::Ret => {
-            let target = m.pop_call(pc)?;
-            Flow::Jump {
-                target,
-                taken: true,
-            }
-        }
-        Instr::In { dst } => {
-            let v = m.next_input();
-            m.set_reg(dst.index(), v);
-            Flow::Next
-        }
-        Instr::Out { src } => {
-            m.push_output(m.reg(src.index()));
-            Flow::Next
-        }
-        Instr::Halt => Flow::Halted,
-    };
-    Ok(flow)
+    if let Some(op) = MicroOp::from_instr(instr) {
+        exec_op(&op, pc, m)?;
+        return Ok(Flow::Next);
+    }
+    let term = TermView::of_instr(instr, pc).expect("non-straight-line instr is a terminator");
+    exec_term(term, pc, m)
 }
 
 #[cfg(test)]

@@ -48,6 +48,12 @@
 #![forbid(unsafe_code)]
 
 pub use tpdbt_dbt as dbt;
+/// Execution-backend selection, re-exported at the root: pick
+/// [`Backend::Interp`] (reference interpreter) or [`Backend::Cached`]
+/// (pre-decoded translation cache, the default) via
+/// [`dbt::DbtConfig::with_backend`]. Backends are bitwise
+/// result-identical; only host-side speed differs.
+pub use tpdbt_dbt::Backend;
 pub use tpdbt_isa as isa;
 pub use tpdbt_linalg as linalg;
 pub use tpdbt_profile as profile;

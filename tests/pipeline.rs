@@ -31,7 +31,8 @@ fn analyze_inip_against_avep_produces_sane_metrics() {
 }
 
 /// Architectural equivalence: the translator computes exactly the
-/// interpreter's output for the whole suite, in every mode.
+/// interpreter's output for the whole suite, in every mode, on both
+/// execution backends (selected through the root re-export).
 #[test]
 fn translator_is_transparent_for_all_workloads() {
     for name in all_names() {
@@ -41,9 +42,37 @@ fn translator_is_transparent_for_all_workloads() {
         interp.run().unwrap();
         let expected = interp.machine().output().to_vec();
         for config in [DbtConfig::no_opt(), DbtConfig::two_phase(10)] {
-            let out = Dbt::new(config).run_built(&w.binary, &w.input).unwrap();
-            assert_eq!(out.output, expected, "{name} diverged in {:?}", config.mode);
+            for backend in tpdbt::Backend::ALL {
+                let out = Dbt::new(config.with_backend(backend))
+                    .run_built(&w.binary, &w.input)
+                    .unwrap();
+                assert_eq!(
+                    out.output, expected,
+                    "{name} diverged in {:?} on {backend}",
+                    config.mode
+                );
+            }
         }
+    }
+}
+
+/// The two backends agree on more than output: run statistics and the
+/// frozen initial profile are bitwise identical, so every figure and
+/// metric in the reproduction is backend-independent.
+#[test]
+fn backends_agree_on_profiles_and_stats() {
+    for name in ["gzip", "ammp"] {
+        let w = workload(name, Scale::Tiny, InputKind::Ref).unwrap();
+        let cfg = DbtConfig::two_phase(20);
+        let interp = Dbt::new(cfg.with_backend(tpdbt::Backend::Interp))
+            .run_built(&w.binary, &w.input)
+            .unwrap();
+        let cached = Dbt::new(cfg.with_backend(tpdbt::Backend::Cached))
+            .run_built(&w.binary, &w.input)
+            .unwrap();
+        assert_eq!(interp.stats, cached.stats, "{name}");
+        assert_eq!(interp.inip.blocks, cached.inip.blocks, "{name}");
+        assert_eq!(interp.inip.regions, cached.inip.regions, "{name}");
     }
 }
 
