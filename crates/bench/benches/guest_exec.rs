@@ -10,13 +10,20 @@
 //! any gap here is pure host-side dispatch cost. A third group shows
 //! what a long-lived host (the sweep orchestrator, `tpdbt-serve`)
 //! gains by sharing one `PredecodedProgram` across runs: the decode
-//! cost itself amortizes to zero.
+//! cost itself amortizes to zero. A fourth group compares synchronous
+//! region formation against `OptMode::Async` (formation and chain
+//! pre-compilation on background optimizer threads): guest output is
+//! identical, so the gap is the execution thread's share of optimizer
+//! work.
+//!
+//! Set `TPDBT_BENCH_JSON=path` to also write the timings as JSON
+//! (`BENCH_GUEST.json` in CI).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
-use tpdbt_dbt::{Backend, Dbt, DbtConfig};
+use tpdbt_dbt::{Backend, Dbt, DbtConfig, OptMode};
 use tpdbt_isa::PredecodedProgram;
 use tpdbt_suite::{workload, InputKind, Scale, Workload};
 
@@ -70,5 +77,34 @@ fn bench_shared_predecode(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_backends, bench_shared_predecode);
+/// Synchronous versus asynchronous region formation on the cached
+/// backend. Async moves formation and chain pre-compilation off the
+/// execution thread; both legs run the same guests to the same final
+/// state, so the delta is the dispatcher's share of optimizer work
+/// (plus install handshake overhead on these tiny workloads).
+fn bench_opt_modes(c: &mut Criterion) {
+    let cfg = DbtConfig::two_phase(100).with_backend(Backend::Cached);
+    let mut g = c.benchmark_group("guest_exec_opt");
+    for name in GUESTS {
+        let w = guest(name);
+        for mode in OptMode::ALL {
+            g.bench_function(format!("{name}/{mode}"), |b| {
+                b.iter(|| {
+                    let out = Dbt::new(cfg.with_opt_mode(mode))
+                        .run_built(&w.binary, &w.input)
+                        .unwrap();
+                    black_box(out.stats.instructions)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backends,
+    bench_shared_predecode,
+    bench_opt_modes
+);
 criterion_main!(benches);

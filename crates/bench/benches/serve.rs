@@ -34,6 +34,7 @@ fn service_on(cache_dir: Option<PathBuf>, hot_capacity: usize, backend: Backend)
         hot_capacity,
         default_deadline: Duration::from_secs(600),
         backend,
+        ..ServiceConfig::default()
     })
 }
 

@@ -9,10 +9,38 @@
 //! It measures wall time with `std::time::Instant` and prints a
 //! median/min/max line per benchmark — no statistics engine, plots, or
 //! baselines.
+//!
+//! Beyond the printed lines, every completed benchmark is appended to a
+//! process-wide registry; when the `TPDBT_BENCH_JSON` environment
+//! variable names a path, the `criterion_main!`-generated `main` writes
+//! the registry there as machine-readable JSON (one object per
+//! benchmark with nanosecond timings) so CI and scripts can diff runs
+//! without scraping stdout.
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Environment variable naming the JSON results file, if any.
+pub const JSON_ENV: &str = "TPDBT_BENCH_JSON";
+
+/// One completed benchmark in the process-wide registry.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/name` for grouped benchmarks).
+    pub name: String,
+    /// Median sample, in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample, in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest sample, in nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// How `iter_batched` amortizes setup (accepted for compatibility; the
 /// shim always re-runs setup outside the timed section).
@@ -131,6 +159,71 @@ fn report(name: &str, samples: &mut [Duration]) {
         max,
         samples.len()
     );
+    RESULTS.lock().unwrap().push(BenchRecord {
+        name: name.to_string(),
+        median_ns: median.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+        samples: samples.len(),
+    });
+}
+
+/// Returns a snapshot of every benchmark recorded so far in this
+/// process, in completion order.
+#[must_use]
+pub fn results() -> Vec<BenchRecord> {
+    RESULTS.lock().unwrap().clone()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the registry as a JSON document: `{"benchmarks": [...]}`
+/// with one object per benchmark carrying nanosecond timings.
+#[must_use]
+pub fn results_json() -> String {
+    let rows: Vec<String> = results()
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+                json_escape(&r.name),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples
+            )
+        })
+        .collect();
+    format!("{{\"benchmarks\": [\n{}\n]}}\n", rows.join(",\n"))
+}
+
+/// Writes [`results_json`] to the path named by `TPDBT_BENCH_JSON`, if
+/// set. Called by the `criterion_main!`-generated `main` after all
+/// groups finish; harmless to call again. I/O failures are reported on
+/// stderr rather than panicking so a read-only filesystem cannot fail a
+/// bench run that otherwise succeeded.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var(JSON_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    match std::fs::write(&path, results_json()) {
+        Ok(()) => println!("bench results written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
 }
 
 /// Returns true when the binary was invoked by `cargo test --benches`
@@ -168,6 +261,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
 }
@@ -201,5 +295,22 @@ mod tests {
         });
         g.finish();
         assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn reports_land_in_the_registry_and_render_as_json() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("shim/json \"quoted\"", |b| b.iter(|| 1 + 1));
+        let recorded = results();
+        let rec = recorded
+            .iter()
+            .find(|r| r.name == "shim/json \"quoted\"")
+            .expect("benchmark recorded");
+        assert_eq!(rec.samples, 2);
+        assert!(rec.min_ns <= rec.median_ns && rec.median_ns <= rec.max_ns);
+        let json = results_json();
+        assert!(json.starts_with("{\"benchmarks\": ["));
+        assert!(json.contains("\"name\": \"shim/json \\\"quoted\\\"\""));
+        assert!(json.contains("\"median_ns\": "));
     }
 }

@@ -27,7 +27,13 @@
 use std::sync::Arc;
 
 use tpdbt_isa::{Block, DecodedBlock, Pc, PredecodedProgram, Program};
+use tpdbt_optimizer::SwapCell;
 use tpdbt_vm::{exec_op, exec_term, step, Flow, Machine, VmError};
+
+/// The region→chain table: per-region copies resolved to decoded
+/// bodies. Published wholesale (see [`CachedBackend`]), never mutated
+/// in place.
+pub type ChainTable = Vec<Vec<Arc<DecodedBlock>>>;
 
 /// Which execution backend runs translated code — the user-facing
 /// selection knob (`--backend {interp,cached}` on every binary).
@@ -118,6 +124,20 @@ pub trait ExecBackend {
         let _ = (region, copies);
     }
 
+    /// Region `region` was formed on a background optimizer thread and
+    /// arrives with its copies already compiled (`chain`, parallel to
+    /// `copies`). The default delegates to [`ExecBackend::install_region`]
+    /// — backends without a translation cache ignore the chain.
+    fn install_region_compiled(
+        &mut self,
+        region: usize,
+        copies: &[Pc],
+        chain: Vec<Arc<DecodedBlock>>,
+    ) {
+        let _ = chain;
+        self.install_region(region, copies);
+    }
+
     /// Region `region` was retired: its optimized code must never run
     /// again.
     fn retire_region(&mut self, region: usize) {
@@ -195,16 +215,26 @@ fn run_decoded(block: &DecodedBlock, machine: &mut Machine) -> Result<Flow, VmEr
 /// [`DecodedBlock`]s; optionally a shared [`PredecodedProgram`] makes
 /// that a once-per-*guest* cost across runs and threads (sweep ladder
 /// cells, serve queries) instead of once per run.
+///
+/// The region→chain table lives behind a [`SwapCell`]: installs and
+/// retirements build a *new* table and publish it in one atomic swap,
+/// while the execution thread reads through a private [`Arc`] snapshot
+/// refreshed at each publication point. This is what makes the
+/// background optimizer's install genuinely atomic — no reader can
+/// observe a half-written chain — and keeps the backend `Send + Sync`
+/// clean behind the `ExecBackend` seam.
 #[derive(Debug)]
 pub struct CachedBackend {
     /// Cross-run shared decode cache, when the driver provided one.
     shared: Option<Arc<PredecodedProgram>>,
     /// The translation cache proper: decoded block per start address.
     blocks: Vec<Option<Arc<DecodedBlock>>>,
-    /// Per-region chains: copies resolved to their decoded bodies at
-    /// install time (direct block-to-successor chaining — region
-    /// execution never consults `blocks`). Cleared on retirement.
-    chains: Vec<Vec<Arc<DecodedBlock>>>,
+    /// Publication handle for the region→chain table. Cleared slots on
+    /// retirement, replaced wholesale on (re-)installation.
+    chains: SwapCell<ChainTable>,
+    /// The execution thread's snapshot of `chains` (plain `Arc` deref
+    /// on the hot path; refreshed after every publish).
+    view: Arc<ChainTable>,
 }
 
 impl CachedBackend {
@@ -216,10 +246,12 @@ impl CachedBackend {
     #[must_use]
     pub fn new(program_len: usize, shared: Option<Arc<PredecodedProgram>>) -> CachedBackend {
         let shared = shared.filter(|p| p.len() == program_len);
+        let view: Arc<ChainTable> = Arc::new(Vec::new());
         CachedBackend {
             shared,
             blocks: vec![None; program_len],
-            chains: Vec::new(),
+            chains: SwapCell::from_arc(Arc::clone(&view)),
+            view,
         }
     }
 
@@ -227,6 +259,24 @@ impl CachedBackend {
     #[must_use]
     pub fn cached_blocks(&self) -> usize {
         self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Publishes an updated chain table and refreshes the local view.
+    fn publish(&mut self, table: ChainTable) {
+        let table = Arc::new(table);
+        self.chains.store(Arc::clone(&table));
+        self.view = table;
+    }
+
+    /// Copy-on-write slot update: clone the current table, replace
+    /// `region`'s chain, publish.
+    fn install_chain(&mut self, region: usize, chain: Vec<Arc<DecodedBlock>>) {
+        let mut table = (*self.view).clone();
+        if table.len() <= region {
+            table.resize_with(region + 1, Vec::new);
+        }
+        table[region] = chain;
+        self.publish(table);
     }
 }
 
@@ -244,9 +294,6 @@ impl ExecBackend for CachedBackend {
     }
 
     fn install_region(&mut self, region: usize, copies: &[Pc]) {
-        if self.chains.len() <= region {
-            self.chains.resize_with(region + 1, Vec::new);
-        }
         let chain: Vec<Arc<DecodedBlock>> = copies
             .iter()
             .map(|&pc| {
@@ -257,12 +304,29 @@ impl ExecBackend for CachedBackend {
                 )
             })
             .collect();
-        self.chains[region] = chain;
+        self.install_chain(region, chain);
+    }
+
+    fn install_region_compiled(
+        &mut self,
+        region: usize,
+        copies: &[Pc],
+        chain: Vec<Arc<DecodedBlock>>,
+    ) {
+        if chain.len() == copies.len() {
+            self.install_chain(region, chain);
+        } else {
+            // A worker that could not resolve every copy falls back to
+            // the engine-thread resolution path.
+            self.install_region(region, copies);
+        }
     }
 
     fn retire_region(&mut self, region: usize) {
-        if let Some(chain) = self.chains.get_mut(region) {
-            chain.clear();
+        if self.view.get(region).is_some_and(|c| !c.is_empty()) {
+            let mut table = (*self.view).clone();
+            table[region].clear();
+            self.publish(table);
         }
     }
 
@@ -275,7 +339,7 @@ impl ExecBackend for CachedBackend {
         machine: &mut Machine,
     ) -> Result<Flow, VmError> {
         if let ExecSite::Region { region, copy } = site {
-            if let Some(block) = self.chains.get(region).and_then(|c| c.get(copy)) {
+            if let Some(block) = self.view.get(region).and_then(|c| c.get(copy)) {
                 return run_decoded(block, machine);
             }
         }
@@ -329,6 +393,18 @@ impl ExecBackend for BackendImpl {
         match self {
             BackendImpl::Interp(b) => b.install_region(region, copies),
             BackendImpl::Cached(b) => b.install_region(region, copies),
+        }
+    }
+
+    fn install_region_compiled(
+        &mut self,
+        region: usize,
+        copies: &[Pc],
+        chain: Vec<Arc<DecodedBlock>>,
+    ) {
+        match self {
+            BackendImpl::Interp(b) => b.install_region_compiled(region, copies, chain),
+            BackendImpl::Cached(b) => b.install_region_compiled(region, copies, chain),
         }
     }
 
@@ -441,7 +517,7 @@ mod tests {
         cached.on_translate(&p, &entry);
         cached.on_translate(&p, &body);
         cached.install_region(0, &[1, 1]);
-        assert_eq!(cached.chains[0].len(), 2);
+        assert_eq!(cached.view[0].len(), 2);
         // Region execution uses the chain directly.
         let mut m = Machine::new(&p, &[]);
         let flow = cached
@@ -461,9 +537,62 @@ mod tests {
             }
         );
         cached.retire_region(0);
-        assert!(cached.chains[0].is_empty());
+        assert!(cached.view[0].is_empty());
         // Re-formation reinstalls.
         cached.install_region(0, &[1]);
-        assert_eq!(cached.chains[0].len(), 1);
+        assert_eq!(cached.view[0].len(), 1);
+    }
+
+    #[test]
+    fn installs_publish_new_tables_old_snapshots_survive() {
+        let p = sample();
+        let body = decode_block(&p, 1).unwrap();
+        let mut cached = CachedBackend::new(p.len(), None);
+        cached.on_translate(&p, &body);
+        cached.install_region(0, &[1]);
+        // A reader's snapshot taken before a retire keeps working.
+        let snapshot = cached.chains.load();
+        cached.retire_region(0);
+        assert_eq!(snapshot[0].len(), 1, "old table untouched");
+        assert!(cached.view[0].is_empty(), "new table published");
+        assert!(
+            !Arc::ptr_eq(&snapshot, &cached.view),
+            "retire replaced the table wholesale"
+        );
+    }
+
+    #[test]
+    fn compiled_install_uses_the_provided_chain() {
+        let p = sample();
+        let body = decode_block(&p, 1).unwrap();
+        let mut cached = CachedBackend::new(p.len(), None);
+        // Worker-compiled chain: the backend's own cache never saw the
+        // block, yet region execution works.
+        let chain = vec![Arc::new(DecodedBlock::from_block(&p, &body))];
+        cached.install_region_compiled(0, &[1], chain);
+        assert_eq!(cached.cached_blocks(), 0);
+        let mut m = Machine::new(&p, &[]);
+        let flow = cached
+            .exec_block(
+                &p,
+                body.start,
+                body.end,
+                ExecSite::Region { region: 0, copy: 0 },
+                &mut m,
+            )
+            .unwrap();
+        assert!(matches!(flow, Flow::Jump { .. }));
+        // A length-mismatched chain falls back to cache resolution.
+        cached.on_translate(&p, &body);
+        cached.install_region_compiled(1, &[1], Vec::new());
+        assert_eq!(cached.view[1].len(), 1);
+    }
+
+    #[test]
+    fn backends_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InterpBackend>();
+        assert_send_sync::<CachedBackend>();
+        assert_send_sync::<BackendImpl>();
     }
 }

@@ -25,6 +25,58 @@ pub enum ProfilingMode {
     Adaptive,
 }
 
+/// When the optimization phase runs relative to execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum OptMode {
+    /// The paper's model: the optimizer runs inline at the trigger
+    /// point — execution stops, regions form, execution resumes. Every
+    /// figure in the reproduction is produced in this mode; it is
+    /// bitwise deterministic.
+    #[default]
+    Sync,
+    /// Production decoupling: hot candidates are queued to background
+    /// optimizer threads while execution (and profiling) continues, and
+    /// finished regions are installed between guest blocks under
+    /// epoch validation. Guest *output* is identical to sync; stats,
+    /// figures, and the frozen initial profile legitimately differ
+    /// because counters keep advancing until install — the drift the
+    /// `Sd.IP` metric measures.
+    Async,
+}
+
+impl OptMode {
+    /// Both modes, for matrix-style tests and sweeps.
+    pub const ALL: [OptMode; 2] = [OptMode::Sync, OptMode::Async];
+
+    /// Short lowercase name (`"sync"` / `"async"`), stable for CLI and
+    /// cache keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OptMode::Sync => "sync",
+            OptMode::Async => "async",
+        }
+    }
+}
+
+impl std::fmt::Display for OptMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for OptMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sync" => Ok(OptMode::Sync),
+            "async" => Ok(OptMode::Async),
+            other => Err(format!("unknown opt mode `{other}` (sync|async)")),
+        }
+    }
+}
+
 /// Knobs for [`ProfilingMode::Adaptive`] side-exit monitoring.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AdaptPolicy {
@@ -158,6 +210,14 @@ pub struct DbtConfig {
     /// Which execution backend runs translated code. Never affects a
     /// run's observable results — see [`Backend`].
     pub backend: Backend,
+    /// Whether the optimization phase runs inline ([`OptMode::Sync`],
+    /// the paper's model) or on background threads ([`OptMode::Async`]).
+    pub opt_mode: OptMode,
+    /// Number of background optimizer threads (async mode only; sync
+    /// mode ignores it). Not part of the fingerprint — like wall-clock
+    /// scheduling, it cannot be told apart from run-to-run noise in an
+    /// async run's results.
+    pub opt_workers: usize,
 }
 
 impl DbtConfig {
@@ -180,6 +240,8 @@ impl DbtConfig {
             interval: None,
             fuel: tpdbt_vm::DEFAULT_FUEL,
             backend: Backend::default(),
+            opt_mode: OptMode::Sync,
+            opt_workers: 2,
         }
     }
 
@@ -250,6 +312,21 @@ impl DbtConfig {
         self
     }
 
+    /// Selects when the optimization phase runs (inline or background).
+    #[must_use]
+    pub fn with_opt_mode(mut self, opt_mode: OptMode) -> Self {
+        self.opt_mode = opt_mode;
+        self
+    }
+
+    /// Sets the background optimizer thread count (minimum 1, async
+    /// mode only).
+    #[must_use]
+    pub fn with_opt_workers(mut self, opt_workers: usize) -> Self {
+        self.opt_workers = opt_workers.max(1);
+        self
+    }
+
     /// Enables interval profile recording every `instructions` dynamic
     /// instructions (phase detection input).
     ///
@@ -308,6 +385,17 @@ impl DbtConfig {
         // `backend` is deliberately NOT hashed: backends are bitwise
         // result-identical by construction (pinned by the differential
         // proptest), so interp and cached runs share store entries.
+        //
+        // `opt_mode` IS result-affecting (async installs later, so the
+        // frozen profile differs) — but it is hashed *asymmetrically*:
+        // sync eats nothing, keeping every pre-existing sync fingerprint
+        // byte-identical, while async folds in a marker byte so its
+        // artifacts never alias a sync run's. `opt_workers` is not
+        // hashed: an async run is a sample from a scheduling
+        // distribution either way.
+        if self.opt_mode == OptMode::Async {
+            eat(&[0xA5]);
+        }
         h
     }
 }
@@ -379,6 +467,38 @@ mod tests {
             "backends are result-identical and must share store entries"
         );
         assert_eq!(base.with_backend(Backend::Interp).backend, Backend::Interp);
+    }
+
+    #[test]
+    fn opt_mode_parses_and_round_trips() {
+        for mode in OptMode::ALL {
+            assert_eq!(mode.name().parse::<OptMode>().unwrap(), mode);
+            assert_eq!(format!("{mode}"), mode.name());
+        }
+        assert!("background".parse::<OptMode>().is_err());
+        assert_eq!(OptMode::default(), OptMode::Sync);
+    }
+
+    #[test]
+    fn fingerprint_is_asymmetric_over_opt_mode() {
+        let base = DbtConfig::two_phase(100);
+        assert_eq!(base.opt_mode, OptMode::Sync);
+        // Sync must hash exactly as before the field existed, so every
+        // cached sync artifact stays valid.
+        assert_eq!(
+            base.fingerprint(),
+            base.with_opt_mode(OptMode::Sync).fingerprint()
+        );
+        // Async results differ (later installs, drifted frozen profile)
+        // and must not alias sync store entries.
+        assert_ne!(
+            base.fingerprint(),
+            base.with_opt_mode(OptMode::Async).fingerprint()
+        );
+        // Worker count is scheduling, not configuration, for caching.
+        let a = base.with_opt_mode(OptMode::Async);
+        assert_eq!(a.fingerprint(), a.with_opt_workers(7).fingerprint());
+        assert_eq!(a.with_opt_workers(0).opt_workers, 1, "clamped to 1");
     }
 
     #[test]

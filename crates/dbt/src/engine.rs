@@ -11,8 +11,9 @@ use tpdbt_profile::{
 use tpdbt_trace::{EventKind, TraceRegionKind, Tracer};
 use tpdbt_vm::{Flow, Machine};
 
+use crate::asyncopt::{snapshot_neighborhood, AsyncOpt, OptJob, OptOutcome};
 use crate::backend::{BackendImpl, ExecBackend, ExecSite};
-use crate::config::{DbtConfig, ProfilingMode};
+use crate::config::{DbtConfig, OptMode, ProfilingMode};
 use crate::error::DbtError;
 use crate::region::{form_region, BlockSource, FormedRegion};
 
@@ -43,6 +44,21 @@ pub struct ExecStats {
     /// Regions retired by adaptive side-exit monitoring
     /// ([`ProfilingMode::Adaptive`]).
     pub retirements: u64,
+    /// Candidates handed to the background optimizer
+    /// ([`OptMode::Async`]; always 0 in sync mode). Counts queue-full
+    /// rejections too, so `opt_enqueued == opt_installed +
+    /// opt_discarded` holds at end of run.
+    pub opt_enqueued: u64,
+    /// Background-formed regions that passed epoch validation and were
+    /// installed (async mode; 0 in sync).
+    pub opt_installed: u64,
+    /// Background candidates discarded instead of installed: stale
+    /// snapshot, entry already covered, formation failure, or a full
+    /// queue at submission (async mode; 0 in sync).
+    pub opt_discarded: u64,
+    /// Highest observed optimizer service depth, queued + in flight
+    /// (async mode; 0 in sync).
+    pub opt_queue_peak: u64,
 }
 
 /// The result of running a program under the translator.
@@ -58,6 +74,11 @@ pub struct RunOutcome {
     /// Interval profile snapshots, when [`DbtConfig::interval`] was
     /// set (input to offline phase detection).
     pub intervals: Vec<IntervalProfile>,
+    /// Profile-drift sample points from asynchronous installs — one
+    /// `(p_enqueue, p_install, use_install)` triple per conditional
+    /// member of each installed region, feeding the `Sd.IP` metric
+    /// (`tpdbt_profile::metrics::sd_ip`). Empty in [`OptMode::Sync`].
+    pub drift: Vec<(f64, f64, f64)>,
 }
 
 impl RunOutcome {
@@ -245,14 +266,33 @@ impl Dbt {
         program: &Program,
         machine: &mut Machine,
     ) -> Result<RunOutcome, DbtError> {
+        let wants_async =
+            self.config.opt_mode == OptMode::Async && self.config.mode != ProfilingMode::NoOpt;
+        // Async workers pre-compile region copies, so they need a
+        // thread-safe decode cache; share it with the backend so
+        // neither side decodes a block twice.
+        let predecoded = match (wants_async, self.predecoded.clone()) {
+            (_, Some(shared)) if shared.len() == program.len() => Some(shared),
+            (true, _) => Some(Arc::new(PredecodedProgram::new(program))),
+            (false, other) => other,
+        };
+        let asyncopt = wants_async.then(|| {
+            AsyncOpt::new(
+                self.config.opt_workers,
+                Arc::new(program.clone()),
+                predecoded.clone().expect("built above for async"),
+                self.tracer.clone(),
+            )
+        });
         let mut engine = Engine {
             config: &self.config,
             tracer: self.tracer.as_deref(),
             program,
-            backend: BackendImpl::new(self.config.backend, program, self.predecoded.clone()),
+            backend: BackendImpl::new(self.config.backend, program, predecoded),
             cache: (0..program.len()).map(|_| None).collect(),
             regions: Vec::new(),
             pool: Vec::new(),
+            asyncopt,
             stats: ExecStats::default(),
             intervals: Vec::new(),
             last_snapshot: std::collections::BTreeMap::new(),
@@ -272,6 +312,9 @@ struct Engine<'p> {
     cache: Vec<Option<Box<BlockEntry>>>,
     regions: Vec<RuntimeRegion>,
     pool: Vec<Pc>,
+    /// Background-optimization state; `Some` iff [`OptMode::Async`] and
+    /// the profiling mode can optimize.
+    asyncopt: Option<AsyncOpt>,
     stats: ExecStats,
     intervals: Vec<IntervalProfile>,
     last_snapshot: std::collections::BTreeMap<Pc, (u64, u64)>,
@@ -324,6 +367,9 @@ impl<'p> Engine<'p> {
                     fuel: self.config.fuel,
                 }));
             }
+            // Async mode: apply finished background candidates between
+            // guest blocks — installation is atomic w.r.t. execution.
+            self.drain_async();
             // Optimized dispatch: region entry wins.
             let region_idx = self
                 .cache
@@ -343,6 +389,9 @@ impl<'p> Engine<'p> {
             match next {
                 Next::Goto(target) => pc = target,
                 Next::Halted => {
+                    // Resolve every in-flight candidate so the run's
+                    // books balance: enqueued == installed + discarded.
+                    self.finish_async();
                     if self.config.interval.is_some() {
                         self.snapshot_interval();
                     }
@@ -521,7 +570,7 @@ impl<'p> Engine<'p> {
                     use_count,
                 });
                 if self.pool.len() >= self.config.policy.pool_trigger {
-                    self.run_optimizer();
+                    self.trigger_optimizer();
                 }
             } else if registered == 1 && use_count == 2 * t {
                 // Registered twice: optimize immediately (paper §1).
@@ -530,7 +579,7 @@ impl<'p> Engine<'p> {
                     pc: pc as u64,
                     use_count,
                 });
-                self.run_optimizer();
+                self.trigger_optimizer();
             }
         }
 
@@ -632,6 +681,13 @@ impl<'p> Engine<'p> {
             // backend re-chains the new copy list.
             self.backend
                 .install_region(ri, &self.regions[ri].dump.copies);
+            // Re-formation invalidates any queued candidate built over
+            // the old shape of these blocks.
+            if let Some(a) = self.asyncopt.as_mut() {
+                for &pc in &self.regions[ri].dump.copies {
+                    a.coord.invalidate(pc);
+                }
+            }
             self.trace_emit(|| EventKind::RegionReformed {
                 region: id as u64,
                 entry_pc: entry_pc as u64,
@@ -705,6 +761,11 @@ impl<'p> Engine<'p> {
                 e.record.use_count = 0;
                 e.record.edges.clear();
             }
+            // The reset rewrites profile history: any queued candidate
+            // snapshotted over this block is now stale.
+            if let Some(a) = self.asyncopt.as_mut() {
+                a.coord.invalidate(pc);
+            }
         }
     }
 
@@ -775,6 +836,185 @@ impl<'p> Engine<'p> {
         }
     }
 
+    /// Runs the optimization phase per [`OptMode`]: inline in sync
+    /// mode, or by queueing snapshots to the background service.
+    fn trigger_optimizer(&mut self) {
+        if self.asyncopt.is_some() {
+            self.enqueue_candidates();
+        } else {
+            self.run_optimizer();
+        }
+    }
+
+    /// Async optimization phase, enqueue half: drains the candidate
+    /// pool into the background service. Each candidate carries an
+    /// immutable profile snapshot plus epoch stamps so the install half
+    /// can detect staleness. Counters do *not* freeze here — they keep
+    /// drifting until install, which is the phenomenon the drift metric
+    /// measures.
+    fn enqueue_candidates(&mut self) {
+        let mut a = self.asyncopt.take().expect("async mode");
+        self.stats.opt_invocations += 1;
+        let mut candidates: Vec<Pc> = std::mem::take(&mut self.pool);
+        candidates.sort_by_key(|&pc| {
+            std::cmp::Reverse(self.cache[pc].as_ref().map_or(0, |e| e.record.use_count))
+        });
+        for seed in candidates {
+            let entry = self.cache[seed]
+                .as_ref()
+                .expect("pooled blocks are translated");
+            if entry.entry_of.is_some()
+                || (entry.frozen && self.freezes())
+                || a.pending.contains(&seed)
+            {
+                continue;
+            }
+            let use_count = entry.record.use_count;
+            let snapshot = snapshot_neighborhood(self, seed, &self.config.policy);
+            let stamps = a.coord.stamp(snapshot.members());
+            let probs = snapshot.probabilities();
+            let job = OptJob {
+                seed,
+                snapshot,
+                stamps,
+                probs,
+                policy: self.config.policy,
+            };
+            // Every handed-off candidate is counted, including bounces,
+            // so opt_enqueued == opt_installed + opt_discarded at end.
+            self.stats.opt_enqueued += 1;
+            if a.service.submit(job) {
+                a.pending.insert(seed);
+                let depth = a.service.depth() as u64;
+                self.stats.opt_queue_peak = self.stats.opt_queue_peak.max(depth);
+                self.trace_emit(|| EventKind::OptEnqueued {
+                    pc: seed as u64,
+                    use_count,
+                    depth,
+                });
+            } else {
+                // Queue full: bounce. The seed goes back to the pool so
+                // a later trigger retries it.
+                self.stats.opt_discarded += 1;
+                self.trace_emit(|| EventKind::OptDiscarded {
+                    pc: seed as u64,
+                    use_count,
+                });
+                self.pool.push(seed);
+            }
+        }
+        self.asyncopt = Some(a);
+    }
+
+    /// Async install half, steady state: applies whatever the workers
+    /// have finished, without blocking.
+    fn drain_async(&mut self) {
+        let done = match self.asyncopt.as_ref() {
+            Some(a) => a.service.drain(),
+            None => return,
+        };
+        for out in done {
+            self.resolve_async(out);
+        }
+    }
+
+    /// Async install half, end of run: waits for in-flight candidates
+    /// and resolves each to an install or a discard.
+    fn finish_async(&mut self) {
+        let done = match self.asyncopt.as_ref() {
+            Some(a) => a.service.flush(),
+            None => return,
+        };
+        for out in done {
+            self.resolve_async(out);
+        }
+    }
+
+    /// Epoch-validated installation of one background-formed region.
+    /// The candidate is discarded when formation failed, any snapshotted
+    /// block's epoch moved (retired / reformed while queued), the seed
+    /// was meanwhile covered by another region, or it froze under a
+    /// freezing mode. Unlike [`Self::run_optimizer`], no optimization
+    /// cycles are charged: formation ran concurrently with execution.
+    fn resolve_async(&mut self, out: OptOutcome) {
+        let mut a = self.asyncopt.take().expect("async mode");
+        a.pending.remove(&out.seed);
+        let seed = out.seed;
+        let entry = self.cache[seed]
+            .as_ref()
+            .expect("snapshotted blocks are translated");
+        let use_now = entry.record.use_count;
+        let installable = out.formed.is_some()
+            && a.coord.still_current(&out.stamps)
+            && entry.entry_of.is_none()
+            && !(entry.frozen && self.freezes());
+        if !installable {
+            self.stats.opt_discarded += 1;
+            self.trace_emit(|| EventKind::OptDiscarded {
+                pc: seed as u64,
+                use_count: use_now,
+            });
+            self.asyncopt = Some(a);
+            return;
+        }
+        let formed = out.formed.expect("checked installable");
+        self.stats.regions_formed += 1;
+        let id = self.regions.len();
+        let region = RuntimeRegion::new(formed, id, use_now);
+        let blocks_n = region.dump.copies.len() as u32;
+        self.trace_emit(|| EventKind::RegionFormed {
+            region: id as u64,
+            entry_pc: seed as u64,
+            blocks: blocks_n,
+            kind: trace_region_kind(region.dump.kind),
+        });
+        if self.freezes() {
+            for &pc in &region.dump.copies {
+                let Some(e) = self.cache[pc].as_mut() else {
+                    continue;
+                };
+                if e.frozen {
+                    continue;
+                }
+                e.frozen = true;
+                let (use_count, registered) = (e.record.use_count, e.registered);
+                self.trace_emit(|| EventKind::CounterFrozen {
+                    pc: pc as u64,
+                    use_count,
+                    registered,
+                });
+            }
+        }
+        // Drift sample: enqueue-time vs install-time branch probability
+        // of each conditional member, weighted by install-time use.
+        for (&pc, &p_enq) in &out.probs {
+            if !region.dump.copies.contains(&pc) {
+                continue;
+            }
+            let Some(e) = self.cache[pc].as_ref() else {
+                continue;
+            };
+            if let Some(p_now) = e.record.branch_probability() {
+                a.drift.push((p_enq, p_now, e.record.use_count as f64));
+            }
+        }
+        self.cache[seed].as_mut().expect("translated").entry_of = Some(id);
+        // The worker already compiled the copy chain against the shared
+        // decode cache; hand it to the backend so installation does no
+        // decode work on the execution thread.
+        self.backend
+            .install_region_compiled(id, &region.dump.copies, out.chain);
+        self.regions.push(region);
+        self.stats.opt_installed += 1;
+        self.trace_emit(|| EventKind::OptInstalled {
+            region: id as u64,
+            entry_pc: seed as u64,
+            blocks: blocks_n,
+            use_count: use_now,
+        });
+        self.asyncopt = Some(a);
+    }
+
     fn into_outcome(self, output: Vec<i64>) -> RunOutcome {
         let mut blocks = std::collections::BTreeMap::new();
         for entry in self.cache.into_iter().flatten() {
@@ -810,6 +1050,7 @@ impl<'p> Engine<'p> {
             output,
             stats: self.stats,
             intervals: self.intervals,
+            drift: self.asyncopt.map_or_else(Vec::new, |a| a.drift),
         }
     }
 }
@@ -1135,6 +1376,128 @@ mod tests {
         assert_eq!(out.inip.threshold, 500);
     }
 
+    mod async_opt {
+        use super::*;
+
+        #[test]
+        fn sync_mode_keeps_async_counters_at_zero() {
+            let p = hot_loop(50_000);
+            let out = Dbt::new(DbtConfig::two_phase(500)).run(&p, &[]).unwrap();
+            assert_eq!(out.stats.opt_enqueued, 0);
+            assert_eq!(out.stats.opt_installed, 0);
+            assert_eq!(out.stats.opt_discarded, 0);
+            assert_eq!(out.stats.opt_queue_peak, 0);
+            assert!(out.drift.is_empty());
+        }
+
+        #[test]
+        fn async_mode_preserves_guest_output_across_profiling_modes() {
+            let p = phase_flip_program();
+            for make in [
+                DbtConfig::two_phase as fn(u64) -> DbtConfig,
+                DbtConfig::continuous,
+                DbtConfig::adaptive,
+            ] {
+                let sync = Dbt::new(make(500)).run(&p, &[]).unwrap();
+                let async_out = Dbt::new(make(500).with_opt_mode(OptMode::Async))
+                    .run(&p, &[])
+                    .unwrap();
+                assert_eq!(
+                    sync.output, async_out.output,
+                    "async optimization must be transparent to the guest"
+                );
+                // Every handed-off candidate resolved one way or the
+                // other once the final flush ran.
+                assert_eq!(
+                    async_out.stats.opt_enqueued,
+                    async_out.stats.opt_installed + async_out.stats.opt_discarded,
+                    "{:?}",
+                    async_out.stats
+                );
+            }
+        }
+
+        #[test]
+        fn async_no_opt_never_spins_up_the_service() {
+            let p = hot_loop(10_000);
+            let sync = Dbt::new(DbtConfig::no_opt()).run(&p, &[]).unwrap();
+            let async_out = Dbt::new(DbtConfig::no_opt().with_opt_mode(OptMode::Async))
+                .run(&p, &[])
+                .unwrap();
+            assert_eq!(sync.output, async_out.output);
+            assert_eq!(sync.stats, async_out.stats);
+            assert_eq!(async_out.stats.opt_enqueued, 0);
+        }
+
+        /// Satellite regression: a candidate whose seed gets covered
+        /// (here: frozen into an earlier install) while it sits in the
+        /// optimizer queue must be discarded at install time. One
+        /// worker makes completion order FIFO: the hottest seed's
+        /// region installs first and freezes the hot path, so the
+        /// trailing candidate resolves against a frozen seed.
+        #[test]
+        fn stale_candidate_is_discarded_not_installed() {
+            let p = phase_flip_program();
+            let policy = RegionPolicy {
+                pool_trigger: 2,
+                ..RegionPolicy::default()
+            };
+            let cfg = DbtConfig::two_phase(100)
+                .with_policy(policy)
+                .with_opt_mode(OptMode::Async)
+                .with_opt_workers(1);
+            let out = Dbt::new(cfg).run(&p, &[]).unwrap();
+            assert!(out.stats.opt_enqueued >= 2, "{:?}", out.stats);
+            assert!(out.stats.opt_installed >= 1, "{:?}", out.stats);
+            assert!(
+                out.stats.opt_discarded >= 1,
+                "the swallowed trailing candidate must discard: {:?}",
+                out.stats
+            );
+            assert_eq!(
+                out.stats.opt_enqueued,
+                out.stats.opt_installed + out.stats.opt_discarded
+            );
+            // Installed regions still execute optimized code.
+            assert!(out.stats.region_entries > 0);
+        }
+
+        #[test]
+        fn async_installs_record_drift_points() {
+            let p = phase_flip_program();
+            let cfg = DbtConfig::two_phase(500).with_opt_mode(OptMode::Async);
+            let out = Dbt::new(cfg).run(&p, &[]).unwrap();
+            assert!(out.stats.opt_installed > 0, "{:?}", out.stats);
+            assert!(
+                !out.drift.is_empty(),
+                "installed conditional members must yield drift samples"
+            );
+            for &(p_enq, p_inst, weight) in &out.drift {
+                assert!((0.0..=1.0).contains(&p_enq));
+                assert!((0.0..=1.0).contains(&p_inst));
+                assert!(weight >= 0.0);
+            }
+            // The async freeze happens at install, after extra profile
+            // accumulation: frozen use counts may exceed sync's 2T
+            // bound, and install-time weights reflect that.
+            assert!(out.drift.iter().any(|&(_, _, w)| w >= 500.0));
+        }
+
+        #[test]
+        fn async_mode_skips_opt_translate_charges() {
+            // Background formation runs concurrently, so the async
+            // timeline omits sync's opt_translate stall cycles on an
+            // otherwise identical instruction stream.
+            let p = hot_loop(100_000);
+            let sync = Dbt::new(DbtConfig::two_phase(500)).run(&p, &[]).unwrap();
+            let async_out = Dbt::new(DbtConfig::two_phase(500).with_opt_mode(OptMode::Async))
+                .run(&p, &[])
+                .unwrap();
+            assert_eq!(sync.output, async_out.output);
+            assert_eq!(sync.stats.instructions, async_out.stats.instructions);
+        }
+    }
+
     #[cfg(feature = "trace")]
     mod trace_events {
         use super::*;
@@ -1234,6 +1597,31 @@ mod tests {
                 .unwrap();
             assert!(out.stats.retirements > 0);
             assert_eq!(tracer.count("region_retired"), out.stats.retirements);
+        }
+
+        #[test]
+        fn async_mode_emits_optimizer_lifecycle_events() {
+            let p = phase_flip_program();
+            let tracer = Arc::new(Tracer::new());
+            let cfg = DbtConfig::two_phase(500).with_opt_mode(OptMode::Async);
+            let out = Dbt::new(cfg)
+                .with_tracer(Arc::clone(&tracer))
+                .run(&p, &[])
+                .unwrap();
+            // Successful submissions each produce exactly one enqueue
+            // and one worker-start event; every install and discard is
+            // mirrored in the stats.
+            assert!(tracer.count("opt_enqueued") > 0);
+            assert_eq!(tracer.count("opt_started"), tracer.count("opt_enqueued"));
+            assert_eq!(tracer.count("opt_installed"), out.stats.opt_installed);
+            assert_eq!(tracer.count("opt_discarded"), out.stats.opt_discarded);
+            // Bounced submissions (queue full) are the only gap between
+            // the enqueue counter and the enqueue events.
+            let bounced = out.stats.opt_enqueued - tracer.count("opt_enqueued");
+            assert!(bounced <= out.stats.opt_discarded);
+            // Each install also announced its region.
+            assert_eq!(tracer.count("region_formed"), out.stats.regions_formed);
+            assert_eq!(out.stats.opt_installed, out.stats.regions_formed);
         }
     }
 }

@@ -36,6 +36,15 @@
 //! future-work continuous profiling (counters never freeze, regions are
 //! re-formed when stale) and is used for ablation studies.
 //!
+//! With [`OptMode::Async`] the optimization phase is decoupled from
+//! execution: hot candidates are queued to background optimizer threads
+//! (`tpdbt-optimizer`) while profiling continues, and finished regions
+//! are installed between guest blocks under epoch validation — stale
+//! candidates (members retired / reformed while queued) are discarded.
+//! Guest output is identical to [`OptMode::Sync`]; the frozen profile
+//! legitimately drifts, which [`RunOutcome::drift`] quantifies (the
+//! `Sd.IP` metric). See DESIGN.md §12.
+//!
 //! # Example
 //!
 //! ```
@@ -60,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod asyncopt;
 mod backend;
 mod config;
 mod engine;
@@ -67,7 +77,7 @@ mod error;
 pub mod offline;
 mod region;
 
-pub use backend::{Backend, CachedBackend, ExecBackend, ExecSite, InterpBackend};
-pub use config::{AdaptPolicy, CostModel, DbtConfig, ProfilingMode, RegionPolicy};
+pub use backend::{Backend, CachedBackend, ChainTable, ExecBackend, ExecSite, InterpBackend};
+pub use config::{AdaptPolicy, CostModel, DbtConfig, OptMode, ProfilingMode, RegionPolicy};
 pub use engine::{Dbt, ExecStats, RunOutcome};
 pub use error::DbtError;

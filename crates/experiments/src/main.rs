@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]
-//!           [--backend interp|cached] [--cache-dir DIR]
+//!           [--backend interp|cached] [--opt-mode sync|async]
+//!           [--cache-dir DIR]
 //!           [--trace PATH [--trace-format jsonl|chrome]]
 //!           [--max-retries N] [--fail-fast] [--watchdog-fuel N]
 //!           [--inject SPEC] [FIGURE...]
@@ -16,6 +17,10 @@
 //! selects the guest execution backend (default `cached`, the
 //! pre-decoded translation cache; `interp` is the reference
 //! interpreter — both produce bitwise-identical figures);
+//! `--opt-mode` selects optimization scheduling (default `sync`, which
+//! reproduces every figure byte-for-byte; `async` forms regions on
+//! background threads — guest outputs are identical but profiles
+//! legitimately freeze later, so async cells use their own cache slots);
 //! `--cache-dir DIR` persists profiles so identical reruns skip guest
 //! execution.
 //! `--trace PATH` attaches a structured-event tracer to the sweep, the
@@ -48,7 +53,8 @@ use tpdbt_trace::{TraceFormat, Tracer};
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]\n\
-         \u{20}                [--backend interp|cached] [--cache-dir DIR] [--bench NAME]...\n\
+         \u{20}                [--backend interp|cached] [--opt-mode sync|async]\n\
+         \u{20}                [--cache-dir DIR] [--bench NAME]...\n\
          \u{20}                [--trace PATH [--trace-format jsonl|chrome]]\n\
          \u{20}                [--max-retries N] [--fail-fast] [--watchdog-fuel N]\n\
          \u{20}                [--inject SPEC] [TARGET...]\n\
@@ -60,6 +66,7 @@ fn usage() -> ! {
          \u{20}        ext-thresholds       — per-benchmark threshold selection (§5.2)\n\
          \u{20}        ext-phases           — phase census via interval profiling\n\
          \u{20}        ext-static           — Wu-Larus static prediction baseline\n\
+         \u{20}        ext-async            — asynchronous optimization drift (Sd.IP)\n\
          Regenerates the tables/figures of 'The Accuracy of Initial Prediction in\n\
          Two-Phase Dynamic Binary Translators' (CGO 2004). Default: all figures at\n\
          small scale."
@@ -83,6 +90,7 @@ fn run_extensions(wanted: &[String], scale: Scale, out_dir: Option<&str>) -> Vec
             "ext-thresholds" => tpdbt_experiments::extensions::threshold_selection(&names, scale),
             "ext-phases" => tpdbt_experiments::extensions::phase_census(&names, scale),
             "ext-static" => tpdbt_experiments::extensions::static_baseline(&names, scale, 2_000),
+            "ext-async" => tpdbt_experiments::extensions::async_drift(&names, scale, 2_000),
             _ => continue,
         };
         match result {
@@ -126,6 +134,12 @@ fn main() {
             }
             "--backend" => {
                 sweep_opts.backend = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--opt-mode" => {
+                sweep_opts.opt_mode = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());

@@ -1,0 +1,109 @@
+//! [`Coordinator`]: per-key epochs backing the stale-candidate discard
+//! protocol.
+//!
+//! When a hot candidate is enqueued for background optimization, the
+//! engine stamps the current epoch of every profile entry the job's
+//! snapshot read. Any event that makes that snapshot unreliable —
+//! retirement resetting a block's counters, re-formation replacing a
+//! region, explicit invalidation — bumps the affected keys' epochs. At
+//! install time the worker's result is accepted only if *every* stamped
+//! epoch is unchanged; otherwise the candidate is discarded. This is
+//! the classic optimistic-concurrency validate step: cheap to take,
+//! cheap to check, and it never installs a region formed from a profile
+//! that no longer describes the program.
+
+use std::collections::BTreeMap;
+
+/// Monotonic per-key epoch counters.
+///
+/// Keys absent from the map are implicitly at epoch 0, so the map only
+/// grows for keys that were actually invalidated.
+#[derive(Clone, Debug, Default)]
+pub struct Coordinator<K: Ord> {
+    epochs: BTreeMap<K, u64>,
+}
+
+impl<K: Ord + Clone> Coordinator<K> {
+    /// An empty coordinator (every key at epoch 0).
+    #[must_use]
+    pub fn new() -> Self {
+        Coordinator {
+            epochs: BTreeMap::new(),
+        }
+    }
+
+    /// The current epoch of `key`.
+    #[must_use]
+    pub fn epoch(&self, key: &K) -> u64 {
+        self.epochs.get(key).copied().unwrap_or(0)
+    }
+
+    /// Bumps `key`'s epoch, invalidating every stamp taken before the
+    /// bump. Returns the new epoch.
+    pub fn invalidate(&mut self, key: K) -> u64 {
+        let e = self.epochs.entry(key).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// Stamps the current epoch of each key, in order.
+    #[must_use]
+    pub fn stamp<'a>(&self, keys: impl IntoIterator<Item = &'a K>) -> Vec<(K, u64)>
+    where
+        K: 'a,
+    {
+        keys.into_iter()
+            .map(|k| (k.clone(), self.epoch(k)))
+            .collect()
+    }
+
+    /// Whether every stamped epoch is still current.
+    #[must_use]
+    pub fn still_current(&self, stamps: &[(K, u64)]) -> bool {
+        stamps.iter().all(|(k, e)| self.epoch(k) == *e)
+    }
+
+    /// Number of keys that have ever been invalidated.
+    #[must_use]
+    pub fn touched(&self) -> usize {
+        self.epochs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_keys_are_epoch_zero() {
+        let c: Coordinator<u64> = Coordinator::new();
+        assert_eq!(c.epoch(&42), 0);
+        assert_eq!(c.touched(), 0);
+    }
+
+    #[test]
+    fn invalidation_breaks_exactly_the_stamps_that_overlap() {
+        let mut c = Coordinator::new();
+        let a = c.stamp([&1u64, &2, &3]);
+        let b = c.stamp([&4u64, &5]);
+        assert!(c.still_current(&a) && c.still_current(&b));
+
+        c.invalidate(2);
+        assert!(!c.still_current(&a), "stamp covering key 2 is stale");
+        assert!(c.still_current(&b), "disjoint stamp unaffected");
+
+        // Re-stamping after the bump is current again.
+        let a2 = c.stamp([&1u64, &2, &3]);
+        assert!(c.still_current(&a2));
+        assert_eq!(c.epoch(&2), 1);
+    }
+
+    #[test]
+    fn epochs_are_monotone() {
+        let mut c = Coordinator::new();
+        assert_eq!(c.invalidate("pc"), 1);
+        assert_eq!(c.invalidate("pc"), 2);
+        assert_eq!(c.epoch(&"pc"), 2);
+        assert_eq!(c.touched(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! [`SwapCell`]: a shared slot whose contents are replaced wholesale.
+//!
+//! The cached backend keeps its region→chain table behind one of these.
+//! Readers take a cheap snapshot (`Arc` clone) and work against an
+//! immutable table; writers build a *new* table and publish it in one
+//! swap. Nobody ever observes a half-updated table — the install of a
+//! background-compiled region is atomic with respect to every reader.
+//!
+//! The workspace forbids `unsafe`, so the slot is a `Mutex<Arc<T>>`
+//! rather than an `AtomicPtr`; the critical section is a single pointer
+//! clone/store, which is uncontended in practice (one execution thread,
+//! occasional installs).
+
+use std::sync::{Arc, Mutex};
+
+/// A publication slot holding an `Arc<T>` that is replaced, never
+/// mutated in place.
+pub struct SwapCell<T> {
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> SwapCell<T> {
+    /// A cell initially holding `value`.
+    pub fn new(value: T) -> Self {
+        SwapCell::from_arc(Arc::new(value))
+    }
+
+    /// A cell initially holding an already-shared `value`.
+    pub fn from_arc(value: Arc<T>) -> Self {
+        SwapCell {
+            slot: Mutex::new(value),
+        }
+    }
+
+    /// Snapshot the current contents. The returned `Arc` stays valid
+    /// (and immutable) regardless of later [`SwapCell::store`]s.
+    #[must_use]
+    pub fn load(&self) -> Arc<T> {
+        self.slot.lock().expect("swap cell poisoned").clone()
+    }
+
+    /// Publish `next`, replacing the current contents.
+    pub fn store(&self, next: Arc<T>) {
+        *self.slot.lock().expect("swap cell poisoned") = next;
+    }
+
+    /// Publish `next` and return what it replaced.
+    pub fn swap(&self, next: Arc<T>) -> Arc<T> {
+        std::mem::replace(&mut *self.slot.lock().expect("swap cell poisoned"), next)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SwapCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SwapCell").field(&self.load()).finish()
+    }
+}
+
+impl<T: Default> Default for SwapCell<T> {
+    fn default() -> Self {
+        SwapCell::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_latest_store() {
+        let cell = SwapCell::new(vec![1u32]);
+        let before = cell.load();
+        cell.store(Arc::new(vec![1, 2]));
+        assert_eq!(*before, vec![1], "old snapshot unaffected");
+        assert_eq!(*cell.load(), vec![1, 2]);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let cell = SwapCell::new(7u64);
+        let prev = cell.swap(Arc::new(9));
+        assert_eq!(*prev, 7);
+        assert_eq!(*cell.load(), 9);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_state() {
+        // Writers publish vectors whose elements all equal their length;
+        // any reader observing a mixed vector would prove a torn update.
+        let cell = Arc::new(SwapCell::new(vec![0usize; 4]));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for n in 1..200 {
+                        cell.store(Arc::new(vec![n; n]));
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        let v = cell.load();
+                        assert!(v.iter().all(|&x| x == v.len() || v.iter().all(|&y| y == x)));
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,144 @@
+//! Concurrency stress: enqueue / install / invalidate racing from
+//! multiple threads, with exact counter assertions (ISSUE 6 satellite).
+//!
+//! The test mirrors the engine's protocol: submitters stamp a snapshot
+//! of block epochs and enqueue a job; an invalidator thread keeps
+//! bumping epochs (retirements / re-formations); a resolver validates
+//! each completion against the coordinator and either "installs" or
+//! "discards" it. At the end every candidate must be accounted for —
+//! `installed + discarded == completed == enqueued` and
+//! `enqueued + rejected == attempts` — and every install's stamps must
+//! have been current at the instant of validation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tpdbt_optimizer::{Coordinator, OptService};
+
+/// Deterministic xorshift so the schedule varies without `rand`.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+const KEYS: u64 = 16;
+const SUBMITTERS: u64 = 4;
+const PER_SUBMITTER: u64 = 400;
+
+#[test]
+fn enqueue_install_invalidate_race_keeps_exact_counters() {
+    // Worker "forms a region": it just echoes the stamps back.
+    let service = Arc::new(OptService::new(3, 32, |stamps: Vec<(u64, u64)>| stamps));
+    let coord = Arc::new(Mutex::new(Coordinator::<u64>::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let installed = AtomicU64::new(0);
+    let discarded = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Invalidator: keeps bumping epochs while submissions race.
+        {
+            let coord = Arc::clone(&coord);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = xorshift(&mut rng) % KEYS;
+                    coord.lock().unwrap().invalidate(key);
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // Submitters: stamp a 3-key snapshot, enqueue it.
+        let mut handles = Vec::new();
+        for t in 0..SUBMITTERS {
+            let service = Arc::clone(&service);
+            let coord = Arc::clone(&coord);
+            handles.push(s.spawn(move || {
+                let mut rng = 0xdead_beef ^ (t + 1);
+                for _ in 0..PER_SUBMITTER {
+                    let keys: Vec<u64> = (0..3).map(|_| xorshift(&mut rng) % KEYS).collect();
+                    let stamps = coord.lock().unwrap().stamp(keys.iter());
+                    let _ = service.submit(stamps);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        // Resolver: validate every completion under the coordinator
+        // lock, exactly as the engine does at its install points.
+        for stamps in service.flush() {
+            let coord = coord.lock().unwrap();
+            if coord.still_current(&stamps) {
+                installed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                discarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+
+    let stats = service.stats();
+    let attempts = SUBMITTERS * PER_SUBMITTER;
+    assert_eq!(stats.enqueued + stats.rejected, attempts);
+    assert_eq!(stats.completed, stats.enqueued);
+    assert_eq!(
+        installed.load(Ordering::Relaxed) + discarded.load(Ordering::Relaxed),
+        stats.completed,
+        "every completed candidate is installed or discarded, never lost"
+    );
+
+    // Second phase, deterministic: enqueue a batch, then retire every
+    // key before resolving — each completion must be discarded.
+    let mut batch = 0u64;
+    for i in 0..8u64 {
+        let key = i % KEYS;
+        let stamps = coord.lock().unwrap().stamp([&key]);
+        if service.submit(stamps) {
+            batch += 1;
+        }
+    }
+    {
+        let mut coord = coord.lock().unwrap();
+        for key in 0..KEYS {
+            coord.invalidate(key);
+        }
+    }
+    let late = service.flush();
+    assert_eq!(late.len() as u64, batch);
+    let coord = coord.lock().unwrap();
+    assert!(
+        late.iter().all(|stamps| !coord.still_current(stamps)),
+        "every candidate queued before the mass retirement must be stale"
+    );
+}
+
+#[test]
+fn invalidation_after_enqueue_forces_discard() {
+    // Deterministic single-candidate version of the race above: the
+    // epoch moves while the job sits in the queue, so validation at
+    // "install time" must reject it.
+    let service = OptService::new(1, 4, |stamps: Vec<(u64, u64)>| stamps);
+    let mut coord = Coordinator::new();
+
+    let stamps = coord.stamp([&7u64, &8]);
+    assert!(service.submit(stamps));
+    coord.invalidate(8); // block 8 retired while the candidate is queued
+
+    let done = service.flush();
+    assert_eq!(done.len(), 1);
+    assert!(
+        !coord.still_current(&done[0]),
+        "stale candidate must fail validation"
+    );
+
+    // A candidate stamped after the retirement installs fine.
+    let fresh = coord.stamp([&7u64, &8]);
+    assert!(service.submit(fresh));
+    let done = service.flush();
+    assert!(coord.still_current(&done[0]));
+}

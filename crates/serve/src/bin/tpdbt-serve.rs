@@ -3,6 +3,7 @@
 //! ```text
 //! tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N]
 //!             [--hot N] [--deadline-ms MS] [--backend interp|cached]
+//!             [--opt-mode sync|async]
 //!             [--trace PATH [--trace-format jsonl|chrome]]
 //!             [--inject SPEC]
 //! ```
@@ -13,7 +14,10 @@
 //! queries with zero guest runs. `--backend` picks the execution
 //! backend for cold (computed) queries — `cached` (default, the
 //! pre-decoded translation cache) or `interp` (the reference
-//! interpreter); results are bitwise identical either way. The daemon prints exactly one
+//! interpreter); results are bitwise identical either way. `--opt-mode
+//! async` runs region formation on background optimizer threads for
+//! computed queries (guest output is identical; the `stats` endpoint
+//! reports install/discard counters). The daemon prints exactly one
 //! `listening on ADDR` line to stdout once ready, then blocks until a
 //! `shutdown` request drains it.
 //!
@@ -29,7 +33,7 @@ use tpdbt_trace::{TraceFormat, Tracer};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N] \\\n       [--hot N] [--deadline-ms MS] [--backend interp|cached] \\\n       [--trace PATH [--trace-format jsonl|chrome]] [--inject SPEC]\n\nSPEC is unix:PATH or HOST:PORT (port 0 = ephemeral)."
+        "usage: tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N] \\\n       [--hot N] [--deadline-ms MS] [--backend interp|cached] \\\n       [--opt-mode sync|async] \\\n       [--trace PATH [--trace-format jsonl|chrome]] [--inject SPEC]\n\nSPEC is unix:PATH or HOST:PORT (port 0 = ephemeral)."
     );
     std::process::exit(2)
 }
@@ -51,6 +55,7 @@ fn main() {
     let mut trace_format = TraceFormat::default();
     let mut inject: Option<String> = None;
     let mut backend = tpdbt_dbt::Backend::default();
+    let mut opt_mode = tpdbt_dbt::OptMode::default();
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match arg.as_str() {
@@ -61,6 +66,7 @@ fn main() {
             "--hot" => hot = value().parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => deadline_ms = value().parse().unwrap_or_else(|_| usage()),
             "--backend" => backend = value().parse().unwrap_or_else(|_| usage()),
+            "--opt-mode" => opt_mode = value().parse().unwrap_or_else(|_| usage()),
             "--trace" => trace_path = Some(value()),
             "--trace-format" => trace_format = value().parse().unwrap_or_else(|_| usage()),
             "--inject" => inject = Some(value()),
@@ -76,6 +82,7 @@ fn main() {
         hot_capacity: hot,
         default_deadline: Duration::from_millis(deadline_ms.max(1)),
         backend,
+        opt_mode,
     });
     let tracer = trace_path.as_ref().map(|_| Arc::new(Tracer::new()));
     if let Some(t) = &tracer {

@@ -106,6 +106,46 @@ pub enum EventKind {
         side_exits: u64,
     },
 
+    // ---- background optimizer (tpdbt-dbt, `--opt-mode async`) ----
+    /// A hot candidate was handed to the background optimization
+    /// service (async mode).
+    OptEnqueued {
+        /// Candidate entry address.
+        pc: u64,
+        /// The candidate's `use` count at enqueue time.
+        use_count: u64,
+        /// Service depth (queued + in flight) after the enqueue.
+        depth: u64,
+    },
+    /// An optimizer worker began forming the candidate's region.
+    OptStarted {
+        /// Candidate entry address.
+        pc: u64,
+    },
+    /// A background-formed region passed epoch validation and was
+    /// installed into the translation cache.
+    OptInstalled {
+        /// Region id.
+        region: u64,
+        /// Entry block address.
+        entry_pc: u64,
+        /// Number of block copies in the region.
+        blocks: u32,
+        /// The entry's `use` count at install time (may exceed `2T`:
+        /// profiling continued while the candidate was queued).
+        use_count: u64,
+    },
+    /// A background candidate was discarded instead of installed — its
+    /// snapshot went stale (a stamped block was retired / reformed /
+    /// invalidated), its entry got covered by another region, region
+    /// formation failed, or the queue was full at submission.
+    OptDiscarded {
+        /// Candidate entry address.
+        pc: u64,
+        /// The candidate's `use` count at the discard decision.
+        use_count: u64,
+    },
+
     // ---- profile store (tpdbt-store) ----
     /// A store lookup was served from disk.
     StoreHit {
@@ -261,6 +301,10 @@ impl EventKind {
             EventKind::RegionFormed { .. } => "region_formed",
             EventKind::RegionReformed { .. } => "region_reformed",
             EventKind::RegionRetired { .. } => "region_retired",
+            EventKind::OptEnqueued { .. } => "opt_enqueued",
+            EventKind::OptStarted { .. } => "opt_started",
+            EventKind::OptInstalled { .. } => "opt_installed",
+            EventKind::OptDiscarded { .. } => "opt_discarded",
             EventKind::StoreHit { .. } => "store_hit",
             EventKind::StoreMiss { .. } => "store_miss",
             EventKind::StoreEvicted { .. } => "store_evicted",
@@ -336,6 +380,22 @@ mod tests {
                 entry_pc: 0,
                 entries: 1,
                 side_exits: 1,
+            },
+            EventKind::OptEnqueued {
+                pc: 0,
+                use_count: 1,
+                depth: 1,
+            },
+            EventKind::OptStarted { pc: 0 },
+            EventKind::OptInstalled {
+                region: 0,
+                entry_pc: 0,
+                blocks: 1,
+                use_count: 1,
+            },
+            EventKind::OptDiscarded {
+                pc: 0,
+                use_count: 1,
             },
             EventKind::StoreHit {
                 file: String::new(),
