@@ -93,6 +93,7 @@ fn bench_socket_round_trip(c: &mut Criterion) {
             bind: Bind::Tcp("127.0.0.1:0".to_string()),
             workers: 2,
             queue_depth: 8,
+            accept_shards: 1,
         },
     )
     .expect("bind ephemeral port");

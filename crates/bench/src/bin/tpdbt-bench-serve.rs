@@ -1,0 +1,299 @@
+//! `tpdbt-bench-serve` — the serve load harness.
+//!
+//! ```text
+//! tpdbt-bench-serve [--connections N] [--requests N] [--batch K]
+//!                   [--rate QPS] [--seed S] [--connect SPEC]
+//!                   [--cache-dir DIR] [--accept-shards N]
+//!                   [--hot-shards N] [--json PATH]
+//! ```
+//!
+//! Drives a `tpdbt-serve` instance (an in-process one over loopback
+//! TCP by default, or an external one via `--connect`) with many
+//! concurrent connections over a memory-hot workload, and reports
+//! p50/p99/p999 latency plus sustained throughput for three legs:
+//!
+//! 1. **closed/batch1** — every connection issues its requests one
+//!    query per round trip (the PR 4 protocol), as fast as responses
+//!    come back. Throughput here is the old saturation ceiling.
+//! 2. **closed/batchK** — the same query volume packed `K` per `batch`
+//!    frame. The qps ratio against leg 1 is the batching payoff.
+//! 3. **open/rateR** — seeded deterministic open-loop arrivals
+//!    (exponential inter-arrival at `--rate` aggregate qps). Latency
+//!    is measured from the *scheduled* send time, so queueing delay
+//!    under overload is charged to the server, not hidden
+//!    (coordinated omission).
+//!
+//! Results append to the criterion-shim registry: `--json PATH` writes
+//! them there, otherwise the `TPDBT_BENCH_JSON` environment variable
+//! names the output (BENCH_SERVE.json in CI). Exit status: 0 on
+//! success, 1 on setup/transport failures, 2 on usage errors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpdbt_serve::proto::Request;
+use tpdbt_serve::{start, Bind, Client, ProfileService, ServerConfig, ServiceConfig};
+use tpdbt_suite::Scale;
+
+/// The memory-hot query mix: tiny-scale `base` lookups over three
+/// workloads, rotated per request.
+const WORKLOADS: [&str; 3] = ["gzip", "mcf", "equake"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpdbt-bench-serve [--connections N] [--requests N] [--batch K] [--rate QPS]\n       [--seed S] [--connect SPEC] [--cache-dir DIR] [--accept-shards N]\n       [--hot-shards N] [--json PATH]\n\nDefaults: 32 connections x 100 requests, batch 32, rate 5000 qps, seed 42."
+    );
+    std::process::exit(2)
+}
+
+fn fatal(message: impl std::fmt::Display) -> ! {
+    eprintln!("tpdbt-bench-serve: {message}");
+    std::process::exit(1)
+}
+
+fn request_for(i: usize) -> Request {
+    Request::Base {
+        workload: WORKLOADS[i % WORKLOADS.len()].to_string(),
+        scale: Scale::Tiny,
+    }
+}
+
+struct LegResult {
+    latencies_ns: Vec<u128>,
+    queries: u64,
+    wall: Duration,
+}
+
+impl LegResult {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Closed loop: every connection fires its whole request budget
+/// back-to-back, `batch` queries per frame (1 = the v1 protocol).
+/// Samples are per-frame round-trip latencies.
+fn run_closed(addr: &str, connections: usize, requests: usize, batch: usize) -> LegResult {
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let total_queries = Arc::new(AtomicU64::new(0));
+    let frames = requests.div_ceil(batch);
+    let mut threads = Vec::new();
+    for conn in 0..connections {
+        let addr = addr.to_string();
+        let barrier = Arc::clone(&barrier);
+        let total_queries = Arc::clone(&total_queries);
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr)
+                .unwrap_or_else(|e| fatal(format_args!("connect {addr}: {e}")));
+            let mut latencies = Vec::with_capacity(frames);
+            barrier.wait();
+            for frame in 0..frames {
+                let t0 = Instant::now();
+                let reply = if batch == 1 {
+                    client.request(request_for(conn + frame), None)
+                } else {
+                    client.request_batch(
+                        (0..batch)
+                            .map(|slot| (request_for(conn + frame + slot), None))
+                            .collect(),
+                    )
+                };
+                let reply = reply.unwrap_or_else(|e| fatal(format_args!("request: {e}")));
+                if reply.get("ok").and_then(tpdbt_serve::json::Json::as_bool) != Some(true) {
+                    fatal(format_args!("server error: {}", reply.render()));
+                }
+                latencies.push(t0.elapsed().as_nanos());
+                total_queries.fetch_add(batch as u64, Ordering::Relaxed);
+            }
+            latencies
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    let mut latencies_ns = Vec::new();
+    for t in threads {
+        latencies_ns.extend(t.join().unwrap_or_else(|_| fatal("worker thread panicked")));
+    }
+    LegResult {
+        latencies_ns,
+        queries: total_queries.load(Ordering::Relaxed),
+        wall: started.elapsed(),
+    }
+}
+
+/// Open loop: single queries arrive on a seeded exponential schedule
+/// at `rate` aggregate qps, split evenly across connections. Latency
+/// is charged from the scheduled arrival, so a server that falls
+/// behind pays its queueing delay in the tail percentiles.
+fn run_open(addr: &str, connections: usize, requests: usize, rate: f64, seed: u64) -> LegResult {
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let per_conn_rate = (rate / connections as f64).max(1e-6);
+    let mut threads = Vec::new();
+    for conn in 0..connections {
+        let addr = addr.to_string();
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr)
+                .unwrap_or_else(|e| fatal(format_args!("connect {addr}: {e}")));
+            let mut rng = StdRng::seed_from_u64(seed ^ (conn as u64).wrapping_mul(0x9E37));
+            let mut latencies = Vec::with_capacity(requests);
+            barrier.wait();
+            let start = Instant::now();
+            let mut scheduled = Duration::ZERO;
+            for i in 0..requests {
+                // Exponential inter-arrival: -ln(1-u)/λ, u in [0,1).
+                let u: f64 = rng.gen_range(0.0..1.0);
+                scheduled += Duration::from_secs_f64(-(1.0 - u).ln() / per_conn_rate);
+                let due = start + scheduled;
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let reply = client
+                    .request(request_for(conn + i), None)
+                    .unwrap_or_else(|e| fatal(format_args!("request: {e}")));
+                if reply.get("ok").and_then(tpdbt_serve::json::Json::as_bool) != Some(true) {
+                    fatal(format_args!("server error: {}", reply.render()));
+                }
+                latencies.push(due.elapsed().as_nanos());
+            }
+            latencies
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    let mut latencies_ns = Vec::new();
+    for t in threads {
+        latencies_ns.extend(t.join().unwrap_or_else(|_| fatal("worker thread panicked")));
+    }
+    LegResult {
+        latencies_ns,
+        queries: (connections * requests) as u64,
+        wall: started.elapsed(),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let mut connections: usize = 32;
+    let mut requests: usize = 100;
+    let mut batch: usize = 32;
+    let mut rate: f64 = 5000.0;
+    let mut seed: u64 = 42;
+    let mut connect: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut accept_shards: usize = 4;
+    let mut hot_shards: usize = tpdbt_serve::shard::DEFAULT_SHARDS;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--connections" => connections = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => requests = value().parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = value().parse().unwrap_or_else(|_| usage()),
+            "--rate" => rate = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--connect" => connect = Some(value()),
+            "--cache-dir" => cache_dir = Some(value()),
+            "--accept-shards" => accept_shards = value().parse().unwrap_or_else(|_| usage()),
+            "--hot-shards" => hot_shards = value().parse().unwrap_or_else(|_| usage()),
+            "--json" => json = Some(value()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let connections = connections.max(1);
+    let requests = requests.max(1);
+    let batch = batch.clamp(1, tpdbt_serve::MAX_BATCH);
+
+    // The harness drives connection-oriented workers: every open
+    // connection pins one worker for its lifetime, so the in-process
+    // server gets one worker per connection (plus slack in the queue).
+    let handle = if connect.is_none() {
+        let service = ProfileService::new(ServiceConfig {
+            cache_dir: cache_dir.map(Into::into),
+            hot_shards,
+            ..ServiceConfig::default()
+        });
+        Some(
+            start(
+                Arc::new(service),
+                ServerConfig {
+                    bind: Bind::Tcp("127.0.0.1:0".to_string()),
+                    workers: connections + 1,
+                    queue_depth: connections * 2 + 2,
+                    accept_shards,
+                },
+            )
+            .unwrap_or_else(|e| fatal(format_args!("bind: {e}"))),
+        )
+    } else {
+        None
+    };
+    let addr = connect.unwrap_or_else(|| handle.as_ref().map(|h| h.addr().to_string()).unwrap());
+
+    // Prime: one pass over the workloads makes every later query
+    // memory-hot, so the legs measure protocol + tiers, not guest runs.
+    {
+        let mut client =
+            Client::connect(&addr).unwrap_or_else(|e| fatal(format_args!("connect {addr}: {e}")));
+        for i in 0..WORKLOADS.len() {
+            let reply = client
+                .request(request_for(i), None)
+                .unwrap_or_else(|e| fatal(format_args!("prime: {e}")));
+            if reply.get("ok").and_then(tpdbt_serve::json::Json::as_bool) != Some(true) {
+                fatal(format_args!("prime failed: {}", reply.render()));
+            }
+        }
+    }
+
+    println!(
+        "tpdbt-bench-serve: {connections} connections x {requests} requests, batch {batch}, \
+         open-loop {rate:.0} qps, seed {seed}"
+    );
+
+    let single = run_closed(&addr, connections, requests, 1);
+    let single_qps = single.qps();
+    criterion::record(criterion::BenchRecord::from_samples(
+        "serve_load/closed/batch1",
+        single.latencies_ns,
+        Some(single_qps),
+    ));
+
+    let batched = run_closed(&addr, connections, requests, batch);
+    let batched_qps = batched.qps();
+    criterion::record(criterion::BenchRecord::from_samples(
+        format!("serve_load/closed/batch{batch}"),
+        batched.latencies_ns,
+        Some(batched_qps),
+    ));
+
+    let open = run_open(&addr, connections, requests, rate, seed);
+    let open_qps = open.qps();
+    criterion::record(criterion::BenchRecord::from_samples(
+        format!("serve_load/open/rate{rate:.0}"),
+        open.latencies_ns,
+        Some(open_qps),
+    ));
+
+    println!(
+        "saturation: batch1 {single_qps:.0} qps, batch{batch} {batched_qps:.0} qps \
+         ({:.1}x), open-loop served {open_qps:.0} qps",
+        batched_qps / single_qps.max(1e-9)
+    );
+
+    if let Some(path) = &json {
+        criterion::write_json_to(path).unwrap_or_else(|e| fatal(format_args!("write {path}: {e}")));
+        println!("bench results written to {path}");
+    } else {
+        criterion::write_json_if_requested();
+    }
+
+    if let Some(handle) = handle {
+        handle.shutdown();
+    }
+}

@@ -36,8 +36,49 @@ pub struct BenchRecord {
     pub min_ns: u128,
     /// Slowest sample, in nanoseconds.
     pub max_ns: u128,
+    /// 50th-percentile sample, in nanoseconds (the median again, kept
+    /// as an explicit field so latency records read p50/p99/p999).
+    pub p50_ns: u128,
+    /// 99th-percentile sample, in nanoseconds.
+    pub p99_ns: u128,
+    /// 99.9th-percentile sample, in nanoseconds.
+    pub p999_ns: u128,
+    /// Sustained operations per second, when the benchmark measures
+    /// throughput (load harnesses); `None` for plain timing loops.
+    pub throughput_qps: Option<f64>,
     /// Number of timed samples.
     pub samples: usize,
+}
+
+impl BenchRecord {
+    /// Builds a latency record from raw nanosecond samples (sorted
+    /// internally), with optional throughput.
+    ///
+    /// # Panics
+    ///
+    /// If `samples_ns` is empty.
+    #[must_use]
+    pub fn from_samples(
+        name: impl Into<String>,
+        mut samples_ns: Vec<u128>,
+        throughput_qps: Option<f64>,
+    ) -> BenchRecord {
+        let name = name.into();
+        assert!(!samples_ns.is_empty(), "no samples for {name}");
+        samples_ns.sort_unstable();
+        let n = samples_ns.len();
+        BenchRecord {
+            median_ns: samples_ns[n / 2],
+            min_ns: samples_ns[0],
+            max_ns: samples_ns[n - 1],
+            p50_ns: percentile_ns(&samples_ns, 50.0),
+            p99_ns: percentile_ns(&samples_ns, 99.0),
+            p999_ns: percentile_ns(&samples_ns, 99.9),
+            throughput_qps,
+            samples: n,
+            name,
+        }
+    }
 }
 
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
@@ -143,6 +184,42 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Nearest-rank percentile over *sorted ascending* nanosecond samples:
+/// `q` in percent (50.0, 99.0, 99.9). Small sample sets saturate to
+/// the maximum, which is the honest tail estimate.
+///
+/// # Panics
+///
+/// If `sorted_ns` is empty.
+#[must_use]
+pub fn percentile_ns(sorted_ns: &[u128], q: f64) -> u128 {
+    assert!(!sorted_ns.is_empty());
+    let n = sorted_ns.len();
+    // The epsilon keeps exact ranks exact: 0.999 * 1000 lands a hair
+    // above 999.0 in binary and must not ceil into rank 1000.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q / 100.0) * n as f64 - 1e-9).ceil() as usize;
+    sorted_ns[rank.clamp(1, n) - 1]
+}
+
+/// Appends an externally measured record (a load harness computing its
+/// own percentiles) to the registry, so it rides the same
+/// `TPDBT_BENCH_JSON` export as `bench_function` timings.
+pub fn record(rec: BenchRecord) {
+    println!(
+        "{:<44} p50 {:>10}ns  p99 {:>10}ns  p999 {:>10}ns{}  (n={})",
+        rec.name,
+        rec.p50_ns,
+        rec.p99_ns,
+        rec.p999_ns,
+        rec.throughput_qps
+            .map(|q| format!("  {q:.0} qps"))
+            .unwrap_or_default(),
+        rec.samples
+    );
+    RESULTS.lock().unwrap().push(rec);
+}
+
 fn report(name: &str, samples: &mut [Duration]) {
     if samples.is_empty() {
         println!("{name:<44} no samples");
@@ -159,11 +236,16 @@ fn report(name: &str, samples: &mut [Duration]) {
         max,
         samples.len()
     );
+    let sorted_ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
     RESULTS.lock().unwrap().push(BenchRecord {
         name: name.to_string(),
         median_ns: median.as_nanos(),
         min_ns: min.as_nanos(),
         max_ns: max.as_nanos(),
+        p50_ns: percentile_ns(&sorted_ns, 50.0),
+        p99_ns: percentile_ns(&sorted_ns, 99.0),
+        p999_ns: percentile_ns(&sorted_ns, 99.9),
+        throughput_qps: None,
         samples: samples.len(),
     });
 }
@@ -195,17 +277,35 @@ pub fn results_json() -> String {
     let rows: Vec<String> = results()
         .iter()
         .map(|r| {
+            let throughput = r
+                .throughput_qps
+                .map(|q| format!(", \"throughput_qps\": {q:.3}"))
+                .unwrap_or_default();
             format!(
-                "  {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+                "  {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}{}, \"samples\": {}}}",
                 json_escape(&r.name),
                 r.median_ns,
                 r.min_ns,
                 r.max_ns,
+                r.p50_ns,
+                r.p99_ns,
+                r.p999_ns,
+                throughput,
                 r.samples
             )
         })
         .collect();
     format!("{{\"benchmarks\": [\n{}\n]}}\n", rows.join(",\n"))
+}
+
+/// Writes [`results_json`] to `path` unconditionally (load harnesses
+/// that own their output location).
+///
+/// # Errors
+///
+/// Filesystem errors from the underlying write.
+pub fn write_json_to(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, results_json())
 }
 
 /// Writes [`results_json`] to the path named by `TPDBT_BENCH_JSON`, if
@@ -308,9 +408,37 @@ mod tests {
             .expect("benchmark recorded");
         assert_eq!(rec.samples, 2);
         assert!(rec.min_ns <= rec.median_ns && rec.median_ns <= rec.max_ns);
+        assert!(rec.p50_ns <= rec.p99_ns && rec.p99_ns <= rec.p999_ns);
         let json = results_json();
         assert!(json.starts_with("{\"benchmarks\": ["));
         assert!(json.contains("\"name\": \"shim/json \\\"quoted\\\"\""));
         assert!(json.contains("\"median_ns\": "));
+        assert!(json.contains("\"p999_ns\": "));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples: Vec<u128> = (1..=1000).collect();
+        assert_eq!(percentile_ns(&samples, 50.0), 500);
+        assert_eq!(percentile_ns(&samples, 99.0), 990);
+        assert_eq!(percentile_ns(&samples, 99.9), 999);
+        // Small sets saturate to the max: the honest tail estimate.
+        assert_eq!(percentile_ns(&[7], 99.9), 7);
+        assert_eq!(percentile_ns(&[1, 2, 3], 99.0), 3);
+    }
+
+    #[test]
+    fn external_records_carry_throughput_into_the_json() {
+        let rec = BenchRecord::from_samples(
+            "shim/load_test",
+            vec![300, 100, 200, 400, 500],
+            Some(1234.5),
+        );
+        assert_eq!(rec.p50_ns, 300);
+        assert_eq!(rec.p999_ns, 500);
+        record(rec);
+        let json = results_json();
+        assert!(json.contains("\"name\": \"shim/load_test\""));
+        assert!(json.contains("\"throughput_qps\": 1234.500"));
     }
 }

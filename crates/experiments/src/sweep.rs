@@ -512,6 +512,10 @@ struct GuestId<'a> {
     input: &'a [i64],
     /// Digest of the serialized binary (`binfmt::write_program`).
     binary_digest: u64,
+    /// Digest of the input words, hashed once: key derivation sits on
+    /// the serve hot path, where re-hashing the whole input per query
+    /// would dwarf a memory-hot lookup.
+    input_digest: u64,
     input_code: u8,
     scale_code: u8,
     /// Decode-once block cache shared by every run of this guest.
@@ -525,6 +529,7 @@ impl<'a> GuestId<'a> {
             binary,
             input,
             binary_digest: fnv64(&binfmt::write_program(binary)),
+            input_digest: fnv64_words(input),
             input_code: ic,
             scale_code: sc,
             predecoded: Arc::new(PredecodedProgram::new(&binary.program)),
@@ -535,7 +540,7 @@ impl<'a> GuestId<'a> {
     fn key(&self, cfg: &DbtConfig) -> CacheKey {
         let mut h = Fnv64::new();
         h.write_u64(self.binary_digest);
-        h.write_u64(fnv64_words(self.input));
+        h.write_u64(self.input_digest);
         h.write_u64(cfg.fingerprint());
         CacheKey {
             workload: self.name.to_string(),
@@ -563,6 +568,7 @@ pub struct SuiteGuest {
     input_code: u8,
     scale_code: u8,
     binary_digest: u64,
+    input_digest: u64,
     /// Decode-once block cache shared by every query against this
     /// guest: a long-lived service decodes each block at most once,
     /// no matter how many cold queries execute it.
@@ -581,6 +587,7 @@ impl SuiteGuest {
         Ok(SuiteGuest {
             name: w.name.to_string(),
             binary_digest: fnv64(&binfmt::write_program(&w.binary)),
+            input_digest: fnv64_words(&w.input),
             predecoded: Arc::new(PredecodedProgram::new(&w.binary.program)),
             binary: w.binary,
             input: w.input,
@@ -595,6 +602,7 @@ impl SuiteGuest {
             binary: &self.binary,
             input: &self.input,
             binary_digest: self.binary_digest,
+            input_digest: self.input_digest,
             input_code: self.input_code,
             scale_code: self.scale_code,
             predecoded: Arc::clone(&self.predecoded),
@@ -758,6 +766,7 @@ impl Baselines {
             binary: &self.reference.binary,
             input: &self.reference.input,
             binary_digest: self.ref_digest,
+            input_digest: fnv64_words(&self.reference.input),
             input_code: input_code(InputKind::Ref),
             scale_code: scale_code(scale),
             predecoded: Arc::clone(&self.ref_predecoded),

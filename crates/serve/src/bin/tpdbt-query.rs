@@ -10,17 +10,22 @@
 //! tpdbt-query --connect SPEC malformed     (protocol test: sends garbage)
 //! ```
 //!
+//! `--batch N` (artifact ops and ping) replicates the request N times
+//! inside one pipelined `batch` frame; the exit status is 0 only if
+//! every slot answered `ok: true`.
+//!
 //! Prints the response body as one line of JSON on stdout. Exit
 //! status: 0 when the server answered `ok: true`, 1 on transport
 //! failures or an `ok: false` response, 2 on usage errors.
 
+use tpdbt_serve::json::Json;
 use tpdbt_serve::proto::Request;
 use tpdbt_serve::Client;
 use tpdbt_suite::{InputKind, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpdbt-query --connect SPEC [--deadline-ms MS] OP [ARGS]\n  OP: ping | stats | shutdown | malformed\n      plain WORKLOAD [--scale tiny|small|paper] [--input ref|train]\n      cell  WORKLOAD THRESHOLD [--scale tiny|small|paper]\n      base  WORKLOAD [--scale tiny|small|paper]"
+        "usage: tpdbt-query --connect SPEC [--deadline-ms MS] [--batch N] OP [ARGS]\n  OP: ping | stats | shutdown | malformed\n      plain WORKLOAD [--scale tiny|small|paper] [--input ref|train]\n      cell  WORKLOAD THRESHOLD [--scale tiny|small|paper]\n      base  WORKLOAD [--scale tiny|small|paper]\n  --batch N sends the request N times in one batch frame"
     );
     std::process::exit(2)
 }
@@ -42,6 +47,7 @@ fn parse_scale(s: &str) -> Scale {
 fn main() {
     let mut connect: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut batch: Option<usize> = None;
     let mut scale = Scale::Tiny;
     let mut input = InputKind::Ref;
     let mut positional: Vec<String> = Vec::new();
@@ -51,6 +57,7 @@ fn main() {
         match arg.as_str() {
             "--connect" => connect = Some(value()),
             "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--batch" => batch = Some(value().parse().unwrap_or_else(|_| usage())),
             "--scale" => scale = parse_scale(&value()),
             "--input" => {
                 input = match value().as_str() {
@@ -101,16 +108,28 @@ fn main() {
         if pos.next().is_some() {
             usage();
         }
-        client.request(request, deadline_ms)
+        match batch {
+            Some(n) if n > 0 && request != Request::Shutdown => {
+                client.request_batch((0..n).map(|_| (request.clone(), deadline_ms)).collect())
+            }
+            Some(_) => usage(),
+            None => client.request(request, deadline_ms),
+        }
     };
 
     match reply {
         Ok(body) => {
             println!("{}", body.render());
-            let ok = body
-                .get("ok")
-                .and_then(tpdbt_serve::json::Json::as_bool)
-                .unwrap_or(false);
+            // A batch succeeds only if the envelope *and every slot*
+            // answered ok.
+            let ok = body.get("ok").and_then(Json::as_bool).unwrap_or(false)
+                && match body.get("responses") {
+                    Some(Json::Arr(slots)) => slots
+                        .iter()
+                        .all(|s| s.get("ok").and_then(Json::as_bool) == Some(true)),
+                    Some(_) => false,
+                    None => true,
+                };
             std::process::exit(i32::from(!ok));
         }
         Err(e) => fatal(e),

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N]
-//!             [--hot N] [--deadline-ms MS] [--backend interp|cached]
+//!             [--accept-shards N] [--hot N] [--hot-shards N]
+//!             [--deadline-ms MS] [--backend interp|cached]
 //!             [--opt-mode sync|async]
 //!             [--trace PATH [--trace-format jsonl|chrome]]
 //!             [--inject SPEC]
@@ -33,7 +34,7 @@ use tpdbt_trace::{TraceFormat, Tracer};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N] \\\n       [--hot N] [--deadline-ms MS] [--backend interp|cached] \\\n       [--opt-mode sync|async] \\\n       [--trace PATH [--trace-format jsonl|chrome]] [--inject SPEC]\n\nSPEC is unix:PATH or HOST:PORT (port 0 = ephemeral)."
+        "usage: tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N] \\\n       [--accept-shards N] [--hot N] [--hot-shards N] [--deadline-ms MS] \\\n       [--backend interp|cached] [--opt-mode sync|async] \\\n       [--trace PATH [--trace-format jsonl|chrome]] [--inject SPEC]\n\nSPEC is unix:PATH or HOST:PORT (port 0 = ephemeral)."
     );
     std::process::exit(2)
 }
@@ -49,7 +50,9 @@ fn main() {
     let mut cache_dir: Option<String> = None;
     let mut jobs: usize = 4;
     let mut queue: usize = 16;
+    let mut accept_shards: usize = 2;
     let mut hot: usize = 256;
+    let mut hot_shards: usize = tpdbt_serve::shard::DEFAULT_SHARDS;
     let mut deadline_ms: u64 = 30_000;
     let mut trace_path: Option<String> = None;
     let mut trace_format = TraceFormat::default();
@@ -63,7 +66,9 @@ fn main() {
             "--cache-dir" => cache_dir = Some(value()),
             "--jobs" => jobs = value().parse().unwrap_or_else(|_| usage()),
             "--queue" => queue = value().parse().unwrap_or_else(|_| usage()),
+            "--accept-shards" => accept_shards = value().parse().unwrap_or_else(|_| usage()),
             "--hot" => hot = value().parse().unwrap_or_else(|_| usage()),
+            "--hot-shards" => hot_shards = value().parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => deadline_ms = value().parse().unwrap_or_else(|_| usage()),
             "--backend" => backend = value().parse().unwrap_or_else(|_| usage()),
             "--opt-mode" => opt_mode = value().parse().unwrap_or_else(|_| usage()),
@@ -80,6 +85,7 @@ fn main() {
     let mut service = ProfileService::new(ServiceConfig {
         cache_dir: cache_dir.map(Into::into),
         hot_capacity: hot,
+        hot_shards: hot_shards.max(1),
         default_deadline: Duration::from_millis(deadline_ms.max(1)),
         backend,
         opt_mode,
@@ -101,6 +107,7 @@ fn main() {
             bind,
             workers: jobs.max(1),
             queue_depth: queue.max(1),
+            accept_shards: accept_shards.max(1),
         },
     )
     .unwrap_or_else(|e| fatal(format_args!("bind {listen}: {e}")));

@@ -209,6 +209,7 @@ fn escape_into(out: &mut String, s: &str) {
 /// [`JsonError`] with the byte offset of the first problem.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
+        text: input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -226,6 +227,9 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 const MAX_DEPTH: usize = 32;
 
 struct Parser<'a> {
+    /// The input as a `&str`: runs of ordinary string characters are
+    /// sliced out of it wholesale, already validated.
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -375,13 +379,20 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Multi-byte UTF-8 sequences pass through verbatim:
-                    // `bytes` came from a `&str`, so boundaries align.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = text.chars().next().ok_or_else(|| self.err("empty char"))?;
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the whole run of ordinary characters up
+                    // to the next quote or escape. Scanning bytes is
+                    // safe: multi-byte UTF-8 units are all >= 0x80 and
+                    // can never alias `"` or `\`, and the input came
+                    // from a `&str`, so the run is valid UTF-8 and both
+                    // ends sit on character boundaries.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    s.push_str(&self.text[start..self.pos]);
                 }
             }
         }

@@ -1,12 +1,20 @@
-//! The connection server: listener, bounded connection queue, worker
-//! pool, and graceful shutdown.
+//! The connection server: sharded listeners, bounded connection
+//! queues, pinned worker pools, and graceful shutdown.
 //!
-//! One accept thread pushes connections onto a bounded queue; `N`
-//! workers pop and serve them frame by frame. A full queue answers
-//! `overloaded` and closes — backpressure is explicit, never an
-//! unbounded buffer. Shutdown (the `shutdown` op) drains requests that
-//! are mid-service, rejects queued connections with `shutting_down`,
-//! and unblocks the accept thread with a self-connection.
+//! The listener socket is cloned into `accept_shards` accept threads
+//! (the kernel load-balances `accept(2)` across them), each feeding
+//! its own bounded queue drained by its own slice of the worker pool —
+//! no single accept thread or queue mutex serializes admission. A full
+//! queue answers `overloaded` and closes — backpressure is explicit,
+//! never an unbounded buffer. Shutdown (the `shutdown` op) drains
+//! requests that are mid-service, rejects queued connections with
+//! `shutting_down`, and unblocks every accept thread with
+//! self-connections.
+//!
+//! Workers serve connections frame by frame; a frame is either one
+//! request or a `batch` envelope answered with one tagged response
+//! frame (DESIGN.md §13). Clients may pipeline: frames are buffered
+//! and served back-to-back without waiting for the client to read.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -15,15 +23,16 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tpdbt_faults::FaultSite;
 use tpdbt_trace::EventKind;
 
-use crate::proto::{self, Envelope, ErrorCode, Request, MAX_FRAME};
+use crate::proto::{self, ErrorCode, Incoming, Request, MAX_FRAME};
 use crate::service::ProfileService;
+use crate::shard::lock_recover;
 
 /// Where the server listens.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,10 +72,16 @@ impl Bind {
 pub struct ServerConfig {
     /// Listen address.
     pub bind: Bind,
-    /// Worker threads serving connections.
+    /// Worker threads serving connections, distributed across the
+    /// accept shards (each shard gets at least one).
     pub workers: usize,
-    /// Bounded connection-queue depth; a full queue is `overloaded`.
+    /// Bounded connection-queue depth *per accept shard*; a full shard
+    /// queue is `overloaded`.
     pub queue_depth: usize,
+    /// Accept threads, each with a cloned listener and its own queue
+    /// (clamped to at least 1). The kernel load-balances `accept(2)`
+    /// across the clones.
+    pub accept_shards: usize,
 }
 
 /// A bounded MPMC queue of pending connections. Public so the stress
@@ -98,11 +113,16 @@ impl<T> ConnQueue<T> {
 
     /// Enqueues `item`; gives it back if the queue is full or closed.
     ///
+    /// Locks recover from poisoning: a worker panicking between `pop`
+    /// and serving must not wedge admission for every later
+    /// connection. Queue state mutates in single push/pop statements,
+    /// so a recovered guard always sees a consistent deque.
+    ///
     /// # Errors
     ///
     /// The rejected item itself, so the caller can answer it.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_recover(&self.inner);
         if inner.closed || inner.items.len() >= self.capacity {
             return Err(item);
         }
@@ -114,7 +134,7 @@ impl<T> ConnQueue<T> {
 
     /// Blocks for the next item; `None` once closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_recover(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -122,20 +142,69 @@ impl<T> ConnQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.cv.wait(inner).expect("queue poisoned");
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Non-blocking pop: an item if one is waiting, `None` otherwise
+    /// (whether the queue is open or closed).
+    pub fn try_pop(&self) -> Option<T> {
+        lock_recover(&self.inner).items.pop_front()
+    }
+
+    /// Blocks up to `timeout` for the next item, distinguishing an
+    /// empty open queue (the caller may go steal elsewhere) from a
+    /// closed, drained one (the caller exits).
+    pub fn pop_wait(&self, timeout: Duration) -> PopWait<T> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = lock_recover(&self.inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return PopWait::Item(item);
+            }
+            if inner.closed {
+                return PopWait::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return PopWait::Empty;
+            }
+            inner = self
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Whether the queue is closed *and* fully drained.
+    #[must_use]
+    pub fn is_closed_and_empty(&self) -> bool {
+        let inner = lock_recover(&self.inner);
+        inner.closed && inner.items.is_empty()
     }
 
     /// Closes the queue: pushes fail, pops drain then return `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        lock_recover(&self.inner).closed = true;
         self.cv.notify_all();
     }
 
     /// Items currently waiting.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        lock_recover(&self.inner).items.len()
+    }
+
+    /// Test hook: panics while holding the queue lock, poisoning it
+    /// the way a crashing worker would; the panic is caught here.
+    #[doc(hidden)]
+    pub fn poison_for_tests(&self) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("injected queue panic under the lock");
+        }));
+        assert!(result.is_err());
     }
 
     /// Whether nothing is waiting.
@@ -143,6 +212,16 @@ impl<T> ConnQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Outcome of a bounded [`ConnQueue::pop_wait`].
+pub enum PopWait<T> {
+    /// An item arrived within the timeout.
+    Item(T),
+    /// The wait timed out with the queue still open.
+    Empty,
+    /// The queue is closed and drained.
+    Closed,
 }
 
 /// One accepted connection, either transport. Shared with the client,
@@ -227,6 +306,16 @@ impl Listener {
             }
         }
     }
+
+    /// Duplicates the listening socket (a dup'd fd over the same
+    /// kernel accept queue) so each accept shard blocks independently.
+    fn try_clone(&self) -> io::Result<Listener> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.try_clone().map(Listener::Unix),
+            Listener::Tcp(l) => l.try_clone().map(Listener::Tcp),
+        }
+    }
 }
 
 /// Incrementally reassembles frames from a stream with a read timeout,
@@ -301,12 +390,14 @@ impl FrameReader {
 
 struct Shared {
     service: Arc<ProfileService>,
-    queue: ConnQueue<(u64, Stream)>,
+    /// One bounded queue per accept shard; workers are pinned to a
+    /// shard and only pop their own queue.
+    queues: Vec<ConnQueue<(u64, Stream)>>,
     shutdown: AtomicBool,
     conn_ids: AtomicU64,
     /// The concrete bound address, kept so any shutdown path (protocol
     /// request or [`ServerHandle::shutdown`]) can unblock the accept
-    /// thread with a self-connection.
+    /// threads with self-connections.
     bind: Bind,
 }
 
@@ -327,7 +418,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: String,
     bind: Bind,
-    accept_thread: Option<JoinHandle<()>>,
+    accept_threads: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -365,26 +456,44 @@ pub fn start(service: Arc<ProfileService>, config: ServerConfig) -> io::Result<S
         }
     };
 
+    let shards = config.accept_shards.max(1);
     let shared = Arc::new(Shared {
         service,
-        queue: ConnQueue::new(config.queue_depth),
+        queues: (0..shards)
+            .map(|_| ConnQueue::new(config.queue_depth))
+            .collect(),
         shutdown: AtomicBool::new(false),
         conn_ids: AtomicU64::new(0),
         bind: bind.clone(),
     });
 
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::Builder::new()
-        .name("serve-accept".to_string())
-        .spawn(move || accept_loop(&accept_shared, &listener))?;
+    // Earlier shards get dup'd fds over the same kernel accept queue;
+    // the last consumes the original.
+    let mut listeners = Vec::with_capacity(shards);
+    for _ in 1..shards {
+        listeners.push(listener.try_clone()?);
+    }
+    listeners.push(listener);
+
+    let mut accept_threads = Vec::new();
+    for (shard, shard_listener) in listeners.into_iter().enumerate() {
+        let accept_shared = Arc::clone(&shared);
+        accept_threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-accept-{shard}"))
+                .spawn(move || accept_loop(&accept_shared, &shard_listener, shard))?,
+        );
+    }
 
     let mut workers = Vec::new();
-    for i in 0..config.workers.max(1) {
+    let worker_total = config.workers.max(1);
+    for i in 0..worker_total {
+        let shard = i % shards;
         let worker_shared = Arc::clone(&shared);
         workers.push(
             std::thread::Builder::new()
-                .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&worker_shared))?,
+                .name(format!("serve-worker-{shard}-{i}"))
+                .spawn(move || worker_loop(&worker_shared, shard))?,
         );
     }
 
@@ -392,7 +501,7 @@ pub fn start(service: Arc<ProfileService>, config: ServerConfig) -> io::Result<S
         shared,
         addr,
         bind,
-        accept_thread: Some(accept_thread),
+        accept_threads,
         workers,
     })
 }
@@ -419,7 +528,7 @@ impl ServerHandle {
     }
 
     fn join(&mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.accept_threads.drain(..) {
             let _ = t.join();
         }
         for w in self.workers.drain(..) {
@@ -435,23 +544,28 @@ fn trigger_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
-    shared.queue.close();
-    // A throwaway self-connection unblocks the accept thread, which
-    // checks the flag after every accept.
-    match &shared.bind {
-        #[cfg(unix)]
-        Bind::Unix(path) => {
-            let _ = UnixStream::connect(path);
-        }
-        #[cfg(not(unix))]
-        Bind::Unix(_) => {}
-        Bind::Tcp(addr) => {
-            let _ = TcpStream::connect(addr.as_str());
+    for queue in &shared.queues {
+        queue.close();
+    }
+    // Throwaway self-connections unblock the accept threads, which
+    // check the flag after every accept. One per shard: each blocked
+    // thread consumes exactly one accept before exiting.
+    for _ in 0..shared.queues.len() {
+        match &shared.bind {
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+            #[cfg(not(unix))]
+            Bind::Unix(_) => {}
+            Bind::Tcp(addr) => {
+                let _ = TcpStream::connect(addr.as_str());
+            }
         }
     }
 }
 
-fn accept_loop(shared: &Shared, listener: &Listener) {
+fn accept_loop(shared: &Shared, listener: &Listener, shard: usize) {
     loop {
         let stream = match listener.accept() {
             Ok(s) => s,
@@ -476,7 +590,7 @@ fn accept_loop(shared: &Shared, listener: &Listener) {
             }
         }
         shared.emit(|| EventKind::ServeConnAccepted { conn });
-        if let Err((conn, mut stream)) = shared.queue.push((conn, stream)) {
+        if let Err((conn, mut stream)) = shared.queues[shard].push((conn, stream)) {
             shared.emit(|| EventKind::ServeRejected {
                 conn,
                 code: ErrorCode::Overloaded.name(),
@@ -492,12 +606,42 @@ fn accept_loop(shared: &Shared, listener: &Listener) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some((conn, stream)) = shared.queue.pop() {
-        if shared.shutting_down() {
-            reject(shared, conn, stream, ErrorCode::ShuttingDown);
-            continue;
+/// How long an idle worker parks on its home queue between steal
+/// sweeps. Bounds the pickup latency of a connection whose own shard's
+/// workers are all busy.
+const STEAL_POLL: Duration = Duration::from_millis(5);
+
+fn worker_loop(shared: &Shared, shard: usize) {
+    let shards = shared.queues.len();
+    'serve: loop {
+        // Home queue first, then steal from the other shards: pinning
+        // keeps the balanced case local, stealing keeps an arbitrary
+        // kernel accept(2) distribution across the cloned listeners
+        // from starving connections while other shards' workers idle.
+        for i in 0..shards {
+            if let Some((conn, stream)) = shared.queues[(shard + i) % shards].try_pop() {
+                serve_popped(shared, conn, stream);
+                continue 'serve;
+            }
         }
+        match shared.queues[shard].pop_wait(STEAL_POLL) {
+            PopWait::Item((conn, stream)) => serve_popped(shared, conn, stream),
+            PopWait::Empty => {}
+            PopWait::Closed => {
+                // The home queue is done; stragglers on other shards
+                // are swept at the top of the loop before exiting.
+                if shared.queues.iter().all(ConnQueue::is_closed_and_empty) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn serve_popped(shared: &Shared, conn: u64, stream: Stream) {
+    if shared.shutting_down() {
+        reject(shared, conn, stream, ErrorCode::ShuttingDown);
+    } else {
         handle_conn(shared, conn, stream);
     }
 }
@@ -547,15 +691,15 @@ fn handle_conn(shared: &Shared, conn: u64, stream: Stream) {
             ))
         } else {
             match std::str::from_utf8(&frame) {
-                Ok(text) => Envelope::parse(text),
+                Ok(text) => Incoming::parse(text),
                 Err(_) => Err((
                     ErrorCode::MalformedFrame,
                     "frame body is not UTF-8".to_string(),
                 )),
             }
         };
-        let env = match parsed {
-            Ok(env) => env,
+        let incoming = match parsed {
+            Ok(incoming) => incoming,
             Err((code, message)) => {
                 shared.emit(|| EventKind::ServeRejected {
                     conn,
@@ -568,31 +712,79 @@ fn handle_conn(shared: &Shared, conn: u64, stream: Stream) {
                 continue; // framing is intact: the connection survives
             }
         };
-        if shared.shutting_down() && env.request != Request::Shutdown {
-            let body = proto::error_response(env.id, ErrorCode::ShuttingDown, "server is draining")
-                .render();
-            let _ = proto::write_frame(&mut reader.stream, body.as_bytes());
-            return;
-        }
-        let op = env.request.op();
-        shared.emit(|| EventKind::ServeRequest { conn, op });
-        let started = Instant::now();
-        let (reply, source) = shared.service.respond(&env);
-        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let ok = proto::write_frame(&mut reader.stream, reply.render().as_bytes()).is_ok();
-        shared.emit(|| EventKind::ServeDone {
-            conn,
-            op,
-            source: source.map_or("none", crate::proto::Source::name),
-            micros,
-        });
-        if env.request == Request::Shutdown {
-            // The ack is already on the wire; now stop the world.
-            trigger_shutdown(shared);
-            return;
-        }
-        if !ok {
-            return;
+        match incoming {
+            Incoming::One(env) => {
+                if shared.shutting_down() && env.request != Request::Shutdown {
+                    let body = proto::error_response(
+                        env.id,
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    )
+                    .render();
+                    let _ = proto::write_frame(&mut reader.stream, body.as_bytes());
+                    return;
+                }
+                let op = env.request.op();
+                shared.emit(|| EventKind::ServeRequest { conn, op });
+                let started = Instant::now();
+                let (reply, source) = shared.service.respond(&env);
+                let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let ok = proto::write_frame(&mut reader.stream, reply.render().as_bytes()).is_ok();
+                shared.emit(|| EventKind::ServeDone {
+                    conn,
+                    op,
+                    source: source.map_or("none", crate::proto::Source::name),
+                    micros,
+                });
+                if env.request == Request::Shutdown {
+                    // The ack is already on the wire; now stop the world.
+                    trigger_shutdown(shared);
+                    return;
+                }
+                if !ok {
+                    return;
+                }
+            }
+            Incoming::Batch(batch) => {
+                if shared.shutting_down() {
+                    let body = proto::error_response(
+                        batch.id,
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    )
+                    .render();
+                    let _ = proto::write_frame(&mut reader.stream, body.as_bytes());
+                    return;
+                }
+                // Every slot's deadline is anchored at frame receipt,
+                // so `deadline_ms` means the same thing in slot 0 and
+                // slot N−1 even though slots are served serially.
+                let anchor = Instant::now();
+                let queries = batch.items.len() as u64;
+                shared.emit(|| EventKind::ServeBatch { conn, queries });
+                shared.service.note_batch(batch.items.len());
+                let started = Instant::now();
+                let responses: Vec<_> = batch
+                    .items
+                    .iter()
+                    .map(|item| match item {
+                        Ok(env) => shared.service.respond_at(env, anchor).0,
+                        Err((id, code, message)) => proto::error_response(*id, *code, message),
+                    })
+                    .collect();
+                let reply = proto::batch_response(batch.id, responses);
+                let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let ok = proto::write_frame(&mut reader.stream, reply.render().as_bytes()).is_ok();
+                shared.emit(|| EventKind::ServeDone {
+                    conn,
+                    op: "batch",
+                    source: "none",
+                    micros,
+                });
+                if !ok {
+                    return;
+                }
+            }
         }
     }
 }
@@ -629,5 +821,20 @@ mod tests {
         assert_eq!(q.pop(), Some(2), "drains after close");
         assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), None, "closed and empty");
+    }
+
+    #[test]
+    fn queue_survives_poisoning() {
+        let q: ConnQueue<u32> = ConnQueue::new(4);
+        assert!(q.push(1).is_ok());
+        q.poison_for_tests();
+        // Push, pop, len, and close all keep working on the recovered
+        // guard instead of cascading the panic.
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.close();
+        assert_eq!(q.pop(), None);
     }
 }

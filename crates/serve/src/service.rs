@@ -36,6 +36,7 @@ use crate::proto::{
     self, base_payload, cell_payload, input_name, plain_payload, scale_name, Envelope, ErrorCode,
     Request, Source,
 };
+use crate::shard::{lock_recover, DEFAULT_SHARDS};
 use crate::singleflight::{FlightOutcome, SingleFlight};
 
 /// Payload fields plus the source tier for artifact queries, or a
@@ -49,6 +50,11 @@ pub struct ServiceConfig {
     pub cache_dir: Option<PathBuf>,
     /// Hot-tier capacity in artifacts (0 disables the tier).
     pub hot_capacity: usize,
+    /// Digest-prefix shard count for the hot tier and single-flight
+    /// table (clamped to at least 1). Each hot shard gets its own lock
+    /// and an equal slice of `hot_capacity`; 1 restores the exact
+    /// global-LRU behaviour of earlier releases.
+    pub hot_shards: usize,
     /// Deadline applied when a request carries none.
     pub default_deadline: Duration,
     /// Execution backend for computed (tier-3) queries. Backends are
@@ -68,6 +74,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             cache_dir: None,
             hot_capacity: 256,
+            hot_shards: DEFAULT_SHARDS,
             default_deadline: proto::DEFAULT_DEADLINE,
             backend: Backend::default(),
             opt_mode: OptMode::default(),
@@ -136,6 +143,10 @@ pub struct ProfileService {
     opt_installed: AtomicU64,
     opt_discarded: AtomicU64,
     opt_queue_peak: AtomicU64,
+    /// Batch frames served and the queries they carried (the ratio is
+    /// the realized batching factor).
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
 }
 
 impl ProfileService {
@@ -145,8 +156,8 @@ impl ProfileService {
     pub fn new(config: ServiceConfig) -> ProfileService {
         ProfileService {
             store: config.cache_dir.map(ProfileStore::new),
-            hot: HotTier::new(config.hot_capacity),
-            flights: SingleFlight::new(),
+            hot: HotTier::with_shards(config.hot_capacity, config.hot_shards),
+            flights: SingleFlight::with_shards(config.hot_shards),
             guests: Mutex::new(HashMap::new()),
             guest_runs: AtomicU64::new(0),
             tracer: None,
@@ -159,6 +170,8 @@ impl ProfileService {
             opt_installed: AtomicU64::new(0),
             opt_discarded: AtomicU64::new(0),
             opt_queue_peak: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
         }
     }
 
@@ -214,7 +227,7 @@ impl ProfileService {
         input: InputKind,
     ) -> Result<Arc<SuiteGuest>, ServeFailure> {
         let memo_key = format!("{name}/{}/{}", scale_name(scale), input_name(input));
-        if let Some(g) = self.guests.lock().expect("guests poisoned").get(&memo_key) {
+        if let Some(g) = lock_recover(&self.guests).get(&memo_key) {
             return Ok(Arc::clone(g));
         }
         // Built outside the lock: generation is not free, and a losing
@@ -223,7 +236,7 @@ impl ProfileService {
             SuiteGuest::build(name, scale, input)
                 .map_err(|e| ServeFailure::BadRequest(e.to_string()))?,
         );
-        let mut guests = self.guests.lock().expect("guests poisoned");
+        let mut guests = lock_recover(&self.guests);
         Ok(Arc::clone(guests.entry(memo_key).or_insert(built)))
     }
 
@@ -268,6 +281,10 @@ impl ProfileService {
                 self.hot.insert(key_digest, Arc::clone(&artifact));
                 return Ok((artifact, Source::Disk));
             }
+            // A request that spent its deadline queueing (or on the
+            // disk probe) must not start the expensive guest run: the
+            // caller is gone, the worker would compute for nobody.
+            Self::check_deadline(deadline)?;
             self.fire_compute_fault()?;
             let artifact = Arc::new(compute()?);
             self.hot.insert(key_digest, Arc::clone(&artifact));
@@ -280,6 +297,12 @@ impl ProfileService {
                 source: Source::Coalesced,
             }),
             FlightOutcome::TimedOut => Err(ServeFailure::DeadlineExceeded),
+            // The flight's leader died (panic or error) before
+            // publishing; this follower reports a compute failure
+            // rather than blocking until its own deadline.
+            FlightOutcome::LeaderFailed => Err(ServeFailure::Compute(
+                "coalesced leader failed before publishing".to_string(),
+            )),
         }
     }
 
@@ -393,6 +416,9 @@ impl ProfileService {
                         "AVEP resolution produced a non-plain artifact".to_string(),
                     ));
                 };
+                // The AVEP leg may itself have consumed the deadline;
+                // re-check before the second guest run.
+                Self::check_deadline(deadline)?;
                 let out = self.run_guest(&guest, cfg)?;
                 let metrics = analyze(&out.inip, &avep.profile)
                     .map_err(|e| ServeFailure::Compute(e.to_string()))?;
@@ -438,12 +464,25 @@ impl ProfileService {
 
     /// Records one request latency sample under its op name.
     pub fn record_latency(&self, op: &'static str, micros: u64) {
-        self.latency
-            .lock()
-            .expect("latency poisoned")
+        lock_recover(&self.latency)
             .entry(op)
             .or_default()
             .record(micros);
+    }
+
+    /// Records one served batch frame carrying `queries` sub-requests.
+    pub fn note_batch(&self, queries: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries
+            .fetch_add(queries as u64, Ordering::Relaxed);
+    }
+
+    /// Test hook: poisons the hot-tier shard owning `key` the way a
+    /// worker panicking under the lock would, so regression tests can
+    /// assert the daemon recovers instead of cascading panics.
+    #[doc(hidden)]
+    pub fn poison_hot_for_tests(&self, key: u64) {
+        self.hot.poison_for_tests(key);
     }
 
     /// The `stats` payload: tier counters, single-flight counters,
@@ -456,6 +495,7 @@ impl ProfileService {
             misses,
             inserts,
             evictions,
+            poisoned,
         } = self.hot.stats();
         let mut fields: Vec<(&'static str, Json)> = vec![
             ("guest_runs", Json::num(self.guest_runs())),
@@ -466,6 +506,8 @@ impl ProfileService {
                     ("misses", Json::num(misses)),
                     ("inserts", Json::num(inserts)),
                     ("evictions", Json::num(evictions)),
+                    ("poisoned", Json::num(poisoned)),
+                    ("shards", Json::num(self.hot.shard_count() as u64)),
                     ("len", Json::num(self.hot.len() as u64)),
                 ]),
             ),
@@ -475,6 +517,18 @@ impl ProfileService {
                     ("leaders", Json::num(self.flights.leaders())),
                     ("followers", Json::num(self.flights.followers())),
                     ("timeouts", Json::num(self.flights.timeouts())),
+                    ("leader_failures", Json::num(self.flights.leader_failures())),
+                    ("shards", Json::num(self.flights.shard_count() as u64)),
+                ]),
+            ),
+            (
+                "batch",
+                Json::obj([
+                    ("frames", Json::num(self.batches.load(Ordering::Relaxed))),
+                    (
+                        "queries",
+                        Json::num(self.batched_queries.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
             (
@@ -512,7 +566,7 @@ impl ProfileService {
                 ]),
             ));
         }
-        let latency = self.latency.lock().expect("latency poisoned");
+        let latency = lock_recover(&self.latency);
         let endpoints: BTreeMap<String, Json> = latency
             .iter()
             .map(|(op, h)| {
@@ -538,8 +592,17 @@ impl ProfileService {
     /// ack, letting transport-free tests drive the full matrix.
     #[must_use]
     pub fn respond(&self, env: &Envelope) -> (Json, Option<Source>) {
+        self.respond_at(env, Instant::now())
+    }
+
+    /// [`Self::respond`] with the deadline anchored at `anchor` instead
+    /// of now. Batch frames anchor every sub-request at frame receipt,
+    /// so `deadline_ms` means the same thing for slot 0 and slot 99
+    /// even though the slots are served serially.
+    #[must_use]
+    pub fn respond_at(&self, env: &Envelope, anchor: Instant) -> (Json, Option<Source>) {
         let started = Instant::now();
-        let deadline = started
+        let deadline = anchor
             + env
                 .deadline_ms
                 .map_or(self.default_deadline, Duration::from_millis);
@@ -603,6 +666,7 @@ impl ProfileService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpdbt_store::TypedArtifact;
 
     fn svc(dir: Option<PathBuf>) -> ProfileService {
         ProfileService::new(ServiceConfig {
@@ -769,5 +833,65 @@ mod tests {
         let err = s.resolve_base("gzip", Scale::Tiny, past).unwrap_err();
         assert!(matches!(err, ServeFailure::DeadlineExceeded));
         assert_eq!(s.guest_runs(), 0);
+    }
+
+    #[test]
+    fn deadline_spent_before_compute_skips_the_guest_run() {
+        // The deadline is alive at admission but dies during the disk
+        // probe; the cold path must notice *before* computing, not
+        // after burning a worker on an answer nobody is waiting for.
+        let s = svc(None);
+        let computed = AtomicU64::new(0);
+        let err = s
+            .resolve(
+                0xFEED,
+                Instant::now() + Duration::from_millis(20),
+                || {
+                    std::thread::sleep(Duration::from_millis(60));
+                    None
+                },
+                || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    Ok(BaseArtifact {
+                        cycles: 1,
+                        output_digest: 1,
+                    }
+                    .into_artifact())
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeFailure::DeadlineExceeded));
+        assert_eq!(computed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn poisoned_hot_shard_recovers_and_service_keeps_answering() {
+        let s = svc(None);
+        let first = s.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+        assert_eq!(first.source, Source::Computed);
+        // Simulate a worker panicking while holding the hot-tier lock.
+        let g = s.guest("gzip", Scale::Tiny, InputKind::Ref).unwrap();
+        let key = g.key(&s.apply_opt_mode(DbtConfig::two_phase(1))).digest();
+        s.poison_hot_for_tests(key);
+        // The shard cleared and the service recomputes without panicking.
+        let again = s.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+        assert_eq!(first.artifact, again.artifact);
+        let stats = s.stats_json();
+        let poisoned = stats
+            .get("hot")
+            .and_then(|h| h.get("poisoned"))
+            .and_then(Json::as_u64);
+        assert_eq!(poisoned, Some(1));
+    }
+
+    #[test]
+    fn batch_counters_accumulate() {
+        let s = svc(None);
+        s.note_batch(32);
+        s.note_batch(1);
+        let stats = s.stats_json();
+        let b = stats.get("batch").expect("batch stats object");
+        assert_eq!(b.get("frames").and_then(Json::as_u64), Some(2));
+        assert_eq!(b.get("queries").and_then(Json::as_u64), Some(33));
     }
 }

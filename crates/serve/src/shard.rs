@@ -1,0 +1,77 @@
+//! Shared sharding and lock-recovery helpers for the serve fast path.
+//!
+//! Both the hot tier and the single-flight table split their state into
+//! independent digest-prefix shards so one mutex never serializes
+//! unrelated keys. Shard selection mixes the key with a Fibonacci
+//! multiplier before taking the high byte: cache-key digests are
+//! well-distributed but *test* keys are often sequential small
+//! integers, which a plain high-byte prefix would send to shard 0.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Default shard count for the hot tier and single-flight tables.
+/// Small enough that per-shard LRU budgets stay meaningful at the
+/// default capacities, large enough that 8+ workers rarely collide.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Maps `key` to a shard index in `0..shards`.
+///
+/// `shards` must be non-zero. The multiplier is 2^64 / φ, the usual
+/// Fibonacci-hashing constant; the high byte of the product is an
+/// effective prefix even for sequential keys.
+#[must_use]
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize % shards
+}
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// A panic under one of the serve locks must fail only the request
+/// that panicked — never cascade into every later `.lock().expect(..)`
+/// taking the daemon down. Callers are responsible for leaving the
+/// protected state consistent (the serve structures mutate their state
+/// in single assignments or clear-and-continue on recovery).
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_keys_spread_across_shards() {
+        let shards = 8;
+        let mut seen = vec![0usize; shards];
+        for key in 0..256u64 {
+            seen[shard_of(key, shards)] += 1;
+        }
+        // Every shard gets a meaningful share of sequential keys.
+        assert!(
+            seen.iter().all(|&n| n >= 16),
+            "skewed shard distribution: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for key in [0, 1, u64::MAX, 0xDEAD_BEEF] {
+            let s = shard_of(key, 5);
+            assert!(s < 5);
+            assert_eq!(s, shard_of(key, 5));
+        }
+        assert_eq!(shard_of(123, 1), 0);
+    }
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = Mutex::new(7u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+    }
+}

@@ -4,15 +4,24 @@
 //! The first caller to register a key becomes the **leader** and runs
 //! the closure; callers arriving while the flight is open become
 //! **followers** and block on a condvar until the leader publishes a
-//! result (every follower gets a clone) or their own deadline passes.
+//! result (every follower gets a clone), the leader fails or panics
+//! (the flight dissolves and followers get [`FlightOutcome::LeaderFailed`]
+//! *immediately*, not at their deadline), or their own deadline passes.
 //! The flight is removed once complete, so a later request for the
 //! same key starts fresh — the cache tiers above this layer decide
 //! whether that recomputes.
+//!
+//! The flight table is sharded by key prefix (see [`shard_of`]) so the
+//! registration lock never serializes unrelated keys, and every lock
+//! acquisition recovers from poisoning: a panicking leader must only
+//! fail its own flight, never the whole group.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
+
+use crate::shard::{lock_recover, shard_of, DEFAULT_SHARDS};
 
 /// Outcome of [`SingleFlight::run`].
 #[derive(Clone, Debug, PartialEq)]
@@ -23,6 +32,11 @@ pub enum FlightOutcome<V> {
     Joined(V),
     /// The caller's deadline passed while waiting on the leader.
     TimedOut,
+    /// The flight's leader failed (error or panic) before publishing;
+    /// this follower was released immediately rather than left to hit
+    /// its deadline. The caller's retry path re-resolves through the
+    /// cache tiers.
+    LeaderFailed,
 }
 
 enum FlightState<V> {
@@ -36,42 +50,102 @@ struct Flight<V> {
     cv: Condvar,
 }
 
+impl<V> Flight<V> {
+    /// Publishes a terminal state and wakes every follower. Recovers a
+    /// poisoned state lock: the only writer before completion is the
+    /// leader itself.
+    fn publish(&self, state: FlightState<V>) {
+        *lock_recover(&self.state) = state;
+        self.cv.notify_all();
+    }
+}
+
+/// Dissolves the flight if the leader unwinds out of `compute` without
+/// reaching a normal completion path, so followers are released with
+/// [`FlightState::Failed`] instead of waiting out their deadlines.
+struct LeaderGuard<'a, V> {
+    group: &'a SingleFlight<V>,
+    flight: &'a Arc<Flight<V>>,
+    key: u64,
+    armed: bool,
+}
+
+impl<V> Drop for LeaderGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.group.leader_failures.fetch_add(1, Ordering::Relaxed);
+        self.group.remove(self.key);
+        self.flight.publish(FlightState::Failed);
+    }
+}
+
 /// A keyed single-flight group. `V` must be cheap to clone — the serve
 /// tiers pass `Arc`-wrapped artifacts.
 pub struct SingleFlight<V> {
-    flights: Mutex<HashMap<u64, Arc<Flight<V>>>>,
+    shards: Vec<Mutex<HashMap<u64, Arc<Flight<V>>>>>,
     leaders: AtomicU64,
     followers: AtomicU64,
     timeouts: AtomicU64,
+    leader_failures: AtomicU64,
 }
 
 impl<V> Default for SingleFlight<V> {
     fn default() -> Self {
-        SingleFlight {
-            flights: Mutex::new(HashMap::new()),
-            leaders: AtomicU64::new(0),
-            followers: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-        }
+        SingleFlight::with_shards(DEFAULT_SHARDS)
     }
 }
 
-impl<V: Clone> SingleFlight<V> {
-    /// A fresh group with zeroed counters.
+impl<V> SingleFlight<V> {
+    /// A fresh group with zeroed counters and the default shard count.
     #[must_use]
     pub fn new() -> Self {
         SingleFlight::default()
     }
 
+    /// A fresh group with `shards` independent flight tables (clamped
+    /// to at least 1).
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        SingleFlight {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            leaders: AtomicU64::new(0),
+            followers: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            leader_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of independent flight-table shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn table(&self, key: u64) -> &Mutex<HashMap<u64, Arc<Flight<V>>>> {
+        &self.shards[shard_of(key, self.shards.len())]
+    }
+
+    fn remove(&self, key: u64) {
+        lock_recover(self.table(key)).remove(&key);
+    }
+}
+
+impl<V: Clone> SingleFlight<V> {
     /// Runs `compute` for `key`, deduplicating against concurrent
     /// callers. `deadline` bounds only the *waiting* of a follower; a
     /// leader always runs `compute` to completion so its result can
     /// serve followers and fill the caches.
     ///
-    /// On compute error the flight is dissolved without publishing, the
-    /// error returns to the leader only, and followers time out rather
-    /// than receive a broken value (their retry path re-resolves
-    /// through the caches).
+    /// On compute error the flight is dissolved without publishing a
+    /// value: the error returns to the leader only, and followers are
+    /// released immediately with [`FlightOutcome::LeaderFailed`]. A
+    /// *panicking* leader takes the same path — the unwind dissolves
+    /// the flight on its way out, so followers never block until their
+    /// deadline on a flight nobody is computing.
     pub fn run<E>(
         &self,
         key: u64,
@@ -79,7 +153,7 @@ impl<V: Clone> SingleFlight<V> {
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<FlightOutcome<V>, E> {
         let (flight, is_leader) = {
-            let mut flights = self.flights.lock().expect("singleflight poisoned");
+            let mut flights = lock_recover(self.table(key));
             match flights.get(&key) {
                 Some(f) => (Arc::clone(f), false),
                 None => {
@@ -95,41 +169,34 @@ impl<V: Clone> SingleFlight<V> {
 
         if is_leader {
             self.leaders.fetch_add(1, Ordering::Relaxed);
+            let mut guard = LeaderGuard {
+                group: self,
+                flight: &flight,
+                key,
+                armed: true,
+            };
             let result = compute();
-            {
-                let mut flights = self.flights.lock().expect("singleflight poisoned");
-                flights.remove(&key);
-            }
+            guard.armed = false;
+            drop(guard);
+            self.remove(key);
             match result {
                 Ok(v) => {
-                    let mut state = flight.state.lock().expect("flight poisoned");
-                    *state = FlightState::Done(v.clone());
-                    drop(state);
-                    flight.cv.notify_all();
+                    flight.publish(FlightState::Done(v.clone()));
                     Ok(FlightOutcome::Led(v))
                 }
                 Err(e) => {
-                    let mut state = flight.state.lock().expect("flight poisoned");
-                    *state = FlightState::Failed;
-                    drop(state);
-                    flight.cv.notify_all();
+                    self.leader_failures.fetch_add(1, Ordering::Relaxed);
+                    flight.publish(FlightState::Failed);
                     Err(e)
                 }
             }
         } else {
             self.followers.fetch_add(1, Ordering::Relaxed);
-            let mut state = flight.state.lock().expect("flight poisoned");
+            let mut state = lock_recover(&flight.state);
             loop {
                 match &*state {
                     FlightState::Done(v) => return Ok(FlightOutcome::Joined(v.clone())),
-                    FlightState::Failed => {
-                        // The leader's compute failed; report as a
-                        // timeout so the caller retries through the
-                        // cache tiers instead of inheriting an error it
-                        // cannot attribute.
-                        self.timeouts.fetch_add(1, Ordering::Relaxed);
-                        return Ok(FlightOutcome::TimedOut);
-                    }
+                    FlightState::Failed => return Ok(FlightOutcome::LeaderFailed),
                     FlightState::Running => {}
                 }
                 let now = Instant::now();
@@ -140,7 +207,7 @@ impl<V: Clone> SingleFlight<V> {
                 let (next, _timed_out) = flight
                     .cv
                     .wait_timeout(state, deadline - now)
-                    .expect("flight poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 state = next;
             }
         }
@@ -162,6 +229,12 @@ impl<V: Clone> SingleFlight<V> {
     #[must_use]
     pub fn timeouts(&self) -> u64 {
         self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Leaders that failed (compute error or panic) without publishing.
+    #[must_use]
+    pub fn leader_failures(&self) -> u64 {
+        self.leader_failures.load(Ordering::Relaxed)
     }
 }
 
@@ -256,7 +329,60 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(1);
         let err = sf.run(5, deadline, || Err::<u32, &str>("boom"));
         assert_eq!(err.unwrap_err(), "boom");
+        assert_eq!(sf.leader_failures(), 1);
         let ok = sf.run::<&str>(5, deadline, || Ok(3)).unwrap();
         assert_eq!(ok, FlightOutcome::Led(3));
+    }
+
+    #[test]
+    fn leader_panic_dissolves_the_flight_and_releases_followers() {
+        let sf: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+        let sf2 = Arc::clone(&sf);
+        let leader = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sf2.run::<()>(77, Instant::now() + Duration::from_secs(10), || {
+                    // Hold the flight open until a follower has joined,
+                    // then die without publishing.
+                    let waiting = Instant::now();
+                    while sf2.followers() < 1 {
+                        assert!(waiting.elapsed() < Duration::from_secs(5));
+                        std::thread::yield_now();
+                    }
+                    panic!("injected leader panic")
+                })
+            }));
+        });
+        // Join as a follower with a *long* deadline: the assertion is
+        // that release comes from the leader's unwind, not the clock.
+        std::thread::sleep(Duration::from_millis(30));
+        let started = Instant::now();
+        let out = sf
+            .run::<()>(77, Instant::now() + Duration::from_secs(30), || Ok(1))
+            .unwrap();
+        leader.join().unwrap();
+        assert_eq!(out, FlightOutcome::LeaderFailed);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "follower must be released promptly, not at its deadline"
+        );
+        assert_eq!(sf.leader_failures(), 1);
+        assert_eq!(sf.timeouts(), 0);
+        // The key is clean: the next caller leads a fresh flight.
+        let ok = sf
+            .run::<()>(77, Instant::now() + Duration::from_secs(1), || Ok(3))
+            .unwrap();
+        assert_eq!(ok, FlightOutcome::Led(3));
+    }
+
+    #[test]
+    fn shards_isolate_keys_without_changing_semantics() {
+        let sf: SingleFlight<u32> = SingleFlight::with_shards(4);
+        assert_eq!(sf.shard_count(), 4);
+        let deadline = Instant::now() + Duration::from_secs(1);
+        for key in 0..64 {
+            let out = sf.run::<()>(key, deadline, || Ok(key as u32)).unwrap();
+            assert_eq!(out, FlightOutcome::Led(key as u32));
+        }
+        assert_eq!(sf.leaders(), 64);
     }
 }

@@ -147,6 +147,59 @@ fn hot_tier_counters_stay_exact_under_contention() {
 }
 
 #[test]
+fn sharded_hot_tier_counters_stay_exact_under_contention() {
+    const THREADS: usize = 8;
+    const ROUNDS: u64 = 200;
+    const CAPACITY: usize = 32;
+    const SHARDS: usize = 8;
+    let tier = Arc::new(HotTier::with_shards(CAPACITY, SHARDS));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|t| {
+            let tier = Arc::clone(&tier);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..ROUNDS {
+                    let key = t * ROUNDS + i; // globally unique: every insert is fresh
+                    tier.insert(
+                        key,
+                        Arc::new(
+                            BaseArtifact {
+                                cycles: key,
+                                output_digest: key,
+                            }
+                            .into_artifact(),
+                        ),
+                    );
+                    let _ = tier.get(key);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = (THREADS as u64) * ROUNDS;
+    let stats = tier.stats();
+    // Per-shard counters sum to the same exact invariants the
+    // single-shard tier guarantees; occupancy is bounded by the split
+    // budget (ceil(capacity/shards) per shard).
+    assert_eq!(stats.inserts, total, "every unique-key insert counted");
+    assert_eq!(stats.hits + stats.misses, total, "every get counted once");
+    assert_eq!(
+        stats.evictions,
+        total - tier.len() as u64,
+        "evictions account exactly for inserts minus residents"
+    );
+    assert_eq!(stats.poisoned, 0);
+    assert!(
+        tier.len() <= SHARDS * CAPACITY.div_ceil(SHARDS),
+        "occupancy within the sharded budget"
+    );
+}
+
+#[test]
 fn bounded_queue_accounts_for_every_item_under_contention() {
     const PRODUCERS: usize = 4;
     const PER_PRODUCER: u64 = 500;

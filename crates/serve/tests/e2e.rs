@@ -42,6 +42,7 @@ fn start_server(cache_dir: Option<PathBuf>) -> tpdbt_serve::ServerHandle {
             bind: Bind::Tcp("127.0.0.1:0".to_string()),
             workers: 4,
             queue_depth: 8,
+            accept_shards: 2,
         },
     )
     .expect("bind ephemeral port")
@@ -237,6 +238,7 @@ fn unix_socket_transport_round_trips() {
             bind: Bind::Unix(sock.clone()),
             workers: 2,
             queue_depth: 4,
+            accept_shards: 1,
         },
     )
     .expect("bind unix socket");

@@ -31,6 +31,7 @@ fn start_with_plan(spec: &str) -> tpdbt_serve::ServerHandle {
             bind: Bind::Tcp("127.0.0.1:0".to_string()),
             workers: 2,
             queue_depth: 4,
+            accept_shards: 1,
         },
     )
     .expect("bind")
