@@ -1,0 +1,77 @@
+//! `tpdbt-fsck` — offline verifier/repairer for a profile-store cache
+//! directory (DESIGN.md §14).
+//!
+//! ```text
+//! tpdbt-fsck DIR [--repair]
+//! ```
+//!
+//! Scans every `.tpst` entry (decode + checksum + embedded-digest vs
+//! file-name-digest), lists orphaned temp files (`*.tmp.*`, left by
+//! writers that died before their publishing rename) and the
+//! `quarantine/` inventory. With `--repair`, damaged entries are
+//! removed — every artifact is a pure function of its cache key, so
+//! deletion *is* repair; the store re-derives the entry on its next
+//! miss — and orphans are swept, then the directory is rescanned to
+//! prove it verifies clean.
+//!
+//! Exit status: 0 when the directory is clean (or was repaired to
+//! clean), 1 when damage was found and left in place (no `--repair`)
+//! or repair could not heal it, 2 on usage or I/O errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use tpdbt_store::{fsck, FsckOptions};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tpdbt-fsck DIR [--repair]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut repair = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            "--help" | "-h" => return usage(),
+            _ if arg.starts_with('-') => return usage(),
+            _ if dir.is_none() => dir = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = dir else { return usage() };
+    let dir = Path::new(&dir);
+
+    let report = match fsck(dir, FsckOptions { repair }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tpdbt-fsck: {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render(dir));
+
+    if report.clean() {
+        return ExitCode::SUCCESS;
+    }
+    if !repair {
+        return ExitCode::from(1);
+    }
+    // Damage was found and repair ran; the proof is a clean rescan.
+    match fsck(dir, FsckOptions { repair: false }) {
+        Ok(rescan) if rescan.clean() => {
+            println!("rescan clean: {} entries verify", rescan.valid);
+            ExitCode::SUCCESS
+        }
+        Ok(rescan) => {
+            eprintln!("tpdbt-fsck: repair left damage behind:");
+            eprint!("{}", rescan.render(dir));
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("tpdbt-fsck: rescan of {}: {e}", dir.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -102,6 +102,9 @@ fn open_store(opts: &SweepOptions) -> Option<ProfileStore> {
     if let Some(plan) = &opts.policy.plan {
         store = store.with_faults(Arc::clone(plan));
     }
+    // A previous sweep that died between temp-file create and rename
+    // left its partial write behind; reclaim it before this run writes.
+    store.sweep_orphans();
     Some(store)
 }
 
@@ -309,6 +312,15 @@ impl Ctx<'_> {
     fn trace_emit(&self, event: impl FnOnce() -> EventKind) {
         if let Some(t) = self.tracer {
             t.emit(event());
+        }
+    }
+
+    /// Consults the injection plan at a crash site: a planned
+    /// occurrence aborts the whole process (the crash-restart harness
+    /// supervises this). Compiled out without `fault-injection`.
+    fn fire_crash(&self, site: FaultSite) {
+        if let Some(plan) = &self.policy.plan {
+            plan.fire_crash(site);
         }
     }
 
@@ -654,6 +666,7 @@ fn plain_run(ctx: &Ctx<'_>, guest: &GuestId<'_>, cfg: DbtConfig) -> Result<(Plai
     if let Some(store) = ctx.store {
         // Best-effort: a read-only cache dir degrades to a cold sweep.
         let _ = store.store(&key, &art);
+        ctx.fire_crash(FaultSite::CrashSweepCommit);
     }
     let Artifact::Plain(p) = art else {
         unreachable!()
@@ -683,6 +696,7 @@ fn base_run(
     };
     if let Some(store) = ctx.store {
         let _ = store.store(&key, &Artifact::Base(b));
+        ctx.fire_crash(FaultSite::CrashSweepCommit);
     }
     Ok((b, false))
 }
@@ -723,6 +737,7 @@ fn cell_run(
                 output_digest,
             }),
         );
+        ctx.fire_crash(FaultSite::CrashSweepCommit);
     }
     Ok((metrics, false))
 }

@@ -239,6 +239,23 @@ impl FaultPlan {
         self.imp.fire(site)
     }
 
+    /// Consults the plan at `site` and, if this occurrence was planned,
+    /// **aborts the process** (`SIGABRT`, no destructors, no atexit
+    /// handlers — the closest in-process stand-in for `kill -9`).
+    ///
+    /// Crash sites simulate the process dying at a precise point in a
+    /// multi-step operation; the crash-restart harness then restarts
+    /// the binary and checks the on-disk state. Compiled out (constant
+    /// no-op) without the `fault-injection` feature, like every other
+    /// site.
+    #[inline]
+    pub fn fire_crash(&self, site: FaultSite) {
+        if let Some(occ) = self.imp.fire(site) {
+            eprintln!("tpdbt-faults: injected crash at {site}:{occ} — aborting process");
+            std::process::abort();
+        }
+    }
+
     /// How many times `site` has been consulted so far.
     #[must_use]
     pub fn occurrences(&self, site: FaultSite) -> u64 {
@@ -293,6 +310,19 @@ mod tests {
             assert_eq!(plan.fire_indexed(FaultSite::WorkerPanic), Some(2));
             assert!(!plan.fire(FaultSite::WorkerPanic));
             assert_eq!(plan.fired(), 2);
+        }
+
+        #[test]
+        fn fire_crash_counts_unplanned_occurrences_without_aborting() {
+            // The aborting arm can only be observed from a supervisor
+            // (tpdbt-crash does); here we check the non-firing path
+            // still advances the occurrence counter.
+            let plan = FaultPlan::new().inject(FaultSite::CrashStoreFsync, 99);
+            for _ in 0..3 {
+                plan.fire_crash(FaultSite::CrashStoreFsync);
+            }
+            assert_eq!(plan.occurrences(FaultSite::CrashStoreFsync), 3);
+            assert_eq!(plan.fired(), 0);
         }
 
         #[test]

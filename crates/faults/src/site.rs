@@ -36,12 +36,30 @@ pub enum FaultSite {
     /// A serve request's artifact computation fails with a synthetic
     /// error instead of running.
     ServeCompute,
+    /// The process aborts after the store wrote a temp file but before
+    /// it was fsynced (the classic half-written-file crash window).
+    CrashStoreTempWrite,
+    /// The process aborts after the temp file is durable but before the
+    /// atomic rename publishes it.
+    CrashStoreFsync,
+    /// The process aborts right after the rename, before the directory
+    /// entry itself is synced.
+    CrashStoreRename,
+    /// The process aborts mid-quarantine, while moving a corrupt entry
+    /// aside.
+    CrashStoreQuarantine,
+    /// The process aborts right after a sweep cell committed its
+    /// artifact to the store.
+    CrashSweepCommit,
+    /// The process aborts on the serve cold path, after the computed
+    /// artifact was persisted but before the hot-tier install.
+    CrashServeInstall,
 }
 
 impl FaultSite {
     /// Every site, in stable declaration order (the occurrence-counter
     /// index is this position).
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 16] = [
         FaultSite::StoreRead,
         FaultSite::StoreWrite,
         FaultSite::StoreCorrupt,
@@ -52,7 +70,32 @@ impl FaultSite {
         FaultSite::ServeListener,
         FaultSite::ServeDecode,
         FaultSite::ServeCompute,
+        FaultSite::CrashStoreTempWrite,
+        FaultSite::CrashStoreFsync,
+        FaultSite::CrashStoreRename,
+        FaultSite::CrashStoreQuarantine,
+        FaultSite::CrashSweepCommit,
+        FaultSite::CrashServeInstall,
     ];
+
+    /// The crash-kind sites: each one aborts the whole process when it
+    /// fires ([`FaultPlan::fire_crash`](crate::FaultPlan::fire_crash))
+    /// instead of returning an error. The crash-restart harness sweeps
+    /// exactly this registry.
+    pub const CRASH_SITES: [FaultSite; 6] = [
+        FaultSite::CrashStoreTempWrite,
+        FaultSite::CrashStoreFsync,
+        FaultSite::CrashStoreRename,
+        FaultSite::CrashStoreQuarantine,
+        FaultSite::CrashSweepCommit,
+        FaultSite::CrashServeInstall,
+    ];
+
+    /// Whether this site is a crash kind (process-abort on fire).
+    #[must_use]
+    pub fn is_crash(self) -> bool {
+        Self::CRASH_SITES.contains(&self)
+    }
 
     /// Stable lowercase name, used by `--inject` specs and trace
     /// events.
@@ -69,6 +112,12 @@ impl FaultSite {
             FaultSite::ServeListener => "serve_listener",
             FaultSite::ServeDecode => "serve_decode",
             FaultSite::ServeCompute => "serve_compute",
+            FaultSite::CrashStoreTempWrite => "crash_store_temp_write",
+            FaultSite::CrashStoreFsync => "crash_store_fsync",
+            FaultSite::CrashStoreRename => "crash_store_rename",
+            FaultSite::CrashStoreQuarantine => "crash_store_quarantine",
+            FaultSite::CrashSweepCommit => "crash_sweep_commit",
+            FaultSite::CrashServeInstall => "crash_serve_install",
         }
     }
 
@@ -119,6 +168,16 @@ mod tests {
     fn indices_are_dense_and_stable() {
         for (i, site) in FaultSite::ALL.into_iter().enumerate() {
             assert_eq!(site.index(), i);
+        }
+    }
+
+    #[test]
+    fn crash_registry_is_exactly_the_crash_prefixed_sites() {
+        for site in FaultSite::ALL {
+            assert_eq!(site.is_crash(), site.name().starts_with("crash_"), "{site}");
+        }
+        for site in FaultSite::CRASH_SITES {
+            assert!(site.is_crash());
         }
     }
 }

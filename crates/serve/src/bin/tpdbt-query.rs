@@ -14,6 +14,12 @@
 //! inside one pipelined `batch` frame; the exit status is 0 only if
 //! every slot answered `ok: true`.
 //!
+//! `--retries N` retries *idempotent* single requests (ping, plain,
+//! cell, base) up to N times after transport failures, reconnecting
+//! with capped exponential backoff — a daemon restarting under the
+//! client (crash recovery, warm restart) costs latency, not an error.
+//! Non-idempotent operations and batches never retry.
+//!
 //! Prints the response body as one line of JSON on stdout. Exit
 //! status: 0 when the server answered `ok: true`, 1 on transport
 //! failures or an `ok: false` response, 2 on usage errors.
@@ -25,7 +31,7 @@ use tpdbt_suite::{InputKind, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpdbt-query --connect SPEC [--deadline-ms MS] [--batch N] OP [ARGS]\n  OP: ping | stats | shutdown | malformed\n      plain WORKLOAD [--scale tiny|small|paper] [--input ref|train]\n      cell  WORKLOAD THRESHOLD [--scale tiny|small|paper]\n      base  WORKLOAD [--scale tiny|small|paper]\n  --batch N sends the request N times in one batch frame"
+        "usage: tpdbt-query --connect SPEC [--deadline-ms MS] [--batch N] [--retries N] OP [ARGS]\n  OP: ping | stats | shutdown | malformed\n      plain WORKLOAD [--scale tiny|small|paper] [--input ref|train]\n      cell  WORKLOAD THRESHOLD [--scale tiny|small|paper]\n      base  WORKLOAD [--scale tiny|small|paper]\n  --batch N sends the request N times in one batch frame\n  --retries N reconnects and retries idempotent requests on transport failure"
     );
     std::process::exit(2)
 }
@@ -48,6 +54,7 @@ fn main() {
     let mut connect: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut batch: Option<usize> = None;
+    let mut retries: u32 = 0;
     let mut scale = Scale::Tiny;
     let mut input = InputKind::Ref;
     let mut positional: Vec<String> = Vec::new();
@@ -58,6 +65,7 @@ fn main() {
             "--connect" => connect = Some(value()),
             "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
             "--batch" => batch = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--retries" => retries = value().parse().unwrap_or_else(|_| usage()),
             "--scale" => scale = parse_scale(&value()),
             "--input" => {
                 input = match value().as_str() {
@@ -74,8 +82,9 @@ fn main() {
     let mut pos = positional.iter().map(String::as_str);
     let op = pos.next().unwrap_or_else(|| usage());
 
-    let mut client =
-        Client::connect(&connect).unwrap_or_else(|e| fatal(format_args!("connect {connect}: {e}")));
+    let mut client = Client::connect(&connect)
+        .unwrap_or_else(|e| fatal(format_args!("connect {connect}: {e}")))
+        .with_retries(retries);
 
     let reply = if op == "malformed" {
         // Deliberately not JSON: exercises the server's structured

@@ -22,6 +22,14 @@
 //! `listening on ADDR` line to stdout once ready, then blocks until a
 //! `shutdown` request drains it.
 //!
+//! Startup is crash-safe (DESIGN.md §14): before the listener binds,
+//! the cache directory is fsck'd (damaged entries removed, orphaned
+//! temp files swept) and the previous run's hot-tier snapshot is
+//! reloaded, so the first query for a previously-hot key is
+//! memory-hot. A graceful drain snapshots the hot tier back out; the
+//! `stats` endpoint reports `recovered`, `orphans_swept`, and
+//! `fsck_ms` under `recovery`.
+//!
 //! Exit status: 0 after a clean drain, 1 on bind/setup failure, 2 on
 //! usage errors (README, "Exit codes").
 
@@ -101,8 +109,14 @@ fn main() {
         }
     }
 
+    let service = Arc::new(service);
+    // Store self-check (fsck with repair) and hot-tier snapshot reload
+    // happen before the listener exists: no connection is ever served
+    // from an unverified store (DESIGN.md §14).
+    service.startup_recovery();
+
     let handle = start(
-        Arc::new(service),
+        Arc::clone(&service),
         ServerConfig {
             bind,
             workers: jobs.max(1),

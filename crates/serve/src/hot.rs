@@ -172,6 +172,29 @@ impl HotTier {
         self.len() == 0
     }
 
+    /// A snapshot of every resident entry, ordered oldest-first within
+    /// each shard. Shard assignment is a pure function of the key, so
+    /// reinserting the pairs in this order (e.g. when reloading a
+    /// warm-restart snapshot) lands every entry back on its home shard
+    /// with its relative recency preserved.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, Arc<Artifact>)> {
+        let mut out = Vec::new();
+        for mutex in &self.shards {
+            let shard = mutex
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut items: Vec<(u64, u64, Arc<Artifact>)> = shard
+                .map
+                .iter()
+                .map(|(k, e)| (e.tick, *k, Arc::clone(&e.artifact)))
+                .collect();
+            items.sort_by_key(|&(tick, key, _)| (tick, key));
+            out.extend(items.into_iter().map(|(_, k, a)| (k, a)));
+        }
+        out
+    }
+
     /// A snapshot of the traffic counters, summed across shards.
     #[must_use]
     pub fn stats(&self) -> HotStats {
@@ -289,6 +312,33 @@ mod tests {
         let s = tier.stats();
         assert_eq!(s.inserts, 256);
         assert_eq!(s.inserts - s.evictions, tier.len() as u64);
+    }
+
+    #[test]
+    fn entries_snapshot_preserves_per_shard_recency() {
+        // 8 slots per shard: even if hashing piles every key onto one
+        // shard, nothing is evicted and the snapshot is complete.
+        let tier = HotTier::with_shards(16, 2);
+        for key in 0..6u64 {
+            tier.insert(key, art(key));
+        }
+        assert!(tier.get(1).is_some()); // refresh 1: now newest on its shard
+        let entries = tier.entries();
+        assert_eq!(entries.len(), 6);
+        // Reinserting in snapshot order into a fresh tier reproduces
+        // the same occupancy and shard-local recency.
+        let reload = HotTier::with_shards(16, 2);
+        for (k, a) in &entries {
+            reload.insert(*k, Arc::clone(a));
+        }
+        assert_eq!(reload.len(), 6);
+        // The refreshed key must come after every unrefreshed key on
+        // its own shard (it is the newest there).
+        let home = shard_of(1, tier.shard_count());
+        let pos_of = |k: u64| entries.iter().position(|(key, _)| *key == k).unwrap();
+        for other in (0..6u64).filter(|&k| k != 1 && shard_of(k, tier.shard_count()) == home) {
+            assert!(pos_of(1) > pos_of(other), "1 refreshed after {other}");
+        }
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!   the same cell machinery sweeps use,
 //! - [`server`] — listener, bounded connection queue with explicit
 //!   backpressure, worker pool, graceful drain,
-//! - [`client`] — the blocking client behind `tpdbt-query`.
+//! - [`snapshot`] — hot-tier persistence for warm restarts
+//!   (DESIGN.md §14),
+//! - [`client`] — the blocking client behind `tpdbt-query`, with
+//!   optional reconnect-and-retry for idempotent requests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +39,7 @@ pub mod server;
 pub mod service;
 pub mod shard;
 pub mod singleflight;
+pub mod snapshot;
 
 pub use client::Client;
 pub use hot::{HotStats, HotTier};

@@ -258,6 +258,14 @@ impl Stream {
             Stream::Tcp(s) => s.set_read_timeout(dur),
         }
     }
+
+    fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_write_timeout(dur),
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+        }
+    }
 }
 
 impl Read for Stream {
@@ -338,6 +346,14 @@ enum ReadOutcome {
 /// How long a mid-frame connection may stall shutdown before its
 /// partial frame is abandoned.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+
+/// Per-connection write deadline. A client that stops reading its
+/// responses eventually fills the kernel send buffer; without a
+/// deadline the blocked `write(2)` pins a worker indefinitely. With
+/// it, the stalled write errors out, the connection closes, and the
+/// worker returns to the pool. Applied at accept time so rejection
+/// frames (overload, drain) are covered too.
+const WRITE_STALL: Duration = Duration::from_secs(1);
 
 impl FrameReader {
     fn new(stream: Stream) -> FrameReader {
@@ -534,6 +550,11 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Workers are drained: the hot tier is quiescent, so persist it
+        // for the next startup's warm restart (DESIGN.md §14). Idempotent
+        // across wait()/shutdown(); a second join sees drained vectors
+        // and rewrites an identical snapshot.
+        self.shared.service.snapshot_hot();
         if let Bind::Unix(path) = &self.bind {
             let _ = std::fs::remove_file(path);
         }
@@ -579,6 +600,7 @@ fn accept_loop(shared: &Shared, listener: &Listener, shard: usize) {
         if shared.shutting_down() {
             return;
         }
+        let _ = stream.set_write_timeout(Some(WRITE_STALL));
         let conn = shared.conn_ids.fetch_add(1, Ordering::Relaxed);
         if let Some(plan) = shared.service.faults() {
             if plan.fire(FaultSite::ServeListener) {

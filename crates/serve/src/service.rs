@@ -38,6 +38,7 @@ use crate::proto::{
 };
 use crate::shard::{lock_recover, DEFAULT_SHARDS};
 use crate::singleflight::{FlightOutcome, SingleFlight};
+use crate::snapshot;
 
 /// Payload fields plus the source tier for artifact queries, or a
 /// structured failure — the intermediate shape `respond` renders.
@@ -147,6 +148,12 @@ pub struct ProfileService {
     /// the realized batching factor).
     batches: AtomicU64,
     batched_queries: AtomicU64,
+    /// Warm-restart bookkeeping, set by [`ProfileService::startup_recovery`]:
+    /// hot-tier entries reinstalled from the drain snapshot, orphaned
+    /// temp files swept at startup, and the startup fsck's wall time.
+    recovered: AtomicU64,
+    orphans_swept: AtomicU64,
+    fsck_ms: AtomicU64,
 }
 
 impl ProfileService {
@@ -172,6 +179,9 @@ impl ProfileService {
             opt_queue_peak: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_queries: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            orphans_swept: AtomicU64::new(0),
+            fsck_ms: AtomicU64::new(0),
         }
     }
 
@@ -248,6 +258,95 @@ impl ProfileService {
         }
     }
 
+    fn trace_emit(&self, event: impl FnOnce() -> tpdbt_trace::EventKind) {
+        if let Some(t) = &self.tracer {
+            t.emit(event());
+        }
+    }
+
+    /// Consults the injection plan at a crash site: a planned
+    /// occurrence aborts the whole process (the crash-restart harness
+    /// supervises this). Compiled out without `fault-injection`.
+    fn fire_crash(&self, site: FaultSite) {
+        if let Some(plan) = &self.faults {
+            plan.fire_crash(site);
+        }
+    }
+
+    /// Store self-check plus warm-restart reload, run once before the
+    /// server accepts connections (the `tpdbt-serve` binary calls
+    /// this; transport-free embedders may skip it).
+    ///
+    /// With a cache dir configured this (1) runs a repairing
+    /// [`tpdbt_store::fsck`] scan — damaged entries are removed and
+    /// re-derived on demand, orphaned temp files are swept — and
+    /// (2) consumes the previous graceful drain's hot-tier snapshot,
+    /// reinstalling its entries so previously-hot keys answer
+    /// memory-hot immediately. The `recovered` / `orphans_swept` /
+    /// `fsck_ms` counters in `stats` report what happened.
+    pub fn startup_recovery(&self) {
+        let Some(dir) = self.store.as_ref().map(|s| s.dir().to_path_buf()) else {
+            return;
+        };
+        match tpdbt_store::fsck(&dir, tpdbt_store::FsckOptions { repair: true }) {
+            Ok(report) => {
+                self.fsck_ms.store(
+                    u64::try_from(report.elapsed.as_millis()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
+                self.orphans_swept
+                    .store(report.orphans_swept, Ordering::Relaxed);
+                self.trace_emit(|| tpdbt_trace::EventKind::FsckRun {
+                    valid: report.valid,
+                    corrupt: (report.corrupt.len() + report.mismatched.len()) as u64,
+                    orphans: report.orphans.len() as u64,
+                    micros: u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX),
+                });
+                if !report.clean() {
+                    eprintln!(
+                        "startup fsck repaired {}: {} damaged, {} orphans",
+                        dir.display(),
+                        report.repaired,
+                        report.orphans_swept
+                    );
+                }
+            }
+            Err(e) => eprintln!("startup fsck of {} failed: {e}", dir.display()),
+        }
+        let entries = snapshot::load(&dir);
+        for (key, artifact) in &entries {
+            self.hot.insert(*key, Arc::clone(artifact));
+        }
+        self.recovered
+            .store(entries.len() as u64, Ordering::Relaxed);
+        self.trace_emit(|| tpdbt_trace::EventKind::HotSnapshotLoaded {
+            entries: entries.len() as u64,
+        });
+    }
+
+    /// Persists the hot tier to the cache directory's snapshot file so
+    /// the next startup can warm-restart. Called by the server on
+    /// graceful drain; a no-op without a cache dir. Returns the number
+    /// of entries written.
+    pub fn snapshot_hot(&self) -> u64 {
+        let Some(dir) = self.store.as_ref().map(|s| s.dir().to_path_buf()) else {
+            return 0;
+        };
+        let entries = self.hot.entries();
+        match snapshot::save(&dir, &entries) {
+            Ok(written) => {
+                self.trace_emit(|| tpdbt_trace::EventKind::HotSnapshotSaved { entries: written });
+                written
+            }
+            Err(e) => {
+                // Losing the snapshot degrades the next restart to
+                // disk-warm, never to incorrect.
+                eprintln!("hot-tier snapshot to {} failed: {e}", dir.display());
+                0
+            }
+        }
+    }
+
     fn fire_compute_fault(&self) -> Result<(), ServeFailure> {
         if let Some(plan) = &self.faults {
             if plan.fire(FaultSite::ServeCompute) {
@@ -287,6 +386,10 @@ impl ProfileService {
             Self::check_deadline(deadline)?;
             self.fire_compute_fault()?;
             let artifact = Arc::new(compute()?);
+            // Crash window: the computed artifact is already durable on
+            // disk (compute persists it) but not yet installed in
+            // memory; a restart serves it from the store.
+            self.fire_crash(FaultSite::CrashServeInstall);
             self.hot.insert(key_digest, Arc::clone(&artifact));
             Ok((artifact, Source::Computed))
         })?;
@@ -554,6 +657,20 @@ impl ProfileService {
                 ]),
             ),
         ];
+        fields.push((
+            "recovery",
+            Json::obj([
+                (
+                    "recovered",
+                    Json::num(self.recovered.load(Ordering::Relaxed)),
+                ),
+                (
+                    "orphans_swept",
+                    Json::num(self.orphans_swept.load(Ordering::Relaxed)),
+                ),
+                ("fsck_ms", Json::num(self.fsck_ms.load(Ordering::Relaxed))),
+            ]),
+        ));
         if let Some(store) = &self.store {
             fields.push((
                 "store",
@@ -563,6 +680,7 @@ impl ProfileService {
                     ("evictions", Json::num(store.evictions())),
                     ("io_retries", Json::num(store.io_retries())),
                     ("quarantined", Json::num(store.quarantined())),
+                    ("orphans_swept", Json::num(store.orphans_swept())),
                 ]),
             ));
         }
@@ -882,6 +1000,73 @@ mod tests {
             .and_then(|h| h.get("poisoned"))
             .and_then(Json::as_u64);
         assert_eq!(poisoned, Some(1));
+    }
+
+    #[test]
+    fn warm_restart_reloads_the_hot_tier_and_reports_counters() {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tpdbt-serve-warm-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let a = svc(Some(dir.clone()));
+        let first = a.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+        assert_eq!(first.source, Source::Computed);
+        assert_eq!(a.snapshot_hot(), 1, "one hot entry drained to disk");
+        drop(a);
+
+        let b = svc(Some(dir.clone()));
+        b.startup_recovery();
+        let warm = b.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+        assert_eq!(
+            warm.source,
+            Source::Memory,
+            "snapshotted key must be memory-hot on the first query"
+        );
+        assert_eq!(b.guest_runs(), 0);
+        assert_eq!(first.artifact, warm.artifact);
+        let recovery = b.stats_json().get("recovery").cloned().expect("recovery");
+        assert_eq!(recovery.get("recovered").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            recovery.get("orphans_swept").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert!(recovery.get("fsck_ms").and_then(Json::as_u64).is_some());
+
+        // The snapshot was consumed: a third instance starts disk-warm.
+        let c = svc(Some(dir.clone()));
+        c.startup_recovery();
+        let disk = c.resolve_base("gzip", Scale::Tiny, far()).unwrap();
+        assert_eq!(disk.source, Source::Disk);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_recovery_sweeps_orphans_and_heals_damage() {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tpdbt-serve-fsck-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(format!("gzip-0000000000000001.tpst.tmp.{}.0", u32::MAX)),
+            b"torn",
+        )
+        .unwrap();
+        std::fs::write(dir.join("gzip-0000000000000002.tpst"), b"garbage").unwrap();
+        let s = svc(Some(dir.clone()));
+        s.startup_recovery();
+        let recovery = s.stats_json().get("recovery").cloned().expect("recovery");
+        assert_eq!(
+            recovery.get("orphans_swept").and_then(Json::as_u64),
+            Some(1)
+        );
+        let report = tpdbt_store::fsck(&dir, tpdbt_store::FsckOptions::default()).unwrap();
+        assert!(report.clean(), "startup recovery must repair the dir");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -110,6 +110,7 @@ struct Stats {
     evictions: AtomicU64,
     io_retries: AtomicU64,
     quarantined: AtomicU64,
+    orphans_swept: AtomicU64,
 }
 
 /// The on-disk artifact store rooted at one cache directory.
@@ -200,6 +201,12 @@ impl ProfileStore {
         self.stats.quarantined.load(Ordering::Relaxed)
     }
 
+    /// Orphaned temp files removed by [`ProfileStore::sweep_orphans`].
+    #[must_use]
+    pub fn orphans_swept(&self) -> u64 {
+        self.stats.orphans_swept.load(Ordering::Relaxed)
+    }
+
     fn path_of(&self, key: &CacheKey) -> PathBuf {
         self.dir.join(key.file_name())
     }
@@ -222,6 +229,16 @@ impl ProfileStore {
             io::ErrorKind::Interrupted,
             format!("injected {site} fault (occurrence {occurrence})"),
         ))
+    }
+
+    /// Consults the injection plan at a crash site: a planned
+    /// occurrence aborts the whole process mid-operation (see
+    /// [`FaultPlan::fire_crash`]). Compiled out without the
+    /// `fault-injection` feature.
+    fn fire_crash(&self, site: FaultSite) {
+        if let Some(plan) = &self.faults {
+            plan.fire_crash(site);
+        }
     }
 
     /// Runs `op` with bounded retry on transient I/O errors; `file`
@@ -343,6 +360,7 @@ impl ProfileStore {
             *n
         };
         if strikes >= QUARANTINE_AFTER {
+            self.fire_crash(FaultSite::CrashStoreQuarantine);
             let qdir = self.quarantine_dir();
             let quarantined = fs::create_dir_all(&qdir)
                 .and_then(|()| fs::rename(path, qdir.join(key.file_name())))
@@ -390,6 +408,9 @@ impl ProfileStore {
         let written = self.with_io_retry(&key.file_name(), FaultSite::StoreWrite, || {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(&bytes)?;
+            // Crash window 1: the temp file exists but may be torn and
+            // is not durable. Recovery: sweep_orphans removes it.
+            self.fire_crash(FaultSite::CrashStoreTempWrite);
             // The rename below publishes the entry; sync first so a
             // crash cannot publish a torn file under the final name.
             f.sync_all()
@@ -398,8 +419,16 @@ impl ProfileStore {
             let _ = fs::remove_file(&tmp);
             return Err(StoreError::Io(e));
         }
+        // Crash window 2: the temp file is durable but unpublished.
+        // Recovery: sweep_orphans removes it; the entry is recomputed.
+        self.fire_crash(FaultSite::CrashStoreFsync);
         match fs::rename(&tmp, &path) {
             Ok(()) => {
+                // Crash window 3: the entry is published (and complete,
+                // thanks to the file sync) but the directory entry may
+                // not be durable yet — either the full entry or nothing
+                // survives; both states are valid.
+                self.fire_crash(FaultSite::CrashStoreRename);
                 // Best-effort directory sync so the rename itself is
                 // durable; filesystems that refuse dir fsync still get
                 // the torn-file protection from the file sync above.
@@ -413,6 +442,43 @@ impl ProfileStore {
                 Err(StoreError::Io(e))
             }
         }
+    }
+
+    /// Removes orphaned temp files left behind by writers that died
+    /// between temp-file creation and the publishing rename. Returns
+    /// how many were removed (also counted in
+    /// [`ProfileStore::orphans_swept`] and traced as
+    /// `store_orphan_swept`).
+    ///
+    /// Temp names embed the writing pid (`{entry}.tmp.{pid}.{seq}`);
+    /// files belonging to this process or to a pid that is still alive
+    /// are skipped, so sweeping a live cache directory cannot race a
+    /// concurrent writer's in-flight rename. Called on sweep/serve
+    /// startup and by `tpdbt-fsck`.
+    pub fn sweep_orphans(&self) -> u64 {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0; // no directory yet: nothing to sweep
+        };
+        let mut swept = 0u64;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some((_, rest)) = name.split_once(".tmp.") else {
+                continue;
+            };
+            let pid = rest.split('.').next().and_then(|p| p.parse::<u32>().ok());
+            if pid.is_some_and(pid_is_live) {
+                continue;
+            }
+            if fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+                self.stats.orphans_swept.fetch_add(1, Ordering::Relaxed);
+                self.trace_emit(|| EventKind::StoreOrphanSwept {
+                    file: name.to_string(),
+                });
+            }
+        }
+        swept
     }
 
     /// Generic typed lookup: loads `key` and extracts the requested
@@ -441,6 +507,18 @@ impl ProfileStore {
     pub fn load_base(&self, key: &CacheKey) -> Option<BaseArtifact> {
         self.load_as(key)
     }
+}
+
+/// Best-effort liveness probe for the pid embedded in a temp-file
+/// name: our own pid is always live; otherwise `/proc/{pid}` decides
+/// on platforms with procfs. Where that probe is unavailable the file
+/// is treated as orphaned — a swept in-flight write merely costs one
+/// recompute, while a leaked temp file would persist forever.
+fn pid_is_live(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    Path::new("/proc").is_dir() && Path::new(&format!("/proc/{pid}")).is_dir()
 }
 
 #[cfg(test)]
@@ -647,6 +725,35 @@ mod tests {
         corrupt_on_disk(&store, &key(9));
         assert!(store.load(&key(9)).is_none()); // strike 1 again: evict
         assert_eq!((store.evictions(), store.quarantined()), (2, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_sweep_removes_dead_writers_and_spares_live_ones() {
+        let dir = scratch_dir();
+        let tracer = Arc::new(Tracer::new());
+        let store = ProfileStore::new(&dir).with_tracer(Arc::clone(&tracer));
+        store.store(&key(1), &base(1)).unwrap();
+        // A temp file from a long-dead writer (pids never reach u32::MAX)
+        // and one from this very process (a live in-flight write).
+        let dead = dir.join(format!("{}.tmp.{}.0", key(2).file_name(), u32::MAX));
+        let live = dir.join(format!(
+            "{}.tmp.{}.0",
+            key(3).file_name(),
+            std::process::id()
+        ));
+        fs::write(&dead, b"torn").unwrap();
+        fs::write(&live, b"in flight").unwrap();
+
+        assert_eq!(store.sweep_orphans(), 1);
+        assert_eq!(store.orphans_swept(), 1);
+        assert!(!dead.exists(), "dead writer's temp file is swept");
+        assert!(live.exists(), "live writer's temp file survives");
+        assert_eq!(tracer.count("store_orphan_swept"), 1);
+        // The published entry is untouched.
+        assert_eq!(store.load_base(&key(1)).unwrap().cycles, 1);
+        // Idempotent: nothing left to sweep.
+        assert_eq!(store.sweep_orphans(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

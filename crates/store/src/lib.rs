@@ -33,8 +33,10 @@ pub mod cache;
 pub mod codec;
 pub mod digest;
 mod error;
+pub mod fsck;
 pub mod profilefmt;
 
 pub use cache::{CacheKey, ProfileStore};
 pub use error::StoreError;
+pub use fsck::{fsck, FsckOptions, FsckReport};
 pub use profilefmt::{Artifact, BaseArtifact, CellArtifact, PlainArtifact, TypedArtifact};

@@ -175,6 +175,25 @@ pub enum EventKind {
         /// Artifact file name.
         file: String,
     },
+    /// An orphaned temp file (left by a writer that died before its
+    /// publishing rename) was removed.
+    StoreOrphanSwept {
+        /// The temp file name that was removed.
+        file: String,
+    },
+    /// A store self-check (`tpdbt-fsck`, or serve startup recovery)
+    /// finished scanning a cache directory.
+    FsckRun {
+        /// Entries that decoded clean with a matching digest.
+        valid: u64,
+        /// Entries that failed to decode or mismatched their filename
+        /// digest (removed when repairing).
+        corrupt: u64,
+        /// Orphaned temp files found (swept when repairing).
+        orphans: u64,
+        /// Wall-clock scan time, in microseconds.
+        micros: u64,
+    },
 
     // ---- sweep orchestrator (tpdbt-experiments) ----
     /// A guest program was actually executed (not served from cache).
@@ -285,6 +304,17 @@ pub enum EventKind {
         /// Machine-readable error code of the rejection.
         code: &'static str,
     },
+    /// The serve hot tier was snapshotted to disk during graceful
+    /// drain.
+    HotSnapshotSaved {
+        /// Entries written to the snapshot file.
+        entries: u64,
+    },
+    /// A hot-tier snapshot was reloaded on startup (warm restart).
+    HotSnapshotLoaded {
+        /// Entries reinstalled into the hot tier.
+        entries: u64,
+    },
 
     // ---- fault injection (tpdbt-faults consumers) ----
     /// A planned fault fired at an injection site.
@@ -319,6 +349,8 @@ impl EventKind {
             EventKind::StoreEvicted { .. } => "store_evicted",
             EventKind::StoreIoRetry { .. } => "store_io_retry",
             EventKind::StoreQuarantined { .. } => "store_quarantined",
+            EventKind::StoreOrphanSwept { .. } => "store_orphan_swept",
+            EventKind::FsckRun { .. } => "fsck_run",
             EventKind::GuestRun { .. } => "guest_run",
             EventKind::CellQueued { .. } => "cell_queued",
             EventKind::CellStarted { .. } => "cell_started",
@@ -332,6 +364,8 @@ impl EventKind {
             EventKind::ServeDone { .. } => "serve_done",
             EventKind::ServeBatch { .. } => "serve_batch",
             EventKind::ServeRejected { .. } => "serve_rejected",
+            EventKind::HotSnapshotSaved { .. } => "hot_snapshot_saved",
+            EventKind::HotSnapshotLoaded { .. } => "hot_snapshot_loaded",
             EventKind::FaultInjected { .. } => "fault_injected",
         }
     }
@@ -447,6 +481,17 @@ mod tests {
             EventKind::StoreQuarantined {
                 file: String::new(),
             },
+            EventKind::StoreOrphanSwept {
+                file: String::new(),
+            },
+            EventKind::FsckRun {
+                valid: 0,
+                corrupt: 0,
+                orphans: 0,
+                micros: 0,
+            },
+            EventKind::HotSnapshotSaved { entries: 0 },
+            EventKind::HotSnapshotLoaded { entries: 0 },
             EventKind::CellRetried {
                 bench: String::new(),
                 label: String::new(),

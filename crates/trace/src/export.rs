@@ -135,9 +135,21 @@ fn fields(kind: &EventKind) -> Vec<Field<'_>> {
         E::StoreHit { file }
         | E::StoreMiss { file }
         | E::StoreEvicted { file }
-        | E::StoreQuarantined { file } => {
+        | E::StoreQuarantined { file }
+        | E::StoreOrphanSwept { file } => {
             vec![Field::Str("file", file)]
         }
+        E::FsckRun {
+            valid,
+            corrupt,
+            orphans,
+            micros,
+        } => vec![
+            Field::U64("valid", *valid),
+            Field::U64("corrupt", *corrupt),
+            Field::U64("orphans", *orphans),
+            Field::U64("micros", *micros),
+        ],
         E::StoreIoRetry { file, attempt } => vec![
             Field::Str("file", file),
             Field::U64("attempt", u64::from(*attempt)),
@@ -198,6 +210,9 @@ fn fields(kind: &EventKind) -> Vec<Field<'_>> {
         }
         E::ServeRejected { conn, code } => {
             vec![Field::U64("conn", *conn), Field::Str("code", code)]
+        }
+        E::HotSnapshotSaved { entries } | E::HotSnapshotLoaded { entries } => {
+            vec![Field::U64("entries", *entries)]
         }
         E::FaultInjected { site, occurrence } => vec![
             Field::Str("site", site),
