@@ -1,0 +1,58 @@
+//! Fleet-subsystem benchmarks: weighted N-way profile merge (the
+//! `tpdbt-merge` / serve-`contribute` hot path) and structural transfer
+//! (fingerprint refinement + hierarchical matching), at fleet sizes of
+//! 2, 8, and 32 contributors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tpdbt_dbt::{Dbt, DbtConfig};
+use tpdbt_fleet::{contribute, finalize, transfer, WeightMode};
+use tpdbt_profile::PlainProfile;
+use tpdbt_suite::{workload_versioned, InputKind, Scale};
+
+/// One no-opt profile per fleet member: `n` rebuilt versions of the
+/// input-skewed interpreter, each with its own re-seeded input stream.
+fn member_profiles(n: u32) -> Vec<PlainProfile> {
+    (0..n)
+        .map(|version| {
+            let w = workload_versioned("fleetint", Scale::Tiny, InputKind::Ref, version).unwrap();
+            Dbt::new(DbtConfig::no_opt())
+                .run_built(&w.binary, &w.input)
+                .unwrap()
+                .as_plain_profile()
+        })
+        .collect()
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_merge");
+    for n in [2u32, 8, 32] {
+        let profiles = member_profiles(n);
+        g.bench_function(format!("contribute_{n}"), |b| {
+            b.iter(|| {
+                let mut acc = None;
+                for p in &profiles {
+                    acc = Some(contribute(acc.take(), p, WeightMode::VisitCount).unwrap());
+                }
+                black_box(finalize(&acc.unwrap()).profiling_ops)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fleet_transfer");
+    let profiles = member_profiles(2);
+    let (donor, target) = (&profiles[0], &profiles[1]);
+    g.bench_function("cross_version", |b| {
+        b.iter(|| {
+            let out = transfer(black_box(donor), black_box(target));
+            assert!(out.matched > 0);
+            black_box(out.weighted_coverage)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! ```text
 //! reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]
 //!           [--backend interp|cached] [--opt-mode sync|async]
-//!           [--cache-dir DIR]
+//!           [--cache-dir DIR] [--fleet-seed DIR]
 //!           [--trace PATH [--trace-format jsonl|chrome]]
 //!           [--max-retries N] [--fail-fast] [--watchdog-fuel N]
 //!           [--inject SPEC] [FIGURE...]
@@ -67,6 +67,8 @@ fn usage() -> ! {
          \u{20}        ext-phases           — phase census via interval profiling\n\
          \u{20}        ext-static           — Wu-Larus static prediction baseline\n\
          \u{20}        ext-async            — asynchronous optimization drift (Sd.IP)\n\
+         \u{20}        ext-transfer         — INIP(transfer) vs INIP(train) over transfer pairs\n\
+         \u{20}--fleet-seed DIR seeds INIP(train) from the fleet consensus store in DIR\n\
          Regenerates the tables/figures of 'The Accuracy of Initial Prediction in\n\
          Two-Phase Dynamic Binary Translators' (CGO 2004). Default: all figures at\n\
          small scale."
@@ -74,7 +76,12 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
-fn run_extensions(wanted: &[String], scale: Scale, out_dir: Option<&str>) -> Vec<(String, Table)> {
+fn run_extensions(
+    wanted: &[String],
+    scale: Scale,
+    jobs: usize,
+    out_dir: Option<&str>,
+) -> Vec<(String, Table)> {
     let names = all_names();
     let mut out = Vec::new();
     for w in wanted {
@@ -91,6 +98,7 @@ fn run_extensions(wanted: &[String], scale: Scale, out_dir: Option<&str>) -> Vec
             "ext-phases" => tpdbt_experiments::extensions::phase_census(&names, scale),
             "ext-static" => tpdbt_experiments::extensions::static_baseline(&names, scale, 2_000),
             "ext-async" => tpdbt_experiments::extensions::async_drift(&names, scale, 2_000),
+            "ext-transfer" => tpdbt_experiments::extensions::transfer_study(scale, jobs),
             _ => continue,
         };
         match result {
@@ -131,6 +139,9 @@ fn main() {
             }
             "--cache-dir" => {
                 sweep_opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--fleet-seed" => {
+                sweep_opts.fleet_seed = Some(args.next().unwrap_or_else(|| usage()).into());
             }
             "--backend" => {
                 sweep_opts.backend = args
@@ -201,7 +212,12 @@ fn main() {
             "running {} extension studies at {scale:?} scale...",
             extension_targets.len()
         );
-        for (name, table) in run_extensions(&extension_targets, scale, out_dir.as_deref()) {
+        for (name, table) in run_extensions(
+            &extension_targets,
+            scale,
+            sweep_opts.jobs.max(1),
+            out_dir.as_deref(),
+        ) {
             println!("{}", table.to_text());
             if let Some(dir) = &out_dir {
                 if let Err(e) = write_csv(dir, &name, &table) {
@@ -230,6 +246,13 @@ fn main() {
         names = all_names();
     }
     if !only.is_empty() {
+        // The fleet-study families sit outside the paper's 26 but are
+        // sweepable when named explicitly (CI's fleet smoke does).
+        for extra in tpdbt_suite::fleet_names() {
+            if only.iter().any(|o| o == extra) {
+                names.push(extra);
+            }
+        }
         names.retain(|n| only.iter().any(|o| o == n));
         if names.is_empty() {
             eprintln!("--bench filter matched nothing (see tpdbt_suite::all_names)");

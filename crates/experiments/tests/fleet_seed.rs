@@ -1,0 +1,137 @@
+//! Integration tests for fleet-seeded sweeps: a consensus artifact in
+//! the `--fleet-seed` store replaces the training guest run with a
+//! transferred cross-input/cross-version profile, and the seeded sweep
+//! stays deterministic across worker-pool widths.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use tpdbt_dbt::{Dbt, DbtConfig};
+use tpdbt_experiments::runner::ladder;
+use tpdbt_experiments::sweep::{run_sweep, SweepOptions};
+use tpdbt_fleet::{consensus_key, contribute, WeightMode};
+use tpdbt_store::{Artifact, ProfileStore};
+use tpdbt_suite::{workload_versioned, InputKind, Scale};
+use tpdbt_trace::Tracer;
+
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "tpdbt-fleet-seed-test-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Builds a consensus for `fleetint` out of two donors no training run
+/// ever saw: ref-shaped profiles of binary versions 1 and 2 (both
+/// rebuilt, so every block address differs from version 0's).
+fn seed_consensus(dir: &PathBuf) {
+    let mut acc = None;
+    for version in [1u32, 2] {
+        let w = workload_versioned("fleetint", Scale::Tiny, InputKind::Ref, version).unwrap();
+        let profile = Dbt::new(DbtConfig::no_opt())
+            .run_built(&w.binary, &w.input)
+            .unwrap()
+            .as_plain_profile();
+        acc = Some(contribute(acc, &profile, WeightMode::VisitCount).unwrap());
+    }
+    let store = ProfileStore::new(dir);
+    store
+        .store(
+            &consensus_key("fleetint", Scale::Tiny, WeightMode::VisitCount),
+            &Artifact::Merged(acc.unwrap()),
+        )
+        .unwrap();
+}
+
+#[test]
+fn fleet_seed_replaces_the_training_guest_run() {
+    let seed_dir = scratch_dir();
+    seed_consensus(&seed_dir);
+
+    let cells = 3 + ladder(Scale::Tiny).len() as u64;
+    let tracer = Arc::new(Tracer::new());
+    let seeded = run_sweep(
+        &["fleetint"],
+        Scale::Tiny,
+        &SweepOptions {
+            jobs: 2,
+            fleet_seed: Some(seed_dir.clone()),
+            tracer: Some(Arc::clone(&tracer)),
+            ..Default::default()
+        },
+        |_| {},
+    )
+    .unwrap();
+    // The train cell was served from the consensus: one fewer guest
+    // execution than a cold unseeded sweep, and the trace says why.
+    assert_eq!(seeded.guest_runs, cells - 1);
+    assert_eq!(tracer.count("fleet_consensus_served"), 1);
+
+    let unseeded = run_sweep(
+        &["fleetint"],
+        Scale::Tiny,
+        &SweepOptions {
+            jobs: 2,
+            ..Default::default()
+        },
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(unseeded.guest_runs, cells);
+
+    // The transferred profile really is a different training baseline —
+    // the donors ran the ref input, the local train run did not.
+    assert_ne!(seeded.results[0].train, unseeded.results[0].train);
+    // Everything that does not involve the training profile is
+    // untouched by seeding.
+    assert_eq!(seeded.results[0].avep, unseeded.results[0].avep);
+    assert_eq!(
+        seeded.results[0].base_cycles,
+        unseeded.results[0].base_cycles
+    );
+
+    // A benchmark with no consensus in the seed store falls back to the
+    // plain training run.
+    let fallback = run_sweep(
+        &["gzip"],
+        Scale::Tiny,
+        &SweepOptions {
+            jobs: 2,
+            fleet_seed: Some(seed_dir.clone()),
+            ..Default::default()
+        },
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(fallback.guest_runs, cells);
+
+    std::fs::remove_dir_all(&seed_dir).unwrap();
+}
+
+#[test]
+fn fleet_seeded_sweep_is_deterministic_across_jobs() {
+    let seed_dir = scratch_dir();
+    seed_consensus(&seed_dir);
+    let run = |jobs| {
+        run_sweep(
+            &["fleetint"],
+            Scale::Tiny,
+            &SweepOptions {
+                jobs,
+                fleet_seed: Some(seed_dir.clone()),
+                ..Default::default()
+            },
+            |_| {},
+        )
+        .unwrap()
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.results[0].train, b.results[0].train);
+    assert_eq!(a.results[0].avep, b.results[0].avep);
+    assert_eq!(a.results[0].per_threshold, b.results[0].per_threshold);
+    std::fs::remove_dir_all(&seed_dir).unwrap();
+}

@@ -1,0 +1,163 @@
+//! `tpdbt-merge`: offline fleet-profile merging.
+//!
+//! Reads plain `.tpst` profile artifacts (files, or directories that
+//! are scanned for them), folds them into one weighted consensus
+//! accumulator, and publishes it into a profile store directory under
+//! the fleet consensus key — the same key the serve daemon's
+//! `contribute` endpoint uses, so CI can `cmp` the two artifacts
+//! byte-for-byte.
+//!
+//! ```text
+//! tpdbt-merge --out DIR --workload NAME [--scale tiny|small|paper]
+//!             [--weight visit|phase] INPUT...
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tpdbt_fleet::{consensus_key, contribute, WeightMode};
+use tpdbt_store::{profilefmt, Artifact, ProfileStore};
+use tpdbt_suite::Scale;
+
+fn usage() -> &'static str {
+    "usage: tpdbt-merge --out DIR --workload NAME [--scale tiny|small|paper] \
+     [--weight visit|phase] INPUT...\n\
+     \n\
+     Each INPUT is a .tpst file, or a directory scanned (non-recursively)\n\
+     for .tpst files whose name starts with the sanitized workload prefix.\n\
+     Only plain profile artifacts participate; other kinds are skipped.\n\
+     The merged consensus is written into DIR as a store artifact under\n\
+     the fleet consensus key for (workload, scale, weight mode)."
+}
+
+/// The sanitized file-name prefix the store gives `workload`'s
+/// artifacts (mirrors `CacheKey::file_name`).
+fn workload_prefix(workload: &str) -> String {
+    let safe: String = workload
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .take(32)
+        .collect();
+    format!("{safe}-")
+}
+
+fn collect_inputs(inputs: &[PathBuf], prefix: &str) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let entries =
+                std::fs::read_dir(input).map_err(|e| format!("{}: {e}", input.display()))?;
+            let mut found: Vec<PathBuf> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.ends_with(".tpst") && n.starts_with(prefix))
+                })
+                .collect();
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(input.clone());
+        }
+    }
+    if files.is_empty() {
+        return Err("no .tpst inputs found".to_string());
+    }
+    Ok(files)
+}
+
+fn run() -> Result<(), String> {
+    let mut out: Option<PathBuf> = None;
+    let mut workload: Option<String> = None;
+    let mut scale = Scale::Small;
+    let mut mode = WeightMode::VisitCount;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--workload" => workload = Some(value("--workload")?),
+            "--scale" => {
+                let name = value("--scale")?;
+                scale = match name.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale `{other}` (tiny|small|paper)")),
+                };
+            }
+            "--weight" => {
+                let name = value("--weight")?;
+                mode = WeightMode::from_name(&name)
+                    .ok_or_else(|| format!("unknown weight mode `{name}` (visit|phase)"))?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            file => inputs.push(PathBuf::from(file)),
+        }
+    }
+
+    let out = out.ok_or_else(|| format!("--out is required\n{}", usage()))?;
+    let workload = workload.ok_or_else(|| format!("--workload is required\n{}", usage()))?;
+    let files = collect_inputs(&inputs, &workload_prefix(&workload))?;
+
+    let mut acc = None;
+    let mut skipped = 0usize;
+    for file in &files {
+        let bytes = std::fs::read(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let (_, artifact) =
+            profilefmt::decode(&bytes).map_err(|e| format!("{}: {e}", file.display()))?;
+        match artifact {
+            Artifact::Plain(plain) => {
+                acc = Some(
+                    contribute(acc, &plain.profile, mode)
+                        .map_err(|e| format!("{}: {e}", file.display()))?,
+                );
+            }
+            _ => skipped += 1,
+        }
+    }
+    let Some(acc) = acc else {
+        return Err(format!(
+            "none of the {} input artifacts were plain profiles",
+            files.len()
+        ));
+    };
+
+    let key = consensus_key(&workload, scale, mode);
+    let store = ProfileStore::new(&out);
+    store
+        .store(&key, &Artifact::Merged(acc.clone()))
+        .map_err(|e| format!("storing consensus in {}: {e}", out.display()))?;
+    println!(
+        "merged {} profiles ({} non-plain inputs skipped) for `{workload}`: \
+         weight mode {}, total weight {}, {} blocks -> {}",
+        acc.contributors,
+        skipped,
+        mode.name(),
+        acc.total_weight,
+        acc.blocks.len(),
+        Path::new(&out).join(key.file_name()).display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tpdbt-merge: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

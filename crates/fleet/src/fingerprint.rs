@@ -1,0 +1,284 @@
+//! Digest-independent structural fingerprints of a profile's block
+//! graph.
+//!
+//! A rebuilt binary shifts every block address and usually every block
+//! length, so profiles cannot be matched by PC. What *does* survive a
+//! rebuild that leaves control flow alone is the shape of the graph:
+//! which terminator each block ends in, how many outcomes it has, and
+//! what the blocks around it look like. The fingerprint is a
+//! Weisfeiler–Leman style iterative label refinement over exactly that
+//! shape:
+//!
+//! * the **initial label** of a block hashes its terminator kind, its
+//!   sorted successor-slot *classes*, and whether it is the program
+//!   entry — never its address, its length, or any execution count;
+//! * each **refinement round** rehashes a block's label together with
+//!   the `(slot class, label)` pairs of its successors *and* of its
+//!   predecessors, so after `k` rounds a label describes the block's
+//!   `k`-neighbourhood in both directions. Predecessor context is what
+//!   separates the hundreds of structurally similar handler and arm
+//!   blocks that all flow back into one dispatch hub.
+//!
+//! Successor slots are folded to three stable **classes** (taken,
+//! fall-through, other) rather than their full codes: `Other(k)`
+//! indices are assigned in order of first *dynamic* occurrence, so the
+//! same switch numbers its targets differently under different inputs —
+//! hashing the raw code would make every signature downstream of a
+//! multi-way block input-dependent.
+//!
+//! Refinement is a trade: each round adds discriminating power but also
+//! *propagates* any local difference one edge further. Two profiles of
+//! the same program under different inputs can disagree on a handful of
+//! rarely-taken edges, and through a dispatch hub those few differences
+//! would reach every block within [`ROUNDS`] edges — poisoning the
+//! whole match. [`signature_rounds`] therefore keeps every intermediate
+//! generation, and the matcher (`transfer::match_blocks`) works from
+//! the most-refined round downwards: blocks far from a coverage
+//! difference match on the refined rounds, blocks near one fall back to
+//! a coarser round that the difference has not yet reached.
+//!
+//! Blocks whose signature is ambiguous on either side at every round
+//! are simply left unmatched (transfer degrades gracefully to partial
+//! coverage, it never guesses).
+
+use std::collections::BTreeMap;
+
+use tpdbt_profile::{BlockPc, PlainProfile, SuccSlot};
+
+/// Refinement rounds. Each round widens the described neighbourhood by
+/// one edge in each direction; eight reaches across the handler-body
+/// chains of the interpreter-style workloads (up to four steering
+/// diamonds deep) from either end.
+pub const ROUNDS: usize = 8;
+
+/// Input-stable successor classes (see the module docs): taken,
+/// fall-through, and "any other outcome".
+fn slot_class(slot: SuccSlot) -> u64 {
+    match slot {
+        SuccSlot::Taken => 0,
+        SuccSlot::Fallthrough => 1,
+        SuccSlot::Other(_) => 2,
+    }
+}
+
+/// FNV-1a 64 step over one `u64`, little-endian.
+fn mix(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// The structural signature of every block after [`ROUNDS`] rounds of
+/// refinement — the last generation of [`signature_rounds`].
+#[must_use]
+pub fn block_signatures(profile: &PlainProfile) -> BTreeMap<BlockPc, u64> {
+    signature_rounds(profile)
+        .pop()
+        .expect("signature_rounds returns ROUNDS + 1 generations")
+}
+
+/// Every generation of the refinement: `ROUNDS + 1` maps, where entry
+/// `r` holds each block's signature after `r` rounds (entry 0 is the
+/// initial, purely local label). Signatures depend only on graph shape
+/// — two profiles of the same program rebuilt at different addresses
+/// produce the same multiset of signatures at every round.
+#[must_use]
+pub fn signature_rounds(profile: &PlainProfile) -> Vec<BTreeMap<BlockPc, u64>> {
+    let mut labels: BTreeMap<BlockPc, u64> = profile
+        .blocks
+        .iter()
+        .map(|(&pc, rec)| {
+            let mut h = mix(FNV_OFFSET, rec.kind.map_or(0, |k| u64::from(k.code()) + 1));
+            h = mix(h, u64::from(pc == profile.entry));
+            let mut classes: Vec<u64> = rec
+                .edges
+                .iter()
+                .map(|&(slot, _, _)| slot_class(slot))
+                .collect();
+            classes.sort_unstable();
+            h = mix(h, classes.len() as u64);
+            for class in classes {
+                h = mix(h, class);
+            }
+            (pc, h)
+        })
+        .collect();
+    let mut rounds = Vec::with_capacity(ROUNDS + 1);
+    rounds.push(labels.clone());
+
+    // Reverse adjacency, built once: `(slot class, predecessor pc)` per
+    // block. Ordering inside comes from the label sort below.
+    let mut preds: BTreeMap<BlockPc, Vec<(u64, BlockPc)>> = BTreeMap::new();
+    for (&pc, rec) in &profile.blocks {
+        for &(slot, target, _) in &rec.edges {
+            preds
+                .entry(target)
+                .or_default()
+                .push((slot_class(slot), pc));
+        }
+    }
+
+    for round in 0..ROUNDS {
+        let refined: BTreeMap<BlockPc, u64> = profile
+            .blocks
+            .iter()
+            .map(|(&pc, rec)| {
+                let mut h = mix(FNV_OFFSET, round as u64 + 1);
+                h = mix(h, labels[&pc]);
+                // Successor labels, sorted by (class, label): a
+                // canonical, PC-free, input-stable ordering.
+                let mut succ: Vec<(u64, u64)> = rec
+                    .edges
+                    .iter()
+                    .map(|&(slot, target, _)| {
+                        (slot_class(slot), labels.get(&target).copied().unwrap_or(0))
+                    })
+                    .collect();
+                succ.sort_unstable();
+                h = mix(h, succ.len() as u64);
+                for (class, label) in succ {
+                    h = mix(h, class);
+                    h = mix(h, label);
+                }
+                // Predecessor labels, same canonicalization.
+                let mut pred: Vec<(u64, u64)> = preds
+                    .get(&pc)
+                    .map(Vec::as_slice)
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|&(class, ppc)| (class, labels[&ppc]))
+                    .collect();
+                pred.sort_unstable();
+                h = mix(h, pred.len() as u64);
+                for (class, label) in pred {
+                    h = mix(h, class);
+                    h = mix(h, label);
+                }
+                (pc, h)
+            })
+            .collect();
+        labels = refined;
+        rounds.push(labels.clone());
+    }
+    rounds
+}
+
+/// An order-independent digest of the whole graph shape: the sorted
+/// final signatures hashed together. Two structurally identical
+/// profiles (any addresses, any counters) share this digest.
+#[must_use]
+pub fn structural_digest(profile: &PlainProfile) -> u64 {
+    let mut sigs: Vec<u64> = block_signatures(profile).into_values().collect();
+    sigs.sort_unstable();
+    let mut h = mix(FNV_OFFSET, sigs.len() as u64);
+    for sig in sigs {
+        h = mix(h, sig);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_profile::{BlockRecord, SuccSlot, TermKind};
+
+    /// A diamond CFG: entry cond → two arms → join (halt), with a
+    /// caller-chosen base address and arm lengths.
+    fn diamond(base: BlockPc, arm_len: u32, counts: [u64; 4]) -> PlainProfile {
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(
+            base,
+            BlockRecord {
+                len: 2,
+                kind: Some(TermKind::Cond),
+                use_count: counts[0],
+                edges: vec![
+                    (SuccSlot::Taken, base + 8, counts[1]),
+                    (SuccSlot::Fallthrough, base + 4, counts[2]),
+                ],
+            },
+        );
+        blocks.insert(
+            base + 4,
+            BlockRecord {
+                len: arm_len,
+                kind: Some(TermKind::Jump),
+                use_count: counts[2],
+                edges: vec![(SuccSlot::Other(0), base + 12, counts[2])],
+            },
+        );
+        blocks.insert(
+            base + 8,
+            BlockRecord {
+                len: arm_len + 1,
+                kind: Some(TermKind::Jump),
+                use_count: counts[1],
+                edges: vec![(SuccSlot::Other(0), base + 12, counts[1])],
+            },
+        );
+        blocks.insert(
+            base + 12,
+            BlockRecord {
+                len: 1,
+                kind: Some(TermKind::Halt),
+                use_count: counts[0],
+                edges: vec![],
+            },
+        );
+        PlainProfile {
+            blocks,
+            entry: base,
+            profiling_ops: 0,
+            instructions: 0,
+        }
+    }
+
+    #[test]
+    fn signatures_ignore_addresses_lengths_and_counters() {
+        let v1 = diamond(0, 3, [100, 70, 30, 100]);
+        let v2 = diamond(4096, 9, [5, 1, 4, 5]); // shifted, longer, different counts
+        assert_eq!(structural_digest(&v1), structural_digest(&v2));
+        let s1: Vec<u64> = block_signatures(&v1).into_values().collect();
+        let s2: Vec<u64> = block_signatures(&v2).into_values().collect();
+        assert_eq!(s1, s2, "per-block signatures line up in block order");
+    }
+
+    #[test]
+    fn signatures_distinguish_shape_changes() {
+        let v1 = diamond(0, 3, [100, 70, 30, 100]);
+        // Same blocks but the taken arm now returns instead of jumping:
+        // a genuine shape change.
+        let mut reshaped = v1.clone();
+        reshaped.blocks.get_mut(&8).unwrap().kind = Some(TermKind::Return);
+        assert_ne!(structural_digest(&v1), structural_digest(&reshaped));
+    }
+
+    #[test]
+    fn arms_with_distinct_terminators_get_distinct_signatures() {
+        let mut p = diamond(0, 3, [10, 6, 4, 10]);
+        p.blocks.get_mut(&8).unwrap().kind = Some(TermKind::Call);
+        let sigs = block_signatures(&p);
+        assert_eq!(
+            sigs.values()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            4,
+            "all four blocks separable: {sigs:?}"
+        );
+    }
+
+    #[test]
+    fn refinement_separates_shape_identical_neighbour_distinct_blocks() {
+        // Both arms are jump blocks with one successor — identical
+        // initial labels. Their *successor environments* differ only
+        // via the entry flag reached backwards, so with zero rounds
+        // they collide; with ROUNDS they are still allowed to collide
+        // (symmetric diamond). Sanity: signatures exist for every block.
+        let p = diamond(0, 3, [10, 6, 4, 10]);
+        assert_eq!(block_signatures(&p).len(), 4);
+    }
+}

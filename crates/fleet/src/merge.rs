@@ -1,0 +1,388 @@
+//! Weighted profile merging: N observed [`PlainProfile`]s folded into
+//! one fleet consensus.
+//!
+//! The consensus is persisted as a [`MergedArtifact`] holding weighted
+//! counter **sums** (`Σ wᵢ·useᵢ`) and the total weight (`Σ wᵢ`), never
+//! the quotient. Pointwise integer addition is exactly commutative and
+//! associative, so any contribution order, any grouping, and any mix of
+//! incremental (serve `contribute`) and batch (`tpdbt-merge`) merging
+//! produces bit-identical artifacts — the property the proptest suite
+//! pins down. Finalization (the weighted-average profile) divides on
+//! demand; self-merge is idempotent there because `⌊2s/2w⌋ = ⌊s/w⌋`.
+
+use std::fmt;
+
+use tpdbt_profile::{BlockRecord, PlainProfile};
+use tpdbt_store::{MergedArtifact, MergedBlock};
+
+/// How much say one contributed profile gets in the consensus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightMode {
+    /// Weight by total visit count: long runs dominate. The classic
+    /// PGO-merge default.
+    VisitCount,
+    /// Weight by phase coverage: the number of hot strata the profile
+    /// touches (blocks within 8× of its hottest block), following the
+    /// stratified-sampling observation that a profile's value lies in
+    /// *which* phases it saw, not how long it sat in one of them.
+    PhaseCoverage,
+}
+
+impl WeightMode {
+    /// Stable on-disk / wire code (append-only).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            WeightMode::VisitCount => 0,
+            WeightMode::PhaseCoverage => 1,
+        }
+    }
+
+    /// Inverse of [`WeightMode::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<WeightMode> {
+        match code {
+            0 => Some(WeightMode::VisitCount),
+            1 => Some(WeightMode::PhaseCoverage),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (CLI flags, stats payloads).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightMode::VisitCount => "visit",
+            WeightMode::PhaseCoverage => "phase",
+        }
+    }
+
+    /// Inverse of [`WeightMode::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<WeightMode> {
+        match name {
+            "visit" => Some(WeightMode::VisitCount),
+            "phase" => Some(WeightMode::PhaseCoverage),
+            _ => None,
+        }
+    }
+}
+
+/// Why two merge operands cannot be combined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// The operands were built under different weighting modes; their
+    /// sums are not commensurable.
+    ModeMismatch {
+        /// Left operand's mode code.
+        left: u8,
+        /// Right operand's mode code.
+        right: u8,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::ModeMismatch { left, right } => write!(
+                f,
+                "weighting-mode mismatch: cannot merge mode {left} with mode {right}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// The weight of one contributed profile under `mode`, clamped to at
+/// least 1 so even an empty profile cannot divide the consensus by
+/// zero.
+#[must_use]
+pub fn profile_weight(profile: &PlainProfile, mode: WeightMode) -> u128 {
+    let w = match mode {
+        WeightMode::VisitCount => profile
+            .blocks
+            .values()
+            .map(|b| u128::from(b.use_count))
+            .sum(),
+        WeightMode::PhaseCoverage => {
+            let max = profile
+                .blocks
+                .values()
+                .map(|b| b.use_count)
+                .max()
+                .unwrap_or(0);
+            profile
+                .blocks
+                .values()
+                .filter(|b| b.use_count > 0 && b.use_count.saturating_mul(8) >= max)
+                .count() as u128
+        }
+    };
+    w.max(1)
+}
+
+/// Lifts one profile into a single-contributor accumulator.
+#[must_use]
+pub fn lift(profile: &PlainProfile, mode: WeightMode) -> MergedArtifact {
+    let w = profile_weight(profile, mode);
+    MergedArtifact {
+        weight_mode: mode.code(),
+        contributors: 1,
+        total_weight: w,
+        entry: profile.entry,
+        profiling_ops_weighted: w * u128::from(profile.profiling_ops),
+        instructions_weighted: w * u128::from(profile.instructions),
+        blocks: profile
+            .blocks
+            .iter()
+            .map(|(&pc, rec)| {
+                (
+                    pc,
+                    MergedBlock {
+                        len: rec.len,
+                        kind: rec.kind,
+                        use_weighted: w * u128::from(rec.use_count),
+                        edges: rec
+                            .edges
+                            .iter()
+                            .map(|&(slot, target, count)| ((slot, target), w * u128::from(count)))
+                            .collect(),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Merges two accumulators. Pointwise sums plus commutative conflict
+/// resolution (max length, `Some` terminator beats `None`, smaller
+/// terminator code wins, min entry), so `merge(a, b) == merge(b, a)`
+/// and grouping never matters.
+///
+/// # Errors
+///
+/// [`MergeError::ModeMismatch`] when the operands were weighted under
+/// different modes.
+pub fn merge(a: &MergedArtifact, b: &MergedArtifact) -> Result<MergedArtifact, MergeError> {
+    if a.weight_mode != b.weight_mode {
+        return Err(MergeError::ModeMismatch {
+            left: a.weight_mode,
+            right: b.weight_mode,
+        });
+    }
+    let mut out = a.clone();
+    out.contributors += b.contributors;
+    out.total_weight += b.total_weight;
+    out.entry = out.entry.min(b.entry);
+    out.profiling_ops_weighted += b.profiling_ops_weighted;
+    out.instructions_weighted += b.instructions_weighted;
+    for (&pc, rb) in &b.blocks {
+        let slot = out.blocks.entry(pc).or_default();
+        slot.len = slot.len.max(rb.len);
+        slot.kind = match (slot.kind, rb.kind) {
+            (Some(x), Some(y)) => Some(if x.code() <= y.code() { x } else { y }),
+            (k, None) | (None, k) => k,
+        };
+        slot.use_weighted += rb.use_weighted;
+        for (&edge, &weight) in &rb.edges {
+            *slot.edges.entry(edge).or_insert(0) += weight;
+        }
+    }
+    Ok(out)
+}
+
+/// Folds one more observed profile into an (optional) existing
+/// consensus — the serve `contribute` endpoint and `tpdbt-merge` both
+/// funnel through here.
+///
+/// # Errors
+///
+/// [`MergeError::ModeMismatch`] when the existing consensus was
+/// weighted under a different mode.
+pub fn contribute(
+    acc: Option<MergedArtifact>,
+    profile: &PlainProfile,
+    mode: WeightMode,
+) -> Result<MergedArtifact, MergeError> {
+    let lifted = lift(profile, mode);
+    match acc {
+        None => Ok(lifted),
+        Some(existing) => merge(&existing, &lifted),
+    }
+}
+
+/// The consensus profile: every weighted sum divided (flooring) by the
+/// total weight. Edges whose weighted count floors to zero are kept at
+/// zero (the structure stays visible to the matcher).
+#[must_use]
+pub fn finalize(acc: &MergedArtifact) -> PlainProfile {
+    let w = acc.total_weight.max(1);
+    let div = |sum: u128| u64::try_from(sum / w).unwrap_or(u64::MAX);
+    PlainProfile {
+        entry: acc.entry,
+        profiling_ops: div(acc.profiling_ops_weighted),
+        instructions: div(acc.instructions_weighted),
+        blocks: acc
+            .blocks
+            .iter()
+            .map(|(&pc, m)| {
+                (
+                    pc,
+                    BlockRecord {
+                        len: m.len,
+                        kind: m.kind,
+                        use_count: div(m.use_weighted),
+                        edges: m
+                            .edges
+                            .iter()
+                            .map(|(&(slot, target), &sum)| (slot, target, div(sum)))
+                            .collect(),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use tpdbt_profile::{SuccSlot, TermKind};
+
+    fn profile(seed: u64) -> PlainProfile {
+        let mut blocks = BTreeMap::new();
+        blocks.insert(
+            0,
+            BlockRecord {
+                len: 3,
+                kind: Some(TermKind::Cond),
+                use_count: 100 + seed,
+                edges: vec![
+                    (SuccSlot::Taken, 8, 60 + seed),
+                    (SuccSlot::Fallthrough, 4, 40),
+                ],
+            },
+        );
+        blocks.insert(
+            4 + (seed as usize % 2) * 12, // one block differs per contributor
+            BlockRecord {
+                len: 2,
+                kind: Some(TermKind::Jump),
+                use_count: 40,
+                edges: vec![(SuccSlot::Other(0), 0, 40)],
+            },
+        );
+        PlainProfile {
+            blocks,
+            entry: 0,
+            profiling_ops: 500 * (seed + 1),
+            instructions: 900 * (seed + 1),
+        }
+    }
+
+    #[test]
+    fn contribution_order_is_byte_irrelevant() {
+        let (p1, p2, p3) = (profile(1), profile(2), profile(3));
+        let forward = contribute(
+            Some(
+                contribute(
+                    Some(lift(&p1, WeightMode::VisitCount)),
+                    &p2,
+                    WeightMode::VisitCount,
+                )
+                .unwrap(),
+            ),
+            &p3,
+            WeightMode::VisitCount,
+        )
+        .unwrap();
+        let backward = contribute(
+            Some(
+                contribute(
+                    Some(lift(&p3, WeightMode::VisitCount)),
+                    &p2,
+                    WeightMode::VisitCount,
+                )
+                .unwrap(),
+            ),
+            &p1,
+            WeightMode::VisitCount,
+        )
+        .unwrap();
+        assert_eq!(forward, backward);
+        assert_eq!(
+            tpdbt_store::profilefmt::encode(7, &tpdbt_store::Artifact::Merged(forward)),
+            tpdbt_store::profilefmt::encode(7, &tpdbt_store::Artifact::Merged(backward)),
+            "accumulators must serialize bit-identically"
+        );
+    }
+
+    #[test]
+    fn self_merge_finalizes_to_the_same_profile() {
+        let p = profile(4);
+        let once = lift(&p, WeightMode::PhaseCoverage);
+        let twice = merge(&once, &once).unwrap();
+        assert_eq!(finalize(&once), finalize(&twice));
+        assert_eq!(finalize(&once), {
+            // A single visit-weighted contributor finalizes to itself.
+            let one = lift(&p, WeightMode::PhaseCoverage);
+            finalize(&one)
+        });
+        assert_eq!(finalize(&once).blocks[&0].use_count, p.blocks[&0].use_count);
+    }
+
+    #[test]
+    fn mode_mismatch_is_refused() {
+        let p = profile(0);
+        let a = lift(&p, WeightMode::VisitCount);
+        let b = lift(&p, WeightMode::PhaseCoverage);
+        assert!(matches!(
+            merge(&a, &b),
+            Err(MergeError::ModeMismatch { left: 0, right: 1 })
+        ));
+        let msg = merge(&a, &b).unwrap_err().to_string();
+        assert!(msg.contains("mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn weight_modes_weigh_differently() {
+        let long_narrow = {
+            let mut p = profile(0);
+            p.blocks.get_mut(&0).unwrap().use_count = 1_000_000;
+            p
+        };
+        assert!(
+            profile_weight(&long_narrow, WeightMode::VisitCount)
+                > profile_weight(&long_narrow, WeightMode::PhaseCoverage),
+            "a long single-phase run dominates by visits, not by coverage"
+        );
+        assert_eq!(
+            profile_weight(&PlainProfile::default(), WeightMode::VisitCount),
+            1
+        );
+        assert_eq!(
+            profile_weight(&PlainProfile::default(), WeightMode::PhaseCoverage),
+            1
+        );
+    }
+
+    #[test]
+    fn merge_unions_blocks_and_resolves_conflicts() {
+        let merged = contribute(
+            Some(lift(&profile(0), WeightMode::VisitCount)),
+            &profile(1),
+            WeightMode::VisitCount,
+        )
+        .unwrap();
+        assert_eq!(merged.contributors, 2);
+        // profile(0) has block 4, profile(1) has block 16: union keeps both.
+        assert!(merged.blocks.contains_key(&4));
+        assert!(merged.blocks.contains_key(&16));
+        assert!(merged.blocks.contains_key(&0));
+        let final_profile = finalize(&merged);
+        assert_eq!(final_profile.entry, 0);
+        assert!(final_profile.blocks[&0].use_count >= 100);
+    }
+}

@@ -1,0 +1,513 @@
+//! Cross-input / cross-version profile transfer: remapping a source
+//! profile's counters onto a structurally matched target CFG.
+//!
+//! Matching is conservative: a source block maps to a target block only
+//! when both carry the *same* structural signature and that signature
+//! is *unique on both sides* — an ambiguous signature transfers
+//! nothing. Unmatched target blocks keep zero counters, so a transfer
+//! over a poor match degrades to "mostly cold program", never to wrong
+//! hot counters on the wrong blocks.
+//!
+//! The match is **hierarchical**: it starts from the most-refined
+//! signature generation (see `fingerprint::signature_rounds`) and walks
+//! down towards coarser ones, at each round pairing up blocks whose
+//! signature is unique-and-equal among the *still unmatched* blocks of
+//! both sides. Fully refined signatures are maximally discriminating
+//! but also maximally sensitive — one rarely-taken edge that only one
+//! profile observed changes every signature within `ROUNDS` edges of
+//! it, which through a dispatch hub can be the whole program. The
+//! descent recovers those blocks at the first round coarse enough that
+//! the difference has not yet propagated to them, while anything
+//! matchable on full context is still matched there first. Rounds
+//! below [`MIN_MATCH_ROUNDS`] are never used: a pairing needs at least
+//! that much agreeing neighbourhood to be evidence rather than
+//! coincidence.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tpdbt_profile::{BlockPc, BlockRecord, PlainProfile};
+
+use crate::fingerprint::signature_rounds;
+
+/// Coarsest refinement round the matcher will accept a pairing from:
+/// two blocks must agree on (at least) their 2-neighbourhood, not
+/// merely their own terminator shape, before counters move.
+pub const MIN_MATCH_ROUNDS: usize = 2;
+
+/// A transferred profile plus how much of the target it covered.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransferOutcome {
+    /// The target-shaped profile carrying the source's remapped
+    /// counters (zero for unmatched blocks).
+    pub profile: PlainProfile,
+    /// Target blocks that received counters from a matched source
+    /// block.
+    pub matched: usize,
+    /// Total target blocks.
+    pub total: usize,
+    /// Fraction of the target's *execution weight* (use counts of
+    /// `target_shape`) that landed on matched blocks — 1.0 when every
+    /// hot target block found a source donor.
+    pub weighted_coverage: f64,
+}
+
+impl TransferOutcome {
+    /// Plain block-count coverage `matched / total`.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.matched as f64 / self.total as f64
+    }
+}
+
+/// Signature → pc for signatures that appear exactly once among the
+/// not-yet-matched blocks.
+fn unique_by_signature(
+    sigs: &BTreeMap<BlockPc, u64>,
+    taken: &BTreeSet<BlockPc>,
+) -> BTreeMap<u64, BlockPc> {
+    let mut seen: BTreeMap<u64, Option<BlockPc>> = BTreeMap::new();
+    for (&pc, &sig) in sigs {
+        if taken.contains(&pc) {
+            continue;
+        }
+        seen.entry(sig)
+            .and_modify(|slot| *slot = None) // duplicate: poison
+            .or_insert(Some(pc));
+    }
+    seen.into_iter()
+        .filter_map(|(sig, pc)| pc.map(|pc| (sig, pc)))
+        .collect()
+}
+
+/// The structural match: pairs `(source pc, target pc)` whose
+/// signatures are unique-and-equal on both sides at some refinement
+/// round (most-refined rounds claim their blocks first; see the module
+/// docs), extended from those anchors along unambiguous edges, in
+/// target-pc order.
+#[must_use]
+pub fn match_blocks(source: &PlainProfile, target: &PlainProfile) -> Vec<(BlockPc, BlockPc)> {
+    let src_rounds = signature_rounds(source);
+    let dst_rounds = signature_rounds(target);
+    let mut src_taken: BTreeSet<BlockPc> = BTreeSet::new();
+    let mut dst_taken: BTreeSet<BlockPc> = BTreeSet::new();
+    let mut pairs: Vec<(BlockPc, BlockPc)> = Vec::new();
+    for round in (MIN_MATCH_ROUNDS..src_rounds.len()).rev() {
+        let src = unique_by_signature(&src_rounds[round], &src_taken);
+        let dst = unique_by_signature(&dst_rounds[round], &dst_taken);
+        for (sig, spc) in src {
+            if let Some(&dpc) = dst.get(&sig) {
+                src_taken.insert(spc);
+                dst_taken.insert(dpc);
+                pairs.push((spc, dpc));
+            }
+        }
+    }
+
+    // Anchor extension: a block right next to a coverage difference is
+    // unmatchable by signature at any usable round (its neighbourhood
+    // genuinely differs), but once its neighbours are matched it can be
+    // pinned down by position. Repeatedly, for every matched pair,
+    // match up their still-unmatched successors whenever a slot class
+    // has exactly one candidate on each side and the candidates agree
+    // on their terminator kind — i.e. the edge leaves no choice and the
+    // blocks share their input-*stable* local shape. (A signature or
+    // round-0 label would be the wrong guard here: both hash the edge
+    // list, and a block adjacent to a coverage difference differs in
+    // exactly that — e.g. a rarely-taken arm that only one input ever
+    // exercised.)
+    loop {
+        let mut grown: Vec<(BlockPc, BlockPc)> = Vec::new();
+        for &(spc, dpc) in &pairs {
+            let sole = |profile: &PlainProfile, pc: BlockPc, taken: &BTreeSet<BlockPc>| {
+                let mut by_class: BTreeMap<u8, Option<BlockPc>> = BTreeMap::new();
+                for &(slot, tgt, _) in &profile.blocks[&pc].edges {
+                    let class = match slot {
+                        tpdbt_profile::SuccSlot::Taken => 0u8,
+                        tpdbt_profile::SuccSlot::Fallthrough => 1,
+                        tpdbt_profile::SuccSlot::Other(_) => 2,
+                    };
+                    if taken.contains(&tgt) || !profile.blocks.contains_key(&tgt) {
+                        continue;
+                    }
+                    by_class
+                        .entry(class)
+                        .and_modify(|slot| *slot = None) // two candidates: ambiguous
+                        .or_insert(Some(tgt));
+                }
+                by_class
+            };
+            let src_cands = sole(source, spc, &src_taken);
+            let dst_cands = sole(target, dpc, &dst_taken);
+            for (class, scand) in src_cands {
+                if let (Some(s), Some(Some(d))) = (scand, dst_cands.get(&class)) {
+                    if source.blocks[&s].kind == target.blocks[d].kind {
+                        grown.push((s, *d));
+                    }
+                }
+            }
+        }
+        grown.sort_unstable();
+        grown.dedup();
+        let mut progressed = false;
+        for (s, d) in grown {
+            if !src_taken.contains(&s) && !dst_taken.contains(&d) {
+                src_taken.insert(s);
+                dst_taken.insert(d);
+                pairs.push((s, d));
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    pairs.sort_by_key(|&(_, dpc)| dpc);
+    pairs
+}
+
+/// Transfers `source`'s counters onto the CFG of `target_shape`.
+///
+/// The result keeps the target's topology (addresses, lengths,
+/// terminators, edge targets) and fills in the source's counters for
+/// matched blocks; edges are carried over only when both their source
+/// block and their target-of-edge block matched, so every transferred
+/// edge points at a real target-side block.
+#[must_use]
+pub fn transfer(source: &PlainProfile, target_shape: &PlainProfile) -> TransferOutcome {
+    let pairs = match_blocks(source, target_shape);
+    let src_to_dst: BTreeMap<BlockPc, BlockPc> = pairs.iter().copied().collect();
+    let dst_to_src: BTreeMap<BlockPc, BlockPc> = pairs.iter().map(|&(s, d)| (d, s)).collect();
+
+    let mut blocks: BTreeMap<BlockPc, BlockRecord> = BTreeMap::new();
+    let mut transferred_ops: u64 = 0;
+    for (&dpc, shape) in &target_shape.blocks {
+        let mut rec = BlockRecord {
+            len: shape.len,
+            kind: shape.kind,
+            use_count: 0,
+            edges: Vec::new(),
+        };
+        if let Some(&spc) = dst_to_src.get(&dpc) {
+            let donor = &source.blocks[&spc];
+            rec.use_count = donor.use_count;
+            transferred_ops = transferred_ops.saturating_add(donor.use_count);
+            for &(slot, starget, count) in &donor.edges {
+                if let Some(&dtarget) = src_to_dst.get(&starget) {
+                    rec.bump_edge(slot, dtarget, count);
+                    transferred_ops = transferred_ops.saturating_add(count);
+                }
+            }
+        }
+        blocks.insert(dpc, rec);
+    }
+
+    let total_weight: u64 = target_shape.blocks.values().map(|b| b.use_count).sum();
+    let matched_weight: u64 = target_shape
+        .blocks
+        .iter()
+        .filter(|(pc, _)| dst_to_src.contains_key(pc))
+        .map(|(_, b)| b.use_count)
+        .sum();
+    TransferOutcome {
+        matched: dst_to_src.len(),
+        total: target_shape.blocks.len(),
+        weighted_coverage: if total_weight == 0 {
+            0.0
+        } else {
+            matched_weight as f64 / total_weight as f64
+        },
+        profile: PlainProfile {
+            blocks,
+            entry: target_shape.entry,
+            profiling_ops: transferred_ops,
+            instructions: 0, // counters were not observed on this binary
+        },
+    }
+}
+
+/// Clamps a (transferred) profile into the seed the two-phase engine
+/// may legally start from at threshold `T`: every block that would
+/// already have been registered (`use ≥ T`) freezes inside the
+/// `T ≤ use ≤ 2T` invariant, blocks below `T` keep their observed
+/// counts. Edge counts are rescaled proportionally (flooring, exact
+/// `u128` arithmetic) so branch probabilities survive the clamp.
+#[must_use]
+pub fn seed_for_threshold(profile: &PlainProfile, threshold: u64) -> PlainProfile {
+    let cap = threshold.saturating_mul(2);
+    let mut out = profile.clone();
+    for rec in out.blocks.values_mut() {
+        if threshold == 0 || rec.use_count < threshold {
+            continue;
+        }
+        let clamped = rec.use_count.min(cap).max(threshold);
+        if clamped != rec.use_count {
+            let old = rec.use_count;
+            for edge in &mut rec.edges {
+                edge.2 = u64::try_from(u128::from(edge.2) * u128::from(clamped) / u128::from(old))
+                    .unwrap_or(u64::MAX);
+            }
+            rec.use_count = clamped;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdbt_profile::{SuccSlot, TermKind};
+
+    /// A 4-block chain with one conditional, parameterized by base
+    /// address (so "versions" of it shift every PC).
+    fn chain(base: BlockPc, counts: [u64; 3]) -> PlainProfile {
+        let mut blocks = BTreeMap::new();
+        blocks.insert(
+            base,
+            BlockRecord {
+                len: 2,
+                kind: Some(TermKind::Cond),
+                use_count: counts[0],
+                edges: vec![
+                    (SuccSlot::Taken, base + 16, counts[1]),
+                    (SuccSlot::Fallthrough, base + 8, counts[0] - counts[1]),
+                ],
+            },
+        );
+        blocks.insert(
+            base + 8,
+            BlockRecord {
+                len: 5,
+                kind: Some(TermKind::Return),
+                use_count: counts[0] - counts[1],
+                edges: vec![(SuccSlot::Other(0), base + 16, counts[0] - counts[1])],
+            },
+        );
+        blocks.insert(
+            base + 16,
+            BlockRecord {
+                len: 1,
+                kind: Some(TermKind::Halt),
+                use_count: counts[2],
+                edges: vec![],
+            },
+        );
+        PlainProfile {
+            blocks,
+            entry: base,
+            profiling_ops: 1,
+            instructions: 1,
+        }
+    }
+
+    #[test]
+    fn transfer_remaps_counters_across_an_address_shift() {
+        let source = chain(0, [100, 75, 100]);
+        let target = chain(0x4000, [7, 3, 7]); // same shape, different world
+        let out = transfer(&source, &target);
+        assert_eq!(out.matched, 3);
+        assert_eq!(out.total, 3);
+        assert!((out.coverage() - 1.0).abs() < 1e-12);
+        assert!((out.weighted_coverage - 1.0).abs() < 1e-12);
+        // Counters are the source's, addresses the target's.
+        assert_eq!(out.profile.blocks[&0x4000].use_count, 100);
+        assert_eq!(out.profile.blocks[&0x4000].taken_count(), 75);
+        assert_eq!(
+            out.profile.blocks[&0x4000].edges,
+            vec![
+                (SuccSlot::Taken, 0x4010, 75),
+                (SuccSlot::Fallthrough, 0x4008, 25),
+            ]
+        );
+        assert_eq!(out.profile.entry, 0x4000);
+    }
+
+    #[test]
+    fn ambiguous_signatures_transfer_nothing() {
+        // Two identical straight-line jump blocks on each side: their
+        // signatures collide, so neither may be matched.
+        let mut blocks = BTreeMap::new();
+        for pc in [0usize, 100, 200] {
+            blocks.insert(
+                pc,
+                BlockRecord {
+                    len: 1,
+                    kind: Some(TermKind::Halt),
+                    use_count: 10,
+                    edges: vec![],
+                },
+            );
+        }
+        let twins = PlainProfile {
+            blocks,
+            entry: 0,
+            ..PlainProfile::default()
+        };
+        let out = transfer(&twins, &twins);
+        // The entry block is distinguishable (entry flag); the two
+        // non-entry twins are not and must stay unmatched.
+        assert_eq!(out.matched, 1, "ambiguous twins must not match");
+        for (pc, rec) in &out.profile.blocks {
+            if *pc != 0 {
+                assert_eq!(rec.use_count, 0, "unmatched block {pc} got counters");
+            }
+        }
+    }
+
+    #[test]
+    fn transferred_edges_only_point_at_matched_blocks() {
+        let source = chain(0, [100, 75, 100]);
+        let mut target = chain(0, [1, 1, 1]);
+        // Break the target's return block shape: it no longer matches,
+        // so the cond block's fallthrough edge to it must be dropped.
+        target.blocks.get_mut(&8).unwrap().kind = Some(TermKind::Switch);
+        let out = transfer(&source, &target);
+        for rec in out.profile.blocks.values() {
+            for &(_, edge_target, _) in &rec.edges {
+                assert!(
+                    out.profile.blocks[&edge_target].use_count > 0
+                        || out.profile.blocks.contains_key(&edge_target)
+                );
+            }
+        }
+        assert!(out.matched < out.total);
+    }
+
+    /// A chain of `n` diamonds (cond → two jump arms → next cond),
+    /// ending in a halt. Every diamond has a distinct structural
+    /// position, so a full-coverage profile matches completely.
+    fn diamond_chain(base: BlockPc, n: usize, hot: u64) -> PlainProfile {
+        let mut blocks = BTreeMap::new();
+        for i in 0..n {
+            let at = base + i * 32;
+            let next = base + (i + 1) * 32;
+            blocks.insert(
+                at,
+                BlockRecord {
+                    len: 2,
+                    kind: Some(TermKind::Cond),
+                    use_count: hot,
+                    edges: vec![
+                        (SuccSlot::Taken, at + 16, hot / 2),
+                        (SuccSlot::Fallthrough, at + 8, hot - hot / 2),
+                    ],
+                },
+            );
+            for (arm, count) in [(at + 8, hot - hot / 2), (at + 16, hot / 2)] {
+                blocks.insert(
+                    arm,
+                    BlockRecord {
+                        len: 3,
+                        kind: Some(TermKind::Jump),
+                        use_count: count,
+                        edges: vec![(SuccSlot::Other(0), next, count)],
+                    },
+                );
+            }
+        }
+        blocks.insert(
+            base + n * 32,
+            BlockRecord {
+                len: 1,
+                kind: Some(TermKind::Halt),
+                use_count: hot,
+                edges: vec![],
+            },
+        );
+        PlainProfile {
+            blocks,
+            entry: base,
+            profiling_ops: 1,
+            instructions: 1,
+        }
+    }
+
+    #[test]
+    fn one_coverage_difference_does_not_poison_the_whole_match() {
+        // The source ran an input that never took one mid-chain arm:
+        // its edge list differs from the target's in exactly one block.
+        // Fully refined signatures then differ for *every* block within
+        // ROUNDS edges — most of the chain. The hierarchical descent
+        // plus anchor extension must still recover every block except
+        // (at most) the one whose shape genuinely differs.
+        let target = diamond_chain(0x1000, 6, 100);
+        let mut source = diamond_chain(0x4000, 6, 100);
+        {
+            let mid = source.blocks.get_mut(&(0x4000 + 3 * 32)).unwrap();
+            mid.edges.retain(|&(slot, _, _)| slot == SuccSlot::Taken);
+        }
+        let out = transfer(&source, &target);
+        assert!(
+            out.matched >= out.total - 1,
+            "coverage hole poisoned the match: {}/{}",
+            out.matched,
+            out.total
+        );
+        // And the matched pairs line up positionally: the entry cond's
+        // counters landed on the target entry.
+        assert_eq!(out.profile.blocks[&0x1000].use_count, 100);
+    }
+
+    #[test]
+    fn seed_clamp_exact_boundaries() {
+        let t = 100u64;
+        let mut blocks = BTreeMap::new();
+        for (i, use_count) in [99u64, 100, 150, 200, 201, 1_000_000].iter().enumerate() {
+            blocks.insert(
+                i * 8,
+                BlockRecord {
+                    len: 1,
+                    kind: Some(TermKind::Cond),
+                    use_count: *use_count,
+                    edges: vec![
+                        (SuccSlot::Taken, 0, *use_count / 2),
+                        (SuccSlot::Fallthrough, 8, use_count - use_count / 2),
+                    ],
+                },
+            );
+        }
+        let seeded = seed_for_threshold(
+            &PlainProfile {
+                blocks,
+                entry: 0,
+                ..PlainProfile::default()
+            },
+            t,
+        );
+        let uses: Vec<u64> = seeded.blocks.values().map(|b| b.use_count).collect();
+        // T-1 untouched; T and 2T are exact fixed points; 2T+1 and
+        // beyond clamp to exactly 2T — the freeze invariant T ≤ use ≤ 2T.
+        assert_eq!(uses, vec![99, 100, 150, 200, 200, 200]);
+        for rec in seeded.blocks.values() {
+            if rec.use_count >= t {
+                assert!(rec.use_count >= t && rec.use_count <= 2 * t);
+            }
+            let edge_sum: u64 = rec.edges.iter().map(|e| e.2).sum();
+            assert!(edge_sum <= rec.use_count, "edges rescaled under the clamp");
+        }
+    }
+
+    #[test]
+    fn transferred_seed_respects_the_freeze_invariant() {
+        // End-to-end: transfer across an address shift, then clamp; no
+        // registered block may escape [T, 2T].
+        let source = chain(0, [100_000, 60_000, 100_000]);
+        let target = chain(0x8000, [5, 2, 5]);
+        let t = 250u64;
+        let seeded = seed_for_threshold(&transfer(&source, &target).profile, t);
+        for (pc, rec) in &seeded.blocks {
+            assert!(
+                rec.use_count <= 2 * t,
+                "block {pc:#x} frozen outside [T, 2T]: {}",
+                rec.use_count
+            );
+        }
+        // The hot path did get clamped (it was far above 2T).
+        assert_eq!(seeded.blocks[&0x8000].use_count, 2 * t);
+        // Branch probability survives the proportional rescale.
+        let bp = seeded.blocks[&0x8000].branch_probability().unwrap();
+        assert!((bp - 0.6).abs() < 0.01, "bp drifted: {bp}");
+    }
+}

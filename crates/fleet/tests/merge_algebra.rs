@@ -1,0 +1,189 @@
+//! Property tests for the fleet merge algebra.
+//!
+//! The consensus accumulator must behave like a commutative monoid at
+//! the byte level — any contribution order, any grouping, any split of
+//! work across `--jobs` produces the identical artifact — and
+//! finalization must be idempotent under self-merge. These are the
+//! properties that let the serve daemon's incremental `contribute`
+//! stream and the offline `tpdbt-merge` batch agree bit-for-bit.
+
+use proptest::prelude::*;
+
+use tpdbt_fleet::merge::lift;
+use tpdbt_fleet::{
+    consensus_key, contribute, finalize, merge, seed_for_threshold, transfer, WeightMode,
+};
+use tpdbt_profile::{BlockRecord, PlainProfile, SuccSlot, TermKind};
+use tpdbt_store::profilefmt::{decode, encode};
+use tpdbt_store::Artifact;
+use tpdbt_suite::Scale;
+
+fn arb_slot() -> impl Strategy<Value = SuccSlot> {
+    prop_oneof![
+        Just(SuccSlot::Taken),
+        Just(SuccSlot::Fallthrough),
+        (0u32..4).prop_map(SuccSlot::Other),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = Option<TermKind>> {
+    prop_oneof![
+        Just(Some(TermKind::Cond)),
+        Just(Some(TermKind::Jump)),
+        Just(Some(TermKind::Return)),
+        Just(Some(TermKind::Halt)),
+        Just(None),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        len in 1u32..32,
+        kind in arb_kind(),
+        // Bounded well below u64::MAX: weighted sums multiply a
+        // profile-wide weight by per-block counts, and real counters
+        // are bounded by run length anyway.
+        use_count in 0u64..1 << 32,
+        edges in prop::collection::vec(
+            (arb_slot(), 0usize..512, 0u64..1 << 32),
+            0..4,
+        ),
+    ) -> BlockRecord {
+        let mut r = BlockRecord { len, kind, use_count, edges: Vec::new() };
+        for (slot, target, count) in edges {
+            r.bump_edge(slot, target, count);
+        }
+        r
+    }
+}
+
+prop_compose! {
+    fn arb_profile()(
+        blocks in prop::collection::btree_map(0usize..512, arb_record(), 1..10),
+        entry in 0usize..512,
+        ops in 0u64..1 << 40,
+        instrs in 0u64..1 << 40,
+    ) -> PlainProfile {
+        PlainProfile { blocks, entry, profiling_ops: ops, instructions: instrs }
+    }
+}
+
+fn arb_mode() -> impl Strategy<Value = WeightMode> {
+    prop_oneof![
+        Just(WeightMode::VisitCount),
+        Just(WeightMode::PhaseCoverage),
+    ]
+}
+
+/// The consensus bytes as the store would persist them.
+fn bytes(acc: &tpdbt_store::MergedArtifact) -> Vec<u8> {
+    let key = consensus_key(
+        "prop",
+        Scale::Tiny,
+        WeightMode::from_code(acc.weight_mode).unwrap(),
+    );
+    encode(key.digest(), &Artifact::Merged(acc.clone()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_commutative_bitwise(a in arb_profile(), b in arb_profile(), mode in arb_mode()) {
+        let ab = merge(&lift(&a, mode), &lift(&b, mode)).unwrap();
+        let ba = merge(&lift(&b, mode), &lift(&a, mode)).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(bytes(&ab), bytes(&ba));
+    }
+
+    #[test]
+    fn merge_is_associative_bitwise(
+        a in arb_profile(),
+        b in arb_profile(),
+        c in arb_profile(),
+        mode in arb_mode(),
+    ) {
+        let (la, lb, lc) = (lift(&a, mode), lift(&b, mode), lift(&c, mode));
+        let left = merge(&merge(&la, &lb).unwrap(), &lc).unwrap();
+        let right = merge(&la, &merge(&lb, &lc).unwrap()).unwrap();
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(bytes(&left), bytes(&right));
+    }
+
+    #[test]
+    fn self_merge_is_idempotent_after_finalize(p in arb_profile(), mode in arb_mode()) {
+        let once = lift(&p, mode);
+        let twice = merge(&once, &once).unwrap();
+        // The accumulators differ (sums doubled) but the consensus
+        // profile they finalize to is identical: ⌊2s/2w⌋ = ⌊s/w⌋.
+        prop_assert_eq!(finalize(&once), finalize(&twice));
+    }
+
+    #[test]
+    fn any_grouping_matches_the_sequential_fold(
+        profiles in prop::collection::vec(arb_profile(), 2..6),
+        mode in arb_mode(),
+        split in 1usize..5,
+    ) {
+        // Sequential fold — the serve daemon's incremental contribute
+        // stream.
+        let mut sequential = None;
+        for p in &profiles {
+            sequential = Some(contribute(sequential, p, mode).unwrap());
+        }
+        let sequential = sequential.unwrap();
+        // Two-shard fold at an arbitrary split — what a parallel
+        // `--jobs N` partitioning of the same contributions produces.
+        let cut = split.min(profiles.len() - 1);
+        let fold = |chunk: &[PlainProfile]| {
+            let mut acc = None;
+            for p in chunk {
+                acc = Some(contribute(acc, p, mode).unwrap());
+            }
+            acc
+        };
+        let left = fold(&profiles[..cut]).unwrap();
+        let right = fold(&profiles[cut..]).unwrap();
+        let sharded = merge(&left, &right).unwrap();
+        prop_assert_eq!(bytes(&sequential), bytes(&sharded));
+    }
+
+    #[test]
+    fn consensus_accumulator_round_trips_the_store_format(
+        profiles in prop::collection::vec(arb_profile(), 1..4),
+        mode in arb_mode(),
+    ) {
+        let mut acc = None;
+        for p in &profiles {
+            acc = Some(contribute(acc, p, mode).unwrap());
+        }
+        let acc = acc.unwrap();
+        let encoded = bytes(&acc);
+        let (_, decoded) = decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, Artifact::Merged(acc));
+    }
+
+    #[test]
+    fn transferred_seed_never_escapes_the_freeze_invariant(
+        src in arb_profile(),
+        dst in arb_profile(),
+        threshold in 1u64..10_000,
+    ) {
+        let moved = transfer(&src, &dst);
+        let seeded = seed_for_threshold(&moved.profile, threshold);
+        for (pc, rec) in &seeded.blocks {
+            // Unfrozen blocks sit below T; frozen ones in [T, 2T]. Either
+            // way the seed may never exceed 2T.
+            prop_assert!(
+                rec.use_count <= 2 * threshold,
+                "block {:#x} frozen outside [T, 2T]: use {}",
+                pc,
+                rec.use_count
+            );
+            let edge_sum: u64 = rec.edges.iter().map(|e| e.2).sum();
+            if rec.use_count >= threshold {
+                prop_assert!(edge_sum <= 2 * threshold * (rec.edges.len() as u64 + 1));
+            }
+        }
+    }
+}
