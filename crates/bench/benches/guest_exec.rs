@@ -1,11 +1,13 @@
 //! Guest-execution backend benchmarks: the same suite workloads run
 //! end to end under the two-phase translator on the reference
 //! interpreter backend (`interp`, re-decoding every instruction on
-//! every execution) versus the pre-decoded translation cache
-//! (`cached`, micro-op buffers decoded once at translation time with
-//! direct block-to-successor chaining inside regions).
+//! every execution), the pre-decoded translation cache (`cached`,
+//! micro-op buffers decoded once at translation time with direct
+//! block-to-successor chaining inside regions), and the fused cache
+//! (`cached-fused`, region bodies re-encoded as superinstructions and
+//! each region compiled to a straight-line guarded trace).
 //!
-//! Both backends produce bitwise-identical outputs, stats, and
+//! All backends produce bitwise-identical outputs, stats, and
 //! profiles (pinned by `crates/dbt/tests/backend_differential.rs`), so
 //! any gap here is pure host-side dispatch cost. A third group shows
 //! what a long-lived host (the sweep orchestrator, `tpdbt-serve`)

@@ -32,6 +32,7 @@ use tpdbt_trace::Tracer;
 
 use crate::config::RegionPolicy;
 use crate::region::{form_region, BlockSource, FormedRegion};
+use crate::trace::{compile_trace, CompiledTrace};
 
 /// Bound of the hot-candidate queue. A full queue rejects the
 /// submission; the candidate keeps profiling and can re-trigger at
@@ -134,8 +135,11 @@ pub(crate) struct OptOutcome {
     pub formed: Option<FormedRegion>,
     /// Copies pre-compiled by the worker (parallel to `formed.copies`
     /// when complete; the backend falls back to its own cache
-    /// otherwise).
+    /// otherwise). Fused when the run uses the cached-fused backend.
     pub chain: Vec<Arc<DecodedBlock>>,
+    /// The region's straight-line trace, pre-compiled by the worker
+    /// (cached-fused backend only).
+    pub trace: Option<Arc<CompiledTrace>>,
 }
 
 /// Per-run asynchronous-optimization state owned by the engine.
@@ -154,12 +158,16 @@ pub(crate) struct AsyncOpt {
 impl AsyncOpt {
     /// Spawns the worker pool. Workers share the program (and its
     /// pre-decoded block cache) so they can compile region copies
-    /// off-thread; the tracer, when attached, receives `opt_started`
-    /// events from worker threads directly.
+    /// off-thread; with `fuse` set (the cached-fused backend) they also
+    /// fuse each copy's body and compile the region's straight-line
+    /// trace, so installation does zero compile work on the execution
+    /// thread. The tracer, when attached, receives `opt_started` events
+    /// from worker threads directly.
     pub(crate) fn new(
         workers: usize,
         program: Arc<Program>,
         predecoded: Arc<PredecodedProgram>,
+        fuse: bool,
         tracer: Option<Arc<Tracer>>,
     ) -> AsyncOpt {
         #[cfg(not(feature = "trace"))]
@@ -172,18 +180,28 @@ impl AsyncOpt {
                 });
             }
             let formed = form_region(&job.snapshot, &job.policy, job.seed);
-            let chain = formed.as_ref().map_or_else(Vec::new, |f| {
+            let mut chain: Vec<Arc<DecodedBlock>> = formed.as_ref().map_or_else(Vec::new, |f| {
                 f.copies
                     .iter()
                     .filter_map(|&pc| predecoded.block(&program, pc))
                     .collect()
             });
+            let mut trace = None;
+            if fuse {
+                if let Some(f) = &formed {
+                    if chain.len() == f.copies.len() {
+                        chain = chain.iter().map(|b| Arc::new(b.fused())).collect();
+                        trace = compile_trace(&f.copies, &f.edges, &chain).map(Arc::new);
+                    }
+                }
+            }
             OptOutcome {
                 seed: job.seed,
                 stamps: job.stamps,
                 probs: job.probs,
                 formed,
                 chain,
+                trace,
             }
         });
         AsyncOpt {

@@ -4,7 +4,7 @@
 //! The engine in [`crate::engine`] owns *when* things happen — block
 //! discovery, counter bumps, threshold registration, region formation,
 //! freezing — while an [`ExecBackend`] owns *how* a translated block's
-//! instructions execute. Two backends are provided:
+//! instructions execute. Three backends are provided:
 //!
 //! * [`InterpBackend`] — the reference backend: per-instruction
 //!   dispatch through [`tpdbt_vm::step`], exactly the execution model
@@ -13,13 +13,20 @@
 //!   is decoded once at translation time into a
 //!   [`tpdbt_isa::DecodedBlock`] (a flat micro-op buffer plus a
 //!   pre-resolved terminator) and every later execution replays the
-//!   buffer through [`tpdbt_vm::exec_op`] / [`tpdbt_vm::exec_term`].
+//!   buffer through [`tpdbt_vm::exec_body`] / [`tpdbt_vm::exec_term`].
 //!   Optimized regions additionally get direct block-to-successor
 //!   chaining: at region-install time the copies are resolved to their
 //!   decoded bodies, so region execution never consults the per-pc
 //!   cache.
+//! * **`cached-fused`** (the cached backend with fusion enabled, see
+//!   [`CachedBackend::new_fused`]) — at region install the copies are
+//!   additionally re-encoded as [`tpdbt_isa::FusedOp`]
+//!   superinstructions and the whole region is compiled into a
+//!   straight-line [`CompiledTrace`] along its profiled edges, which
+//!   the engine executes through guard ops with side exits falling
+//!   back to per-block execution (see [`crate::trace`]).
 //!
-//! Both backends drive the same execute-half semantics in `tpdbt-vm`,
+//! All backends drive the same execute-half semantics in `tpdbt-vm`,
 //! so architectural state, outputs, and every profile counter are
 //! bitwise identical by construction — the differential proptest in
 //! `tests/backend_differential.rs` pins this.
@@ -28,20 +35,47 @@ use std::sync::Arc;
 
 use tpdbt_isa::{Block, DecodedBlock, Pc, PredecodedProgram, Program};
 use tpdbt_optimizer::SwapCell;
-use tpdbt_vm::{exec_op, exec_term, step, Flow, Machine, VmError};
+use tpdbt_profile::RegionDump;
+use tpdbt_vm::{exec_body, exec_term, step, Flow, Machine, VmError};
 
-/// The region→chain table: per-region copies resolved to decoded
-/// bodies. Published wholesale (see [`CachedBackend`]), never mutated
-/// in place.
-pub type ChainTable = Vec<Vec<Arc<DecodedBlock>>>;
+use crate::trace::{compile_trace, CompiledTrace};
+
+/// One region's installed optimized code: the copies resolved to
+/// decoded bodies, plus — under the `cached-fused` backend — the
+/// compiled straight-line trace. Chain and trace live in the same slot
+/// so installs, re-formations, and retirements replace or clear both
+/// in a single atomic table publication: no reader can ever observe a
+/// fresh chain with a stale trace (or vice versa).
+#[derive(Clone, Debug, Default)]
+pub struct RegionCode {
+    /// Per-copy decoded bodies (fused under `cached-fused`), entry
+    /// first.
+    pub chain: Vec<Arc<DecodedBlock>>,
+    /// The region's straight-line trace (`cached-fused` only).
+    pub trace: Option<Arc<CompiledTrace>>,
+}
+
+impl RegionCode {
+    /// Whether the slot holds no optimized code (cleared / never
+    /// installed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty() && self.trace.is_none()
+    }
+}
+
+/// The region table: one [`RegionCode`] slot per region id. Published
+/// wholesale (see [`CachedBackend`]), never mutated in place.
+pub type ChainTable = Vec<RegionCode>;
 
 /// Which execution backend runs translated code — the user-facing
-/// selection knob (`--backend {interp,cached}` on every binary).
+/// selection knob (`--backend {interp,cached,cached-fused}` on every
+/// binary).
 ///
 /// The backend never changes a run's observable results (profiles,
 /// outputs, stats, simulated cycles) — only how fast the host executes
 /// the guest — so it is deliberately excluded from
-/// [`crate::DbtConfig::fingerprint`] and the two backends share
+/// [`crate::DbtConfig::fingerprint`] and all backends share
 /// profile-store cache entries.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Backend {
@@ -50,18 +84,22 @@ pub enum Backend {
     /// Pre-decoded translation cache (the default).
     #[default]
     Cached,
+    /// The translation cache plus superinstruction fusion and
+    /// trace-compiled regions.
+    CachedFused,
 }
 
 impl Backend {
     /// All backends, for test matrices.
-    pub const ALL: [Backend; 2] = [Backend::Interp, Backend::Cached];
+    pub const ALL: [Backend; 3] = [Backend::Interp, Backend::Cached, Backend::CachedFused];
 
-    /// The flag-value name (`"interp"` / `"cached"`).
+    /// The flag-value name (`"interp"` / `"cached"` / `"cached-fused"`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Backend::Interp => "interp",
             Backend::Cached => "cached",
+            Backend::CachedFused => "cached-fused",
         }
     }
 }
@@ -79,8 +117,9 @@ impl std::str::FromStr for Backend {
         match s {
             "interp" => Ok(Backend::Interp),
             "cached" => Ok(Backend::Cached),
+            "cached-fused" => Ok(Backend::CachedFused),
             other => Err(format!(
-                "unknown backend '{other}' (expected 'interp' or 'cached')"
+                "unknown backend '{other}' (expected 'interp', 'cached', or 'cached-fused')"
             )),
         }
     }
@@ -111,37 +150,51 @@ pub enum ExecSite {
 /// (cache insert), [`ExecBackend::install_region`] at region formation
 /// *and* re-formation (optimized-code insert / replace), and
 /// [`ExecBackend::retire_region`] at adaptive retirement (optimized-code
-/// invalidation).
+/// invalidation). Install hooks receive the full [`RegionDump`] — the
+/// copy list plus the internal edge table — because trace compilation
+/// needs the region's shape, not just its members.
 pub trait ExecBackend {
     /// The block at `block.start` was fast-translated.
     fn on_translate(&mut self, program: &Program, block: &Block) {
         let _ = (program, block);
     }
 
-    /// Region `region` was formed or re-formed over `copies` (block
-    /// start addresses, entry first).
-    fn install_region(&mut self, region: usize, copies: &[Pc]) {
-        let _ = (region, copies);
+    /// Region `region` was formed or re-formed; `dump` describes its
+    /// copies (entry first) and internal edges.
+    fn install_region(&mut self, region: usize, dump: &RegionDump) {
+        let _ = (region, dump);
     }
 
     /// Region `region` was formed on a background optimizer thread and
     /// arrives with its copies already compiled (`chain`, parallel to
-    /// `copies`). The default delegates to [`ExecBackend::install_region`]
-    /// — backends without a translation cache ignore the chain.
+    /// `dump.copies`) and, when the worker fuses, its trace. The
+    /// default delegates to [`ExecBackend::install_region`] — backends
+    /// without a translation cache ignore the compiled artifacts.
     fn install_region_compiled(
         &mut self,
         region: usize,
-        copies: &[Pc],
+        dump: &RegionDump,
         chain: Vec<Arc<DecodedBlock>>,
+        trace: Option<Arc<CompiledTrace>>,
     ) {
-        let _ = chain;
-        self.install_region(region, copies);
+        let _ = (chain, trace);
+        self.install_region(region, dump);
     }
 
     /// Region `region` was retired: its optimized code must never run
     /// again.
     fn retire_region(&mut self, region: usize) {
         let _ = region;
+    }
+
+    /// The compiled trace installed for `region`, if this backend
+    /// compiles traces and one is currently installed. The engine
+    /// snapshots it (an [`Arc`] clone) per region entry, so a
+    /// mid-execution retire or reform can swap the table without
+    /// tearing the running trace.
+    fn region_trace(&self, region: usize) -> Option<Arc<CompiledTrace>> {
+        let _ = region;
+        None
     }
 
     /// Executes the translated block spanning `[start, end)`, returning
@@ -196,45 +249,53 @@ impl ExecBackend for InterpBackend {
     }
 }
 
-/// Replays a decoded block's micro-ops and terminator. After a
-/// successful block the machine PC rests on the terminator, matching
-/// the interpreter backend's final state exactly.
+/// Replays a decoded block's body (flat or fused) and terminator.
+/// After a successful block the machine PC rests on the terminator,
+/// matching the interpreter backend's final state exactly.
 fn run_decoded(block: &DecodedBlock, machine: &mut Machine) -> Result<Flow, VmError> {
-    let mut pc = block.start;
-    for op in block.ops.iter() {
-        exec_op(op, pc, machine)?;
-        pc += 1;
-    }
+    exec_body(&block.body, block.start, machine)?;
+    let pc = block.term_pc();
     machine.set_pc(pc);
     exec_term(block.term.view(), pc, machine)
 }
 
-/// The pre-decoded translation cache.
+/// The pre-decoded translation cache (with optional superinstruction
+/// fusion).
 ///
 /// Blocks are decoded exactly once — at fast-translation time — into
 /// [`DecodedBlock`]s; optionally a shared [`PredecodedProgram`] makes
 /// that a once-per-*guest* cost across runs and threads (sweep ladder
 /// cells, serve queries) instead of once per run.
 ///
-/// The region→chain table lives behind a [`SwapCell`]: installs and
+/// The region table lives behind a [`SwapCell`]: installs and
 /// retirements build a *new* table and publish it in one atomic swap,
 /// while the execution thread reads through a private [`Arc`] snapshot
 /// refreshed at each publication point. This is what makes the
 /// background optimizer's install genuinely atomic — no reader can
-/// observe a half-written chain — and keeps the backend `Send + Sync`
-/// clean behind the `ExecBackend` seam.
+/// observe a half-written chain, or a trace out of step with its chain
+/// — and keeps the backend `Send + Sync` clean behind the
+/// `ExecBackend` seam.
+///
+/// With fusion enabled ([`CachedBackend::new_fused`], the
+/// `cached-fused` backend), every translated block's body is re-encoded
+/// as [`tpdbt_isa::FusedOp`] superinstructions at translate time, and
+/// region installs additionally compile the region into a
+/// [`CompiledTrace`] published in the same slot.
 #[derive(Debug)]
 pub struct CachedBackend {
     /// Cross-run shared decode cache, when the driver provided one.
     shared: Option<Arc<PredecodedProgram>>,
     /// The translation cache proper: decoded block per start address.
     blocks: Vec<Option<Arc<DecodedBlock>>>,
-    /// Publication handle for the region→chain table. Cleared slots on
+    /// Publication handle for the region table. Cleared slots on
     /// retirement, replaced wholesale on (re-)installation.
     chains: SwapCell<ChainTable>,
     /// The execution thread's snapshot of `chains` (plain `Arc` deref
     /// on the hot path; refreshed after every publish).
     view: Arc<ChainTable>,
+    /// Whether region installs fuse bodies and compile traces (the
+    /// `cached-fused` backend).
+    fuse: bool,
 }
 
 impl CachedBackend {
@@ -252,7 +313,18 @@ impl CachedBackend {
             blocks: vec![None; program_len],
             chains: SwapCell::from_arc(Arc::clone(&view)),
             view,
+            fuse: false,
         }
+    }
+
+    /// Creates the `cached-fused` variant: translated blocks run as
+    /// superinstructions from first execution, and region installs
+    /// additionally compile straight-line traces.
+    #[must_use]
+    pub fn new_fused(program_len: usize, shared: Option<Arc<PredecodedProgram>>) -> CachedBackend {
+        let mut b = CachedBackend::new(program_len, shared);
+        b.fuse = true;
+        b
     }
 
     /// Number of blocks currently in the translation cache.
@@ -261,7 +333,15 @@ impl CachedBackend {
         self.blocks.iter().filter(|b| b.is_some()).count()
     }
 
-    /// Publishes an updated chain table and refreshes the local view.
+    /// The currently installed code for `region` (test observability;
+    /// the engine reads through [`ExecBackend::region_trace`] and
+    /// [`ExecBackend::exec_block`]).
+    #[must_use]
+    pub fn region_code(&self, region: usize) -> Option<&RegionCode> {
+        self.view.get(region)
+    }
+
+    /// Publishes an updated region table and refreshes the local view.
     fn publish(&mut self, table: ChainTable) {
         let table = Arc::new(table);
         self.chains.store(Arc::clone(&table));
@@ -269,14 +349,27 @@ impl CachedBackend {
     }
 
     /// Copy-on-write slot update: clone the current table, replace
-    /// `region`'s chain, publish.
-    fn install_chain(&mut self, region: usize, chain: Vec<Arc<DecodedBlock>>) {
+    /// `region`'s code, publish. Chain and trace change together —
+    /// this is the single point where optimized code becomes (or stops
+    /// being) visible.
+    fn install_code(&mut self, region: usize, code: RegionCode) {
         let mut table = (*self.view).clone();
         if table.len() <= region {
-            table.resize_with(region + 1, Vec::new);
+            table.resize_with(region + 1, RegionCode::default);
         }
-        table[region] = chain;
+        table[region] = code;
         self.publish(table);
+    }
+
+    /// Builds the install payload: the resolved (and, under fusion,
+    /// fused) chain plus the compiled trace.
+    fn compile_region(&self, dump: &RegionDump, chain: Vec<Arc<DecodedBlock>>) -> RegionCode {
+        if !self.fuse {
+            return RegionCode { chain, trace: None };
+        }
+        let chain: Vec<Arc<DecodedBlock>> = chain.iter().map(|b| Arc::new(b.fused())).collect();
+        let trace = compile_trace(&dump.copies, &dump.edges, &chain).map(Arc::new);
+        RegionCode { chain, trace }
     }
 }
 
@@ -290,11 +383,22 @@ impl ExecBackend for CachedBackend {
             Some(cache) => cache.block(program, pc),
             None => Some(Arc::new(DecodedBlock::from_block(program, block))),
         };
+        // Under the fused backend every translated block runs as
+        // superinstructions, profiling phase included — fusion is
+        // architecturally invisible (pinned by
+        // `crates/vm/tests/fusion_props.rs`), so only dispatch cost
+        // changes. `fused()` is idempotent, so region installs that
+        // re-fuse these bodies are no-ops.
+        let decoded = match decoded {
+            Some(b) if self.fuse => Some(Arc::new(b.fused())),
+            other => other,
+        };
         self.blocks[pc] = decoded;
     }
 
-    fn install_region(&mut self, region: usize, copies: &[Pc]) {
-        let chain: Vec<Arc<DecodedBlock>> = copies
+    fn install_region(&mut self, region: usize, dump: &RegionDump) {
+        let chain: Vec<Arc<DecodedBlock>> = dump
+            .copies
             .iter()
             .map(|&pc| {
                 Arc::clone(
@@ -304,30 +408,49 @@ impl ExecBackend for CachedBackend {
                 )
             })
             .collect();
-        self.install_chain(region, chain);
+        let code = self.compile_region(dump, chain);
+        self.install_code(region, code);
     }
 
     fn install_region_compiled(
         &mut self,
         region: usize,
-        copies: &[Pc],
+        dump: &RegionDump,
         chain: Vec<Arc<DecodedBlock>>,
+        trace: Option<Arc<CompiledTrace>>,
     ) {
-        if chain.len() == copies.len() {
-            self.install_chain(region, chain);
-        } else {
+        if chain.len() != dump.copies.len() {
             // A worker that could not resolve every copy falls back to
             // the engine-thread resolution path.
-            self.install_region(region, copies);
+            self.install_region(region, dump);
+            return;
         }
+        let code = if self.fuse {
+            match trace {
+                // Worker pre-fused the chain and compiled the trace.
+                Some(trace) => RegionCode {
+                    chain,
+                    trace: Some(trace),
+                },
+                // Defensive: fuse and compile on the engine thread.
+                None => self.compile_region(dump, chain),
+            }
+        } else {
+            RegionCode { chain, trace: None }
+        };
+        self.install_code(region, code);
     }
 
     fn retire_region(&mut self, region: usize) {
         if self.view.get(region).is_some_and(|c| !c.is_empty()) {
             let mut table = (*self.view).clone();
-            table[region].clear();
+            table[region] = RegionCode::default();
             self.publish(table);
         }
+    }
+
+    fn region_trace(&self, region: usize) -> Option<Arc<CompiledTrace>> {
+        self.view.get(region).and_then(|c| c.trace.clone())
     }
 
     fn exec_block(
@@ -339,7 +462,7 @@ impl ExecBackend for CachedBackend {
         machine: &mut Machine,
     ) -> Result<Flow, VmError> {
         if let ExecSite::Region { region, copy } = site {
-            if let Some(block) = self.view.get(region).and_then(|c| c.get(copy)) {
+            if let Some(block) = self.view.get(region).and_then(|c| c.chain.get(copy)) {
                 return run_decoded(block, machine);
             }
         }
@@ -360,8 +483,9 @@ impl ExecBackend for CachedBackend {
     }
 }
 
-/// Static dispatch over the two built-in backends (keeps the engine's
-/// hot loop free of virtual calls).
+/// Static dispatch over the built-in backends (keeps the engine's
+/// hot loop free of virtual calls). `cached-fused` is the cached
+/// backend with its fusion flag set.
 #[derive(Debug)]
 pub(crate) enum BackendImpl {
     Interp(InterpBackend),
@@ -377,6 +501,9 @@ impl BackendImpl {
         match backend {
             Backend::Interp => BackendImpl::Interp(InterpBackend::new()),
             Backend::Cached => BackendImpl::Cached(CachedBackend::new(program.len(), shared)),
+            Backend::CachedFused => {
+                BackendImpl::Cached(CachedBackend::new_fused(program.len(), shared))
+            }
         }
     }
 }
@@ -389,22 +516,23 @@ impl ExecBackend for BackendImpl {
         }
     }
 
-    fn install_region(&mut self, region: usize, copies: &[Pc]) {
+    fn install_region(&mut self, region: usize, dump: &RegionDump) {
         match self {
-            BackendImpl::Interp(b) => b.install_region(region, copies),
-            BackendImpl::Cached(b) => b.install_region(region, copies),
+            BackendImpl::Interp(b) => b.install_region(region, dump),
+            BackendImpl::Cached(b) => b.install_region(region, dump),
         }
     }
 
     fn install_region_compiled(
         &mut self,
         region: usize,
-        copies: &[Pc],
+        dump: &RegionDump,
         chain: Vec<Arc<DecodedBlock>>,
+        trace: Option<Arc<CompiledTrace>>,
     ) {
         match self {
-            BackendImpl::Interp(b) => b.install_region_compiled(region, copies, chain),
-            BackendImpl::Cached(b) => b.install_region_compiled(region, copies, chain),
+            BackendImpl::Interp(b) => b.install_region_compiled(region, dump, chain, trace),
+            BackendImpl::Cached(b) => b.install_region_compiled(region, dump, chain, trace),
         }
     }
 
@@ -412,6 +540,13 @@ impl ExecBackend for BackendImpl {
         match self {
             BackendImpl::Interp(b) => b.retire_region(region),
             BackendImpl::Cached(b) => b.retire_region(region),
+        }
+    }
+
+    fn region_trace(&self, region: usize) -> Option<Arc<CompiledTrace>> {
+        match self {
+            BackendImpl::Interp(b) => b.region_trace(region),
+            BackendImpl::Cached(b) => b.region_trace(region),
         }
     }
 
@@ -434,6 +569,7 @@ impl ExecBackend for BackendImpl {
 mod tests {
     use super::*;
     use tpdbt_isa::{decode_block, Cond, ProgramBuilder, Reg};
+    use tpdbt_profile::{RegionEdge, RegionKind, SuccSlot};
 
     fn sample() -> Program {
         let mut b = ProgramBuilder::new();
@@ -447,6 +583,25 @@ mod tests {
         b.br_imm(Cond::Lt, Reg::new(0), 20, top); // 4
         b.halt(); // 5
         b.build().unwrap()
+    }
+
+    /// A loop-shaped region dump over copies of the interior block.
+    fn loop_dump(copies: Vec<Pc>) -> RegionDump {
+        let edges = (0..copies.len())
+            .map(|i| RegionEdge {
+                from: i,
+                slot: SuccSlot::Taken,
+                to: if i + 1 < copies.len() { i + 1 } else { 0 },
+            })
+            .collect();
+        let tail = copies.len() - 1;
+        RegionDump {
+            id: 0,
+            kind: RegionKind::Loop,
+            copies,
+            edges,
+            tail,
+        }
     }
 
     #[test]
@@ -516,8 +671,9 @@ mod tests {
         let mut cached = CachedBackend::new(p.len(), None);
         cached.on_translate(&p, &entry);
         cached.on_translate(&p, &body);
-        cached.install_region(0, &[1, 1]);
-        assert_eq!(cached.view[0].len(), 2);
+        cached.install_region(0, &loop_dump(vec![1, 1]));
+        assert_eq!(cached.view[0].chain.len(), 2);
+        assert!(cached.view[0].trace.is_none(), "plain cached never traces");
         // Region execution uses the chain directly.
         let mut m = Machine::new(&p, &[]);
         let flow = cached
@@ -539,8 +695,8 @@ mod tests {
         cached.retire_region(0);
         assert!(cached.view[0].is_empty());
         // Re-formation reinstalls.
-        cached.install_region(0, &[1]);
-        assert_eq!(cached.view[0].len(), 1);
+        cached.install_region(0, &loop_dump(vec![1]));
+        assert_eq!(cached.view[0].chain.len(), 1);
     }
 
     #[test]
@@ -549,11 +705,11 @@ mod tests {
         let body = decode_block(&p, 1).unwrap();
         let mut cached = CachedBackend::new(p.len(), None);
         cached.on_translate(&p, &body);
-        cached.install_region(0, &[1]);
+        cached.install_region(0, &loop_dump(vec![1]));
         // A reader's snapshot taken before a retire keeps working.
         let snapshot = cached.chains.load();
         cached.retire_region(0);
-        assert_eq!(snapshot[0].len(), 1, "old table untouched");
+        assert_eq!(snapshot[0].chain.len(), 1, "old table untouched");
         assert!(cached.view[0].is_empty(), "new table published");
         assert!(
             !Arc::ptr_eq(&snapshot, &cached.view),
@@ -569,7 +725,7 @@ mod tests {
         // Worker-compiled chain: the backend's own cache never saw the
         // block, yet region execution works.
         let chain = vec![Arc::new(DecodedBlock::from_block(&p, &body))];
-        cached.install_region_compiled(0, &[1], chain);
+        cached.install_region_compiled(0, &loop_dump(vec![1]), chain, None);
         assert_eq!(cached.cached_blocks(), 0);
         let mut m = Machine::new(&p, &[]);
         let flow = cached
@@ -584,8 +740,73 @@ mod tests {
         assert!(matches!(flow, Flow::Jump { .. }));
         // A length-mismatched chain falls back to cache resolution.
         cached.on_translate(&p, &body);
-        cached.install_region_compiled(1, &[1], Vec::new());
-        assert_eq!(cached.view[1].len(), 1);
+        cached.install_region_compiled(1, &loop_dump(vec![1]), Vec::new(), None);
+        assert_eq!(cached.view[1].chain.len(), 1);
+    }
+
+    /// The fused backend installs a fused chain *and* a trace in one
+    /// slot, and retirement / re-formation replaces both atomically —
+    /// the stale-trace regression surface.
+    #[test]
+    fn fused_install_compiles_trace_and_retire_drops_it_atomically() {
+        let p = sample();
+        let entry = decode_block(&p, 0).unwrap();
+        let body = decode_block(&p, 1).unwrap();
+        let mut fused = CachedBackend::new_fused(p.len(), None);
+        fused.on_translate(&p, &entry);
+        fused.on_translate(&p, &body);
+        fused.install_region(0, &loop_dump(vec![1]));
+        let trace = fused.region_trace(0).expect("fused install compiles");
+        assert_eq!(trace.starts(), vec![1]);
+        // The chain bodies were re-encoded as superinstructions.
+        assert!(matches!(
+            fused.view[0].chain[0].body,
+            tpdbt_isa::BlockBody::Fused(_)
+        ));
+
+        // A reader mid-execution holds its own snapshot...
+        let snapshot = fused.chains.load();
+        // ...while a re-formation swaps chain and trace together.
+        fused.install_region(0, &loop_dump(vec![1, 1]));
+        let reformed = fused.region_trace(0).expect("reinstalled");
+        assert_eq!(reformed.starts(), vec![1, 1], "trace tracks the new shape");
+        assert_eq!(snapshot[0].chain.len(), 1, "old snapshot untouched");
+        assert_eq!(
+            snapshot[0].trace.as_ref().unwrap().len(),
+            1,
+            "old snapshot keeps its matching trace"
+        );
+
+        // Retirement clears both in one publication.
+        fused.retire_region(0);
+        assert!(fused.region_trace(0).is_none(), "no stale trace");
+        assert!(fused.view[0].is_empty(), "no stale chain");
+    }
+
+    /// Fused and plain cached region execution compute the same
+    /// machine state (the backend-level slice of the differential
+    /// guarantee).
+    #[test]
+    fn fused_region_execution_matches_plain_cached() {
+        let p = sample();
+        let body = decode_block(&p, 1).unwrap();
+        let mut plain = CachedBackend::new(p.len(), None);
+        let mut fused = CachedBackend::new_fused(p.len(), None);
+        for b in [&mut plain, &mut fused] {
+            b.on_translate(&p, &body);
+            b.install_region(0, &loop_dump(vec![1]));
+        }
+        let mut mp = Machine::new(&p, &[]);
+        let mut mf = mp.clone();
+        let site = ExecSite::Region { region: 0, copy: 0 };
+        let fp = plain
+            .exec_block(&p, body.start, body.end, site, &mut mp)
+            .unwrap();
+        let ff = fused
+            .exec_block(&p, body.start, body.end, site, &mut mf)
+            .unwrap();
+        assert_eq!(fp, ff);
+        assert_eq!(mp, mf, "fusion must be architecturally invisible");
     }
 
     #[test]

@@ -382,9 +382,10 @@ impl DbtConfig {
         eat(&u64::from(self.adapt.max_retirements_per_entry).to_le_bytes());
         eat(&self.interval.map_or(0, |i| i.wrapping_add(1)).to_le_bytes());
         eat(&self.fuel.to_le_bytes());
-        // `backend` is deliberately NOT hashed: backends are bitwise
-        // result-identical by construction (pinned by the differential
-        // proptest), so interp and cached runs share store entries.
+        // `backend` is deliberately NOT hashed: all three backends
+        // (interp, cached, cached-fused) are bitwise result-identical
+        // by construction (pinned by the differential proptest), so
+        // runs under any backend share store entries.
         //
         // `opt_mode` IS result-affecting (async installs later, so the
         // frozen profile differs) — but it is hashed *asymmetrically*:
@@ -461,12 +462,14 @@ mod tests {
     fn fingerprint_ignores_the_backend() {
         let base = DbtConfig::two_phase(100);
         assert_eq!(base.backend, Backend::Cached);
-        assert_eq!(
-            base.fingerprint(),
-            base.with_backend(Backend::Interp).fingerprint(),
-            "backends are result-identical and must share store entries"
-        );
-        assert_eq!(base.with_backend(Backend::Interp).backend, Backend::Interp);
+        for backend in Backend::ALL {
+            assert_eq!(
+                base.fingerprint(),
+                base.with_backend(backend).fingerprint(),
+                "backends are result-identical and must share store entries"
+            );
+            assert_eq!(base.with_backend(backend).backend, backend);
+        }
     }
 
     #[test]

@@ -9,13 +9,14 @@ use tpdbt_profile::{
     TermKind,
 };
 use tpdbt_trace::{EventKind, TraceRegionKind, Tracer};
-use tpdbt_vm::{Flow, Machine};
+use tpdbt_vm::{exec_body, exec_term, Flow, Machine};
 
 use crate::asyncopt::{snapshot_neighborhood, AsyncOpt, OptJob, OptOutcome};
-use crate::backend::{BackendImpl, ExecBackend, ExecSite};
+use crate::backend::{Backend, BackendImpl, ExecBackend, ExecSite};
 use crate::config::{DbtConfig, OptMode, ProfilingMode};
 use crate::error::DbtError;
 use crate::region::{form_region, BlockSource, FormedRegion};
+use crate::trace::{CompiledTrace, EXIT};
 
 /// Aggregate statistics of a translated run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -281,6 +282,7 @@ impl Dbt {
                 self.config.opt_workers,
                 Arc::new(program.clone()),
                 predecoded.clone().expect("built above for async"),
+                self.config.backend == Backend::CachedFused,
                 self.tracer.clone(),
             )
         });
@@ -379,7 +381,17 @@ impl<'p> Engine<'p> {
             let next = match region_idx {
                 Some(ri) => {
                     self.maybe_reform(ri, pc);
-                    self.execute_region(ri, machine)?
+                    // Trace-compiled fast path (cached-fused backend):
+                    // snapshot the trace *after* any reform so it
+                    // matches the region's current shape. Continuous
+                    // mode stays on per-block execution — it must
+                    // observe every block's flow to keep counting.
+                    match self.backend.region_trace(ri) {
+                        Some(trace) if self.config.mode != ProfilingMode::Continuous => {
+                            self.execute_region_traced(ri, &trace, machine)?
+                        }
+                        _ => self.execute_region(ri, machine)?,
+                    }
                 }
                 None => self.execute_unopt(pc, machine)?,
             };
@@ -641,6 +653,101 @@ impl<'p> Engine<'p> {
         }
     }
 
+    /// Region execution over a [`CompiledTrace`] (cached-fused
+    /// backend): segments run straight-line with their pre-resolved
+    /// guards; only [`crate::trace::Guard::Other`] terminators (call /
+    /// return / switch / halt) fall back to the generic
+    /// terminator-and-outcome path, which keeps engine bookkeeping
+    /// (shadow call stack, `ret_targets` numbering) exact.
+    ///
+    /// Statistic-for-statistic identical to [`Self::execute_region`]:
+    /// same fuel-check placement, same trap-before-bump ordering, same
+    /// completion / side-exit / loop-back accounting per copy.
+    fn execute_region_traced(
+        &mut self,
+        ri: usize,
+        trace: &CompiledTrace,
+        machine: &mut Machine,
+    ) -> Result<Next, DbtError> {
+        self.stats.region_entries += 1;
+        self.regions[ri].entries += 1;
+        self.stats.cycles += self.config.cost.region_entry_cost;
+        let opt_exec = self.config.cost.opt_exec_per_instr;
+        let fuel = self.config.fuel;
+        // Hot-loop stats accumulate in locals and flush at every exit;
+        // the observable totals match per-segment bumps exactly (traps
+        // still propagate before the trapping segment is counted).
+        let base = self.stats.instructions;
+        let mut instr = 0u64;
+        let mut loops = 0u64;
+        macro_rules! flush {
+            () => {
+                self.stats.instructions += instr;
+                self.stats.cycles += opt_exec * instr;
+                self.stats.loop_backs += loops;
+            };
+        }
+        let mut cur = 0usize;
+        loop {
+            let seg = &trace.segs[cur];
+            if base + instr >= fuel {
+                flush!();
+                return Err(DbtError::Guest(tpdbt_vm::VmError::OutOfFuel {
+                    pc: seg.start,
+                    fuel,
+                }));
+            }
+            if let Err(e) = exec_body(&seg.body, seg.start, machine) {
+                flush!();
+                return Err(DbtError::Guest(e));
+            }
+            machine.set_pc(seg.term_pc);
+            let (next, target) = match seg.guard.quick_eval(machine) {
+                Some(hit) => {
+                    instr += u64::from(seg.len);
+                    hit
+                }
+                None => {
+                    // Generic path: traps must propagate before the
+                    // instruction count bumps (matches step_block).
+                    let flow = match exec_term(seg.term.view(), seg.term_pc, machine) {
+                        Ok(flow) => flow,
+                        Err(e) => {
+                            flush!();
+                            return Err(DbtError::Guest(e));
+                        }
+                    };
+                    instr += u64::from(seg.len);
+                    let Some((slot, target)) = self.outcome(seg.start, &flow) else {
+                        flush!();
+                        return Ok(Next::Halted);
+                    };
+                    let next = self.regions[ri].succ[cur]
+                        .iter()
+                        .find(|(s, _)| *s == slot)
+                        .map_or(EXIT, |&(_, n)| n as u32);
+                    (next, target)
+                }
+            };
+            if next == EXIT {
+                flush!();
+                if cur == self.regions[ri].dump.tail {
+                    self.stats.completions += 1;
+                } else {
+                    self.stats.side_exits += 1;
+                    self.regions[ri].side_exits += 1;
+                    self.stats.cycles += self.config.cost.side_exit_penalty;
+                    self.maybe_retire(ri);
+                }
+                return Ok(Next::Goto(target));
+            }
+            if next == 0 {
+                loops += 1;
+            }
+            cur = next as usize;
+        }
+    }
+
     fn bump_counters_continuous(&mut self, pc: Pc, flow: &Flow) {
         let outcome = self.outcome(pc, flow);
         let entry = self.cache[pc].as_mut().expect("translated");
@@ -678,9 +785,9 @@ impl<'p> Engine<'p> {
             let id = replacement.dump.id;
             self.regions[ri] = replacement;
             // Re-formation replaces the region's optimized code: the
-            // backend re-chains the new copy list.
-            self.backend
-                .install_region(ri, &self.regions[ri].dump.copies);
+            // backend re-chains (and, when fusing, re-traces) the new
+            // copy list in one atomic publication.
+            self.backend.install_region(ri, &self.regions[ri].dump);
             // Re-formation invalidates any queued candidate built over
             // the old shape of these blocks.
             if let Some(a) = self.asyncopt.as_mut() {
@@ -830,8 +937,9 @@ impl<'p> Engine<'p> {
             self.cache[seed].as_mut().expect("translated").entry_of = Some(id);
             // Formation installs the region's optimized code: the
             // backend resolves each copy to its decoded body once, so
-            // region execution chains block-to-successor directly.
-            self.backend.install_region(id, &region.dump.copies);
+            // region execution chains block-to-successor directly
+            // (and, under cached-fused, compiles the region's trace).
+            self.backend.install_region(id, &region.dump);
             self.regions.push(region);
         }
     }
@@ -999,11 +1107,12 @@ impl<'p> Engine<'p> {
             }
         }
         self.cache[seed].as_mut().expect("translated").entry_of = Some(id);
-        // The worker already compiled the copy chain against the shared
-        // decode cache; hand it to the backend so installation does no
-        // decode work on the execution thread.
+        // The worker already compiled the copy chain (and, under
+        // cached-fused, the trace) against the shared decode cache;
+        // hand both to the backend so installation does no compile
+        // work on the execution thread.
         self.backend
-            .install_region_compiled(id, &region.dump.copies, out.chain);
+            .install_region_compiled(id, &region.dump, out.chain, out.trace);
         self.regions.push(region);
         self.stats.opt_installed += 1;
         self.trace_emit(|| EventKind::OptInstalled {

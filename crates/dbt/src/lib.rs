@@ -45,6 +45,14 @@
 //! legitimately drifts, which [`RunOutcome::drift`] quantifies (the
 //! `Sd.IP` metric). See DESIGN.md §12.
 //!
+//! How translated code executes on the *host* is a separate axis,
+//! selected by [`Backend`]: reference interpretation (`interp`), a
+//! pre-decoded translation cache (`cached`), or the cache plus
+//! superinstruction fusion and trace-compiled regions (`cached-fused`,
+//! DESIGN.md §16). Backends never change observable results — output,
+//! stats, profiles, and intervals are bitwise identical across all
+//! three.
+//!
 //! # Example
 //!
 //! ```
@@ -76,8 +84,12 @@ mod engine;
 mod error;
 pub mod offline;
 mod region;
+mod trace;
 
-pub use backend::{Backend, CachedBackend, ChainTable, ExecBackend, ExecSite, InterpBackend};
+pub use backend::{
+    Backend, CachedBackend, ChainTable, ExecBackend, ExecSite, InterpBackend, RegionCode,
+};
 pub use config::{AdaptPolicy, CostModel, DbtConfig, OptMode, ProfilingMode, RegionPolicy};
 pub use engine::{Dbt, ExecStats, RunOutcome};
 pub use error::DbtError;
+pub use trace::CompiledTrace;

@@ -18,9 +18,15 @@
 //!   (DESIGN.md §12): quantify how far the branch profile drifts
 //!   between a candidate's enqueue and its epoch-validated install
 //!   (`Sd.IP`), per benchmark.
+//! * [`backend_study`] — the execution-backend axis (DESIGN.md §16):
+//!   relate initial-prediction accuracy (`Sd.BP`, region completion
+//!   rate) to the measured wall-clock speedup of superinstruction
+//!   fusion and trace-compiled regions (`--backend cached-fused`).
+
+use std::time::Instant;
 
 use tpdbt_dbt::offline::{as_inip_with_regions, form_offline_regions};
-use tpdbt_dbt::{Dbt, DbtConfig, OptMode, RegionPolicy};
+use tpdbt_dbt::{Backend, Dbt, DbtConfig, OptMode, RegionPolicy};
 use tpdbt_profile::metrics::sd_ip;
 use tpdbt_profile::report::{analyze, analyze_train};
 use tpdbt_profile::{diagnose, navep};
@@ -397,6 +403,109 @@ pub fn async_drift(names: &[&str], scale: Scale, nominal_threshold: u64) -> Resu
             out.stats.opt_queue_peak.to_string(),
             out.drift.len().to_string(),
             Table::metric(sd_ip),
+        ]);
+    }
+    Ok(t)
+}
+
+/// The backend-vs-backend figure (DESIGN.md §16): how the accuracy of
+/// the initial prediction translates into host-side speedup once
+/// regions are compiled to straight-line guarded traces
+/// (`--backend cached-fused`).
+///
+/// Per benchmark: `Sd.BP` of `INIP(T)` against `AVEP` (how well the
+/// formation-time prediction matched whole-run behavior), the region
+/// completion rate (dynamic fraction of region entries that ran the
+/// whole trace to its tail), and the measured wall-clock of the same
+/// run under each backend. A compiled trace only pays off on entries
+/// that follow the predicted path — a side exit abandons the
+/// straight-line code at a guard — so benchmarks whose initial
+/// prediction is accurate (low `Sd.BP`, high completion rate) are the
+/// ones where `fused/cached` speedup concentrates.
+///
+/// All three backends are checked bitwise-identical (output *and*
+/// stats) before any timing is reported; each timing is the best of
+/// three runs after a warm-up.
+///
+/// # Errors
+///
+/// Propagates workload, guest, and metric failures, and reports any
+/// cross-backend divergence as an error.
+pub fn backend_study(names: &[&str], scale: Scale, nominal_threshold: u64) -> Result<Table> {
+    let threshold = (nominal_threshold / scale.divisor() as u64).max(2);
+    let mut t = Table::new(
+        format!(
+            "Extension (DESIGN.md §16): trace-compiled backend speedup vs initial-prediction accuracy (T={nominal_threshold})"
+        ),
+        &[
+            "bench",
+            "Sd.BP",
+            "regions",
+            "compl%",
+            "interp_ms",
+            "cached_ms",
+            "fused_ms",
+            "fused/cached",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for name in names {
+        let w = workload(name, scale, InputKind::Ref)?;
+        let avep = Dbt::new(DbtConfig::no_opt())
+            .run_built(&w.binary, &w.input)?
+            .as_plain_profile();
+        let cfg = DbtConfig::two_phase(threshold);
+        let mut outs = Vec::new();
+        let mut times = Vec::new();
+        for backend in Backend::ALL {
+            let bcfg = cfg.with_backend(backend);
+            let out = Dbt::new(bcfg).run_built(&w.binary, &w.input)?; // warm-up
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let timed = Dbt::new(bcfg).run_built(&w.binary, &w.input)?;
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                if timed.output != out.output {
+                    return Err(format!("{name}: {backend} run is not deterministic").into());
+                }
+            }
+            outs.push(out);
+            times.push(best);
+        }
+        if outs
+            .iter()
+            .any(|o| o.output != outs[0].output || o.stats != outs[0].stats)
+        {
+            return Err(format!("{name}: backends diverged on output or stats").into());
+        }
+        let m = analyze(&outs[0].inip, &avep)?;
+        let entries = outs[0].stats.completions + outs[0].stats.side_exits;
+        let compl =
+            (entries > 0).then(|| 100.0 * outs[0].stats.completions as f64 / entries as f64);
+        let speedup = times[1] / times[2];
+        speedups.push(speedup);
+        t.row(vec![
+            (*name).to_string(),
+            Table::metric(m.sd_bp),
+            m.regions.to_string(),
+            Table::metric(compl),
+            format!("{:.2}", times[0]),
+            format!("{:.2}", times[1]),
+            format!("{:.2}", times[2]),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    if !speedups.is_empty() {
+        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        t.row(vec![
+            "geomean".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{geomean:.2}x"),
         ]);
     }
     Ok(t)

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]
-//!           [--backend interp|cached] [--opt-mode sync|async]
+//!           [--backend interp|cached|cached-fused] [--opt-mode sync|async]
 //!           [--cache-dir DIR] [--fleet-seed DIR]
 //!           [--trace PATH [--trace-format jsonl|chrome]]
 //!           [--max-retries N] [--fail-fast] [--watchdog-fuel N]
@@ -16,7 +16,9 @@
 //! `--jobs N` fans the sweep out over a worker pool; `--backend`
 //! selects the guest execution backend (default `cached`, the
 //! pre-decoded translation cache; `interp` is the reference
-//! interpreter — both produce bitwise-identical figures);
+//! interpreter; `cached-fused` adds superinstruction fusion and
+//! trace-compiled regions — all three produce bitwise-identical
+//! figures);
 //! `--opt-mode` selects optimization scheduling (default `sync`, which
 //! reproduces every figure byte-for-byte; `async` forms regions on
 //! background threads — guest outputs are identical but profiles
@@ -53,7 +55,7 @@ use tpdbt_trace::{TraceFormat, Tracer};
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--scale tiny|small|paper] [--out DIR] [--jobs N]\n\
-         \u{20}                [--backend interp|cached] [--opt-mode sync|async]\n\
+         \u{20}                [--backend interp|cached|cached-fused] [--opt-mode sync|async]\n\
          \u{20}                [--cache-dir DIR] [--bench NAME]...\n\
          \u{20}                [--trace PATH [--trace-format jsonl|chrome]]\n\
          \u{20}                [--max-retries N] [--fail-fast] [--watchdog-fuel N]\n\
@@ -67,6 +69,7 @@ fn usage() -> ! {
          \u{20}        ext-phases           — phase census via interval profiling\n\
          \u{20}        ext-static           — Wu-Larus static prediction baseline\n\
          \u{20}        ext-async            — asynchronous optimization drift (Sd.IP)\n\
+         \u{20}        ext-backend          — trace-compiled backend speedup vs Sd.BP accuracy\n\
          \u{20}        ext-transfer         — INIP(transfer) vs INIP(train) over transfer pairs\n\
          \u{20}--fleet-seed DIR seeds INIP(train) from the fleet consensus store in DIR\n\
          Regenerates the tables/figures of 'The Accuracy of Initial Prediction in\n\
@@ -98,6 +101,7 @@ fn run_extensions(
             "ext-phases" => tpdbt_experiments::extensions::phase_census(&names, scale),
             "ext-static" => tpdbt_experiments::extensions::static_baseline(&names, scale, 2_000),
             "ext-async" => tpdbt_experiments::extensions::async_drift(&names, scale, 2_000),
+            "ext-backend" => tpdbt_experiments::extensions::backend_study(&names, scale, 2_000),
             "ext-transfer" => tpdbt_experiments::extensions::transfer_study(scale, jobs),
             _ => continue,
         };

@@ -250,6 +250,603 @@ impl MicroOp {
     }
 }
 
+/// A superinstruction: one dispatch executing a short run of adjacent
+/// micro-ops. The profile-guided second phase fuses the hot micro-op
+/// pairs/triples of region code into these (see `tpdbt-dbt`'s trace
+/// compiler); the execute half lives in `tpdbt-vm` next to
+/// [`MicroOp`]'s, so fused and 1:1 execution provably share semantics.
+///
+/// Every variant is a *sequential composition* of its constituent
+/// micro-ops — the fused handler performs the same architectural
+/// writes in the same order, and a constituent at offset `k` traps
+/// with guest pc `base + k` — which makes fusion legal for any window
+/// of straight-line ops regardless of register aliasing, and makes
+/// [`unfuse_ops`] an exact inverse of [`fuse_ops`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FusedOp {
+    /// const + binop: `r[imm_dst] = imm; r[dst] = r[a] OP r[imm_dst]`.
+    ConstAlu {
+        /// Destination of the immediate load.
+        imm_dst: u8,
+        /// The immediate.
+        imm: i64,
+        /// ALU operation selector.
+        op: AluOp,
+        /// ALU destination register.
+        dst: u8,
+        /// ALU left operand register.
+        a: u8,
+    },
+    /// load + op: `r[ld_dst] = mem[base+offset]; r[dst] = r[a] OP r[ld_dst]`.
+    LoadAlu {
+        /// Destination of the load.
+        ld_dst: u8,
+        /// Base address register.
+        base: u8,
+        /// Signed word offset.
+        offset: i64,
+        /// ALU operation selector.
+        op: AluOp,
+        /// ALU destination register.
+        dst: u8,
+        /// ALU left operand register.
+        a: u8,
+    },
+    /// op + store: `r[dst] = r[a] OP b; mem[base+offset] = r[dst]`.
+    AluStore {
+        /// ALU operation selector.
+        op: AluOp,
+        /// ALU destination register (also the stored value).
+        dst: u8,
+        /// ALU left operand register.
+        a: u8,
+        /// ALU right operand.
+        b: MicroOperand,
+        /// Store base address register.
+        base: u8,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// load + op + store, the read-modify-write triple:
+    /// `r[ld_dst] = mem[b1+o1]; r[dst] = r[a] OP r[ld_dst];
+    /// mem[b2+o2] = r[dst]`.
+    LoadAluStore {
+        /// Destination of the load.
+        ld_dst: u8,
+        /// Load base address register.
+        ld_base: u8,
+        /// Load offset.
+        ld_offset: i64,
+        /// ALU operation selector.
+        op: AluOp,
+        /// ALU destination register (also the stored value).
+        dst: u8,
+        /// ALU left operand register.
+        a: u8,
+        /// Store base address register.
+        st_base: u8,
+        /// Store offset.
+        st_offset: i64,
+    },
+    /// counter-bump chain: two add-immediates to (possibly different)
+    /// accumulators — `r[d1] += i1; r[d2] += i2`.
+    AddChain {
+        /// First accumulator.
+        d1: u8,
+        /// First increment.
+        i1: i64,
+        /// Second accumulator.
+        d2: u8,
+        /// Second increment.
+        i2: i64,
+    },
+    /// Two trap-free ALU ops back to back (neither is `Div`/`Rem`):
+    /// `r[s1.dst] = r[s1.a] OP1 s1.b; r[s2.dst] = r[s2.a] OP2 s2.b`.
+    /// The trap-free guarantee lets the handler skip `Result` plumbing
+    /// entirely — this is the workhorse of integer loop bodies.
+    AluAlu {
+        /// First ALU constituent.
+        s1: AluSpec,
+        /// Second ALU constituent.
+        s2: AluSpec,
+    },
+    /// Three trap-free ALU ops back to back.
+    AluAlu3 {
+        /// First ALU constituent.
+        s1: AluSpec,
+        /// Second ALU constituent.
+        s2: AluSpec,
+        /// Third ALU constituent.
+        s3: AluSpec,
+    },
+    /// Two FPU ops back to back (FPU ops never trap):
+    /// `f[d1] = f[a1] OP1 f[b1]; f[d2] = f[a2] OP2 f[b2]`.
+    FpuFpu {
+        /// First FPU operation selector.
+        op1: FpuOp,
+        /// First destination float register.
+        d1: u8,
+        /// First left operand float register.
+        a1: u8,
+        /// First right operand float register.
+        b1: u8,
+        /// Second FPU operation selector.
+        op2: FpuOp,
+        /// Second destination float register.
+        d2: u8,
+        /// Second left operand float register.
+        a2: u8,
+        /// Second right operand float register.
+        b2: u8,
+    },
+    /// Trap-free ALU op + float load (the index computation feeding a
+    /// stencil read): `r[s.dst] = r[s.a] OP s.b; f[ld_dst] =
+    /// fmem[base+offset]`.
+    AluFLoad {
+        /// The ALU constituent.
+        s: AluSpec,
+        /// Destination float register of the load.
+        ld_dst: u8,
+        /// Base address register.
+        base: u8,
+        /// Signed word offset.
+        offset: i64,
+    },
+    /// float load + FPU op: `f[ld_dst] = fmem[base+offset];
+    /// f[dst] = f[a] OP f[b]`.
+    FLoadFpu {
+        /// Destination float register of the load.
+        ld_dst: u8,
+        /// Base address register.
+        base: u8,
+        /// Signed word offset.
+        offset: i64,
+        /// FPU operation selector.
+        op: FpuOp,
+        /// Destination float register.
+        dst: u8,
+        /// Left operand float register.
+        a: u8,
+        /// Right operand float register.
+        b: u8,
+    },
+    /// Generic fused pair of arbitrary straight-line ops.
+    Pair(MicroOp, MicroOp),
+    /// Generic fused triple of arbitrary straight-line ops.
+    Triple(MicroOp, MicroOp, MicroOp),
+    /// Unfused single op (pass-through).
+    One(MicroOp),
+}
+
+/// One trap-free ALU constituent of an [`FusedOp::AluAlu`] /
+/// [`FusedOp::AluAlu3`] / [`FusedOp::AluFLoad`] superinstruction. The
+/// fuser only builds these for operations that cannot trap (never
+/// `Div`/`Rem`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AluSpec {
+    /// ALU operation selector (never `Div`/`Rem`).
+    pub op: AluOp,
+    /// Destination register.
+    pub dst: u8,
+    /// Left operand register.
+    pub a: u8,
+    /// Right operand.
+    pub b: MicroOperand,
+}
+
+impl AluSpec {
+    /// Extracts a trap-free ALU spec from a micro-op, or `None` when
+    /// the op is not an ALU op or could trap.
+    #[must_use]
+    pub fn from_op(op: &MicroOp) -> Option<AluSpec> {
+        match *op {
+            MicroOp::Alu { op, dst, a, b } if !matches!(op, AluOp::Div | AluOp::Rem) => {
+                Some(AluSpec { op, dst, a, b })
+            }
+            _ => None,
+        }
+    }
+
+    /// The constituent micro-op this spec was extracted from.
+    #[must_use]
+    pub fn to_op(self) -> MicroOp {
+        MicroOp::Alu {
+            op: self.op,
+            dst: self.dst,
+            a: self.a,
+            b: self.b,
+        }
+    }
+}
+
+impl FusedOp {
+    /// Number of guest instructions (original micro-ops) this
+    /// superinstruction covers.
+    #[must_use]
+    #[inline]
+    pub fn width(&self) -> usize {
+        match self {
+            FusedOp::One(_) => 1,
+            FusedOp::ConstAlu { .. }
+            | FusedOp::LoadAlu { .. }
+            | FusedOp::AluStore { .. }
+            | FusedOp::AddChain { .. }
+            | FusedOp::AluAlu { .. }
+            | FusedOp::FpuFpu { .. }
+            | FusedOp::AluFLoad { .. }
+            | FusedOp::FLoadFpu { .. }
+            | FusedOp::Pair(..) => 2,
+            FusedOp::LoadAluStore { .. } | FusedOp::AluAlu3 { .. } | FusedOp::Triple(..) => 3,
+        }
+    }
+
+    /// The exact constituent micro-ops, in execution order.
+    #[must_use]
+    pub fn constituents(self) -> Vec<MicroOp> {
+        match self {
+            FusedOp::ConstAlu {
+                imm_dst,
+                imm,
+                op,
+                dst,
+                a,
+            } => vec![
+                MicroOp::MovI { dst: imm_dst, imm },
+                MicroOp::Alu {
+                    op,
+                    dst,
+                    a,
+                    b: MicroOperand::Reg(imm_dst),
+                },
+            ],
+            FusedOp::LoadAlu {
+                ld_dst,
+                base,
+                offset,
+                op,
+                dst,
+                a,
+            } => vec![
+                MicroOp::Load {
+                    dst: ld_dst,
+                    base,
+                    offset,
+                },
+                MicroOp::Alu {
+                    op,
+                    dst,
+                    a,
+                    b: MicroOperand::Reg(ld_dst),
+                },
+            ],
+            FusedOp::AluStore {
+                op,
+                dst,
+                a,
+                b,
+                base,
+                offset,
+            } => vec![
+                MicroOp::Alu { op, dst, a, b },
+                MicroOp::Store {
+                    src: dst,
+                    base,
+                    offset,
+                },
+            ],
+            FusedOp::LoadAluStore {
+                ld_dst,
+                ld_base,
+                ld_offset,
+                op,
+                dst,
+                a,
+                st_base,
+                st_offset,
+            } => vec![
+                MicroOp::Load {
+                    dst: ld_dst,
+                    base: ld_base,
+                    offset: ld_offset,
+                },
+                MicroOp::Alu {
+                    op,
+                    dst,
+                    a,
+                    b: MicroOperand::Reg(ld_dst),
+                },
+                MicroOp::Store {
+                    src: dst,
+                    base: st_base,
+                    offset: st_offset,
+                },
+            ],
+            FusedOp::AddChain { d1, i1, d2, i2 } => vec![
+                MicroOp::Alu {
+                    op: AluOp::Add,
+                    dst: d1,
+                    a: d1,
+                    b: MicroOperand::Imm(i1),
+                },
+                MicroOp::Alu {
+                    op: AluOp::Add,
+                    dst: d2,
+                    a: d2,
+                    b: MicroOperand::Imm(i2),
+                },
+            ],
+            FusedOp::AluAlu { s1, s2 } => vec![s1.to_op(), s2.to_op()],
+            FusedOp::AluAlu3 { s1, s2, s3 } => vec![s1.to_op(), s2.to_op(), s3.to_op()],
+            FusedOp::FpuFpu {
+                op1,
+                d1,
+                a1,
+                b1,
+                op2,
+                d2,
+                a2,
+                b2,
+            } => vec![
+                MicroOp::Fpu {
+                    op: op1,
+                    dst: d1,
+                    a: a1,
+                    b: b1,
+                },
+                MicroOp::Fpu {
+                    op: op2,
+                    dst: d2,
+                    a: a2,
+                    b: b2,
+                },
+            ],
+            FusedOp::AluFLoad {
+                s,
+                ld_dst,
+                base,
+                offset,
+            } => vec![
+                s.to_op(),
+                MicroOp::FLoad {
+                    dst: ld_dst,
+                    base,
+                    offset,
+                },
+            ],
+            FusedOp::FLoadFpu {
+                ld_dst,
+                base,
+                offset,
+                op,
+                dst,
+                a,
+                b,
+            } => vec![
+                MicroOp::FLoad {
+                    dst: ld_dst,
+                    base,
+                    offset,
+                },
+                MicroOp::Fpu { op, dst, a, b },
+            ],
+            FusedOp::Pair(x, y) => vec![x, y],
+            FusedOp::Triple(x, y, z) => vec![x, y, z],
+            FusedOp::One(x) => vec![x],
+        }
+    }
+}
+
+/// Matches an add-immediate (`r[d] += i`), the counter-bump shape.
+fn as_add_imm(op: &MicroOp) -> Option<(u8, i64)> {
+    match *op {
+        MicroOp::Alu {
+            op: AluOp::Add,
+            dst,
+            a,
+            b: MicroOperand::Imm(i),
+        } if dst == a => Some((dst, i)),
+        _ => None,
+    }
+}
+
+/// Tries the specialized pair patterns on two adjacent ops.
+fn fuse_pair(x: &MicroOp, y: &MicroOp) -> Option<FusedOp> {
+    match (*x, *y) {
+        // const + binop, feeding the ALU's right operand.
+        (
+            MicroOp::MovI { dst: imm_dst, imm },
+            MicroOp::Alu {
+                op,
+                dst,
+                a,
+                b: MicroOperand::Reg(r),
+            },
+        ) if r == imm_dst => Some(FusedOp::ConstAlu {
+            imm_dst,
+            imm,
+            op,
+            dst,
+            a,
+        }),
+        // load + op, feeding the ALU's right operand.
+        (
+            MicroOp::Load {
+                dst: ld_dst,
+                base,
+                offset,
+            },
+            MicroOp::Alu {
+                op,
+                dst,
+                a,
+                b: MicroOperand::Reg(r),
+            },
+        ) if r == ld_dst => Some(FusedOp::LoadAlu {
+            ld_dst,
+            base,
+            offset,
+            op,
+            dst,
+            a,
+        }),
+        // op + store of the result.
+        (MicroOp::Alu { op, dst, a, b }, MicroOp::Store { src, base, offset }) if src == dst => {
+            Some(FusedOp::AluStore {
+                op,
+                dst,
+                a,
+                b,
+                base,
+                offset,
+            })
+        }
+        // FPU pair — FPU ops never trap, so the handler is branch-free.
+        (
+            MicroOp::Fpu {
+                op: op1,
+                dst: d1,
+                a: a1,
+                b: b1,
+            },
+            MicroOp::Fpu {
+                op: op2,
+                dst: d2,
+                a: a2,
+                b: b2,
+            },
+        ) => Some(FusedOp::FpuFpu {
+            op1,
+            d1,
+            a1,
+            b1,
+            op2,
+            d2,
+            a2,
+            b2,
+        }),
+        // index computation + float load (stencil read).
+        (
+            alu @ MicroOp::Alu { .. },
+            MicroOp::FLoad {
+                dst: ld_dst,
+                base,
+                offset,
+            },
+        ) => AluSpec::from_op(&alu).map(|s| FusedOp::AluFLoad {
+            s,
+            ld_dst,
+            base,
+            offset,
+        }),
+        // float load + FPU op.
+        (
+            MicroOp::FLoad {
+                dst: ld_dst,
+                base,
+                offset,
+            },
+            MicroOp::Fpu { op, dst, a, b },
+        ) => Some(FusedOp::FLoadFpu {
+            ld_dst,
+            base,
+            offset,
+            op,
+            dst,
+            a,
+            b,
+        }),
+        _ => {
+            // counter-bump chain: two independent add-immediates.
+            if let (Some((d1, i1)), Some((d2, i2))) = (as_add_imm(x), as_add_imm(y)) {
+                return Some(FusedOp::AddChain { d1, i1, d2, i2 });
+            }
+            // Any two trap-free ALU ops.
+            let (s1, s2) = (AluSpec::from_op(x)?, AluSpec::from_op(y)?);
+            Some(FusedOp::AluAlu { s1, s2 })
+        }
+    }
+}
+
+/// Peephole-fuses a straight-line micro-op window into
+/// superinstructions: specialized triples first (read-modify-write,
+/// three-wide ALU runs), then the specialized hot pairs (const+binop,
+/// load+op, op+store, FPU pairs, float-load pairs, counter-bump
+/// chains, two-wide ALU runs); ops that start no specialized window
+/// pass through 1:1 as [`FusedOp::One`]. Total: [`unfuse_ops`] of the
+/// result is exactly `ops`.
+#[must_use]
+pub fn fuse_ops(ops: &[MicroOp]) -> Box<[FusedOp]> {
+    let mut out = Vec::with_capacity(ops.len().div_ceil(2));
+    let mut i = 0;
+    while i < ops.len() {
+        let rest = &ops[i..];
+        // Read-modify-write triple: Load; Alu(b = loaded); Store(result).
+        if let [MicroOp::Load {
+            dst: ld_dst,
+            base: ld_base,
+            offset: ld_offset,
+        }, MicroOp::Alu {
+            op,
+            dst,
+            a,
+            b: MicroOperand::Reg(r),
+        }, MicroOp::Store {
+            src,
+            base: st_base,
+            offset: st_offset,
+        }, ..] = *rest
+        {
+            if r == ld_dst && src == dst {
+                out.push(FusedOp::LoadAluStore {
+                    ld_dst,
+                    ld_base,
+                    ld_offset,
+                    op,
+                    dst,
+                    a,
+                    st_base,
+                    st_offset,
+                });
+                i += 3;
+                continue;
+            }
+        }
+        // Three trap-free ALU ops — the integer loop-body workhorse.
+        if let [x, y, z, ..] = rest {
+            if let (Some(s1), Some(s2), Some(s3)) = (
+                AluSpec::from_op(x),
+                AluSpec::from_op(y),
+                AluSpec::from_op(z),
+            ) {
+                out.push(FusedOp::AluAlu3 { s1, s2, s3 });
+                i += 3;
+                continue;
+            }
+        }
+        if let [x, y, ..] = rest {
+            if let Some(fused) = fuse_pair(x, y) {
+                out.push(fused);
+                i += 2;
+                continue;
+            }
+        }
+        // No specialized window starts here: pass the op through 1:1.
+        // Generic grouping (the old `Pair`/`Triple` wrappers) is a
+        // pessimization — it re-dispatches per constituent and can
+        // swallow the head of a specialized window one op further on.
+        out.push(FusedOp::One(rest[0]));
+        i += 1;
+    }
+    out.into_boxed_slice()
+}
+
+/// Expands superinstructions back to the original 1:1 micro-op
+/// sequence — the exact inverse of [`fuse_ops`].
+#[must_use]
+pub fn unfuse_ops(fused: &[FusedOp]) -> Vec<MicroOp> {
+    fused.iter().flat_map(|f| f.constituents()).collect()
+}
+
 /// A pre-decoded block terminator. Owns its jump table (so a decoded
 /// block is self-contained); executors borrow it through
 /// [`MicroTerm::view`] to avoid copies on the hot path.
@@ -427,6 +1024,41 @@ impl<'a> TermView<'a> {
     }
 }
 
+/// A block body: either the 1:1 micro-op translation produced at
+/// fast-translation time, or the profile-guided fused
+/// (superinstruction) representation the second phase compiles hot
+/// blocks into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BlockBody {
+    /// One [`MicroOp`] per guest instruction, in address order:
+    /// `ops[i]` is the instruction at `start + i`.
+    Flat(Box<[MicroOp]>),
+    /// Fused superinstructions; consecutive entries cover consecutive
+    /// address runs ([`FusedOp::width`] instructions each).
+    Fused(Box<[FusedOp]>),
+}
+
+impl BlockBody {
+    /// Number of guest instructions the body covers.
+    #[must_use]
+    pub fn instr_count(&self) -> usize {
+        match self {
+            BlockBody::Flat(ops) => ops.len(),
+            BlockBody::Fused(ops) => ops.iter().map(|f| f.width()).sum(),
+        }
+    }
+
+    /// The 1:1 representation: borrowed for flat bodies, reconstructed
+    /// via [`unfuse_ops`] for fused ones.
+    #[must_use]
+    pub fn flat_ops(&self) -> std::borrow::Cow<'_, [MicroOp]> {
+        match self {
+            BlockBody::Flat(ops) => std::borrow::Cow::Borrowed(ops),
+            BlockBody::Fused(ops) => std::borrow::Cow::Owned(unfuse_ops(ops)),
+        }
+    }
+}
+
 /// A basic block decoded once into executable micro-ops: the
 /// translation cache's unit of storage.
 #[derive(Clone, Debug, PartialEq)]
@@ -435,9 +1067,9 @@ pub struct DecodedBlock {
     pub start: Pc,
     /// One past the terminator.
     pub end: Pc,
-    /// The straight-line body, in address order: `ops[i]` is the
-    /// instruction at `start + i`.
-    pub ops: Box<[MicroOp]>,
+    /// The straight-line body — 1:1 at fast-translation time, fused
+    /// once the block is compiled into an optimized region.
+    pub body: BlockBody,
     /// The pre-decoded terminator (at address `end - 1`).
     pub term: MicroTerm,
 }
@@ -464,8 +1096,35 @@ impl DecodedBlock {
         DecodedBlock {
             start: block.start,
             end: block.end,
-            ops,
+            body: BlockBody::Flat(ops),
             term,
+        }
+    }
+
+    /// The fused (superinstruction) form of this block: the body is
+    /// peephole-compiled by [`fuse_ops`]; start/end/terminator are
+    /// unchanged. A body in which fusion finds no specialized window
+    /// (every op would pass through as [`FusedOp::One`]) stays `Flat` —
+    /// the 1:1 loop is the faster representation for it. Idempotent on
+    /// already-fused blocks.
+    #[must_use]
+    pub fn fused(&self) -> DecodedBlock {
+        let body = match &self.body {
+            BlockBody::Flat(ops) => {
+                let fused = fuse_ops(ops);
+                if fused.len() < ops.len() {
+                    BlockBody::Fused(fused)
+                } else {
+                    BlockBody::Flat(ops.clone())
+                }
+            }
+            fused @ BlockBody::Fused(_) => fused.clone(),
+        };
+        DecodedBlock {
+            start: self.start,
+            end: self.end,
+            body,
+            term: self.term.clone(),
         }
     }
 
@@ -579,8 +1238,9 @@ mod tests {
         assert_eq!((d.start, d.end), (blk.start, blk.end));
         assert_eq!(d.len(), blk.len());
         assert_eq!(d.term_pc(), 2);
-        assert_eq!(d.ops.len(), 2);
-        assert!(matches!(d.ops[0], MicroOp::MovI { dst: 0, imm: 0 }));
+        let ops = d.body.flat_ops();
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(ops[0], MicroOp::MovI { dst: 0, imm: 0 }));
         assert!(matches!(
             d.term,
             MicroTerm::Branch {
@@ -639,5 +1299,145 @@ mod tests {
         assert_eq!(tail.start, 1);
         assert_eq!(cache.decoded_count(), 2);
         assert!(cache.block(&p, 99).is_none());
+    }
+
+    fn movi(dst: u8, imm: i64) -> MicroOp {
+        MicroOp::MovI { dst, imm }
+    }
+
+    fn addi(dst: u8, imm: i64) -> MicroOp {
+        MicroOp::Alu {
+            op: AluOp::Add,
+            dst,
+            a: dst,
+            b: MicroOperand::Imm(imm),
+        }
+    }
+
+    #[test]
+    fn fuse_recognizes_the_specialized_patterns() {
+        // const + binop
+        let const_alu = [
+            movi(7, 3),
+            MicroOp::Alu {
+                op: AluOp::Mul,
+                dst: 1,
+                a: 2,
+                b: MicroOperand::Reg(7),
+            },
+        ];
+        assert!(matches!(
+            fuse_ops(&const_alu)[..],
+            [FusedOp::ConstAlu {
+                imm_dst: 7,
+                imm: 3,
+                ..
+            }]
+        ));
+        // load + op
+        let load_alu = [
+            MicroOp::Load {
+                dst: 4,
+                base: 5,
+                offset: 2,
+            },
+            MicroOp::Alu {
+                op: AluOp::Add,
+                dst: 1,
+                a: 1,
+                b: MicroOperand::Reg(4),
+            },
+        ];
+        assert!(matches!(fuse_ops(&load_alu)[..], [FusedOp::LoadAlu { .. }]));
+        // op + store
+        let alu_store = [
+            addi(3, 1),
+            MicroOp::Store {
+                src: 3,
+                base: 6,
+                offset: 0,
+            },
+        ];
+        assert!(matches!(
+            fuse_ops(&alu_store)[..],
+            [FusedOp::AluStore { .. }]
+        ));
+        // counter-bump chain
+        let chain = [addi(0, 1), addi(1, 8)];
+        assert!(matches!(
+            fuse_ops(&chain)[..],
+            [FusedOp::AddChain {
+                d1: 0,
+                i1: 1,
+                d2: 1,
+                i2: 8
+            }]
+        ));
+        // read-modify-write triple
+        let rmw = [
+            MicroOp::Load {
+                dst: 4,
+                base: 5,
+                offset: 2,
+            },
+            MicroOp::Alu {
+                op: AluOp::Add,
+                dst: 4,
+                a: 4,
+                b: MicroOperand::Reg(4),
+            },
+            MicroOp::Store {
+                src: 4,
+                base: 5,
+                offset: 2,
+            },
+        ];
+        assert!(matches!(fuse_ops(&rmw)[..], [FusedOp::LoadAluStore { .. }]));
+    }
+
+    #[test]
+    fn fuse_unfuse_round_trips_and_preserves_widths() {
+        let window = [
+            movi(7, 3),
+            MicroOp::Alu {
+                op: AluOp::Sub,
+                dst: 1,
+                a: 2,
+                b: MicroOperand::Reg(7),
+            },
+            MicroOp::In { dst: 0 },
+            MicroOp::Out { src: 0 },
+            MicroOp::FMov { dst: 1, src: 2 },
+            addi(0, 1),
+            addi(2, 2),
+            MicroOp::Mov { dst: 3, src: 0 },
+        ];
+        let fused = fuse_ops(&window);
+        assert_eq!(unfuse_ops(&fused), window.to_vec());
+        assert_eq!(fused.iter().map(|f| f.width()).sum::<usize>(), window.len());
+        // Fusion never inflates dispatch count.
+        assert!(fused.len() <= window.len());
+    }
+
+    #[test]
+    fn fused_block_keeps_identity_and_reconstructs_flat_ops() {
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg::new(0), Reg::new(0), 1);
+        b.addi(Reg::new(0), Reg::new(0), 2);
+        b.halt();
+        let p = b.build().unwrap();
+        let d = DecodedBlock::decode(&p, 0).unwrap();
+        let f = d.fused();
+        assert_eq!((f.start, f.end, &f.term), (d.start, d.end, &d.term));
+        assert!(matches!(f.body, BlockBody::Fused(_)));
+        assert_eq!(f.body.instr_count(), d.body.instr_count());
+        assert_eq!(f.body.flat_ops(), d.body.flat_ops());
+        // Idempotent.
+        assert_eq!(f.fused(), f);
+        // A body with no specialized window keeps the flat
+        // representation: the 1:1 loop is the faster form for it.
+        let plain = sample();
+        let single = DecodedBlock::decode(&plain, 1).unwrap().fused();
+        assert!(matches!(single.body, BlockBody::Flat(_)));
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N]
 //!             [--accept-shards N] [--hot N] [--hot-shards N]
-//!             [--deadline-ms MS] [--backend interp|cached]
+//!             [--deadline-ms MS] [--backend interp|cached|cached-fused]
 //!             [--opt-mode sync|async]
 //!             [--trace PATH [--trace-format jsonl|chrome]]
 //!             [--inject SPEC]
@@ -14,8 +14,9 @@
 //! the on-disk store with `tpdbt-sweep`, so a warm sweep serves
 //! queries with zero guest runs. `--backend` picks the execution
 //! backend for cold (computed) queries — `cached` (default, the
-//! pre-decoded translation cache) or `interp` (the reference
-//! interpreter); results are bitwise identical either way. `--opt-mode
+//! pre-decoded translation cache), `interp` (the reference
+//! interpreter), or `cached-fused` (superinstruction fusion plus
+//! trace-compiled regions); results are bitwise identical every way. `--opt-mode
 //! async` runs region formation on background optimizer threads for
 //! computed queries (guest output is identical; the `stats` endpoint
 //! reports install/discard counters). The daemon prints exactly one
@@ -42,7 +43,7 @@ use tpdbt_trace::{TraceFormat, Tracer};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N] \\\n       [--accept-shards N] [--hot N] [--hot-shards N] [--deadline-ms MS] \\\n       [--backend interp|cached] [--opt-mode sync|async] \\\n       [--trace PATH [--trace-format jsonl|chrome]] [--inject SPEC]\n\nSPEC is unix:PATH or HOST:PORT (port 0 = ephemeral)."
+        "usage: tpdbt-serve --listen SPEC [--cache-dir DIR] [--jobs N] [--queue N] \\\n       [--accept-shards N] [--hot N] [--hot-shards N] [--deadline-ms MS] \\\n       [--backend interp|cached|cached-fused] [--opt-mode sync|async] \\\n       [--trace PATH [--trace-format jsonl|chrome]] [--inject SPEC]\n\nSPEC is unix:PATH or HOST:PORT (port 0 = ephemeral)."
     );
     std::process::exit(2)
 }

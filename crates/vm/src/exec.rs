@@ -9,8 +9,23 @@
 //! implementation, translated code computes exactly what the
 //! interpreter computes — including trap payloads, which carry the
 //! guest `pc` passed in explicitly.
+//!
+//! # Handler layout
+//!
+//! Dispatch is split by operation class. The integer ALU / move /
+//! memory / I/O arms — the hot classes on the integer-dominated guest
+//! workloads — are matched first and stay inline in [`exec_op`]; the
+//! floating-point class lives in a separate out-of-line handler so the
+//! hot dispatch loop stays small. Fused superinstructions
+//! ([`FusedOp`]) get dedicated handlers in [`exec_fused`] that perform
+//! the same architectural writes in the same order as their
+//! constituents and trap with the constituent's guest pc, so fusion is
+//! observationally invisible. [`exec_body`] runs either block
+//! representation through the matching handler set; every execution
+//! backend funnels through it, which is what makes bitwise backend
+//! parity hold by construction.
 
-use tpdbt_isa::{AluOp, FpuOp, MicroOp, MicroOperand, Pc, TermView};
+use tpdbt_isa::{AluOp, BlockBody, FpuOp, FusedOp, MicroOp, MicroOperand, Pc, TermView};
 
 use crate::error::VmError;
 use crate::machine::Machine;
@@ -21,6 +36,68 @@ fn operand(m: &Machine, op: MicroOperand) -> i64 {
     match op {
         MicroOperand::Reg(r) => m.reg(r as usize),
         MicroOperand::Imm(v) => v,
+    }
+}
+
+/// One shared ALU evaluator used by the 1:1 handler and every fused
+/// handler, so a fused op cannot drift from its constituents.
+#[inline(always)]
+fn alu_eval(op: AluOp, x: i64, y: i64, pc: Pc) -> Result<i64, VmError> {
+    Ok(match op {
+        AluOp::Add => x.wrapping_add(y),
+        AluOp::Sub => x.wrapping_sub(y),
+        AluOp::Mul => x.wrapping_mul(y),
+        AluOp::Div => {
+            if y == 0 {
+                return Err(VmError::DivideByZero { pc });
+            }
+            x.wrapping_div(y)
+        }
+        AluOp::Rem => {
+            if y == 0 {
+                return Err(VmError::DivideByZero { pc });
+            }
+            x.wrapping_rem(y)
+        }
+        AluOp::And => x & y,
+        AluOp::Or => x | y,
+        AluOp::Xor => x ^ y,
+        AluOp::Shl => x.wrapping_shl((y & 63) as u32),
+        AluOp::Shr => x.wrapping_shr((y & 63) as u32),
+    })
+}
+
+/// The trap-free ALU evaluator for [`tpdbt_isa::AluSpec`] constituents
+/// — the fuser guarantees `Div`/`Rem` never reach here, which lets the
+/// hot fused handlers skip `Result` plumbing entirely.
+#[inline(always)]
+fn alu_nt(op: AluOp, x: i64, y: i64) -> i64 {
+    match op {
+        AluOp::Add => x.wrapping_add(y),
+        AluOp::Sub => x.wrapping_sub(y),
+        AluOp::Mul => x.wrapping_mul(y),
+        AluOp::Div | AluOp::Rem => {
+            unreachable!("trapping ALU op in a trap-free fused constituent")
+        }
+        AluOp::And => x & y,
+        AluOp::Or => x | y,
+        AluOp::Xor => x ^ y,
+        AluOp::Shl => x.wrapping_shl((y & 63) as u32),
+        AluOp::Shr => x.wrapping_shr((y & 63) as u32),
+    }
+}
+
+/// One shared FPU evaluator used by the 1:1 handler and the fused FPU
+/// handlers. FPU ops never trap.
+#[inline(always)]
+fn fpu_eval(op: FpuOp, x: f64, y: f64) -> f64 {
+    match op {
+        FpuOp::Add => x + y,
+        FpuOp::Sub => x - y,
+        FpuOp::Mul => x * y,
+        FpuOp::Div => x / y,
+        FpuOp::Max => x.max(y),
+        FpuOp::Min => x.min(y),
     }
 }
 
@@ -36,49 +113,42 @@ fn operand(m: &Machine, op: MicroOperand) -> i64 {
 pub fn exec_op(op: &MicroOp, pc: Pc, m: &mut Machine) -> Result<(), VmError> {
     match *op {
         MicroOp::Alu { op, dst, a, b } => {
-            let x = m.reg(a as usize);
-            let y = operand(m, b);
-            let v = match op {
-                AluOp::Add => x.wrapping_add(y),
-                AluOp::Sub => x.wrapping_sub(y),
-                AluOp::Mul => x.wrapping_mul(y),
-                AluOp::Div => {
-                    if y == 0 {
-                        return Err(VmError::DivideByZero { pc });
-                    }
-                    x.wrapping_div(y)
-                }
-                AluOp::Rem => {
-                    if y == 0 {
-                        return Err(VmError::DivideByZero { pc });
-                    }
-                    x.wrapping_rem(y)
-                }
-                AluOp::And => x & y,
-                AluOp::Or => x | y,
-                AluOp::Xor => x ^ y,
-                AluOp::Shl => x.wrapping_shl((y & 63) as u32),
-                AluOp::Shr => x.wrapping_shr((y & 63) as u32),
-            };
+            let v = alu_eval(op, m.reg(a as usize), operand(m, b), pc)?;
             m.set_reg(dst as usize, v);
-        }
-        MicroOp::Mov { dst, src } => {
-            m.set_reg(dst as usize, m.reg(src as usize));
         }
         MicroOp::MovI { dst, imm } => {
             m.set_reg(dst as usize, imm);
         }
+        MicroOp::Mov { dst, src } => {
+            m.set_reg(dst as usize, m.reg(src as usize));
+        }
+        MicroOp::Load { dst, base, offset } => {
+            let idx = m.mem_index(m.reg(base as usize), offset, pc)?;
+            m.set_reg(dst as usize, m.mem(idx));
+        }
+        MicroOp::Store { src, base, offset } => {
+            let idx = m.mem_index(m.reg(base as usize), offset, pc)?;
+            m.set_mem(idx, m.reg(src as usize));
+        }
+        MicroOp::In { dst } => {
+            let v = m.next_input();
+            m.set_reg(dst as usize, v);
+        }
+        MicroOp::Out { src } => {
+            m.push_output(m.reg(src as usize));
+        }
+        ref float => return exec_float_op(float, pc, m),
+    }
+    Ok(())
+}
+
+/// The floating-point handler class, kept out of line so the integer
+/// dispatch above stays compact. Only float-class ops are routed here.
+#[inline(never)]
+fn exec_float_op(op: &MicroOp, pc: Pc, m: &mut Machine) -> Result<(), VmError> {
+    match *op {
         MicroOp::Fpu { op, dst, a, b } => {
-            let x = m.freg(a as usize);
-            let y = m.freg(b as usize);
-            let v = match op {
-                FpuOp::Add => x + y,
-                FpuOp::Sub => x - y,
-                FpuOp::Mul => x * y,
-                FpuOp::Div => x / y,
-                FpuOp::Max => x.max(y),
-                FpuOp::Min => x.min(y),
-            };
+            let v = fpu_eval(op, m.freg(a as usize), m.freg(b as usize));
             m.set_freg(dst as usize, v);
         }
         MicroOp::FMov { dst, src } => {
@@ -99,14 +169,6 @@ pub fn exec_op(op: &MicroOp, pc: Pc, m: &mut Machine) -> Result<(), VmError> {
             let v = i64::from(m.freg(a as usize) < m.freg(b as usize));
             m.set_reg(dst as usize, v);
         }
-        MicroOp::Load { dst, base, offset } => {
-            let idx = m.mem_index(m.reg(base as usize), offset, pc)?;
-            m.set_reg(dst as usize, m.mem(idx));
-        }
-        MicroOp::Store { src, base, offset } => {
-            let idx = m.mem_index(m.reg(base as usize), offset, pc)?;
-            m.set_mem(idx, m.reg(src as usize));
-        }
         MicroOp::FLoad { dst, base, offset } => {
             let idx = m.fmem_index(m.reg(base as usize), offset, pc)?;
             m.set_freg(dst as usize, m.fmem(idx));
@@ -115,12 +177,183 @@ pub fn exec_op(op: &MicroOp, pc: Pc, m: &mut Machine) -> Result<(), VmError> {
             let idx = m.fmem_index(m.reg(base as usize), offset, pc)?;
             m.set_fmem(idx, m.freg(src as usize));
         }
-        MicroOp::In { dst } => {
-            let v = m.next_input();
+        ref int => unreachable!("integer-class op routed to the float handler: {int:?}"),
+    }
+    Ok(())
+}
+
+/// Executes one fused superinstruction whose first constituent sits at
+/// guest address `pc`.
+///
+/// Each specialized variant performs the same architectural writes in
+/// the same order as its constituent micro-ops; a constituent at
+/// offset `k` within the window traps with guest pc `pc + k`. Generic
+/// [`FusedOp::Pair`] / [`FusedOp::Triple`] / [`FusedOp::One`] windows
+/// simply replay their constituents through [`exec_op`].
+///
+/// # Errors
+///
+/// Exactly the traps the constituent micro-ops would raise, with the
+/// constituent's own guest pc in the payload.
+#[inline(always)]
+pub fn exec_fused(f: &FusedOp, pc: Pc, m: &mut Machine) -> Result<(), VmError> {
+    match *f {
+        FusedOp::ConstAlu {
+            imm_dst,
+            imm,
+            op,
+            dst,
+            a,
+        } => {
+            // MovI writes first: the ALU may read `a == imm_dst`.
+            m.set_reg(imm_dst as usize, imm);
+            let v = alu_eval(op, m.reg(a as usize), imm, pc + 1)?;
             m.set_reg(dst as usize, v);
         }
-        MicroOp::Out { src } => {
-            m.push_output(m.reg(src as usize));
+        FusedOp::LoadAlu {
+            ld_dst,
+            base,
+            offset,
+            op,
+            dst,
+            a,
+        } => {
+            let idx = m.mem_index(m.reg(base as usize), offset, pc)?;
+            let loaded = m.mem(idx);
+            m.set_reg(ld_dst as usize, loaded);
+            let v = alu_eval(op, m.reg(a as usize), loaded, pc + 1)?;
+            m.set_reg(dst as usize, v);
+        }
+        FusedOp::AluStore {
+            op,
+            dst,
+            a,
+            b,
+            base,
+            offset,
+        } => {
+            let v = alu_eval(op, m.reg(a as usize), operand(m, b), pc)?;
+            m.set_reg(dst as usize, v);
+            // Base is read after the ALU write: `base` may equal `dst`.
+            let idx = m.mem_index(m.reg(base as usize), offset, pc + 1)?;
+            m.set_mem(idx, v);
+        }
+        FusedOp::LoadAluStore {
+            ld_dst,
+            ld_base,
+            ld_offset,
+            op,
+            dst,
+            a,
+            st_base,
+            st_offset,
+        } => {
+            let idx = m.mem_index(m.reg(ld_base as usize), ld_offset, pc)?;
+            let loaded = m.mem(idx);
+            m.set_reg(ld_dst as usize, loaded);
+            let v = alu_eval(op, m.reg(a as usize), loaded, pc + 1)?;
+            m.set_reg(dst as usize, v);
+            let idx = m.mem_index(m.reg(st_base as usize), st_offset, pc + 2)?;
+            m.set_mem(idx, v);
+        }
+        FusedOp::AddChain { d1, i1, d2, i2 } => {
+            m.set_reg(d1 as usize, m.reg(d1 as usize).wrapping_add(i1));
+            m.set_reg(d2 as usize, m.reg(d2 as usize).wrapping_add(i2));
+        }
+        FusedOp::AluAlu { s1, s2 } => {
+            let v = alu_nt(s1.op, m.reg(s1.a as usize), operand(m, s1.b));
+            m.set_reg(s1.dst as usize, v);
+            let v = alu_nt(s2.op, m.reg(s2.a as usize), operand(m, s2.b));
+            m.set_reg(s2.dst as usize, v);
+        }
+        FusedOp::AluAlu3 { s1, s2, s3 } => {
+            let v = alu_nt(s1.op, m.reg(s1.a as usize), operand(m, s1.b));
+            m.set_reg(s1.dst as usize, v);
+            let v = alu_nt(s2.op, m.reg(s2.a as usize), operand(m, s2.b));
+            m.set_reg(s2.dst as usize, v);
+            let v = alu_nt(s3.op, m.reg(s3.a as usize), operand(m, s3.b));
+            m.set_reg(s3.dst as usize, v);
+        }
+        FusedOp::FpuFpu {
+            op1,
+            d1,
+            a1,
+            b1,
+            op2,
+            d2,
+            a2,
+            b2,
+        } => {
+            let v = fpu_eval(op1, m.freg(a1 as usize), m.freg(b1 as usize));
+            m.set_freg(d1 as usize, v);
+            let v = fpu_eval(op2, m.freg(a2 as usize), m.freg(b2 as usize));
+            m.set_freg(d2 as usize, v);
+        }
+        FusedOp::AluFLoad {
+            s,
+            ld_dst,
+            base,
+            offset,
+        } => {
+            let v = alu_nt(s.op, m.reg(s.a as usize), operand(m, s.b));
+            m.set_reg(s.dst as usize, v);
+            let idx = m.fmem_index(m.reg(base as usize), offset, pc + 1)?;
+            m.set_freg(ld_dst as usize, m.fmem(idx));
+        }
+        FusedOp::FLoadFpu {
+            ld_dst,
+            base,
+            offset,
+            op,
+            dst,
+            a,
+            b,
+        } => {
+            let idx = m.fmem_index(m.reg(base as usize), offset, pc)?;
+            m.set_freg(ld_dst as usize, m.fmem(idx));
+            let v = fpu_eval(op, m.freg(a as usize), m.freg(b as usize));
+            m.set_freg(dst as usize, v);
+        }
+        FusedOp::Pair(ref x, ref y) => {
+            exec_op(x, pc, m)?;
+            exec_op(y, pc + 1, m)?;
+        }
+        FusedOp::Triple(ref x, ref y, ref z) => {
+            exec_op(x, pc, m)?;
+            exec_op(y, pc + 1, m)?;
+            exec_op(z, pc + 2, m)?;
+        }
+        FusedOp::One(ref x) => exec_op(x, pc, m)?,
+    }
+    Ok(())
+}
+
+/// Runs a whole block body — flat or fused — whose first instruction
+/// sits at guest address `start`, leaving the machine exactly as
+/// stepping the constituent instructions would.
+///
+/// Every execution backend (interpreter replay, cached chains, fused
+/// traces) funnels straight-line execution through this one function,
+/// which is what makes bitwise backend parity hold by construction.
+///
+/// # Errors
+///
+/// Propagates the first constituent trap, with that constituent's
+/// guest pc in the payload.
+#[inline]
+pub fn exec_body(body: &BlockBody, start: Pc, m: &mut Machine) -> Result<(), VmError> {
+    match body {
+        BlockBody::Flat(ops) => {
+            for (pc, op) in (start..).zip(ops.iter()) {
+                exec_op(op, pc, m)?;
+            }
+        }
+        BlockBody::Fused(ops) => {
+            let mut pc = start;
+            for f in ops.iter() {
+                exec_fused(f, pc, m)?;
+                pc += f.width();
+            }
         }
     }
     Ok(())
@@ -202,13 +435,18 @@ mod tests {
 
         let mut by_step = Machine::new(&p, &[]);
         let mut by_replay = by_step.clone();
+        let mut by_fused = by_step.clone();
 
         let block = DecodedBlock::decode(&p, 0).unwrap();
-        for (i, op) in block.ops.iter().enumerate() {
-            exec_op(op, block.start + i, &mut by_replay).unwrap();
-        }
+        exec_body(&block.body, block.start, &mut by_replay).unwrap();
         by_replay.set_pc(block.term_pc());
         let replay_flow = exec_term(block.term.view(), block.term_pc(), &mut by_replay).unwrap();
+
+        // The fused representation of the same block is indistinguishable.
+        let fused = block.fused();
+        exec_body(&fused.body, fused.start, &mut by_fused).unwrap();
+        by_fused.set_pc(fused.term_pc());
+        let fused_flow = exec_term(fused.term.view(), fused.term_pc(), &mut by_fused).unwrap();
 
         let mut step_flow = Flow::Halted;
         for pc in block.start..block.end {
@@ -217,6 +455,8 @@ mod tests {
         }
         assert_eq!(replay_flow, step_flow);
         assert_eq!(by_replay, by_step);
+        assert_eq!(fused_flow, step_flow);
+        assert_eq!(by_fused, by_step);
     }
 
     #[test]
@@ -246,6 +486,60 @@ mod tests {
             exec_term(TermView::Return, 4, &mut m),
             Err(VmError::StackUnderflow { pc: 4 })
         );
+    }
+
+    /// A constituent trapping at offset `k` of a fused window reports
+    /// guest pc `base + k`, exactly as the unfused replay would.
+    #[test]
+    fn fused_traps_carry_the_constituent_pc() {
+        let mut b = ProgramBuilder::new();
+        b.reserve_mem(4);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p, &[]);
+
+        // ConstAlu whose ALU half divides by the (zero) immediate:
+        // MovI at pc 10 succeeds, Alu at pc 11 traps.
+        let window = [
+            MicroOp::MovI { dst: 3, imm: 0 },
+            MicroOp::Alu {
+                op: AluOp::Div,
+                dst: 0,
+                a: 0,
+                b: MicroOperand::Reg(3),
+            },
+        ];
+        let fused = tpdbt_isa::fuse_ops(&window);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(
+            exec_fused(&fused[0], 10, &mut m),
+            Err(VmError::DivideByZero { pc: 11 })
+        );
+        // The MovI half still committed before the trap.
+        assert_eq!(m.reg(3), 0);
+
+        // AluStore whose store half is out of bounds: trap pc is the
+        // store's address (base + 1), and the ALU write committed.
+        let window = [
+            MicroOp::Alu {
+                op: AluOp::Add,
+                dst: 1,
+                a: 1,
+                b: MicroOperand::Imm(41),
+            },
+            MicroOp::Store {
+                src: 1,
+                base: 0,
+                offset: 99,
+            },
+        ];
+        let fused = tpdbt_isa::fuse_ops(&window);
+        assert_eq!(fused.len(), 1);
+        assert!(matches!(
+            exec_fused(&fused[0], 20, &mut m),
+            Err(VmError::MemOutOfBounds { pc: 21, .. })
+        ));
+        assert_eq!(m.reg(1), 41);
     }
 
     #[test]
